@@ -1,0 +1,33 @@
+# Convenience targets for the lpbcast reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-figures examples check clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-figures:
+	$(PYTHON) -m pytest benchmarks/bench_fig2_fanout.py \
+	    benchmarks/bench_fig3_system_size.py \
+	    benchmarks/bench_fig4_partition.py \
+	    benchmarks/bench_fig5_sim_vs_analysis.py \
+	    benchmarks/bench_fig6_reliability.py \
+	    benchmarks/bench_fig7_pbcast.py --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+	    echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+check: test bench
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

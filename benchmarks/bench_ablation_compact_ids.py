@@ -1,0 +1,105 @@
+"""Ablation — the compact per-sender id digest (Sec. 3.2).
+
+"We suppose that these identifiers are unique, and include the identifier
+of the originator.  That way, the buffer can be optimized by only retaining
+for each sender the identifiers of notifications delivered since the last
+one delivered in sequence."
+
+Under mostly-ordered traffic the compact digest summarizes arbitrarily many
+delivered ids in O(#senders) memory, where the plain FIFO forgets everything
+past its bound.  This bench runs a sustained publication load and compares
+(a) duplicate-detection quality (re-deliveries) and (b) the memory proxy
+(tracked entries) between the two representations.
+"""
+
+import random
+
+import figlib
+from repro.core import LpbcastConfig
+from repro.core.buffers import CompactEventIdDigest
+from repro.metrics import DeliveryLog, format_table
+from repro.sim import (
+    BroadcastWorkload,
+    NetworkModel,
+    RoundSimulation,
+    build_lpbcast_nodes,
+)
+
+N = 50
+ROUNDS = 30
+
+
+def run(compact: bool, seed: int):
+    cfg = LpbcastConfig(
+        fanout=3, view_max=10,
+        compact_event_ids=compact,
+        event_ids_max=40,      # FIFO bound; compact: out-of-order budget
+        events_max=40,
+    )
+    nodes = build_lpbcast_nodes(N, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=figlib.EPSILON, rng=random.Random(seed + 3)),
+        seed=seed,
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    workload = BroadcastWorkload(nodes[:10], events_per_round=1,
+                                 start=1, stop=25)
+    sim.add_round_hook(workload.on_round)
+    sim.run(ROUNDS)
+
+    if compact:
+        memory = sum(
+            len(node.event_ids._insertion_order) +
+            len(node.event_ids.senders())
+            for node in nodes
+        ) / N
+    else:
+        memory = sum(len(node.event_ids) for node in nodes) / N
+    return {
+        "published": len(workload),
+        "redeliveries": log.redeliveries,
+        "memory_per_node": memory,
+    }
+
+
+def test_compact_digest_vs_fifo(benchmark):
+    def compute():
+        seeds = range(3)
+
+        def mean_of(key, runs):
+            return sum(r[key] for r in runs) / len(runs)
+
+        fifo_runs = [run(False, s) for s in seeds]
+        compact_runs = [run(True, s) for s in seeds]
+        return {
+            "fifo |eventIds|m=40": {
+                k: mean_of(k, fifo_runs) for k in fifo_runs[0]
+            },
+            "compact per-sender digest": {
+                k: mean_of(k, compact_runs) for k in compact_runs[0]
+            },
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [name, r["published"], r["redeliveries"], r["memory_per_node"]]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["eventIds representation", "published", "re-deliveries",
+         "avg tracked entries/node"],
+        rows,
+        title=f"Sec. 3.2 digest optimization, n={N}, 10 publishers x 25 rounds",
+    ))
+
+    fifo = results["fifo |eventIds|m=40"]
+    compact = results["compact per-sender digest"]
+
+    # 250 events flow through; the FIFO (bound 40) forgets most of them and
+    # re-delivers late copies; the compact digest remembers every in-sequence
+    # prefix in O(#senders) and suppresses (nearly) all duplicates.
+    assert compact["redeliveries"] < fifo["redeliveries"] / 2
+    # ...with comparable or smaller per-node memory.
+    assert compact["memory_per_node"] <= fifo["memory_per_node"] * 1.5

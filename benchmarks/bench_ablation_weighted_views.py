@@ -1,0 +1,91 @@
+"""Ablation A1 — weighted views (Sec. 6.1).
+
+"Every process should ideally be known by exactly l other processes."  The
+weighted-view heuristic evicts well-known (high-weight) entries and
+advertises poorly-known (low-weight) ones.  We compare the in-degree
+distribution of long-running systems with uniform vs weighted views: the
+heuristic should not degrade connectivity and should keep the in-degree
+spread at least as tight.
+"""
+
+import random
+
+import figlib
+from repro.core import LpbcastConfig
+from repro.metrics import format_table, in_degree_stats, is_partitioned
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+
+def run_system(weighted: bool, seed: int = 0, n: int = 125, l: int = 12,
+               rounds: int = 30):
+    cfg = LpbcastConfig(fanout=3, view_max=l, weighted_views=weighted)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=figlib.EPSILON, rng=random.Random(seed + 13)),
+        seed=seed,
+    )
+    sim.add_nodes(nodes)
+    sim.run(rounds)
+    return nodes
+
+
+def compute():
+    results = {}
+    for weighted in (False, True):
+        stats = []
+        for seed in range(3):
+            nodes = run_system(weighted, seed=seed)
+            stats.append(in_degree_stats(nodes))
+        label = "weighted" if weighted else "uniform"
+        results[label] = {
+            "mean": sum(s.mean for s in stats) / len(stats),
+            "std": sum(s.std for s in stats) / len(stats),
+            "min": min(s.minimum for s in stats),
+            "isolated": max(s.isolated for s in stats),
+        }
+    return results
+
+
+def test_ablation_weighted_views(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [label, r["mean"], r["std"], r["min"], r["isolated"]]
+        for label, r in results.items()
+    ]
+    print()
+    print(format_table(
+        ["views", "mean in-degree", "std", "min", "isolated"], rows,
+        title="Ablation A1: in-degree distribution, uniform vs weighted views",
+    ))
+
+    # Mean in-degree is l by conservation either way.
+    for r in results.values():
+        assert abs(r["mean"] - 12) < 0.2
+        assert r["isolated"] == 0
+
+    # The heuristic must not blow up the spread (it targets tightening it).
+    assert results["weighted"]["std"] <= results["uniform"]["std"] * 1.25
+
+
+def test_weighted_views_do_not_hurt_dissemination(benchmark):
+    def curves():
+        uniform = figlib.lpbcast_mean_curve(
+            125, l=12, seeds=range(3), rounds=9,
+        )
+        weighted = figlib.lpbcast_mean_curve(
+            125, l=12, seeds=range(3), rounds=9,
+            config_overrides={"weighted_views": True},
+        )
+        return uniform, weighted
+
+    uniform, weighted = benchmark.pedantic(curves, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["round", "uniform", "weighted"],
+        [[r, uniform[r], weighted[r]] for r in range(len(uniform))],
+        title="Ablation A1: infection curves, uniform vs weighted views",
+    ))
+    assert weighted[-1] >= 124
+    # Latency comparable: mid-epidemic difference bounded.
+    for r in range(3, 8):
+        assert abs(weighted[r] - uniform[r]) <= 0.25 * 125

@@ -1,0 +1,119 @@
+"""Bimodality bench: the all-or-nothing shape of gossip delivery.
+
+Gossip delivery is *bimodal* (Sec. 2.3's Bimodal Multicast is named for
+it): an event either dies in the first hops or reaches essentially
+everybody; intermediate coverage is rare.  Which regime a protocol sits in
+depends on whether repetitions are bounded:
+
+* **lpbcast's standard mode** (digests re-advertise an event every round,
+  repetitions unlimited, Sec. 4) has no extinction branch — every event
+  saturates.  The Eqs. 2–3 Markov chain predicts exactly that: at round 6
+  nearly all probability mass sits at s = n.
+* **one-shot forwarding** (each process forwards a payload at most once —
+  Figure 1(b)'s ``events`` discipline without the digest shortcut) is a
+  branching process with genuine extinction probability: under heavy loss
+  the empirical coverage histogram shows the classic two modes.
+"""
+
+import random
+
+import figlib
+import numpy as np
+from repro.analysis import InfectionMarkovChain
+from repro.core import LpbcastConfig
+from repro.metrics import (
+    DeliveryLog,
+    coverage_histogram,
+    format_table,
+    per_event_coverage,
+)
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+N = 60
+ROUNDS = 8
+EVENTS = 120
+
+
+def empirical_coverage(loss: float, one_shot: bool, seed: int = 0):
+    cfg = LpbcastConfig(
+        fanout=3, view_max=8,
+        digest_implies_delivery=not one_shot,
+    )
+    nodes = build_lpbcast_nodes(N, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=loss, rng=random.Random(seed + 5)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    rng = random.Random(seed + 77)
+    events = []
+    for i in range(EVENTS):
+        publisher = nodes[rng.randrange(N)]
+        events.append((publisher.lpb_cast(i, now=float(sim.round)), sim.round))
+        sim.run_round()
+    sim.run(ROUNDS)
+    coverages = []
+    for event, published_round in events:
+        deliverers = {
+            pid for pid in log.deliverers_of(event.event_id)
+            if (t := log.delivery_time(pid, event.event_id)) is not None
+            and t <= published_round + ROUNDS
+        }
+        coverages.append(len(deliverers) / N)
+    return coverages
+
+
+def test_bimodal_delivery_distribution(benchmark):
+    def compute():
+        return {
+            "standard (unlimited repetitions)": empirical_coverage(
+                loss=0.05, one_shot=False
+            ),
+            "one-shot forwarding, eps=0.35": empirical_coverage(
+                loss=0.35, one_shot=True
+            ),
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, coverages in results.items():
+        rows.append([name] + coverage_histogram(coverages, bins=10))
+    print()
+    print(format_table(
+        ["configuration"] + [f"{i * 10}-{i * 10 + 10}%" for i in range(10)],
+        rows,
+        title=f"Per-event coverage histogram after {ROUNDS} rounds "
+              f"({EVENTS} events, n={N})",
+    ))
+
+    standard = coverage_histogram(
+        results["standard (unlimited repetitions)"], bins=10
+    )
+    one_shot = coverage_histogram(
+        results["one-shot forwarding, eps=0.35"], bins=10
+    )
+
+    # Standard lpbcast: unimodal at the top — every event saturates.
+    assert standard[-1] > 0.9 * EVENTS
+
+    # One-shot under heavy loss: bimodal — an extinction mode near zero and
+    # a final-size mode (≈70–80% for R0 ≈ 2), with a sparse valley between.
+    extinct = sum(one_shot[:2])        # coverage < 20%
+    saturated = sum(one_shot[6:])      # coverage >= 60%
+    valley = sum(one_shot[2:5])        # 20–50%
+    assert extinct >= 2
+    assert saturated > 0.6 * EVENTS
+    assert valley < saturated / 3
+
+
+def test_markov_chain_predicts_saturation(benchmark):
+    def compute():
+        chain = InfectionMarkovChain(N, 3, figlib.EPSILON, figlib.TAU)
+        return chain.round_distributions(ROUNDS)[-1]
+
+    law = benchmark.pedantic(compute, rounds=1, iterations=1)
+    top_decile_mass = float(np.sum(law[int(0.9 * N):]))
+    print(f"\nP(s_{ROUNDS} >= 0.9n) = {top_decile_mass:.4f}")
+    # Unlimited repetitions: essentially all mass in the top decile.
+    assert top_decile_mass > 0.95

@@ -1,0 +1,114 @@
+"""Failure-detector bench: crash-cleanup latency (paper reference [29]).
+
+lpbcast alone removes crashed processes from views only by accidental random
+truncation — their ids linger, attracting wasted gossips.  The heartbeat
+failure detector (repro.failuredetector) purges them deliberately.  This
+bench measures how many rounds it takes for a crashed process to vanish
+from every live view, with and without the detector, and confirms the
+detector does not slow dissemination.
+"""
+
+import random
+
+import figlib
+from repro.core import LpbcastConfig
+from repro.failuredetector import FdLpbcastNode
+from repro.metrics import DeliveryLog, format_table
+from repro.sim import NetworkModel, RoundSimulation
+from repro.sim.rng import SeedSequence
+from repro.sim.topology import uniform_random_views
+
+N = 60
+VIEW = 10
+SUSPECT = 6.0
+
+
+def build(with_fd: bool, seed: int):
+    cfg = LpbcastConfig(fanout=3, view_max=VIEW)
+    seeds = SeedSequence(seed)
+    pids = list(range(N))
+    views = uniform_random_views(pids, VIEW, seeds.rng("views"))
+    if with_fd:
+        nodes = [
+            FdLpbcastNode(pid, cfg, seeds.rng("node", pid),
+                          initial_view=views[pid],
+                          suspect_timeout=SUSPECT,
+                          forget_timeout=4 * SUSPECT)
+            for pid in pids
+        ]
+    else:
+        from repro.core import LpbcastNode
+        nodes = [
+            LpbcastNode(pid, cfg, seeds.rng("node", pid),
+                        initial_view=views[pid])
+            for pid in pids
+        ]
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=figlib.EPSILON, rng=random.Random(seed + 3)),
+        seed=seed,
+    )
+    sim.add_nodes(nodes)
+    return sim, nodes
+
+
+def cleanup_rounds(with_fd: bool, seed: int, max_rounds: int = 40):
+    """Rounds from crash until no live view contains the victim."""
+    sim, nodes = build(with_fd, seed)
+    victim = nodes[7].pid
+    sim.run(3)
+    sim.crash(victim)
+    for extra in range(1, max_rounds + 1):
+        sim.run_round()
+        knowers = sum(
+            1 for n in nodes if n.pid != victim and victim in n.view
+        )
+        if knowers == 0:
+            return extra
+    return max_rounds + 1  # never cleaned up within the horizon
+
+
+def test_crash_cleanup_latency(benchmark):
+    def compute():
+        seeds = range(3)
+        return (
+            [cleanup_rounds(False, s) for s in seeds],
+            [cleanup_rounds(True, s) for s in seeds],
+        )
+
+    without_fd, with_fd = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["system", "rounds to full cleanup (per seed)", "mean"],
+        [
+            ["plain lpbcast", str(without_fd),
+             sum(without_fd) / len(without_fd)],
+            ["with failure detector", str(with_fd),
+             sum(with_fd) / len(with_fd)],
+        ],
+        title=f"Crash-cleanup latency, n={N}, l={VIEW}, suspect={SUSPECT} rounds",
+    ))
+
+    # The detector bounds cleanup near its timeout; plain lpbcast relies on
+    # luck (random truncation) and is much slower or never finishes.
+    assert max(with_fd) <= SUSPECT + 10
+    assert sum(with_fd) < sum(without_fd)
+
+
+def test_fd_does_not_slow_dissemination(benchmark):
+    def compute():
+        results = {}
+        for with_fd in (False, True):
+            counts = []
+            for seed in range(3):
+                sim, nodes = build(with_fd, seed)
+                log = DeliveryLog().attach(nodes)
+                event = nodes[0].lpb_cast("x", now=0.0)
+                sim.run(8)
+                counts.append(log.delivery_count(event.event_id))
+            results["fd" if with_fd else "plain"] = counts
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(f"\ncoverage after 8 rounds: {results}")
+    assert all(c == N for c in results["fd"])
+    assert all(c == N for c in results["plain"])

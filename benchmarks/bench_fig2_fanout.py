@@ -1,0 +1,56 @@
+"""Figure 2 — Analysis: expected infected processes per round for different
+fanout values (n = 125, F = 3..6).
+
+Paper shape: increasing the fanout decreases the number of rounds needed to
+infect all processes, with diminishing returns.
+"""
+
+import figlib
+from repro.metrics import format_series
+
+
+def compute():
+    return figlib.fig2_series(rounds=10)
+
+
+def test_fig2_fanout(benchmark):
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print(format_series(
+        "round", list(range(11)), series,
+        title="Figure 2: expected infected processes per round (n=125)",
+    ))
+
+    # Higher fanout infects faster at every mid-epidemic round.
+    for r in range(1, 6):
+        assert series["F=3"][r] < series["F=4"][r] < series["F=5"][r] < series["F=6"][r]
+
+    # All curves saturate at n.
+    for curve in series.values():
+        assert curve[-1] > 124.9
+
+    # Diminishing returns: the gain of F=4 over F=3 exceeds that of F=6
+    # over F=5 at the inflection rounds.
+    r = 3
+    gain_34 = series["F=4"][r] - series["F=3"][r]
+    gain_56 = series["F=6"][r] - series["F=5"][r]
+    assert gain_34 > gain_56
+
+
+def test_fig2_rounds_to_full_infection(benchmark):
+    from repro.analysis import InfectionMarkovChain
+
+    def rounds_needed():
+        return {
+            F: InfectionMarkovChain(125, F, figlib.EPSILON, figlib.TAU)
+            .rounds_to_fraction(0.99)
+            for F in (3, 4, 5, 6)
+        }
+
+    result = benchmark.pedantic(rounds_needed, rounds=1, iterations=1)
+    print()
+    print("Rounds to infect 99% of n=125:", result)
+    values = [result[F] for F in (3, 4, 5, 6)]
+    assert values == sorted(values, reverse=True)
+    assert values[0] <= 9

@@ -1,0 +1,51 @@
+"""Figure 3 — Analysis: relation between system size and latency.
+
+(a) expected infected processes per round for n = 125..1000 (F = 3);
+(b) expected rounds to infect 99% of Π — grows logarithmically in n.
+"""
+
+import math
+
+import figlib
+from repro.metrics import format_series, format_table
+
+
+def test_fig3a_infection_by_system_size(benchmark):
+    series = benchmark.pedantic(
+        lambda: figlib.fig3a_series(rounds=10), rounds=1, iterations=1
+    )
+    print()
+    print(format_series(
+        "round", list(range(11)), series,
+        title="Figure 3(a): expected infected processes per round (F=3)",
+    ))
+
+    # Every curve saturates at its own n.
+    for n in range(125, 1001, 125):
+        assert series[f"n={n}"][-1] > 0.99 * n
+
+    # Larger systems lag smaller ones in relative coverage mid-epidemic.
+    for r in (4, 5):
+        frac_small = series["n=125"][r] / 125
+        frac_large = series["n=1000"][r] / 1000
+        assert frac_small > frac_large
+
+
+def test_fig3b_rounds_grow_logarithmically(benchmark):
+    sizes, rounds = benchmark.pedantic(figlib.fig3b_series, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["n", "rounds to 99%"], list(zip(sizes, rounds)),
+        title="Figure 3(b): expected rounds to infect 99% of the system",
+    ))
+
+    # Monotone increase...
+    assert all(b >= a for a, b in zip(rounds, rounds[1:]))
+    # ...in the paper's 5-8 round band...
+    assert all(4.5 <= r <= 8.0 for r in rounds)
+    # ...and sub-linear (logarithmic): 10x the system adds < 2 rounds.
+    assert rounds[-1] - rounds[0] < 2.0
+    # Log-shape check: increments shrink as n grows.
+    first_jump = rounds[1] - rounds[0]
+    last_jump = rounds[-1] - rounds[-2]
+    assert last_jump <= first_jump + 0.25

@@ -1,0 +1,64 @@
+"""Figure 4 — Analysis: probability of partitioning (Eq. 4).
+
+Ψ(i, n, l) for l = 3 and n = 50, 75, 125, against the partition size i.
+Paper shape: Ψ monotonically decreases when increasing n (and l); the
+magnitudes are astronomically small.  Also reproduces the Sec. 4.4 time
+extension (Eq. 5): the number of rounds until partitioning becomes likely
+is beyond any practical run length.
+"""
+
+import figlib
+from repro.analysis import partition_probability_per_round, phi, psi, rounds_until_partition
+from repro.metrics import format_table
+
+
+def test_fig4_partition_probability(benchmark):
+    curves = benchmark.pedantic(figlib.fig4_series, rounds=1, iterations=1)
+
+    rows = []
+    sizes = [i for i, _ in curves["n=50"]]
+    by_n = {name: dict(points) for name, points in curves.items()}
+    for i in sizes:
+        rows.append([
+            i,
+            by_n["n=50"].get(i, 0.0),
+            by_n["n=75"].get(i, 0.0),
+            by_n["n=125"].get(i, 0.0),
+        ])
+    print()
+    print(format_table(
+        ["partition size i", "n=50", "n=75", "n=125"], rows,
+        title="Figure 4: probability of partition of size i (l=3)",
+    ))
+
+    # Monotone decrease in n at every feasible size.
+    for i in sizes:
+        assert by_n["n=50"][i] >= by_n["n=75"][i] >= by_n["n=125"][i]
+
+    # Astronomically small probabilities (partitioning is a non-event).
+    assert max(by_n["n=50"].values()) < 1e-12
+
+    # Monotone decrease in l as well.
+    assert psi(10, 50, 3) > psi(10, 50, 5)
+
+
+def test_fig4_time_extension_eq5(benchmark):
+    def compute():
+        return {
+            "per_round_n50": partition_probability_per_round(50, 3),
+            "phi_n50_1e9": phi(50, 3, 1e9),
+            "rounds_to_p90_n50": rounds_until_partition(50, 3, 0.9),
+            "rounds_to_p90_n75": rounds_until_partition(75, 3, 0.9),
+        }
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["quantity", "value"], [[k, v] for k, v in result.items()],
+        title="Eq. 5: probability of no partitioning over time",
+    ))
+
+    # Paper: ">= 1e12 rounds to partition with probability 0.9 (n=50, l=3)".
+    assert result["rounds_to_p90_n50"] > 1e12
+    assert result["rounds_to_p90_n75"] > result["rounds_to_p90_n50"]
+    assert result["phi_n50_1e9"] > 0.999

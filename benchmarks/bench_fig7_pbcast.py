@@ -1,0 +1,59 @@
+"""Figure 7 — pbcast with the lpbcast membership (Sec. 6.2).
+
+(a) infection curves: lpbcast vs pbcast-with-partial-view vs
+    pbcast-with-total-view (n = 125, l = 15, F = 5).  Paper shape: the
+    partial-view pbcast tracks the total-view pbcast (the membership layer
+    preserves behaviour), and lpbcast is at least as fast because its hops
+    and repetitions are unlimited.
+(b) delivery reliability of pbcast over the partial-view membership for
+    different l — the same weak dependence as lpbcast's Fig. 6(a).
+"""
+
+import figlib
+from repro.metrics import format_series, format_table, merge_curves
+
+
+def test_fig7a_protocol_comparison(benchmark):
+    series = benchmark.pedantic(
+        lambda: figlib.fig7a_series(seeds=range(5), rounds=7),
+        rounds=1, iterations=1,
+    )
+    curves = merge_curves(series)
+    print()
+    print(format_series(
+        "round", list(range(8)), curves,
+        title="Figure 7(a): infected processes per round (n=125, l=15, F=5)",
+    ))
+
+    lpb = curves["lpbcast l=15 F=5"]
+    partial = curves["pbcast partial view"]
+    total = curves["pbcast total view"]
+
+    # All three infect (essentially) the whole system.
+    assert lpb[-1] >= 124.5
+    assert partial[-1] >= 122
+    assert total[-1] >= 122
+
+    # The membership layer preserves pbcast's behaviour: partial ~ total.
+    for r in range(2, 7):
+        assert abs(partial[r] - total[r]) <= 0.15 * 125
+
+    # lpbcast's unlimited hops/repetitions: at least as fast overall
+    # (area under the growth phase).
+    assert sum(lpb[:7]) >= sum(partial[:7]) - 15
+
+
+def test_fig7b_pbcast_reliability_vs_view_size(benchmark):
+    l_values, reliabilities = benchmark.pedantic(
+        lambda: figlib.fig7b_series(seeds=range(3)), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["view size l", "reliability (1-beta)"],
+        list(zip(l_values, reliabilities)),
+        title="Figure 7(b): pbcast + partial view reliability (F=5)",
+    ))
+
+    # Same qualitative story as Fig. 6(a): high reliability, weak l-dependence.
+    assert all(r > 0.6 for r in reliabilities)
+    assert max(reliabilities) - min(reliabilities) < 0.12

@@ -1,0 +1,27 @@
+"""Bench-side alias of :mod:`repro.experiments.figures`.
+
+The experiment functions live inside the package (they also back the
+``python -m repro`` CLI); the bench files import them through this thin
+module so `pytest benchmarks/` needs no path tricks.
+"""
+
+from repro.experiments.figures import (  # noqa: F401
+    EPSILON,
+    TAU,
+    fig2_series,
+    fig3a_series,
+    fig3b_series,
+    fig4_series,
+    fig5a_series,
+    fig5b_series,
+    fig6a_series,
+    fig6b_series,
+    fig7a_series,
+    fig7b_series,
+    lpbcast_infection_curve,
+    lpbcast_mean_curve,
+    measurement_reliability,
+    pbcast_infection_curve,
+    pbcast_mean_curve,
+    pbcast_measurement_reliability,
+)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""lpbcast vs pbcast, with total and partial views (paper Sec. 6.2 / Fig. 7).
+
+Runs the three protocols side by side under identical network conditions
+(n = 125, l = 15, F = 5, 5% loss) and prints their infection curves:
+
+* lpbcast — unlimited hops/repetitions, partial views;
+* pbcast over the lpbcast partial-view membership layer;
+* original pbcast with a complete membership view.
+
+Run:  python examples/compare_pbcast.py
+"""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.metrics import DeliveryLog, InfectionObserver, format_series, mean_curves, merge_curves
+from repro.pbcast import FIRST_PHASE_NONE, PbcastConfig, build_pbcast_nodes
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+ROUNDS = 7
+SEEDS = range(8)
+
+
+def run_lpbcast(seed: int):
+    cfg = LpbcastConfig(fanout=5, view_max=15)
+    nodes = build_lpbcast_nodes(125, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.05, rng=random.Random(seed + 500)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    event = nodes[0].lpb_cast("x", now=0.0)
+    obs = InfectionObserver(log, event.event_id)
+    sim.add_observer(obs.on_round)
+    sim.run(ROUNDS)
+    return obs.curve(ROUNDS)
+
+
+def run_pbcast(seed: int, membership: str):
+    cfg = PbcastConfig(fanout=5, view_max=15, first_phase=FIRST_PHASE_NONE)
+    nodes = build_pbcast_nodes(125, cfg, seed=seed, membership=membership)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.05, rng=random.Random(seed + 500)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    event, first = nodes[0].publish("x", now=0.0)
+    sim.inject(nodes[0].pid, first)
+    obs = InfectionObserver(log, event.event_id)
+    sim.add_observer(obs.on_round)
+    sim.run(ROUNDS)
+    return obs.curve(ROUNDS)
+
+
+def main() -> None:
+    curves = merge_curves({
+        "lpbcast": mean_curves([run_lpbcast(s) for s in SEEDS]),
+        "pbcast partial": mean_curves([run_pbcast(s, "partial") for s in SEEDS]),
+        "pbcast total": mean_curves([run_pbcast(s, "total") for s in SEEDS]),
+    })
+    print(format_series(
+        "round", list(range(ROUNDS + 1)), curves,
+        title=f"Infected processes per round (n=125, l=15, F=5, "
+              f"mean of {len(list(SEEDS))} runs)",
+    ))
+    print(
+        "\nReading: the partial-view pbcast tracks the total-view pbcast — "
+        "the membership layer preserves the protocol's behaviour.  lpbcast "
+        "spreads at least as fast because its hops and repetitions are "
+        "unlimited (each digest keeps re-advertising an event)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Strong reliability via loggers (rpbcast-style, paper Sec. 7).
+
+The paper closes by proposing to combine lpbcast's membership "with other
+gossip-based event dissemination algorithms, e.g., using loggers to ensure
+strong reliability guarantees whenever this is required (cf. rpbcast)".
+
+This example runs lpbcast in a deliberately hostile regime — 25% message
+loss, events forwarded at most once with tiny buffers, no digest shortcut —
+where the purely probabilistic protocol visibly loses (event, process)
+pairs.  Adding two logger processes and the deterministic third phase
+(acknowledged uploads + periodic frontier reconciliation) recovers every
+missing delivery.
+
+Run:  python examples/logged_broadcast.py
+"""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.loggers import build_logged_system
+from repro.sim import NetworkModel, RoundSimulation
+
+
+def run(with_loggers: bool, seed: int = 2):
+    config = LpbcastConfig(
+        fanout=3, view_max=10,
+        events_max=3, event_ids_max=6,          # starved buffers
+        digest_implies_delivery=False,           # payloads must really travel
+    )
+    clients, loggers = build_logged_system(
+        35, logger_count=2, config=config, seed=seed, recovery_period=3
+    )
+    nodes = clients + (loggers if with_loggers else [])
+    if not with_loggers:
+        for client in clients:
+            client.loggers = ()
+
+    sim = RoundSimulation(
+        network=NetworkModel(loss_rate=0.25, rng=random.Random(seed + 40)),
+        seed=seed,
+    )
+    sim.add_nodes(nodes)
+
+    published = []
+    for client in clients[:7]:
+        notification, uploads = client.publish_logged(
+            {"publisher": client.pid}, now=0.0
+        )
+        published.append(notification)
+        if with_loggers:
+            sim.inject(client.pid, uploads)
+
+    sim.run(40)
+
+    missing = sum(
+        1
+        for notification in published
+        for client in clients
+        if not client.has_contiguously_delivered(notification.event_id)
+    )
+    recovered = sum(client.recovered_events for client in clients)
+    return missing, len(published) * len(clients), recovered, loggers
+
+
+def main() -> None:
+    print("Conditions: 25% loss, |events|m=3, |eventIds|m=6, payload-only "
+          "dissemination\n")
+
+    missing, total, _, _ = run(with_loggers=False)
+    print(f"plain lpbcast:   {missing}/{total} (event, process) pairs "
+          f"never delivered")
+
+    missing, total, recovered, loggers = run(with_loggers=True)
+    print(f"with 2 loggers:  {missing}/{total} pairs missing "
+          f"({recovered} deliveries recovered deterministically)")
+    for logger in loggers:
+        print(f"  logger {logger.pid}: archived {logger.logged_count()} "
+              f"notifications, served {logger.recoveries_served} recoveries")
+
+    print("\nThe gossip phase still does almost all of the work; the loggers "
+          "only backfill the probabilistic tail — the rpbcast trade-off.")
+
+
+if __name__ == "__main__":
+    main()

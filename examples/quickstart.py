@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: broadcast one event through a 50-process lpbcast system.
+
+Builds a system with uniformly random bounded views, publishes a single
+notification, and watches the epidemic infect every process in a handful of
+gossip rounds — the paper's headline behaviour: dissemination latency does
+not depend on how small the per-process views are.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.metrics import DeliveryLog, InfectionObserver, in_degree_stats
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+
+def main() -> None:
+    n = 50
+
+    # Every process knows only 8 random others (out of 49) and gossips to
+    # F = 3 of them each round.  Losses: 5% of messages drop.
+    config = LpbcastConfig(fanout=3, view_max=8)
+    nodes = build_lpbcast_nodes(n, config, seed=42)
+
+    network = NetworkModel(loss_rate=0.05, rng=random.Random(7))
+    sim = RoundSimulation(network=network, seed=42)
+    sim.add_nodes(nodes)
+
+    # Instrument: record every delivery, track one event's infection curve.
+    log = DeliveryLog().attach(nodes)
+    event = nodes[0].lpb_cast({"type": "greeting", "body": "hello, gossip!"},
+                              now=0.0)
+    observer = InfectionObserver(log, event.event_id)
+    sim.add_observer(observer.on_round)
+
+    sim.run(10)
+
+    print(f"System: {n} processes, view size {config.view_max}, "
+          f"fanout {config.fanout}, 5% message loss")
+    print(f"Published {event.event_id} from process 0\n")
+    print("round  infected processes")
+    for r, count in enumerate(observer.curve()):
+        bar = "#" * count
+        print(f"{r:5d}  {count:3d}  {bar}")
+
+    stats = in_degree_stats(nodes)
+    print(f"\nMembership health: mean in-degree {stats.mean:.1f} "
+          f"(target l={config.view_max}), min {stats.minimum}, "
+          f"max {stats.maximum}, isolated {stats.isolated}")
+    assert log.delivery_count(event.event_id) == n
+    print("Every process delivered the event.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Tuning lpbcast for a target deployment (paper Sec. 7).
+
+"The analytical approach we have given here can be used as a tool to tune
+the algorithm for a given expected maximum system size."
+
+For a range of expected system sizes, derive (F, l) from the analysis —
+smallest fanout meeting a latency budget, smallest view keeping the
+partition horizon beyond the deployment's lifetime — then *validate the
+recommendation by simulation*.
+
+Run:  python examples/tune_parameters.py
+"""
+
+import random
+
+from repro.analysis.tuning import recommend_config
+from repro.metrics import DeliveryLog, InfectionObserver, format_table
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+
+def validate(n: int, config, seeds=range(3)) -> float:
+    """Mean simulated rounds to infect 99% with the recommended config."""
+    totals = []
+    for seed in seeds:
+        nodes = build_lpbcast_nodes(n, config, seed=seed)
+        sim = RoundSimulation(
+            NetworkModel(loss_rate=0.05, rng=random.Random(seed + 21)),
+            seed=seed,
+        )
+        sim.add_nodes(nodes)
+        log = DeliveryLog().attach(nodes)
+        event = nodes[0].lpb_cast("probe", now=0.0)
+        observer = InfectionObserver(log, event.event_id)
+        sim.add_observer(observer.on_round)
+        sim.run(14)
+        reached = observer.rounds_to_reach(int(0.99 * n))
+        totals.append(reached if reached is not None else 14)
+    return sum(totals) / len(totals)
+
+
+def main() -> None:
+    rows = []
+    for n in (125, 250, 500, 1000):
+        report = recommend_config(
+            n,
+            max_rounds=7.0,            # latency budget: 99% within 7 rounds
+            lifetime_rounds=1e12,      # intended lifetime
+            partition_probability=0.01,
+        )
+        simulated = validate(n, report.config)
+        rows.append([
+            n,
+            report.fanout,
+            report.view_size,
+            round(report.expected_rounds_to_target, 2),
+            simulated,
+            f"{report.partition_horizon_rounds:.1e}",
+        ])
+
+    print(format_table(
+        ["n", "F", "l", "predicted rounds to 99%", "simulated",
+         "partition horizon"],
+        rows,
+        title="Analysis-driven tuning (budget: 99% in 7 rounds, "
+              "1e12-round lifetime at 1% partition risk)",
+    ))
+    print(
+        "\nNote how small l can be: the infection probability (Eq. 1) does "
+        "not depend on it, so the view bound is set by the partitioning "
+        "analysis (Eqs. 4-5) alone — the paper's central message."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy build shim: metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""The paper's stochastic analysis (Sec. 4 and Appendix A).
+
+* Eq. 1 — :func:`~repro.analysis.markov.infection_probability` (independent of l).
+* Eqs. 2–3 — :class:`~repro.analysis.markov.InfectionMarkovChain`.
+* Appendix A — :func:`~repro.analysis.expectation.expected_infected_curve`
+  and :func:`~repro.analysis.expectation.expected_rounds_to_fraction`.
+* Eq. 4 — :func:`~repro.analysis.partition.psi` (log-space).
+* Eq. 5 — :func:`~repro.analysis.partition.phi` and
+  :func:`~repro.analysis.partition.rounds_until_partition`.
+"""
+
+from .expectation import (
+    expected_infected_curve,
+    expected_infected_curve_rounded,
+    expected_rounds_to_fraction,
+)
+from .buffers import (
+    id_survival_rounds,
+    predicted_reliability,
+    predicted_reliability_curve,
+    required_buffer_size,
+)
+from .latency import LatencyAnalysis
+from .markov import InfectionMarkovChain, infection_probability
+from .montecarlo import empirical_partition_rate, sample_partition
+from .partition import (
+    log_comb,
+    log_psi,
+    partition_probability_per_round,
+    phi,
+    psi,
+    psi_curve,
+    rounds_until_partition,
+)
+
+__all__ = [
+    "expected_infected_curve",
+    "expected_infected_curve_rounded",
+    "empirical_partition_rate",
+    "expected_rounds_to_fraction",
+    "id_survival_rounds",
+    "predicted_reliability",
+    "predicted_reliability_curve",
+    "required_buffer_size",
+    "infection_probability",
+    "InfectionMarkovChain",
+    "LatencyAnalysis",
+    "sample_partition",
+    "log_comb",
+    "log_psi",
+    "partition_probability_per_round",
+    "phi",
+    "psi",
+    "psi_curve",
+    "rounds_until_partition",
+]

@@ -1,0 +1,84 @@
+"""The expected-infection recursion of Appendix A.
+
+For ``i`` infected processes, the newly infected count Δ(i) is binomial with
+parameters (n-i, 1-q^i), so
+
+    E(j(i)) = i + (n-i)(1-q^i) = n - (n-i) q^i.
+
+Iterating this recursion (from s_0 = 1) approximates the expected infection
+curve without propagating the full Markov chain — the paper notes the
+obtained values "might be non-integer, and thus must be rounded off".  The
+fractional fixed point is also what Fig. 3(b) effectively plots: the number
+of rounds until the expectation crosses 99% of n, which grows
+logarithmically in n (Sec. 4.3, citing Bailey's theory of epidemics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.network import PAPER_CRASH_RATE, PAPER_LOSS_RATE
+from .markov import infection_probability
+
+
+def expected_infected_curve(n: int, p: float, rounds: int) -> List[float]:
+    """E[s_r] for r = 0..rounds via the Appendix A recursion (un-rounded)."""
+    if n < 1:
+        raise ValueError("need at least one process")
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    q = 1.0 - p
+    curve = [1.0]
+    value = 1.0
+    for _ in range(rounds):
+        value = n - (n - value) * q**value
+        curve.append(value)
+    return curve
+
+
+def expected_infected_curve_rounded(n: int, p: float, rounds: int) -> List[int]:
+    """The recursion with per-step rounding, as the appendix prescribes."""
+    q = 1.0 - p
+    curve = [1]
+    value = 1
+    for _ in range(rounds):
+        value = int(round(n - (n - value) * q**value))
+        curve.append(value)
+    return curve
+
+
+def expected_rounds_to_fraction(
+    n: int,
+    fanout: int,
+    loss_rate: float = PAPER_LOSS_RATE,
+    crash_rate: float = PAPER_CRASH_RATE,
+    fraction: float = 0.99,
+    max_rounds: int = 10_000,
+) -> Optional[float]:
+    """Rounds for the expected infection to reach ``fraction``·n.
+
+    Returns a *fractional* round count (linear interpolation between the two
+    bracketing integer rounds), which reproduces the smooth logarithmic curve
+    of Fig. 3(b).  ``None`` if the target is never reached (sub-critical
+    parameters).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    p = infection_probability(n, fanout, loss_rate, crash_rate)
+    q = 1.0 - p
+    target = fraction * n
+    previous = 1.0
+    if previous >= target:
+        return 0.0
+    for r in range(1, max_rounds + 1):
+        value = n - (n - previous) * q**previous
+        if value >= target:
+            if value == previous:
+                return float(r)
+            return (r - 1) + (target - previous) / (value - previous)
+        if value - previous < 1e-12:
+            return None  # stalled below the target
+        previous = value
+    return None

@@ -1,0 +1,103 @@
+"""Partitioning analysis of Sec. 4.4 (Eqs. 4–5).
+
+Equation 4 upper-bounds the probability that a specific-size partition forms
+in one round of freshly drawn uniform views:
+
+    Ψ(i, n, l) = C(n,i) · [C(i-1,l)/C(n-1,l)]^i · [C(n-i-1,l)/C(n-1,l)]^(n-i)
+
+— choose the i members of the partition; each of the i must draw its entire
+view inside the partition (C(i-1,l)/C(n-1,l)); each of the n-i others must
+draw its entire view outside (C(n-i-1,l)/C(n-1,l)).  Values are astronomically
+small (~1e-14 around the paper's Fig. 4 settings), so everything is computed
+in log space with ``gammaln``.
+
+Equation 5 extends the bound over time: under the memoryless-views model the
+probability of *no* partition up to round r is
+
+    φ(n, l, r) = (1 - Σ_{l+1 <= i <= n/2} Ψ(i,n,l))^r  ≈  1 - r·ΣΨ.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from scipy.special import gammaln
+
+
+def log_comb(n: int, k: int) -> float:
+    """log C(n, k); -inf when the coefficient is zero."""
+    if k < 0 or k > n or n < 0:
+        return -math.inf
+    return float(gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1))
+
+
+def log_psi(i: int, n: int, l: int) -> float:
+    """log Ψ(i, n, l); -inf when a partition of size i is impossible."""
+    if n < 2 or l < 0:
+        raise ValueError("need n >= 2 and l >= 0")
+    if i < l + 1 or i > n:
+        return -math.inf  # members of the partition could not fill a view inside
+    log_denominator = log_comb(n - 1, l)
+    inside = log_comb(i - 1, l) - log_denominator
+    if n - i > 0:
+        outside = log_comb(n - i - 1, l) - log_denominator
+        if outside == -math.inf:
+            return -math.inf  # the complement cannot fill its views outside
+    else:
+        outside = 0.0
+    return log_comb(n, i) + i * inside + (n - i) * outside
+
+
+def psi(i: int, n: int, l: int) -> float:
+    """Equation 4: probability bound for a partition of exactly size i."""
+    return math.exp(log_psi(i, n, l))
+
+
+def psi_curve(n: int, l: int, sizes: Optional[List[int]] = None) -> List[Tuple[int, float]]:
+    """(i, Ψ(i,n,l)) pairs — the curves of Fig. 4 (paper: l=3, n∈{50,75,125})."""
+    if sizes is None:
+        sizes = list(range(l + 1, n // 2 + 1))
+    return [(i, psi(i, n, l)) for i in sizes]
+
+
+def partition_probability_per_round(n: int, l: int) -> float:
+    """Σ_{l+1 <= i <= n/2} Ψ(i,n,l): any-partition probability in one round."""
+    total = 0.0
+    for i in range(l + 1, n // 2 + 1):
+        total += psi(i, n, l)
+    return total
+
+
+def phi(n: int, l: int, rounds: float, exact: bool = True) -> float:
+    """Equation 5: probability of no partitioning up to round ``rounds``.
+
+    ``exact=True`` evaluates (1-ΣΨ)^r (stably via expm1/log1p); ``exact=False``
+    uses the paper's linearization 1 - r·ΣΨ (clamped at 0).
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    per_round = partition_probability_per_round(n, l)
+    if per_round >= 1.0:
+        return 0.0
+    if exact:
+        return math.exp(rounds * math.log1p(-per_round))
+    return max(0.0, 1.0 - rounds * per_round)
+
+
+def rounds_until_partition(n: int, l: int, probability: float = 0.9) -> float:
+    """Rounds r such that a partition has occurred with the given probability:
+    solves (1-ΣΨ)^r = 1 - probability.
+
+    Reproduces the paper's Sec. 4.4 observation: "It takes ≈ 10^12 rounds to
+    end up with a partitioned system with a probability of 0.9 with n = 50
+    and l = 3."
+    """
+    if not 0 < probability < 1:
+        raise ValueError("probability must be in (0, 1)")
+    per_round = partition_probability_per_round(n, l)
+    if per_round <= 0.0:
+        return math.inf
+    if per_round >= 1.0:
+        return 0.0
+    return math.log(1.0 - probability) / math.log1p(-per_round)

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run one broadcast through a system and print the infection curve.
+``figure {2,3a,3b,4,5a,5b,6a,6b,7a,7b}``
+    Regenerate a paper figure's series as a text table.
+``tune N``
+    Recommend (F, l) for an expected maximum system size (Sec. 7's
+    "tool to tune the algorithm").
+``analyze N``
+    Print the analytical quantities (Eqs. 1-5) for a system size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    InfectionMarkovChain,
+    expected_rounds_to_fraction,
+    infection_probability,
+    partition_probability_per_round,
+    rounds_until_partition,
+)
+from .analysis.tuning import recommend_config
+from .metrics import format_series, format_table, merge_curves
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .experiments import lpbcast_infection_curve
+
+    curve = lpbcast_infection_curve(
+        args.n, l=args.view, fanout=args.fanout, seed=args.seed,
+        rounds=args.rounds, loss_rate=args.loss,
+    )
+    print(f"lpbcast demo: n={args.n}, l={args.view}, F={args.fanout}, "
+          f"loss={args.loss}, seed={args.seed}")
+    print("round  infected")
+    for r, count in enumerate(curve):
+        print(f"{r:5d}  {count:6d}  {'#' * (60 * count // args.n)}")
+    return 0 if curve[-1] == args.n else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from . import experiments as exp
+
+    seeds = range(args.seeds)
+    fig = args.id
+    if fig == "2":
+        series = exp.fig2_series()
+        print(format_series("round", list(range(len(next(iter(series.values()))))),
+                            series, title="Figure 2 (analysis)"))
+    elif fig == "3a":
+        series = exp.fig3a_series()
+        print(format_series("round", list(range(11)), series,
+                            title="Figure 3(a) (analysis)"))
+    elif fig == "3b":
+        sizes, rounds = exp.fig3b_series()
+        print(format_table(["n", "rounds to 99%"], list(zip(sizes, rounds)),
+                           title="Figure 3(b) (analysis)"))
+    elif fig == "4":
+        curves = exp.fig4_series()
+        rows = []
+        sizes = [i for i, _ in curves["n=50"]]
+        by_n = {name: dict(points) for name, points in curves.items()}
+        for i in sizes:
+            rows.append([i] + [by_n[f"n={n}"].get(i, 0.0) for n in (50, 75, 125)])
+        print(format_table(["i", "n=50", "n=75", "n=125"], rows,
+                           title="Figure 4 (analysis)"))
+    elif fig == "5a":
+        series = merge_curves(exp.fig5a_series(seeds=seeds))
+        print(format_series("round", list(range(11)), series,
+                            title="Figure 5(a) (analysis vs simulation)"))
+    elif fig == "5b":
+        series = merge_curves(exp.fig5b_series(seeds=seeds))
+        print(format_series("round", list(range(9)), series,
+                            title="Figure 5(b) (simulation)"))
+    elif fig == "6a":
+        l_values, reliabilities = exp.fig6a_series(seeds=seeds)
+        print(format_table(["l", "reliability"],
+                           list(zip(l_values, reliabilities)),
+                           title="Figure 6(a) (measurement substitute)"))
+    elif fig == "6b":
+        sizes, reliabilities = exp.fig6b_series(seeds=seeds)
+        print(format_table(["|eventIds|m", "reliability"],
+                           list(zip(sizes, reliabilities)),
+                           title="Figure 6(b) (measurement substitute)"))
+    elif fig == "7a":
+        series = merge_curves(exp.fig7a_series(seeds=seeds))
+        print(format_series("round", list(range(8)), series,
+                            title="Figure 7(a) (simulation)"))
+    elif fig == "7b":
+        l_values, reliabilities = exp.fig7b_series(seeds=seeds)
+        print(format_table(["l", "reliability"],
+                           list(zip(l_values, reliabilities)),
+                           title="Figure 7(b) (simulation)"))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(fig)
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    report = recommend_config(
+        args.n,
+        max_rounds=args.max_rounds,
+        lifetime_rounds=args.lifetime,
+        partition_probability=args.partition_probability,
+    )
+    print(report)
+    rows = [
+        ["fanout F", report.fanout],
+        ["view size l", report.view_size],
+        ["E[rounds to 99%]", report.expected_rounds_to_target],
+        ["partition horizon (rounds)", report.partition_horizon_rounds],
+    ]
+    if args.publish_rate is not None:
+        from .analysis import required_buffer_size
+
+        rows.append([
+            f"|eventIds|m for 99% at {args.publish_rate}/round",
+            required_buffer_size(args.n, report.fanout, args.publish_rate,
+                                 target_reliability=0.99),
+        ])
+    print(format_table(
+        ["parameter", "value"], rows,
+        title=f"Recommended lpbcast configuration for n={args.n}",
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    n, fanout = args.n, args.fanout
+    p = infection_probability(n, fanout)
+    rounds99 = expected_rounds_to_fraction(n, fanout)
+    chain = InfectionMarkovChain(n, fanout)
+    rows = [
+        ["p (Eq. 1)", p],
+        ["E[rounds to 99%] (Appendix A)", rounds99],
+        ["P(all infected by round 8) (Eqs. 2-3)",
+         chain.atomicity_probability(8)],
+        [f"per-round partition prob., l={args.view} (Eq. 4)",
+         partition_probability_per_round(n, args.view)],
+        [f"rounds to partition w.p. 0.9, l={args.view} (Eq. 5)",
+         rounds_until_partition(n, args.view, 0.9)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"lpbcast analysis: n={n}, F={fanout}"))
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from .analysis import LatencyAnalysis
+
+    analysis = LatencyAnalysis(args.n, args.fanout)
+    rows = [
+        ["E[delivery round | delivered]", analysis.expected_latency()],
+        ["P(delivered by round 3)", analysis.infected_by(3)],
+        ["P(delivered by round 6)", analysis.infected_by(6)],
+        ["round for 50% of processes", analysis.latency_quantile(0.5)],
+        ["round for 99% of processes", analysis.latency_quantile(0.99)],
+    ]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"Per-process delivery latency: n={args.n}, F={args.fanout}",
+    ))
+    return 0
+
+
+def _cmd_validate_partition(args: argparse.Namespace) -> int:
+    import random as _random
+
+    from .analysis import empirical_partition_rate
+
+    empirical, bound = empirical_partition_rate(
+        args.n, args.view, trials=args.trials, rng=_random.Random(args.seed)
+    )
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["empirical partition rate", empirical],
+            ["Eq. 4 per-round bound (sum psi)", bound],
+            ["trials", args.trials],
+        ],
+        title=f"Monte-Carlo check of Eq. 4 at n={args.n}, l={args.view}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lightweight Probabilistic Broadcast (DSN 2001) "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one broadcast and print the curve")
+    demo.add_argument("-n", type=int, default=125, help="system size")
+    demo.add_argument("--view", type=int, default=25, help="view bound l")
+    demo.add_argument("--fanout", type=int, default=3, help="fanout F")
+    demo.add_argument("--rounds", type=int, default=10)
+    demo.add_argument("--loss", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(fn=_cmd_demo)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "id", choices=["2", "3a", "3b", "4", "5a", "5b", "6a", "6b", "7a", "7b"]
+    )
+    figure.add_argument("--seeds", type=int, default=3,
+                        help="independent runs for simulated figures")
+    figure.set_defaults(fn=_cmd_figure)
+
+    tune = sub.add_parser("tune", help="recommend (F, l) for a system size")
+    tune.add_argument("n", type=int)
+    tune.add_argument("--max-rounds", type=float, default=8.0)
+    tune.add_argument("--lifetime", type=float, default=1e9,
+                      help="intended lifetime in rounds")
+    tune.add_argument("--partition-probability", type=float, default=0.01)
+    tune.add_argument(
+        "--publish-rate", type=float, default=None,
+        help="expected fresh notifications per round; adds an |eventIds|m "
+             "sizing recommendation",
+    )
+    tune.set_defaults(fn=_cmd_tune)
+
+    analyze = sub.add_parser("analyze", help="print Eqs. 1-5 for a system size")
+    analyze.add_argument("n", type=int)
+    analyze.add_argument("--fanout", type=int, default=3)
+    analyze.add_argument("--view", type=int, default=15)
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    latency = sub.add_parser(
+        "latency", help="per-process delivery-latency analysis"
+    )
+    latency.add_argument("n", type=int)
+    latency.add_argument("--fanout", type=int, default=3)
+    latency.set_defaults(fn=_cmd_latency)
+
+    validate = sub.add_parser(
+        "validate-partition",
+        help="Monte-Carlo check of the Eq. 4 partition bound",
+    )
+    validate.add_argument("n", type=int)
+    validate.add_argument("--view", type=int, default=1)
+    validate.add_argument("--trials", type=int, default=5000)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(fn=_cmd_validate_partition)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager that closed early (e.g. `| head`).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

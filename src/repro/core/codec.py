@@ -1,0 +1,248 @@
+"""Wire codec: protocol messages ↔ JSON-able dictionaries.
+
+The simulators pass message objects by reference; a deployment passes bytes.
+This codec is the serialization boundary a real transport would use: every
+protocol message (lpbcast, pbcast, logger extension, pub/sub envelope) maps
+to a compact tagged dictionary and back, with full round-trip fidelity.
+
+Payloads must themselves be JSON-serializable; the codec never inspects
+them.  Unknown tags and malformed structures raise :class:`CodecError`
+rather than letting a corrupted message crash a node.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict
+
+from ..loggers.messages import (
+    LogUpload,
+    LogUploadAck,
+    RecoveryRequest,
+    RecoveryResponse,
+)
+from ..pbcast.messages import PbcastData, PbcastDigest, PbcastSolicit
+from .events import Notification, Unsubscription
+from .ids import EventId
+from .message import (
+    GossipMessage,
+    RetransmitRequest,
+    RetransmitResponse,
+    SubscriptionAck,
+    SubscriptionRequest,
+)
+
+
+class CodecError(ValueError):
+    """Raised for unknown message tags or malformed encodings."""
+
+
+# -- field helpers -----------------------------------------------------------
+
+def _enc_event_id(event_id: EventId) -> list:
+    return [event_id.origin, event_id.seq]
+
+
+def _dec_event_id(data) -> EventId:
+    try:
+        origin, seq = data
+        return EventId(int(origin), int(seq))
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed event id: {data!r}") from exc
+
+
+def _enc_notification(n: Notification) -> dict:
+    return {"id": _enc_event_id(n.event_id), "p": n.payload, "t": n.created_at}
+
+
+def _dec_notification(data) -> Notification:
+    try:
+        return Notification(_dec_event_id(data["id"]), data.get("p"),
+                            float(data.get("t", 0.0)))
+    except (TypeError, KeyError) as exc:
+        raise CodecError(f"malformed notification: {data!r}") from exc
+
+
+def _enc_unsub(u: Unsubscription) -> list:
+    return [u.pid, u.timestamp]
+
+
+def _dec_unsub(data) -> Unsubscription:
+    try:
+        pid, ts = data
+        return Unsubscription(int(pid), float(ts))
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed unsubscription: {data!r}") from exc
+
+
+# -- per-type encoders ---------------------------------------------------------
+
+def _enc_gossip(m: GossipMessage) -> dict:
+    encoded = {
+        "s": m.sender,
+        "sub": list(m.subs),
+        "uns": [_enc_unsub(u) for u in m.unsubs],
+        "ev": [_enc_notification(n) for n in m.events],
+        "ids": [_enc_event_id(e) for e in m.event_ids],
+    }
+    if m.heartbeats:
+        encoded["hb"] = [[pid, counter] for pid, counter in m.heartbeats]
+    return encoded
+
+
+def _dec_gossip(d: dict) -> GossipMessage:
+    try:
+        heartbeats = tuple(
+            (int(pid), int(counter)) for pid, counter in d.get("hb", ())
+        )
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed heartbeats: {d.get('hb')!r}") from exc
+    return GossipMessage(
+        sender=int(d["s"]),
+        subs=tuple(int(p) for p in d.get("sub", ())),
+        unsubs=tuple(_dec_unsub(u) for u in d.get("uns", ())),
+        events=tuple(_dec_notification(n) for n in d.get("ev", ())),
+        event_ids=tuple(_dec_event_id(e) for e in d.get("ids", ())),
+        heartbeats=heartbeats,
+    )
+
+
+_ENCODERS: Dict[type, tuple] = {
+    GossipMessage: ("g", _enc_gossip),
+    SubscriptionRequest: ("sr", lambda m: {"p": m.subscriber}),
+    SubscriptionAck: (
+        "sa", lambda m: {"c": m.contact, "v": list(m.view_sample)}
+    ),
+    RetransmitRequest: (
+        "rq", lambda m: {"p": m.requester,
+                         "ids": [_enc_event_id(e) for e in m.event_ids]}
+    ),
+    RetransmitResponse: (
+        "rr", lambda m: {"p": m.responder,
+                         "ev": [_enc_notification(n) for n in m.events]}
+    ),
+    PbcastData: (
+        "pd", lambda m: {"s": m.sender, "n": _enc_notification(m.notification),
+                         "h": m.hops}
+    ),
+    PbcastDigest: (
+        "pg", lambda m: {"s": m.sender,
+                         "ids": [_enc_event_id(e) for e in m.ids],
+                         "sub": list(m.subs),
+                         "uns": [_enc_unsub(u) for u in m.unsubs]}
+    ),
+    PbcastSolicit: (
+        "ps", lambda m: {"p": m.requester,
+                         "ids": [_enc_event_id(e) for e in m.ids]}
+    ),
+    LogUpload: (
+        "lu", lambda m: {"s": m.sender, "n": _enc_notification(m.notification)}
+    ),
+    LogUploadAck: (
+        "la", lambda m: {"l": m.logger, "id": _enc_event_id(m.event_id)}
+    ),
+    RecoveryRequest: (
+        "lr", lambda m: {"p": m.requester,
+                         "f": [_enc_event_id(e) for e in m.frontier]}
+    ),
+    RecoveryResponse: (
+        "lp", lambda m: {"l": m.logger,
+                         "ev": [_enc_notification(n) for n in m.events],
+                         "c": m.complete}
+    ),
+}
+
+_DECODERS: Dict[str, Callable[[dict], Any]] = {
+    "g": _dec_gossip,
+    "sr": lambda d: SubscriptionRequest(int(d["p"])),
+    "sa": lambda d: SubscriptionAck(
+        int(d["c"]), tuple(int(p) for p in d.get("v", ()))
+    ),
+    "rq": lambda d: RetransmitRequest(
+        int(d["p"]), tuple(_dec_event_id(e) for e in d.get("ids", ()))
+    ),
+    "rr": lambda d: RetransmitResponse(
+        int(d["p"]), tuple(_dec_notification(n) for n in d.get("ev", ()))
+    ),
+    "pd": lambda d: PbcastData(
+        int(d["s"]), _dec_notification(d["n"]), int(d.get("h", 0))
+    ),
+    "pg": lambda d: PbcastDigest(
+        int(d["s"]),
+        tuple(_dec_event_id(e) for e in d.get("ids", ())),
+        tuple(int(p) for p in d.get("sub", ())),
+        tuple(_dec_unsub(u) for u in d.get("uns", ())),
+    ),
+    "ps": lambda d: PbcastSolicit(
+        int(d["p"]), tuple(_dec_event_id(e) for e in d.get("ids", ()))
+    ),
+    "lu": lambda d: LogUpload(int(d["s"]), _dec_notification(d["n"])),
+    "la": lambda d: LogUploadAck(int(d["l"]), _dec_event_id(d["id"])),
+    "lr": lambda d: RecoveryRequest(
+        int(d["p"]), tuple(_dec_event_id(e) for e in d.get("f", ()))
+    ),
+    "lp": lambda d: RecoveryResponse(
+        int(d["l"]),
+        tuple(_dec_notification(n) for n in d.get("ev", ())),
+        bool(d.get("c", True)),
+    ),
+}
+
+
+def encode_message(message: object) -> dict:
+    """Message object → tagged JSON-able dictionary."""
+    entry = _ENCODERS.get(type(message))
+    if entry is None:
+        # Pub/sub envelopes nest another message; import lazily to avoid a
+        # package cycle (pubsub imports core).
+        from ..pubsub.peer import TopicEnvelope
+        if isinstance(message, TopicEnvelope):
+            return {"@": "te", "topic": message.topic,
+                    "inner": encode_message(message.inner)}
+        raise CodecError(f"cannot encode {type(message).__name__}")
+    tag, encoder = entry
+    encoded = encoder(message)
+    encoded["@"] = tag
+    return encoded
+
+
+def decode_message(data: dict) -> object:
+    """Tagged dictionary → message object."""
+    if not isinstance(data, dict) or "@" not in data:
+        raise CodecError(f"not a tagged message: {data!r}")
+    tag = data["@"]
+    if tag == "te":
+        from ..pubsub.peer import TopicEnvelope
+        try:
+            return TopicEnvelope(data["topic"], decode_message(data["inner"]))
+        except KeyError as exc:
+            raise CodecError(f"malformed envelope: {data!r}") from exc
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown message tag {tag!r}")
+    try:
+        return decoder(data)
+    except CodecError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed {tag!r} message: {data!r}") from exc
+
+
+def to_json(message: object) -> str:
+    """Message object → JSON string (the wire format)."""
+    return json.dumps(encode_message(message), separators=(",", ":"))
+
+
+def from_json(text: str) -> object:
+    """JSON string → message object."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"invalid JSON: {exc}") from exc
+    return decode_message(data)
+
+
+def wire_size(message: object) -> int:
+    """Serialized size in bytes — a concrete alternative to the element
+    counts of :meth:`GossipMessage.size_estimate`."""
+    return len(to_json(message).encode("utf-8"))

@@ -1,0 +1,108 @@
+"""Delivery disciplines layered over raw LPB-DELIVER.
+
+lpbcast's native guarantee is unordered, probabilistic delivery.  Real
+publish/subscribe deployments usually want *per-source FIFO*: notifications
+from one publisher delivered in publication order.  The per-sender sequence
+numbers that lpbcast's event ids already carry (Sec. 3.2) make this a thin
+layer: a :class:`FifoDeliveryGate` holds out-of-order notifications back
+until the gap fills, with a bounded holdback buffer per origin — when the
+bound overflows (the gap notification was lost for good), the gate *skips*
+the gap and releases, trading completeness for progress exactly like the
+protocol's own bounded buffers do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .events import Notification
+from .ids import ProcessId
+
+GatedListener = Callable[[ProcessId, Notification, float], None]
+
+
+class _OriginState:
+    __slots__ = ("next_seq", "held")
+
+    def __init__(self) -> None:
+        self.next_seq = 1
+        self.held: Dict[int, Tuple[Notification, float]] = {}
+
+
+class FifoDeliveryGate:
+    """Per-origin FIFO ordering over a node's delivery stream.
+
+    Register the gate as the node's delivery listener and attach application
+    listeners to the gate::
+
+        gate = FifoDeliveryGate(max_holdback=32)
+        gate.add_listener(app_callback)
+        node.add_delivery_listener(gate.on_delivery)
+
+    ``max_holdback`` bounds the out-of-order notifications buffered per
+    origin; on overflow the oldest gap is skipped (recorded in
+    ``gaps_skipped``) so delivery keeps progressing.
+    """
+
+    def __init__(self, max_holdback: int = 64) -> None:
+        if max_holdback < 1:
+            raise ValueError("max_holdback must be positive")
+        self.max_holdback = max_holdback
+        self._origins: Dict[ProcessId, _OriginState] = {}
+        self._listeners: List[GatedListener] = []
+        self.delivered_in_order = 0
+        self.held_back_total = 0
+        self.gaps_skipped = 0
+        self.stale_dropped = 0
+
+    def add_listener(self, listener: GatedListener) -> None:
+        self._listeners.append(listener)
+
+    # -- the gate --------------------------------------------------------------
+    def on_delivery(self, pid: ProcessId, notification: Notification,
+                    now: float) -> None:
+        origin = notification.event_id.origin
+        seq = notification.event_id.seq
+        state = self._origins.setdefault(origin, _OriginState())
+
+        if seq < state.next_seq:
+            # A re-delivery of something already released (bounded duplicate
+            # detection upstream); FIFO consumers must not see it twice.
+            self.stale_dropped += 1
+            return
+        if seq == state.next_seq:
+            self._release(pid, notification, now, state)
+            self._drain(pid, state)
+            return
+
+        # Out of order: hold back.
+        state.held.setdefault(seq, (notification, now))
+        self.held_back_total += 1
+        while len(state.held) > self.max_holdback:
+            # The gap is presumed lost: skip ahead to the earliest held
+            # notification and release from there.
+            earliest = min(state.held)
+            self.gaps_skipped += earliest - state.next_seq
+            state.next_seq = earliest
+            self._drain(pid, state)
+
+    def _drain(self, pid: ProcessId, state: _OriginState) -> None:
+        while state.next_seq in state.held:
+            notification, held_at = state.held.pop(state.next_seq)
+            self._release(pid, notification, held_at, state)
+
+    def _release(self, pid: ProcessId, notification: Notification,
+                 now: float, state: _OriginState) -> None:
+        state.next_seq = notification.event_id.seq + 1
+        self.delivered_in_order += 1
+        for listener in self._listeners:
+            listener(pid, notification, now)
+
+    # -- introspection ------------------------------------------------------------
+    def held_count(self, origin: ProcessId) -> int:
+        state = self._origins.get(origin)
+        return len(state.held) if state is not None else 0
+
+    def expected_next(self, origin: ProcessId) -> int:
+        state = self._origins.get(origin)
+        return state.next_seq if state is not None else 1

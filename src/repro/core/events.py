@@ -1,0 +1,58 @@
+"""Notifications (application events) and related records.
+
+The paper distinguishes *notifications* — the application payload of the
+broadcast, "the actual payload of the gossip messages" — from *gossip
+messages*, which are protocol messages (Sec. 2.3, footnote 7).  This module
+defines the notification record and the timestamped unsubscription record of
+Sec. 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+from .ids import EventId, ProcessId
+
+
+class Notification(NamedTuple):
+    """An application event disseminated by lpbcast.
+
+    ``created_at`` records the (simulated) time or round at which the event
+    was published; metrics layers use it to compute delivery latency.  It is
+    carried along but never interpreted by the protocol itself.
+    """
+
+    event_id: EventId
+    payload: Any
+    created_at: float = 0.0
+
+    @property
+    def origin(self) -> ProcessId:
+        """The publishing process (embedded in the event id, Sec. 3.2)."""
+        return self.event_id.origin
+
+
+class Unsubscription(NamedTuple):
+    """A timestamped unsubscription (Sec. 3.4).
+
+    "To avoid the situation where unsubscriptions remain in the system
+    forever (since unSubs is not purged), there is a timestamp attached to
+    every unsubscription. After a certain time, the unsubscription becomes
+    obsolete."
+    """
+
+    pid: ProcessId
+    timestamp: float
+
+    def is_obsolete(self, now: float, ttl: float) -> bool:
+        """True once ``ttl`` time units have elapsed since emission."""
+        return now - self.timestamp >= ttl
+
+
+def make_notification(
+    origin: ProcessId, seq: int, payload: Any = None, created_at: float = 0.0
+) -> Notification:
+    """Convenience constructor pairing an :class:`EventId` with a payload."""
+    if seq < 1:
+        raise ValueError("sequence numbers are 1-based")
+    return Notification(EventId(origin, seq), payload, created_at)

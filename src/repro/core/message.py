@@ -1,0 +1,99 @@
+"""Protocol messages.
+
+A gossip message "serves four purposes" (Sec. 3.2): it carries notifications,
+notification identifiers (a digest), unsubscriptions and subscriptions.  All
+message types are immutable records built from tuples so that a message placed
+on the simulated wire cannot be mutated by sender or receiver afterwards —
+the same aliasing discipline a real serialization boundary would enforce.
+
+Besides the gossip itself, this module defines the auxiliary messages of
+Sec. 3.4 (the join handshake) and of the optional retransmission scheme that
+the digests exist to support ("Older notifications are stored in a different
+buffer, which is only required to satisfy retransmission requests", Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .events import Notification, Unsubscription
+from .ids import EventId, ProcessId
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """One periodic gossip (Figure 1(b)).
+
+    ``event_ids`` is the digest of delivered notifications; under the plain
+    Figure 1 algorithm it is informational (and feeds retransmissions when
+    they are enabled).
+    """
+
+    sender: ProcessId
+    subs: Tuple[ProcessId, ...] = ()
+    unsubs: Tuple[Unsubscription, ...] = ()
+    events: Tuple[Notification, ...] = ()
+    event_ids: Tuple[EventId, ...] = ()
+    #: Optional piggybacked heartbeat counters ((pid, counter), ...) for the
+    #: gossip-style failure detector (repro.failuredetector, paper ref [29]).
+    heartbeats: Tuple[Tuple[ProcessId, int], ...] = ()
+
+    def size_estimate(self) -> int:
+        """Rough wire-size proxy (one unit per carried element plus header).
+
+        Benches use this to compare per-gossip overhead across protocols and
+        parameterizations; it deliberately counts elements, not bytes, since
+        the paper reasons about list lengths.
+        """
+        return (1 + len(self.subs) + len(self.unsubs) + len(self.events)
+                + len(self.event_ids) + len(self.heartbeats))
+
+
+@dataclass(frozen=True)
+class SubscriptionRequest:
+    """Join handshake (Sec. 3.4): ``subscriber`` asks an existing member to
+    gossip its subscription on its behalf."""
+
+    subscriber: ProcessId
+
+
+@dataclass(frozen=True)
+class SubscriptionAck:
+    """Confirms that the contact accepted a :class:`SubscriptionRequest` and
+    will forward the subscription.  The ack also seeds the joiner's view with
+    a sample of the contact's view, which is how the joiner starts receiving
+    gossips before its subscription has propagated."""
+
+    contact: ProcessId
+    view_sample: Tuple[ProcessId, ...] = ()
+
+
+@dataclass(frozen=True)
+class RetransmitRequest:
+    """Gossip-pull solicitation: the receiver of a digest asks the digest's
+    sender for notifications it has not delivered."""
+
+    requester: ProcessId
+    event_ids: Tuple[EventId, ...] = ()
+
+
+@dataclass(frozen=True)
+class RetransmitResponse:
+    """Answer to a :class:`RetransmitRequest` with whatever notifications the
+    responder still buffers (events buffer or retransmission archive)."""
+
+    responder: ProcessId
+    events: Tuple[Notification, ...] = ()
+
+
+@dataclass(frozen=True)
+class Outgoing:
+    """A (destination, message) pair produced by a protocol state machine.
+
+    Nodes are transport-agnostic: handlers return ``Outgoing`` records and a
+    runner (round-based or discrete-event) owns delivery, loss and latency.
+    """
+
+    destination: ProcessId
+    message: object

@@ -1,0 +1,493 @@
+"""The lpbcast protocol state machine — a faithful rendering of Figure 1.
+
+A :class:`LpbcastNode` is transport-agnostic: incoming messages arrive through
+:meth:`LpbcastNode.handle_message` and the periodic gossip is triggered by
+:meth:`LpbcastNode.on_tick`; both return :class:`~repro.core.message.Outgoing`
+records that a runner (synchronous rounds per Sec. 5.1, or the discrete-event
+runtime standing in for the Sec. 5.2 testbed) delivers subject to loss,
+latency and crashes.  This mirrors the paper's methodology of running the
+*same* algorithm under simulation and deployment.
+
+Reception follows the three phases of Figure 1(a) in order:
+
+I.   unsubscriptions update ``view`` and ``unSubs`` (random truncation);
+II.  subscriptions update ``view``; overflow evictees are recycled into
+     ``subs`` (random truncation);
+III. fresh notifications are delivered, recorded in ``eventIds`` (oldest-drop)
+     and staged in ``events`` (random-drop) for forwarding.
+
+Phases I–II are delegated to
+:class:`~repro.membership.layer.PartialViewMembership` — the paper presents
+the algorithm "as a monolithical algorithm ... to emphasize the possibility
+of dealing with membership and event dissemination at the same level", but
+notes (Sec. 6.2) that the membership is a separable layer; the code expresses
+the separation while the node preserves the monolithic phase ordering.
+
+Emission follows Figure 1(b): every period the node ships its ``subs`` plus
+its own id, its ``unSubs``, the staged ``events`` (cleared afterwards — every
+notification is gossiped at most once per process) and its ``eventIds``
+digest, to ``F`` targets drawn uniformly from ``view``.
+
+Optional behaviours, each mapped to a section of the paper, are switched from
+:class:`~repro.core.config.LpbcastConfig`: weighted views (Sec. 6.1),
+membership gossip frequency (Sec. 6.1), digest-driven retransmissions
+(Sec. 3.2), and the compact per-sender id digest (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Union
+
+from ..membership.layer import PartialViewMembership
+from .buffers import (
+    CompactEventIdDigest,
+    FifoEventIdBuffer,
+    FrequencyAwareEventBuffer,
+    RandomDropBuffer,
+)
+from .config import LpbcastConfig
+from .events import Notification
+from .ids import EventId, ProcessId
+from .message import (
+    GossipMessage,
+    Outgoing,
+    RetransmitRequest,
+    RetransmitResponse,
+    SubscriptionAck,
+    SubscriptionRequest,
+)
+from .retransmit import NotificationArchive, RetransmissionEngine
+from .subscription import JoinState
+
+DeliveryListener = Callable[[ProcessId, Notification, float], None]
+"""Callback invoked as ``listener(pid, notification, now)`` on LPB-DELIVER."""
+
+
+@dataclass
+class NodeStats:
+    """Per-node protocol counters, used by metrics and assertions."""
+
+    published: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    gossips_sent: int = 0
+    gossips_received: int = 0
+    events_dropped: int = 0
+    event_ids_evicted: int = 0
+    retransmit_requests_sent: int = 0
+    retransmit_requests_received: int = 0
+    retransmits_served: int = 0
+    retransmits_delivered: int = 0
+    join_requests_sent: int = 0
+    join_requests_served: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class LpbcastNode:
+    """One lpbcast process :math:`p_i`.
+
+    Parameters
+    ----------
+    pid:
+        This process's identifier.
+    config:
+        Protocol parameters (F, l, buffer bounds, ...).
+    rng:
+        Private random stream; pass a seeded ``random.Random`` for
+        reproducible runs.  Each node must have its own stream.
+    initial_view:
+        Bootstrap contents of ``view`` (e.g. from the runner's topology
+        builder or a :class:`~repro.membership.bootstrap.PriorityProcessSet`).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: Optional[LpbcastConfig] = None,
+        rng: Optional[random.Random] = None,
+        initial_view: Iterable[ProcessId] = (),
+    ) -> None:
+        self.pid = pid
+        self.config = config if config is not None else LpbcastConfig()
+        self.rng = rng if rng is not None else random.Random()
+        cfg = self.config
+
+        self.membership = PartialViewMembership(
+            owner=pid,
+            view_max=cfg.view_max,
+            subs_max=cfg.subs_max,
+            unsubs_max=cfg.unsubs_max,
+            unsub_ttl=cfg.unsub_ttl,
+            rng=self.rng,
+            weighted=cfg.weighted_views,
+            initial_view=initial_view,
+        )
+
+        if cfg.weighted_events:
+            self.events = FrequencyAwareEventBuffer(cfg.events_max, self.rng)
+        else:
+            self.events = RandomDropBuffer(
+                cfg.events_max, self.rng, key=lambda n: n.event_id
+            )
+        self.event_ids: Union[FifoEventIdBuffer, CompactEventIdDigest]
+        if cfg.compact_event_ids:
+            self.event_ids = CompactEventIdDigest(cfg.event_ids_max)
+        else:
+            self.event_ids = FifoEventIdBuffer(cfg.event_ids_max)
+
+        self.archive = NotificationArchive(cfg.archive_max)
+        self.retransmitter = RetransmissionEngine(
+            cfg.retransmit_request_max, pending_ttl=4 * cfg.gossip_period
+        )
+
+        self.stats = NodeStats()
+        self._listeners: List[DeliveryListener] = []
+        self._next_seq = 0
+        self._tick_count = 0
+        self._join: Optional[JoinState] = None
+
+    # -- views over the membership layer (the paper's variable names) -------
+    @property
+    def view(self):
+        """The bounded partial ``view`` (Sec. 3.2)."""
+        return self.membership.view
+
+    @property
+    def subs(self):
+        """Pending subscriptions to forward (``subs``)."""
+        return self.membership.subs
+
+    @property
+    def unsubs(self):
+        """Pending unsubscriptions to forward (``unSubs``)."""
+        return self.membership.unsubs
+
+    @property
+    def unsubscribed(self) -> bool:
+        return self.membership.unsubscribed
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def add_delivery_listener(self, listener: DeliveryListener) -> None:
+        """Register a callback for every LPB-DELIVER."""
+        self._listeners.append(listener)
+
+    def lpb_cast(self, payload=None, now: float = 0.0) -> Notification:
+        """Publish a notification (``upon LPB-CAST(e): events <- events U {e}``).
+
+        The publisher also delivers its own notification locally (it counts
+        as the first infected process, :math:`s_0 = 1` in Sec. 4.2) and
+        records the id so later copies are recognized as duplicates.
+        """
+        if self.unsubscribed:
+            raise RuntimeError(f"process {self.pid} has unsubscribed")
+        self._next_seq += 1
+        notification = Notification(EventId(self.pid, self._next_seq), payload, now)
+        self.stats.published += 1
+        self._deliver(notification, now)
+        self._stage_for_forwarding(notification)
+        return notification
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, sender: ProcessId, message, now: float) -> List[Outgoing]:
+        """Single entry point used by runners; dispatches on message type."""
+        if isinstance(message, GossipMessage):
+            return self.on_gossip(message, now)
+        if isinstance(message, SubscriptionRequest):
+            return self.on_subscription_request(message, now)
+        if isinstance(message, SubscriptionAck):
+            return self.on_subscription_ack(message, now)
+        if isinstance(message, RetransmitRequest):
+            return self.on_retransmit_request(message, now)
+        if isinstance(message, RetransmitResponse):
+            return self.on_retransmit_response(message, now)
+        raise TypeError(f"unknown message type: {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Gossip reception — Figure 1(a)
+    # ------------------------------------------------------------------
+    def on_gossip(self, gossip: GossipMessage, now: float) -> List[Outgoing]:
+        """Process one incoming gossip through phases I–III."""
+        if gossip.sender == self.pid:
+            return []  # defensive: a node never processes its own gossip
+        self.stats.gossips_received += 1
+        if self._join is not None:
+            self._join.on_gossip_received()
+
+        # Phases I and II (membership layer), then phase III (events).
+        self.membership.apply_membership(gossip.subs, gossip.unsubs, now)
+        self._phase3_notifications(gossip, now)
+
+        out: List[Outgoing] = []
+        if self.config.retransmissions and gossip.event_ids:
+            missing = self.retransmitter.select_missing(
+                gossip.event_ids, self.event_ids, now
+            )
+            if missing:
+                self.stats.retransmit_requests_sent += 1
+                out.append(
+                    Outgoing(
+                        gossip.sender,
+                        RetransmitRequest(self.pid, tuple(missing)),
+                    )
+                )
+        if self.config.push_back:
+            pushed = self._push_back(gossip)
+            if pushed:
+                out.append(
+                    Outgoing(gossip.sender,
+                             RetransmitResponse(self.pid, tuple(pushed)))
+                )
+        return out
+
+    def _push_back(self, gossip: GossipMessage) -> List[Notification]:
+        """Gossip push (Sec. 2.3 fn. 5): send the sender retransmittable
+        notifications its digest shows it is missing.  The sender's digest
+        is bounded knowledge, so this may over-push; the receiver's own
+        duplicate detection absorbs it."""
+        sender_has = set(gossip.event_ids)
+        pushed: List[Notification] = []
+        budget = self.config.retransmit_request_max
+        for notification in self.events:
+            if len(pushed) >= budget:
+                return pushed
+            if notification.event_id not in sender_has:
+                pushed.append(notification)
+        for event_id in self.archive:
+            if len(pushed) >= budget:
+                break
+            if event_id not in sender_has:
+                notification = self.archive.get(event_id)
+                if notification is not None and notification not in pushed:
+                    pushed.append(notification)
+        return pushed
+
+    def _phase3_notifications(self, gossip: GossipMessage, now: float) -> None:
+        """Phase 3: deliver fresh notifications and stage them for forwarding.
+
+        With ``digest_implies_delivery`` (the paper's Sec. 5.2 measurement
+        mode, the default), an unknown id in the gossip's ``eventIds`` digest
+        also counts as a delivery: the digest keeps re-advertising an event
+        every round while it stays buffered, which is what makes repetitions
+        unlimited and lets the epidemic match the Sec. 4 analysis.  The
+        synthetic notification carries no payload and is *not* staged into
+        ``events`` (only its identity spreads, through this node's own future
+        digests).
+        """
+        weighted_events = isinstance(self.events, FrequencyAwareEventBuffer)
+        for notification in gossip.events:
+            if notification.event_id in self.event_ids:
+                self.stats.duplicates += 1
+                if weighted_events:
+                    # Sec. 6.1 applied to events: a duplicate is evidence the
+                    # notification is already widely held.
+                    self.events.note_seen(notification.event_id)
+                continue
+            self._deliver(notification, now)
+            self._stage_for_forwarding(notification)
+            self.retransmitter.on_received(notification.event_id)
+        if self.config.digest_implies_delivery:
+            for event_id in gossip.event_ids:
+                if event_id in self.event_ids:
+                    continue
+                self._deliver(Notification(event_id, None, now), now)
+
+    def _deliver(self, notification: Notification, now: float) -> None:
+        """LPB-DELIVER: hand the notification to the application and record
+        its id (bounded, oldest-drop)."""
+        self.stats.delivered += 1
+        for listener in self._listeners:
+            listener(self.pid, notification, now)
+        if isinstance(self.event_ids, CompactEventIdDigest):
+            self.event_ids.add(notification.event_id)
+        else:
+            evicted = self.event_ids.add(notification.event_id)
+            self.stats.event_ids_evicted += len(evicted)
+        if self.config.retransmissions or self.config.push_back:
+            self.archive.add(notification)
+
+    def _stage_for_forwarding(self, notification: Notification) -> None:
+        """Add to ``events`` and enforce its bound (random drop).  A dropped
+        notification was delivered locally but will never be forwarded by
+        this process — the overload effect probed in Fig. 6."""
+        self.events.add(notification)
+        dropped = self.events.truncate()
+        self.stats.events_dropped += len(dropped)
+
+    # ------------------------------------------------------------------
+    # Periodic gossip emission — Figure 1(b)
+    # ------------------------------------------------------------------
+    def on_tick(self, now: float) -> List[Outgoing]:
+        """Emit the periodic gossip(s); called every T by the runner.
+
+        "This is done even if the process has not received any new
+        notifications since it last sent a gossip message" — empty gossips
+        still carry digests and membership and keep views uniform.
+        """
+        cfg = self.config
+        self._tick_count += 1
+        out: List[Outgoing] = []
+
+        if self._join is not None and self._join.should_retry(now):
+            out.extend(self._emit_join_request(now))
+
+        self.membership.purge(now)
+
+        include_membership = (self._tick_count % cfg.membership_period) == 0
+        gossip = self._build_gossip(now, include_membership)
+        targets = self.membership.gossip_targets(cfg.fanout)
+        for target in targets:
+            out.append(Outgoing(target, gossip))
+        if targets:
+            self.stats.gossips_sent += 1
+        # "events <- empty" after sending (each notification forwarded once).
+        self.events.clear()
+
+        # Sec. 6.1: gossiping membership information more often than events
+        # brings views closer to uniform.  Boost gossips carry membership
+        # only, to freshly drawn targets.
+        for _ in range(cfg.membership_boost):
+            boost = self._build_gossip(now, include_membership=True,
+                                       membership_only=True)
+            for target in self.membership.gossip_targets(cfg.fanout):
+                out.append(Outgoing(target, boost))
+        return out
+
+    def _build_gossip(
+        self, now: float, include_membership: bool, membership_only: bool = False
+    ) -> GossipMessage:
+        if include_membership:
+            # "gossip.subs <- subs U {pi}": the sender always advertises
+            # itself, which keeps in-degrees balanced (Sec. 4.3).
+            subs, unsubs = self.membership.membership_payload(now)
+        else:
+            subs, unsubs = (), ()
+
+        if membership_only:
+            return GossipMessage(self.pid, subs=subs, unsubs=unsubs)
+        return GossipMessage(
+            self.pid,
+            subs=subs,
+            unsubs=unsubs,
+            events=tuple(self.events),
+            event_ids=self._wire_digest(),
+        )
+
+    def _wire_digest(self) -> tuple:
+        """Digest payload: the ``eventIds`` snapshot (Figure 1(b)).  With the
+        compact digest, enumerate each sender's in-sequence frontier."""
+        if isinstance(self.event_ids, CompactEventIdDigest):
+            ids: List[EventId] = []
+            for origin in self.event_ids.senders():
+                last = self.event_ids.last_in_sequence(origin)
+                if last > 0:
+                    ids.append(EventId(origin, last))
+            return tuple(ids)
+        return self.event_ids.snapshot()
+
+    # ------------------------------------------------------------------
+    # Join / leave — Sec. 3.4
+    # ------------------------------------------------------------------
+    def start_join(self, contact: ProcessId, now: float) -> List[Outgoing]:
+        """Begin subscribing through ``contact`` (must already be in Π)."""
+        if contact == self.pid:
+            raise ValueError("cannot join through oneself")
+        self._join = JoinState(contact, self.config.join_timeout)
+        return self._emit_join_request(now)
+
+    def _emit_join_request(self, now: float) -> List[Outgoing]:
+        assert self._join is not None
+        self._join.start(now)
+        self.stats.join_requests_sent += 1
+        return [Outgoing(self._join.contact, SubscriptionRequest(self.pid))]
+
+    def on_subscription_request(
+        self, request: SubscriptionRequest, now: float
+    ) -> List[Outgoing]:
+        """Contact side: adopt the subscriber and gossip its subscription on
+        its behalf; answer with a view sample to bootstrap the joiner."""
+        joiner = request.subscriber
+        if joiner == self.pid:
+            return []
+        self.stats.join_requests_served += 1
+        self.membership.add(joiner)
+        self.membership.subs.add(joiner)
+        self.membership.subs.truncate()
+        sample = tuple(self.view.select_for_subs(self.config.view_max))
+        return [Outgoing(joiner, SubscriptionAck(self.pid, sample))]
+
+    def on_subscription_ack(self, ack: SubscriptionAck, now: float) -> List[Outgoing]:
+        """Joiner side: seed the view from the contact's sample."""
+        if self._join is not None and ack.contact == self._join.contact:
+            self._join.on_ack()
+        self.membership.add(ack.contact)
+        for pid in ack.view_sample:
+            self.membership.add(pid)
+        return []
+
+    def try_unsubscribe(self, now: float) -> bool:
+        """Attempt to leave Π.
+
+        Sec. 3.4: "the unsubscription of any process is refused as long as
+        the local unsubscription buffer of the process exceeds a given size",
+        which protects the unsubscription from being truncated away before
+        it was ever gossiped.
+        """
+        return self.membership.local_unsubscribe(
+            now, self.config.unsub_refusal_threshold
+        )
+
+    # ------------------------------------------------------------------
+    # Retransmissions
+    # ------------------------------------------------------------------
+    def on_retransmit_request(
+        self, request: RetransmitRequest, now: float
+    ) -> List[Outgoing]:
+        self.stats.retransmit_requests_received += 1
+        found = RetransmissionEngine.serve(request.event_ids, self.events, self.archive)
+        if not found:
+            return []
+        self.stats.retransmits_served += len(found)
+        return [Outgoing(request.requester, RetransmitResponse(self.pid, tuple(found)))]
+
+    def on_retransmit_response(
+        self, response: RetransmitResponse, now: float
+    ) -> List[Outgoing]:
+        for notification in response.events:
+            if notification.event_id in self.event_ids:
+                self.stats.duplicates += 1
+                continue
+            self.stats.retransmits_delivered += 1
+            self._deliver(notification, now)
+            self._stage_for_forwarding(notification)
+            self.retransmitter.on_received(notification.event_id)
+        return []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def joined(self) -> bool:
+        """True once integration evidence (any gossip) has been observed, or
+        if the node never had to join (it was bootstrapped with a view)."""
+        if self._join is None:
+            return True
+        return self._join.integrated
+
+    def has_delivered(self, event_id: EventId) -> bool:
+        """Whether ``event_id`` is still recorded as delivered.  Note this is
+        bounded knowledge: ids evicted from ``eventIds`` are forgotten."""
+        return event_id in self.event_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LpbcastNode(pid={self.pid}, |view|={len(self.view)}, "
+            f"delivered={self.stats.delivered})"
+        )

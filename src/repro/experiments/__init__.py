@@ -1,0 +1,47 @@
+"""Reproduction experiments: every figure of the paper as a function.
+
+The benchmark harness (``benchmarks/``) and the command-line interface
+(``python -m repro``) both drive these.
+"""
+
+from .figures import (
+    EPSILON,
+    TAU,
+    fig2_series,
+    fig3a_series,
+    fig3b_series,
+    fig4_series,
+    fig5a_series,
+    fig5b_series,
+    fig6a_series,
+    fig6b_series,
+    fig7a_series,
+    fig7b_series,
+    lpbcast_infection_curve,
+    lpbcast_mean_curve,
+    measurement_reliability,
+    pbcast_infection_curve,
+    pbcast_mean_curve,
+    pbcast_measurement_reliability,
+)
+
+__all__ = [
+    "EPSILON",
+    "TAU",
+    "fig2_series",
+    "fig3a_series",
+    "fig3b_series",
+    "fig4_series",
+    "fig5a_series",
+    "fig5b_series",
+    "fig6a_series",
+    "fig6b_series",
+    "fig7a_series",
+    "fig7b_series",
+    "lpbcast_infection_curve",
+    "lpbcast_mean_curve",
+    "measurement_reliability",
+    "pbcast_infection_curve",
+    "pbcast_mean_curve",
+    "pbcast_measurement_reliability",
+]

@@ -1,0 +1,8 @@
+"""Gossip-style failure detection (paper reference [29]) and its lpbcast
+integration: crashed processes are suspected from heartbeat silence and
+purged from views, complementing Sec. 3.4's voluntary unsubscriptions."""
+
+from .detector import HeartbeatFailureDetector, HeartbeatPayload
+from .node import FdLpbcastNode
+
+__all__ = ["FdLpbcastNode", "HeartbeatFailureDetector", "HeartbeatPayload"]

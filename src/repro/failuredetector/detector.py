@@ -1,0 +1,150 @@
+"""Gossip-style failure detection (van Renesse, Minsky, Hayden — the
+paper's reference [29]).
+
+lpbcast removes *voluntarily leaving* processes through timestamped
+unsubscriptions (Sec. 3.4), but a *crashed* process never unsubscribes: its
+id lingers in views until random truncation happens to evict it, and gossips
+sent to it are wasted.  The paper points at gossip-based failure detection
+([29], discussed in Sec. 2.3) as the companion mechanism; this module
+implements it.
+
+Every process maintains a heartbeat counter for itself and the latest
+counters it has heard for others.  Counters piggyback on the ordinary
+gossip messages (no dedicated traffic — the lpbcast way).  A process whose
+counter has not advanced for ``suspect_timeout`` time units is *suspected*;
+after ``forget_timeout`` it is dropped from the table entirely (allowing a
+recovered or re-subscribed process to start fresh).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.ids import ProcessId
+
+HeartbeatPayload = Tuple[Tuple[ProcessId, int], ...]
+"""Wire form: ((pid, counter), ...)."""
+
+
+@dataclass
+class _Entry:
+    __slots__ = ("counter", "last_advance")
+    counter: int
+    last_advance: float
+
+
+class HeartbeatFailureDetector:
+    """Heartbeat table with gossip-piggybacked dissemination.
+
+    Parameters
+    ----------
+    owner:
+        The local process (its own counter advances every tick).
+    suspect_timeout:
+        Silence (no counter advance) after which a process is suspected.
+    forget_timeout:
+        Silence after which the entry is dropped (must exceed the suspect
+        timeout).
+    sample_size:
+        Heartbeat entries piggybacked per gossip; a random sample keeps the
+        overhead bounded like every other lpbcast list.
+    """
+
+    def __init__(
+        self,
+        owner: ProcessId,
+        suspect_timeout: float = 5.0,
+        forget_timeout: float = 20.0,
+        sample_size: int = 15,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if suspect_timeout <= 0:
+            raise ValueError("suspect_timeout must be positive")
+        if forget_timeout <= suspect_timeout:
+            raise ValueError("forget_timeout must exceed suspect_timeout")
+        if sample_size < 1:
+            raise ValueError("sample_size must be positive")
+        self.owner = owner
+        self.suspect_timeout = suspect_timeout
+        self.forget_timeout = forget_timeout
+        self.sample_size = sample_size
+        self.rng = rng if rng is not None else random.Random()
+        self._own_counter = 0
+        self._table: Dict[ProcessId, _Entry] = {}
+
+    # -- local heartbeat -----------------------------------------------------
+    def tick(self, now: float) -> None:
+        """Advance the local counter (call once per gossip period)."""
+        self._own_counter += 1
+
+    def payload(self) -> HeartbeatPayload:
+        """Heartbeat entries to piggyback: always self, plus a random sample
+        of the freshest knowledge about others."""
+        entries: List[Tuple[ProcessId, int]] = [(self.owner, self._own_counter)]
+        others = list(self._table.items())
+        if len(others) > self.sample_size - 1:
+            others = self.rng.sample(others, self.sample_size - 1)
+        entries.extend((pid, entry.counter) for pid, entry in others)
+        return tuple(entries)
+
+    # -- merging ----------------------------------------------------------------
+    def merge(self, payload: Iterable[Tuple[ProcessId, int]], now: float) -> None:
+        """Fold received heartbeat counters in (larger counter wins)."""
+        for pid, counter in payload:
+            if pid == self.owner:
+                continue
+            entry = self._table.get(pid)
+            if entry is None:
+                self._table[pid] = _Entry(counter, now)
+            elif counter > entry.counter:
+                entry.counter = counter
+                entry.last_advance = now
+
+    def ensure_tracked(self, pid: ProcessId, now: float) -> None:
+        """Start a silence clock for a process we know *of* (it is in the
+        view) but have never heard a heartbeat from — without this, a
+        process cut off before its first heartbeat spread would never
+        accumulate silence and so never be suspected."""
+        if pid != self.owner and pid not in self._table:
+            self._table[pid] = _Entry(0, now)
+
+    def observe_alive(self, pid: ProcessId, now: float) -> None:
+        """Direct evidence of life (a message from ``pid`` arrived)."""
+        if pid == self.owner:
+            return
+        entry = self._table.get(pid)
+        if entry is None:
+            self._table[pid] = _Entry(0, now)
+        else:
+            entry.last_advance = now
+
+    # -- verdicts ------------------------------------------------------------------
+    def is_suspected(self, pid: ProcessId, now: float) -> bool:
+        entry = self._table.get(pid)
+        if entry is None:
+            return False  # never heard of it: no verdict
+        return now - entry.last_advance >= self.suspect_timeout
+
+    def suspects(self, now: float) -> List[ProcessId]:
+        return [pid for pid in self._table if self.is_suspected(pid, now)]
+
+    def expire(self, now: float) -> List[ProcessId]:
+        """Drop entries silent beyond ``forget_timeout``; returns them."""
+        forgotten = [
+            pid for pid, entry in self._table.items()
+            if now - entry.last_advance >= self.forget_timeout
+        ]
+        for pid in forgotten:
+            del self._table[pid]
+        return forgotten
+
+    def known(self) -> Tuple[ProcessId, ...]:
+        return tuple(self._table)
+
+    def counter_of(self, pid: ProcessId) -> int:
+        if pid == self.owner:
+            return self._own_counter
+        entry = self._table.get(pid)
+        return entry.counter if entry is not None else 0

@@ -1,0 +1,101 @@
+"""lpbcast with piggybacked failure detection.
+
+:class:`FdLpbcastNode` extends the plain protocol node with the [29]-style
+heartbeat detector:
+
+* every outgoing gossip piggybacks a bounded heartbeat sample;
+* every incoming gossip is (a) direct evidence that its *sender* is alive
+  and (b) merged heartbeat knowledge about third parties;
+* each tick, suspected processes are purged from the local ``view`` and
+  ``subs`` — the crash analogue of Phase 1's unsubscription handling, so a
+  crashed process stops attracting gossip instead of lingering until random
+  truncation happens to evict it.
+
+Suspicion is purely local (no system-wide agreement), matching both [29]
+and lpbcast's decentralized spirit; a falsely suspected process re-enters
+views through its own continued gossiping once its heartbeats resume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from ..core.config import LpbcastConfig
+from ..core.ids import ProcessId
+from ..core.message import GossipMessage, Outgoing
+from ..core.node import LpbcastNode
+from .detector import HeartbeatFailureDetector
+
+
+class FdLpbcastNode(LpbcastNode):
+    """lpbcast node with a gossip-style heartbeat failure detector."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: Optional[LpbcastConfig] = None,
+        rng: Optional[random.Random] = None,
+        initial_view: Iterable[ProcessId] = (),
+        suspect_timeout: float = 5.0,
+        forget_timeout: float = 20.0,
+        heartbeat_sample: int = 15,
+    ) -> None:
+        super().__init__(pid, config, rng, initial_view)
+        self.detector = HeartbeatFailureDetector(
+            owner=pid,
+            suspect_timeout=suspect_timeout,
+            forget_timeout=forget_timeout,
+            sample_size=heartbeat_sample,
+            rng=self.rng,
+        )
+        self.suspected_purged = 0
+        self._last_gossip_received: Optional[float] = None
+
+    # -- reception ------------------------------------------------------------
+    def on_gossip(self, gossip: GossipMessage, now: float) -> List[Outgoing]:
+        if gossip.sender != self.pid:
+            self._last_gossip_received = now
+            self.detector.observe_alive(gossip.sender, now)
+            self.detector.merge(gossip.heartbeats, now)
+        return super().on_gossip(gossip, now)
+
+    # -- emission ----------------------------------------------------------------
+    def on_tick(self, now: float) -> List[Outgoing]:
+        self.detector.tick(now)
+        self._purge_suspects(now)
+        self.detector.expire(now)
+        return super().on_tick(now)
+
+    def _purge_suspects(self, now: float) -> None:
+        # "Don't declare the whole world dead": when *we* have heard nothing
+        # for a suspicion period, the likely failure is our own connectivity
+        # (a partition or local outage), not a mass crash — purging the view
+        # then would permanently isolate us (Sec. 4.4's unrecoverable state).
+        if (
+            self._last_gossip_received is None
+            or now - self._last_gossip_received >= self.detector.suspect_timeout
+        ):
+            return
+        for pid in self.view:
+            self.detector.ensure_tracked(pid, now)
+        for pid in self.detector.suspects(now):
+            removed = self.view.remove(pid)
+            removed |= self.subs.discard(pid)
+            if removed:
+                self.suspected_purged += 1
+
+    def _build_gossip(
+        self, now: float, include_membership: bool, membership_only: bool = False
+    ) -> GossipMessage:
+        gossip = super()._build_gossip(now, include_membership, membership_only)
+        # dataclasses.replace would re-run __init__ checks; GossipMessage is
+        # a frozen dataclass so construct the final message directly.
+        return GossipMessage(
+            sender=gossip.sender,
+            subs=gossip.subs,
+            unsubs=gossip.unsubs,
+            events=gossip.events,
+            event_ids=gossip.event_ids,
+            heartbeats=self.detector.payload(),
+        )

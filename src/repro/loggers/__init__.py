@@ -1,0 +1,28 @@
+"""Logger-backed strong reliability (rpbcast-style, paper Sec. 7).
+
+"We are indeed currently investigating how to combine our membership
+approach with other gossip-based event dissemination algorithms, e.g., using
+loggers to ensure strong reliability guarantees whenever this is required
+(cf. rpbcast)."
+
+* :class:`~repro.loggers.logger.LoggerNode` — a dedicated archiving process
+  serving deterministic recovery.
+* :class:`~repro.loggers.client.LoggedLpbcastNode` — lpbcast plus
+  acknowledged publisher-side logging and periodic frontier reconciliation.
+* :func:`~repro.loggers.client.build_logged_system` — system builder.
+"""
+
+from .client import LoggedLpbcastNode, build_logged_system
+from .logger import LOGGER_CONFIG, LoggerNode
+from .messages import LogUpload, LogUploadAck, RecoveryRequest, RecoveryResponse
+
+__all__ = [
+    "build_logged_system",
+    "LOGGER_CONFIG",
+    "LoggedLpbcastNode",
+    "LoggerNode",
+    "LogUpload",
+    "LogUploadAck",
+    "RecoveryRequest",
+    "RecoveryResponse",
+]

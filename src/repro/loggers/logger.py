@@ -1,0 +1,125 @@
+"""The logger process.
+
+A :class:`LoggerNode` is a regular lpbcast participant with two extras:
+
+* it archives, per origin and in sequence order, every notification it
+  learns of — through gossip, through direct :class:`LogUpload`s from
+  publishers (acknowledged, so publishers can retry), and through its own
+  aggressive digest-driven pulls;
+* it serves :class:`RecoveryRequest`s with the archived notifications the
+  requester's frontier is missing.
+
+"Alternatively, we could use a set of dedicated processes ..." (Sec. 4.4) —
+loggers are exactly such dedicated processes, and like the prioritary set
+they are expected to be few and well-known.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ..core.config import LpbcastConfig
+from ..core.events import Notification
+from ..core.ids import EventId, ProcessId
+from ..core.message import Outgoing
+from ..core.node import LpbcastNode
+from .messages import LogUpload, LogUploadAck, RecoveryRequest, RecoveryResponse
+
+#: Buffers generous enough that a logger practically never forgets; the
+#: archive is the durability boundary, so it gets the largest bound.
+LOGGER_CONFIG = LpbcastConfig(
+    fanout=3,
+    view_max=25,
+    events_max=500,
+    event_ids_max=5000,
+    subs_max=15,
+    unsubs_max=15,
+    retransmissions=True,
+    digest_implies_delivery=False,
+    archive_max=100_000,
+    retransmit_request_max=200,
+)
+
+
+class LoggerNode(LpbcastNode):
+    """A dedicated archiving process with deterministic recovery service."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: Optional[LpbcastConfig] = None,
+        rng: Optional[random.Random] = None,
+        initial_view: Iterable[ProcessId] = (),
+        recovery_batch_max: int = 200,
+    ) -> None:
+        super().__init__(pid, config or LOGGER_CONFIG, rng, initial_view)
+        if recovery_batch_max < 1:
+            raise ValueError("recovery_batch_max must be positive")
+        self.recovery_batch_max = recovery_batch_max
+        # Ordered per-origin store: origin -> {seq -> notification}.
+        self._log: Dict[ProcessId, Dict[int, Notification]] = {}
+        self.uploads_received = 0
+        self.recoveries_served = 0
+
+    # -- archiving ------------------------------------------------------------
+    def _deliver(self, notification: Notification, now: float) -> None:
+        self._archive_ordered(notification)
+        super()._deliver(notification, now)
+
+    def _archive_ordered(self, notification: Notification) -> None:
+        origin_log = self._log.setdefault(notification.event_id.origin, {})
+        origin_log.setdefault(notification.event_id.seq, notification)
+
+    def logged_count(self) -> int:
+        return sum(len(per_origin) for per_origin in self._log.values())
+
+    def has_logged(self, event_id: EventId) -> bool:
+        return event_id.seq in self._log.get(event_id.origin, ())
+
+    # -- message handling --------------------------------------------------------
+    def handle_message(self, sender: ProcessId, message, now: float) -> List[Outgoing]:
+        if isinstance(message, LogUpload):
+            return self.on_upload(message, now)
+        if isinstance(message, RecoveryRequest):
+            return self.on_recovery_request(message, now)
+        return super().handle_message(sender, message, now)
+
+    def on_upload(self, upload: LogUpload, now: float) -> List[Outgoing]:
+        self.uploads_received += 1
+        if upload.notification.event_id not in self.event_ids:
+            # A fresh notification: deliver normally (which archives it).
+            self._deliver(upload.notification, now)
+            self._stage_for_forwarding(upload.notification)
+        else:
+            self._archive_ordered(upload.notification)
+        return [Outgoing(upload.sender,
+                         LogUploadAck(self.pid, upload.notification.event_id))]
+
+    def on_recovery_request(
+        self, request: RecoveryRequest, now: float
+    ) -> List[Outgoing]:
+        self.recoveries_served += 1
+        frontier = {eid.origin: eid.seq for eid in request.frontier}
+        missing: List[Notification] = []
+        complete = True
+        for origin, per_origin in sorted(self._log.items()):
+            start = frontier.get(origin, 0)
+            for seq in sorted(per_origin):
+                if seq <= start:
+                    continue
+                if len(missing) >= self.recovery_batch_max:
+                    complete = False
+                    break
+                missing.append(per_origin[seq])
+            if not complete:
+                break
+        if not missing and complete:
+            return [Outgoing(request.requester,
+                             RecoveryResponse(self.pid, (), True))]
+        return [
+            Outgoing(
+                request.requester,
+                RecoveryResponse(self.pid, tuple(missing), complete),
+            )
+        ]

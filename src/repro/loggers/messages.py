@@ -1,0 +1,64 @@
+"""Messages of the deterministic logger phase (rpbcast-style, paper Sec. 7).
+
+The paper's footnote 4 describes rpbcast: "a deterministic third phase to
+the pbcast protocol, in which centralized loggers are used if the
+second gossip-based phase fails".  The concluding remarks name the same idea
+as future work for lpbcast: "using loggers to ensure strong reliability
+guarantees whenever this is required".
+
+Four messages realize it:
+
+* :class:`LogUpload` / :class:`LogUploadAck` — a publisher pushes every
+  publication to the loggers and retries until acknowledged, so the log is
+  complete even under message loss;
+* :class:`RecoveryRequest` / :class:`RecoveryResponse` — any process
+  periodically reconciles with a logger by sending its per-origin
+  in-sequence frontier; the logger answers with archived notifications the
+  process is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.events import Notification
+from ..core.ids import EventId, ProcessId
+
+
+@dataclass(frozen=True)
+class LogUpload:
+    """Publisher → logger: archive this notification."""
+
+    sender: ProcessId
+    notification: Notification
+
+
+@dataclass(frozen=True)
+class LogUploadAck:
+    """Logger → publisher: the notification is durably archived."""
+
+    logger: ProcessId
+    event_id: EventId
+
+
+@dataclass(frozen=True)
+class RecoveryRequest:
+    """Process → logger: per-origin delivered frontier.
+
+    ``frontier`` holds one ``EventId(origin, seq)`` per origin, meaning
+    "I have delivered every notification of ``origin`` up to ``seq``".
+    Origins absent from the frontier are requested from the beginning.
+    """
+
+    requester: ProcessId
+    frontier: Tuple[EventId, ...] = ()
+
+
+@dataclass(frozen=True)
+class RecoveryResponse:
+    """Logger → process: archived notifications beyond the frontier."""
+
+    logger: ProcessId
+    events: Tuple[Notification, ...] = ()
+    complete: bool = True  # False when truncated by the batch limit

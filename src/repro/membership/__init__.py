@@ -1,0 +1,20 @@
+"""Membership layers (Sec. 6.2) and the prioritary-process safeguard (Sec. 4.4).
+
+* :class:`~repro.membership.layer.PartialViewMembership` — lpbcast's
+  randomized bounded-view membership, factored out as a reusable layer.
+* :class:`~repro.membership.layer.TotalMembership` — the complete-view
+  baseline.
+* :class:`~repro.membership.bootstrap.PriorityProcessSet` — bootstrap contacts
+  and periodic view normalization.
+"""
+
+from .bootstrap import PriorityProcessSet, periodic_normalizer
+from .layer import MembershipProvider, PartialViewMembership, TotalMembership
+
+__all__ = [
+    "MembershipProvider",
+    "PartialViewMembership",
+    "periodic_normalizer",
+    "PriorityProcessSet",
+    "TotalMembership",
+]

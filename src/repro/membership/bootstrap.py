@@ -1,0 +1,98 @@
+"""Prioritary processes (Sec. 4.4).
+
+"A priori, it is not possible to recover from such a partition.  To avoid
+this situation in practice, we elect a very limited set of prioritary
+processes, which are constantly known by each process.  They are periodically
+used to 'normalize' the views (and also for bootstrapping)."
+
+:class:`PriorityProcessSet` implements that practical safeguard: a small
+fixed set of process ids that (a) seeds the view of a bootstrapping process
+and (b) is periodically re-injected into views so that no process can drift
+into an isolated membership island.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.ids import ProcessId
+
+
+class PriorityProcessSet:
+    """A fixed set of well-known processes for bootstrap and normalization."""
+
+    def __init__(self, pids: Iterable[ProcessId]) -> None:
+        self._pids: Tuple[ProcessId, ...] = tuple(dict.fromkeys(pids))
+        if not self._pids:
+            raise ValueError("need at least one prioritary process")
+
+    @property
+    def pids(self) -> Tuple[ProcessId, ...]:
+        return self._pids
+
+    def bootstrap_contact(self, rng: Optional[random.Random] = None) -> ProcessId:
+        """A contact for a joining process (Sec. 3.4 requires knowing one
+        member; the prioritary set is the well-known entry point)."""
+        rng = rng if rng is not None else random.Random()
+        return rng.choice(list(self._pids))
+
+    def normalize(self, membership, max_injected: Optional[int] = None) -> int:
+        """Re-inject prioritary processes into a membership's view.
+
+        ``membership`` is anything with ``owner`` and ``add`` (a
+        :class:`~repro.membership.layer.PartialViewMembership` or a raw
+        :class:`~repro.core.view.PartialView`).  Returns how many entries
+        were actually added.  Adding may evict random entries (the view stays
+        bounded), so normalization trades a little view randomness for a
+        guaranteed escape edge out of any would-be partition.
+        """
+        owner = getattr(membership, "owner", None)
+        added = 0
+        budget = max_injected if max_injected is not None else len(self._pids)
+        for pid in self._pids:
+            if budget == 0:
+                break
+            if pid == owner:
+                continue
+            if membership.add(pid):
+                added += 1
+                budget -= 1
+        return added
+
+    def normalize_all(self, memberships: Iterable, period_hint: int = 0) -> int:
+        """Normalize a collection of memberships; returns total additions."""
+        return sum(self.normalize(m) for m in memberships)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._pids
+
+    def __len__(self) -> int:
+        return len(self._pids)
+
+    def __iter__(self):
+        return iter(self._pids)
+
+
+def periodic_normalizer(
+    priority: PriorityProcessSet,
+    nodes: List,
+    period: int,
+):
+    """A round hook normalizing every node's view each ``period`` rounds.
+
+    Usage::
+
+        sim.add_round_hook(periodic_normalizer(priority, nodes, period=10))
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+
+    def hook(round_number: int, sim) -> None:
+        if round_number % period != 0:
+            return
+        for node in nodes:
+            if sim.alive(node.pid):
+                priority.normalize(node.membership)
+
+    return hook

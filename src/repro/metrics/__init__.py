@@ -1,0 +1,43 @@
+"""Measurement instruments: delivery logs, infection curves, reliability
+(1-β), view-graph statistics and text reporting."""
+
+from .delivery import DeliveryLog
+from .infection import InfectionObserver, mean_curves
+from .reliability import (
+    ReliabilityReport,
+    coverage_histogram,
+    measure_reliability,
+    per_event_coverage,
+)
+from .report import format_series, format_table, merge_curves
+from .views import (
+    InDegreeStats,
+    dissemination_reachable,
+    find_partitions,
+    in_degree_distribution,
+    in_degree_stats,
+    is_partitioned,
+    view_graph,
+    view_uniformity_chi2,
+)
+
+__all__ = [
+    "coverage_histogram",
+    "DeliveryLog",
+    "dissemination_reachable",
+    "find_partitions",
+    "format_series",
+    "format_table",
+    "in_degree_distribution",
+    "in_degree_stats",
+    "InDegreeStats",
+    "InfectionObserver",
+    "is_partitioned",
+    "mean_curves",
+    "measure_reliability",
+    "merge_curves",
+    "per_event_coverage",
+    "ReliabilityReport",
+    "view_graph",
+    "view_uniformity_chi2",
+]

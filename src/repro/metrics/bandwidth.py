@@ -1,0 +1,119 @@
+"""Protocol-overhead accounting.
+
+Sec. 3.3: "The network thus experiences little fluctuations in terms of
+overall load due to gossip messages, as long as the number of processes
+inside Π and also T remain unchanged" — every process sends exactly F
+protocol messages per period, regardless of application traffic.  This
+module measures that: per-round message counts and element-size estimates
+(via each message's ``size_estimate``), split by message kind, so benches
+can compare lpbcast's single-phase overhead against pbcast's
+digest+solicit+data traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.ids import ProcessId
+from ..core.message import Outgoing
+
+
+@dataclass
+class RoundTraffic:
+    """Traffic observed in one round."""
+
+    messages: int = 0
+    elements: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: object) -> None:
+        self.messages += 1
+        kind = type(message).__name__
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        size = getattr(message, "size_estimate", None)
+        self.elements += size() if callable(size) else 1
+
+
+class BandwidthMeter:
+    """Measures per-round protocol traffic in a round simulation.
+
+    Wire it by wrapping nodes with :meth:`instrument` *before* adding them to
+    the simulation; every outgoing message from ``on_tick`` and
+    ``handle_message`` is counted against the current round.
+    """
+
+    def __init__(self) -> None:
+        self._rounds: Dict[int, RoundTraffic] = defaultdict(RoundTraffic)
+        self._per_sender: Dict[ProcessId, int] = defaultdict(int)
+        self._current_round = 0
+
+    # -- wiring ---------------------------------------------------------------
+    def on_round(self, round_number: int, sim) -> None:
+        """Register as a round *hook* so counting attributes to the round
+        being executed."""
+        self._current_round = round_number
+
+    def instrument(self, node):
+        """Wrap a node so its outgoing messages are counted."""
+        meter = self
+        original_tick = node.on_tick
+        original_handle = node.handle_message
+
+        def counted_tick(now: float) -> List[Outgoing]:
+            out = original_tick(now)
+            meter._count(node.pid, out)
+            return out
+
+        def counted_handle(sender, message, now: float) -> List[Outgoing]:
+            out = original_handle(sender, message, now)
+            meter._count(node.pid, out)
+            return out
+
+        node.on_tick = counted_tick
+        node.handle_message = counted_handle
+        return node
+
+    def _count(self, sender: ProcessId, outgoings: List[Outgoing]) -> None:
+        traffic = self._rounds[self._current_round]
+        for out in outgoings:
+            traffic.record(out.message)
+            self._per_sender[sender] += 1
+
+    # -- queries -----------------------------------------------------------------
+    def round_traffic(self, round_number: int) -> RoundTraffic:
+        return self._rounds.get(round_number, RoundTraffic())
+
+    def rounds(self) -> List[int]:
+        return sorted(self._rounds)
+
+    def total_messages(self) -> int:
+        return sum(t.messages for t in self._rounds.values())
+
+    def total_elements(self) -> int:
+        return sum(t.elements for t in self._rounds.values())
+
+    def messages_by_kind(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for traffic in self._rounds.values():
+            for kind, count in traffic.by_kind.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def per_sender_totals(self) -> Dict[ProcessId, int]:
+        return dict(self._per_sender)
+
+    def load_stability(self) -> float:
+        """Coefficient of variation of per-round message counts (ignoring
+        the first and last rounds, which are edge-affected).  Small values
+        back the Sec. 3.3 claim of a steady protocol load."""
+        rounds = self.rounds()
+        if len(rounds) < 4:
+            raise ValueError("need at least 4 measured rounds")
+        counts = [self._rounds[r].messages for r in rounds[1:-1]]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        var = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return (var ** 0.5) / mean

@@ -1,0 +1,71 @@
+"""Delivery accounting.
+
+A :class:`DeliveryLog` attaches to any set of nodes exposing
+``add_delivery_listener`` and records every LPB-DELIVER.  It distinguishes
+*first* deliveries from *re-deliveries*: the protocol's own duplicate
+detection is bounded (ids evicted from ``eventIds`` are forgotten, Sec. 5.2),
+so a notification can legitimately be delivered twice by the protocol — the
+log's unbounded memory is the experiment's ground truth, not the node's.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.events import Notification
+from ..core.ids import EventId, ProcessId
+
+
+class DeliveryLog:
+    """Ground-truth record of which process delivered which notification."""
+
+    def __init__(self) -> None:
+        self._delivered: Dict[EventId, Set[ProcessId]] = defaultdict(set)
+        self._first_delivery_time: Dict[Tuple[ProcessId, EventId], float] = {}
+        self.total_deliveries = 0
+        self.redeliveries = 0
+
+    # -- wiring --------------------------------------------------------------
+    def attach(self, nodes: Iterable) -> "DeliveryLog":
+        """Register this log as a delivery listener on every node."""
+        for node in nodes:
+            node.add_delivery_listener(self.on_delivery)
+        return self
+
+    def on_delivery(self, pid: ProcessId, notification: Notification, now: float) -> None:
+        self.total_deliveries += 1
+        event_id = notification.event_id
+        key = (pid, event_id)
+        if key in self._first_delivery_time:
+            self.redeliveries += 1
+            return
+        self._first_delivery_time[key] = now
+        self._delivered[event_id].add(pid)
+
+    # -- queries -------------------------------------------------------------
+    def delivered(self, pid: ProcessId, event_id: EventId) -> bool:
+        return pid in self._delivered.get(event_id, ())
+
+    def deliverers_of(self, event_id: EventId) -> Set[ProcessId]:
+        return set(self._delivered.get(event_id, ()))
+
+    def delivery_count(self, event_id: EventId) -> int:
+        return len(self._delivered.get(event_id, ()))
+
+    def delivery_time(self, pid: ProcessId, event_id: EventId) -> Optional[float]:
+        return self._first_delivery_time.get((pid, event_id))
+
+    def latencies(self, event_id: EventId, published_at: float) -> List[float]:
+        """First-delivery latencies of ``event_id`` across processes."""
+        return [
+            time - published_at
+            for (pid, eid), time in self._first_delivery_time.items()
+            if eid == event_id
+        ]
+
+    def known_events(self) -> List[EventId]:
+        return list(self._delivered)
+
+    def __len__(self) -> int:
+        return len(self._first_delivery_time)

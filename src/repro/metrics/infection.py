@@ -1,0 +1,68 @@
+"""Infection curves — the per-round infected-process counts of Figs. 2–5, 7.
+
+"A process which has delivered a given notification will be termed infected,
+otherwise susceptible" (Sec. 4.1).  :class:`InfectionObserver` is a round
+observer recording, after every round, how many processes have delivered the
+tracked notification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.ids import EventId
+from .delivery import DeliveryLog
+
+
+class InfectionObserver:
+    """Tracks the infection curve of one notification.
+
+    Register with ``sim.add_observer(observer.on_round)``.  ``counts[r]`` is
+    the number of infected processes at the end of round ``r`` (the publisher
+    makes the count 1 before the first gossip round, matching ``s_0 = 1``).
+    """
+
+    def __init__(self, log: DeliveryLog, event_id: EventId) -> None:
+        self.log = log
+        self.event_id = event_id
+        self.counts: Dict[int, int] = {0: 1}
+
+    def on_round(self, round_number: int, sim) -> None:
+        self.counts[round_number] = self.log.delivery_count(self.event_id)
+
+    def curve(self, rounds: Optional[int] = None) -> List[int]:
+        """Counts for rounds 0..rounds (defaults to all observed rounds)."""
+        last = rounds if rounds is not None else max(self.counts)
+        series: List[int] = []
+        current = self.counts.get(0, 1)
+        for r in range(last + 1):
+            current = self.counts.get(r, current)
+            series.append(current)
+        return series
+
+    def rounds_to_reach(self, count: int) -> Optional[int]:
+        """First round at which at least ``count`` processes were infected."""
+        for r in sorted(self.counts):
+            if self.counts[r] >= count:
+                return r
+        return None
+
+    def rounds_to_fraction(self, fraction: float, population: int) -> Optional[int]:
+        """First round infecting at least ``fraction`` of ``population``
+        (the paper's Fig. 3(b) uses fraction = 0.99)."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        return self.rounds_to_reach(int(round(fraction * population)))
+
+
+def mean_curves(curves: Sequence[Sequence[float]]) -> List[float]:
+    """Average several infection curves pointwise (ragged tails extend with
+    each curve's final value, i.e. an absorbed epidemic stays absorbed)."""
+    if not curves:
+        return []
+    length = max(len(c) for c in curves)
+    total = [0.0] * length
+    for curve in curves:
+        for i in range(length):
+            total[i] += curve[i] if i < len(curve) else curve[-1]
+    return [value / len(curves) for value in total]

@@ -1,0 +1,73 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Benches regenerate the paper's figures as printed series — an x column and
+one y column per plotted line — so a reader can diff the run against the
+paper's plots without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule; numbers rendered compactly."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+                return f"{value:.3e}"
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A figure rendered as text: one x column, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def merge_curves(curves: Mapping[str, Sequence[float]]) -> Dict[str, List[float]]:
+    """Pad curves to equal length by extending their final value (an absorbed
+    epidemic stays at its plateau)."""
+    if not curves:
+        return {}
+    length = max(len(c) for c in curves.values())
+    padded: Dict[str, List[float]] = {}
+    for name, curve in curves.items():
+        values = list(curve)
+        while len(values) < length:
+            values.append(values[-1] if values else 0.0)
+        padded[name] = values
+    return padded

@@ -1,0 +1,100 @@
+"""Statistical helpers for experiment reporting.
+
+Reliability (1-β) is estimated as a binomial proportion over
+(event, process) pairs; infection-latency numbers are means over seeds.
+These helpers attach honest uncertainty to both, so bench output and
+EXPERIMENTS.md can state *reliability = 0.73 ± 0.02* instead of a bare
+point estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean and dispersion of a sample."""
+
+    mean: float
+    std: float
+    stderr: float
+    count: int
+    minimum: float
+    maximum: float
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        half = z * self.stderr
+        return self.mean - half, self.mean + half
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4f} ± {1.96 * self.stderr:.4f} (n={self.count})"
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a sample (sample standard deviation)."""
+    if not values:
+        raise ValueError("need at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    std = math.sqrt(var)
+    return SummaryStats(
+        mean=mean,
+        std=std,
+        stderr=std / math.sqrt(n),
+        count=n,
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation for reliability estimates near
+    0 or 1 (exactly where Fig. 6's interesting points live).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denominator
+    half = (
+        z * math.sqrt(p * (1.0 - p) / trials + z2 / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def proportion_summary(successes: int, trials: int) -> str:
+    """Human-readable proportion with its Wilson 95% interval."""
+    low, high = wilson_interval(successes, trials)
+    return f"{successes / trials:.4f} [{low:.4f}, {high:.4f}]"
+
+
+def compare_means(a: Sequence[float], b: Sequence[float]) -> float:
+    """Welch's t statistic for two samples (positive when mean(a) > mean(b)).
+
+    Benches use it as an effect-size sanity check — e.g. that a claimed
+    "weak dependence" really is statistically weak (|t| small) while a
+    claimed strong effect is large.
+    """
+    sa, sb = summarize(a), summarize(b)
+    denom = math.sqrt(sa.stderr**2 + sb.stderr**2)
+    if denom == 0.0:
+        if sa.mean == sb.mean:
+            return 0.0
+        return math.inf if sa.mean > sb.mean else -math.inf
+    return (sa.mean - sb.mean) / denom

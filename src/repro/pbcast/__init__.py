@@ -1,0 +1,24 @@
+"""pbcast — the Bimodal Multicast baseline (paper Secs. 2.3 and 6.2)."""
+
+from .builders import (
+    MEMBERSHIP_PARTIAL,
+    MEMBERSHIP_TOTAL,
+    build_pbcast_nodes,
+)
+from .config import FIRST_PHASE_MULTICAST, FIRST_PHASE_NONE, PbcastConfig
+from .messages import PbcastData, PbcastDigest, PbcastSolicit
+from .node import PbcastNode, PbcastStats
+
+__all__ = [
+    "build_pbcast_nodes",
+    "FIRST_PHASE_MULTICAST",
+    "FIRST_PHASE_NONE",
+    "MEMBERSHIP_PARTIAL",
+    "MEMBERSHIP_TOTAL",
+    "PbcastConfig",
+    "PbcastData",
+    "PbcastDigest",
+    "PbcastNode",
+    "PbcastSolicit",
+    "PbcastStats",
+]

@@ -1,0 +1,60 @@
+"""Construction helpers for pbcast experiment populations."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..membership.layer import TotalMembership
+from ..sim.rng import SeedSequence
+from ..sim.topology import uniform_random_views
+from .config import PbcastConfig
+from .node import PbcastNode
+
+MEMBERSHIP_TOTAL = "total"
+MEMBERSHIP_PARTIAL = "partial"
+
+
+def build_pbcast_nodes(
+    count: int,
+    config: Optional[PbcastConfig] = None,
+    seed: int = 0,
+    membership: str = MEMBERSHIP_PARTIAL,
+    first_pid: int = 0,
+) -> List[PbcastNode]:
+    """Create ``count`` pbcast nodes.
+
+    ``membership="total"`` builds the original pbcast (every process knows
+    every other); ``membership="partial"`` builds "pbcast with partial view"
+    (Sec. 6.2 / Fig. 7): each process starts from a uniform random view of
+    size ``config.view_max`` maintained by the lpbcast membership layer.
+    """
+    if count < 1:
+        raise ValueError("need at least one process")
+    if membership not in (MEMBERSHIP_TOTAL, MEMBERSHIP_PARTIAL):
+        raise ValueError("membership must be 'total' or 'partial'")
+    cfg = config if config is not None else PbcastConfig()
+    seeds = SeedSequence(seed)
+    pids = list(range(first_pid, first_pid + count))
+
+    nodes: List[PbcastNode] = []
+    if membership == MEMBERSHIP_TOTAL:
+        for pid in pids:
+            rng = seeds.rng("node", pid)
+            nodes.append(
+                PbcastNode(
+                    pid, cfg, rng,
+                    membership=TotalMembership(pid, pids, rng),
+                )
+            )
+    else:
+        views = uniform_random_views(pids, cfg.view_max, seeds.rng("views"))
+        for pid in pids:
+            nodes.append(
+                PbcastNode(pid, cfg, seeds.rng("node", pid),
+                           initial_view=views[pid])
+            )
+
+    member_list = tuple(pids)
+    for node in nodes:
+        node.set_multicast_oracle(lambda members=member_list: members)
+    return nodes

@@ -1,0 +1,79 @@
+"""pbcast (Bimodal Multicast) configuration.
+
+The paper contrasts lpbcast with pbcast along three axes (Sec. 6.2): pbcast
+"(1) ... limits the number of hops as well as (2) repetitions for a given
+message, and (3) ... melts the two phases of pbcast (dissemination of events,
+resp. exchange of digests) into a single phase" — i.e. pbcast has a separate
+unreliable first phase plus a digest/anti-entropy second phase.
+
+Defaults follow the paper's Fig. 7 settings where given (F = 5: "because
+repetitions and hops are limited in the case of pbcast, a higher fanout is
+required to obtain similar results than with lpbcast").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+FIRST_PHASE_MULTICAST = "multicast"
+FIRST_PHASE_NONE = "none"
+
+
+@dataclass(frozen=True)
+class PbcastConfig:
+    """Parameters of one pbcast instance.
+
+    * ``fanout`` — digest-gossip targets per round (paper's Fig. 7 uses 5).
+    * ``repetition_limit`` — rounds a received message stays *gossipable*
+      (appears in outgoing digests); pbcast's bounded repetitions.
+    * ``hop_limit`` — a stored copy is served to solicitors only while its
+      hop count is below this bound; pbcast's bounded hops.
+    * ``first_phase`` — ``"multicast"`` emulates the unreliable IP-multicast
+      first phase (one lossy best-effort send to every member);
+      ``"none"`` starts from the publisher only, isolating the gossip repair
+      phase (used by the Fig. 7(a) comparison, which plots epidemic growth).
+    * ``message_buffer_max`` — bounded store of message payloads available
+      for retransmission (oldest dropped).
+    * ``event_ids_max`` — bounded delivered-id memory, as in lpbcast, so the
+      Fig. 7(b) reliability sweep is comparable with Fig. 6(a).
+    * ``solicit_max`` — cap on ids solicited from one digest.
+    * ``gossip_period`` — T, for the discrete-event runtime.
+    * ``view_max`` / ``subs_max`` / ``unsubs_max`` / ``unsub_ttl`` — used
+      when the instance runs over the partial-view membership layer.
+    """
+
+    fanout: int = 5
+    repetition_limit: int = 3
+    hop_limit: int = 4
+    first_phase: str = FIRST_PHASE_MULTICAST
+    message_buffer_max: int = 120
+    event_ids_max: int = 60
+    solicit_max: int = 30
+    gossip_period: float = 1.0
+    view_max: int = 15
+    subs_max: int = 15
+    unsubs_max: int = 15
+    unsub_ttl: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        if self.repetition_limit < 1:
+            raise ValueError("repetition_limit must be >= 1")
+        if self.hop_limit < 1:
+            raise ValueError("hop_limit must be >= 1")
+        if self.first_phase not in (FIRST_PHASE_MULTICAST, FIRST_PHASE_NONE):
+            raise ValueError(
+                f"first_phase must be '{FIRST_PHASE_MULTICAST}' or "
+                f"'{FIRST_PHASE_NONE}'"
+            )
+        for name in ("message_buffer_max", "event_ids_max", "solicit_max"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.gossip_period <= 0:
+            raise ValueError("gossip_period must be positive")
+        if self.view_max < self.fanout:
+            raise ValueError("view_max must be >= fanout")
+
+    def with_overrides(self, **changes) -> "PbcastConfig":
+        return replace(self, **changes)

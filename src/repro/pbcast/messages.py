@@ -1,0 +1,50 @@
+"""pbcast protocol messages.
+
+Three message kinds realize Bimodal Multicast's two phases:
+
+* :class:`PbcastData` — a notification copy (first-phase multicast or a
+  second-phase retransmission), carrying its hop count;
+* :class:`PbcastDigest` — the periodic gossip: a digest of recently received
+  message ids, optionally piggybacking membership information when the
+  instance runs over the partial-view membership layer (Sec. 6.2);
+* :class:`PbcastSolicit` — a retransmission solicitation for ids named in a
+  digest but not delivered locally (gossip pull).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.events import Notification, Unsubscription
+from ..core.ids import EventId, ProcessId
+
+
+@dataclass(frozen=True)
+class PbcastData:
+    """A message copy: unreliable first phase (hops=0) or a retransmission."""
+
+    sender: ProcessId
+    notification: Notification
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class PbcastDigest:
+    """Periodic digest gossip, with optional membership piggyback."""
+
+    sender: ProcessId
+    ids: Tuple[EventId, ...] = ()
+    subs: Tuple[ProcessId, ...] = ()
+    unsubs: Tuple[Unsubscription, ...] = ()
+
+    def size_estimate(self) -> int:
+        return 1 + len(self.ids) + len(self.subs) + len(self.unsubs)
+
+
+@dataclass(frozen=True)
+class PbcastSolicit:
+    """Request for retransmission of the named message ids."""
+
+    requester: ProcessId
+    ids: Tuple[EventId, ...] = ()

@@ -1,0 +1,12 @@
+"""Topic-based publish/subscribe over lpbcast (paper Sec. 3.1)."""
+
+from .peer import PubSubPeer, TopicEnvelope, TopicListener, build_pubsub_peers
+from .topic import validate_topic
+
+__all__ = [
+    "build_pubsub_peers",
+    "PubSubPeer",
+    "TopicEnvelope",
+    "TopicListener",
+    "validate_topic",
+]

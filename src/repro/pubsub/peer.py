@@ -1,0 +1,175 @@
+"""A pub/sub peer: one process, many topics, one lpbcast instance per topic.
+
+"In peer-to-peer computing, every process acts as client and server"
+(Sec. 1): a :class:`PubSubPeer` both publishes and consumes.  Per topic it
+embeds an independent :class:`~repro.core.node.LpbcastNode`; on the wire,
+gossips are wrapped in a :class:`TopicEnvelope` so one transport carries all
+topics.  The peer itself satisfies the same runner interface as a bare node
+(``pid``, ``on_tick``, ``handle_message``), so pub/sub systems run unchanged
+under both simulators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.config import LpbcastConfig
+from ..core.events import Notification
+from ..core.ids import ProcessId
+from ..core.message import Outgoing
+from ..core.node import LpbcastNode
+from ..sim.rng import SeedSequence
+from .topic import validate_topic
+
+TopicListener = Callable[[str, Notification, float], None]
+"""Callback ``listener(topic, notification, now)`` for topic deliveries."""
+
+
+@dataclass(frozen=True)
+class TopicEnvelope:
+    """Wire wrapper multiplexing per-topic protocol messages."""
+
+    topic: str
+    inner: object
+
+
+class PubSubPeer:
+    """Topic-based publish/subscribe endpoint backed by lpbcast."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: Optional[LpbcastConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.pid = pid
+        self.config = config if config is not None else LpbcastConfig()
+        self._seeds = SeedSequence(seed).spawn("peer", pid)
+        self._nodes: Dict[str, LpbcastNode] = {}
+        self._listeners: Dict[str, List[TopicListener]] = {}
+        self.unknown_topic_messages = 0
+
+    # -- subscription management ----------------------------------------------
+    def subscribe(
+        self,
+        topic: str,
+        listener: Optional[TopicListener] = None,
+        initial_view: Iterable[ProcessId] = (),
+        contact: Optional[ProcessId] = None,
+        now: float = 0.0,
+    ) -> List[Outgoing]:
+        """Join ``topic``.
+
+        Bootstrap either with ``initial_view`` (the peer already knows some
+        subscribers, e.g. from a directory) or through ``contact`` (the
+        Sec. 3.4 handshake; the returned messages must be handed to the
+        runner).  Subscribing to an already-subscribed topic only adds the
+        listener.
+        """
+        topic = validate_topic(topic)
+        if listener is not None:
+            self._listeners.setdefault(topic, []).append(listener)
+        existing = self._nodes.get(topic)
+        if existing is not None:
+            if not existing.unsubscribed:
+                return []
+            # Re-subscribing after a leave: the old instance has announced
+            # its departure and cannot publish again (Sec. 3.4); replace it
+            # with a fresh subscription.
+            del self._nodes[topic]
+        node = LpbcastNode(
+            self.pid,
+            self.config,
+            self._seeds.rng("topic", topic),
+            initial_view=initial_view,
+        )
+        node.add_delivery_listener(self._make_dispatcher(topic))
+        self._nodes[topic] = node
+        if contact is not None:
+            return self._wrap(topic, node.start_join(contact, now))
+        return []
+
+    def unsubscribe(self, topic: str, now: float = 0.0) -> bool:
+        """Leave ``topic`` (Sec. 3.4 semantics; may be refused while the
+        topic node's unsubscription buffer is saturated)."""
+        node = self._nodes.get(validate_topic(topic))
+        if node is None:
+            return True
+        return node.try_unsubscribe(now)
+
+    def topics(self) -> List[str]:
+        return list(self._nodes)
+
+    def topic_node(self, topic: str) -> LpbcastNode:
+        """The embedded lpbcast instance (for metrics and tests)."""
+        return self._nodes[validate_topic(topic)]
+
+    # -- publishing ---------------------------------------------------------------
+    def publish(self, topic: str, payload=None, now: float = 0.0) -> Notification:
+        """Publish on a subscribed topic ("every process in Π can subscribe
+        to and/or publish events", Sec. 3.1)."""
+        node = self._nodes.get(validate_topic(topic))
+        if node is None:
+            raise KeyError(f"not subscribed to topic {topic!r}")
+        return node.lpb_cast(payload, now)
+
+    # -- runner interface -----------------------------------------------------------
+    def on_tick(self, now: float) -> List[Outgoing]:
+        out: List[Outgoing] = []
+        for topic, node in self._nodes.items():
+            if node.unsubscribed and not len(node.unsubs):
+                continue  # fully drained after leaving
+            out.extend(self._wrap(topic, node.on_tick(now)))
+        return out
+
+    def handle_message(self, sender: ProcessId, message, now: float) -> List[Outgoing]:
+        if not isinstance(message, TopicEnvelope):
+            raise TypeError("PubSubPeer only accepts TopicEnvelope messages")
+        node = self._nodes.get(message.topic)
+        if node is None:
+            # Not (or no longer) subscribed: tolerate stragglers, a peer's
+            # id lingers in remote views until unsubscriptions propagate.
+            self.unknown_topic_messages += 1
+            return []
+        return self._wrap(message.topic, node.handle_message(sender, message.inner, now))
+
+    # -- internals ---------------------------------------------------------------------
+    def _wrap(self, topic: str, outgoings: List[Outgoing]) -> List[Outgoing]:
+        return [
+            Outgoing(out.destination, TopicEnvelope(topic, out.message))
+            for out in outgoings
+        ]
+
+    def _make_dispatcher(self, topic: str):
+        def dispatch(pid: ProcessId, notification: Notification, now: float) -> None:
+            for listener in self._listeners.get(topic, ()):
+                listener(topic, notification, now)
+
+        return dispatch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PubSubPeer(pid={self.pid}, topics={sorted(self._nodes)})"
+
+
+def build_pubsub_peers(
+    count: int,
+    topics: Dict[str, List[ProcessId]],
+    config: Optional[LpbcastConfig] = None,
+    seed: int = 0,
+) -> List[PubSubPeer]:
+    """Create ``count`` peers and pre-subscribe them per the ``topics`` map
+    (topic -> subscriber pids), bootstrapping each topic's views uniformly
+    among its subscribers."""
+    cfg = config if config is not None else LpbcastConfig()
+    seeds = SeedSequence(seed)
+    peers = [PubSubPeer(pid, cfg, seed=seeds.seed("peer", pid)) for pid in range(count)]
+    view_rng = seeds.rng("views")
+    for topic, subscribers in topics.items():
+        for pid in subscribers:
+            others = [p for p in subscribers if p != pid]
+            k = min(cfg.view_max, len(others))
+            initial = view_rng.sample(others, k) if others else []
+            peers[pid].subscribe(topic, initial_view=initial)
+    return peers

@@ -1,0 +1,34 @@
+"""Topic names.
+
+The paper presents lpbcast "with respect to a single topic ... Π can be
+considered as a single topic or group, and joining/leaving Π can be viewed as
+subscribing/unsubscribing from the topic" (Sec. 3.1).  The pub/sub facade
+scales this out by running one independent lpbcast instance per topic — the
+static topic-based scheme of [8] (Distributed Asynchronous Collections).
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOPIC_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._\-/]*$")
+_TOPIC_MAX_LENGTH = 255
+
+
+def validate_topic(name: str) -> str:
+    """Validate and return a topic name.
+
+    Topics are non-empty strings of letters, digits and ``. _ - /`` starting
+    with an alphanumeric — a conventional hierarchical-subject syntax (e.g.
+    ``stocks/nasdaq``).
+    """
+    if not isinstance(name, str):
+        raise TypeError("topic name must be a string")
+    if not name or len(name) > _TOPIC_MAX_LENGTH:
+        raise ValueError("topic name must be 1..255 characters")
+    if not _TOPIC_PATTERN.match(name):
+        raise ValueError(
+            f"invalid topic name {name!r}: use letters, digits, '.', '_', "
+            "'-', '/' and start alphanumerically"
+        )
+    return name

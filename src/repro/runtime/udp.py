@@ -1,0 +1,235 @@
+"""A real deployment runtime: UDP datagrams, threads and wall-clock timers.
+
+The paper's Sec. 5.2 numbers come from an actual deployment (125 Solaris
+workstations).  This module is the in-repo equivalent at laptop scale: every
+process is hosted by a thread pair (receive loop + gossip timer) bound to a
+loopback UDP socket, messages cross a real serialization boundary
+(:mod:`repro.core.codec`) and real (unsynchronized) wall-clock timers drive
+the periodic gossip — the same protocol objects the simulators run, deployed
+for real.
+
+Loopback UDP practically never drops, so the deployment injects Bernoulli
+loss at the send boundary to recreate the paper's ε.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.codec import CodecError, from_json, to_json
+from ..core.ids import ProcessId
+from ..core.message import Outgoing
+
+Address = Tuple[str, int]
+
+_MAX_DATAGRAM = 65_000
+_RECV_TIMEOUT = 0.05
+
+
+class UdpProcessHost:
+    """Hosts one protocol node on a loopback UDP socket.
+
+    The node is accessed under a lock from two threads: the receive loop
+    (``handle_message``) and the gossip timer (``on_tick``); application
+    calls (publishing) must go through :meth:`with_node`.
+    """
+
+    def __init__(
+        self,
+        node,
+        directory: Dict[ProcessId, Address],
+        gossip_period: float = 0.05,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if gossip_period <= 0:
+            raise ValueError("gossip_period must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.node = node
+        self.directory = directory
+        self.gossip_period = gossip_period
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random()
+
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.settimeout(_RECV_TIMEOUT)
+        self.address: Address = self._sock.getsockname()
+        directory[node.pid] = self.address
+
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name=f"recv-{node.pid}", daemon=True
+        )
+        self._timer = threading.Thread(
+            target=self._timer_loop, name=f"tick-{node.pid}", daemon=True
+        )
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagrams_dropped = 0
+        self.decode_errors = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        self._receiver.start()
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def join(self, timeout: float = 2.0) -> None:
+        self._receiver.join(timeout)
+        self._timer.join(timeout)
+        self._sock.close()
+
+    # -- application access ------------------------------------------------------
+    def with_node(self, fn: Callable):
+        """Run ``fn(node)`` under the host lock and ship any returned
+        :class:`Outgoing` list."""
+        with self._lock:
+            result = fn(self.node)
+        if isinstance(result, list):
+            self._send_all(result)
+            return None
+        return result
+
+    def publish(self, payload=None):
+        """Publish on the hosted node (lpbcast interface)."""
+        with self._lock:
+            return self.node.lpb_cast(payload, now=time.monotonic())
+
+    # -- internals ------------------------------------------------------------------
+    def _receive_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                data, _addr = self._sock.recvfrom(_MAX_DATAGRAM)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                payload = data.decode("utf-8")
+                sender_part, message_part = payload.split("|", 1)
+                sender = int(sender_part)
+                message = from_json(message_part)
+            except (CodecError, ValueError, UnicodeDecodeError):
+                self.decode_errors += 1
+                continue
+            self.datagrams_received += 1
+            with self._lock:
+                replies = self.node.handle_message(
+                    sender, message, time.monotonic()
+                )
+            self._send_all(replies)
+
+    def _timer_loop(self) -> None:
+        # Random initial phase: gossips are not synchronized across hosts.
+        if self._stop.wait(self.rng.uniform(0.0, self.gossip_period)):
+            return
+        while not self._stop.is_set():
+            with self._lock:
+                out = self.node.on_tick(time.monotonic())
+            self._send_all(out)
+            if self._stop.wait(self.gossip_period):
+                return
+
+    def _send_all(self, outgoings: Sequence[Outgoing]) -> None:
+        for out in outgoings:
+            address = self.directory.get(out.destination)
+            if address is None:
+                continue
+            if self.loss_rate and self.rng.random() < self.loss_rate:
+                self.datagrams_dropped += 1
+                continue
+            datagram = f"{self.node.pid}|{to_json(out.message)}".encode("utf-8")
+            if len(datagram) > _MAX_DATAGRAM:
+                self.datagrams_dropped += 1
+                continue
+            try:
+                self._sock.sendto(datagram, address)
+                self.datagrams_sent += 1
+            except OSError:
+                self.datagrams_dropped += 1
+
+
+class LocalDeployment:
+    """A cluster of :class:`UdpProcessHost`\\ s on the loopback interface.
+
+    >>> from repro.sim import build_lpbcast_nodes
+    >>> nodes = build_lpbcast_nodes(8, seed=1)
+    >>> cluster = LocalDeployment(nodes, gossip_period=0.05)
+    >>> cluster.start()
+    >>> event = cluster.host(nodes[0].pid).publish("hello")
+    >>> cluster.run_for(1.0)
+    >>> cluster.stop()
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence,
+        gossip_period: float = 0.05,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.directory: Dict[ProcessId, Address] = {}
+        root = random.Random(seed)
+        self.hosts: List[UdpProcessHost] = [
+            UdpProcessHost(
+                node,
+                self.directory,
+                gossip_period=gossip_period,
+                loss_rate=loss_rate,
+                rng=random.Random(root.getrandbits(64)),
+            )
+            for node in nodes
+        ]
+        self._by_pid = {host.node.pid: host for host in self.hosts}
+        self._started = False
+
+    def host(self, pid: ProcessId) -> UdpProcessHost:
+        return self._by_pid[pid]
+
+    def start(self) -> None:
+        for host in self.hosts:
+            host.start()
+        self._started = True
+
+    def run_for(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 10.0,
+        poll: float = 0.05,
+    ) -> bool:
+        """Poll ``predicate`` until it holds or ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(poll)
+        return predicate()
+
+    def stop(self) -> None:
+        for host in self.hosts:
+            host.stop()
+        for host in self.hosts:
+            host.join()
+        self._started = False
+
+    def __enter__(self) -> "LocalDeployment":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def total_datagrams(self) -> int:
+        return sum(host.datagrams_sent for host in self.hosts)

@@ -1,0 +1,71 @@
+"""Simulation substrates: round-based and discrete-event gossip runners.
+
+* :class:`~repro.sim.round_runner.RoundSimulation` — synchronous gossip
+  rounds, the setting of the paper's simulations (Sec. 5.1).
+* :class:`~repro.sim.async_runner.AsyncGossipRuntime` — non-synchronized
+  periodic gossips over a discrete-event kernel, standing in for the
+  paper's 125-workstation testbed (Sec. 5.2).
+* :class:`~repro.sim.network.NetworkModel` — i.i.d. loss ε, latency models,
+  link filters; :class:`~repro.sim.network.CrashPlan` — fail-stop schedule
+  bounded by τ.
+* Workloads, churn scripts, topology bootstrap and seeded random streams.
+"""
+
+from .async_runner import AsyncGossipRuntime
+from .churn import ChurnScript
+from .engine import EventHandle, Simulator
+from .network import (
+    CrashEvent,
+    CrashPlan,
+    NetworkModel,
+    PAPER_CRASH_RATE,
+    PAPER_LOSS_RATE,
+    constant_latency,
+    exponential_latency,
+    partition_filter,
+    uniform_latency,
+)
+from .round_runner import GossipProcess, RoundSimulation
+from .rng import SeedSequence, derive_rng, derive_seed
+from .scenarios import (
+    Scenario,
+    correlated_crashes,
+    flaky_wan,
+    flash_crowd,
+    mass_departure,
+    steady_state,
+)
+from .topology import build_lpbcast_nodes, uniform_random_views
+from .workload import BroadcastWorkload, PoissonWorkload, PublicationRecord
+
+__all__ = [
+    "AsyncGossipRuntime",
+    "BroadcastWorkload",
+    "build_lpbcast_nodes",
+    "ChurnScript",
+    "constant_latency",
+    "correlated_crashes",
+    "CrashEvent",
+    "CrashPlan",
+    "flaky_wan",
+    "flash_crowd",
+    "mass_departure",
+    "Scenario",
+    "steady_state",
+    "derive_rng",
+    "derive_seed",
+    "EventHandle",
+    "exponential_latency",
+    "GossipProcess",
+    "NetworkModel",
+    "PAPER_CRASH_RATE",
+    "PAPER_LOSS_RATE",
+    "partition_filter",
+    "PoissonWorkload",
+    "PublicationRecord",
+    "RoundSimulation",
+    "SeedSequence",
+    "Simulator",
+    "uniform_latency",
+    "uniform_random_views",
+]

@@ -1,0 +1,179 @@
+"""Network and failure models (paper Sec. 4.1 assumptions).
+
+The analysis assumes: stochastically independent failures; message loss
+probability bounded by ``ε`` (paper default 0.05); at most ``f < n`` crashes
+per run giving a crash probability bound ``τ = f/n`` (paper default 0.01);
+and, for the round-based analysis, network latency below the gossip period.
+
+:class:`NetworkModel` realizes exactly those assumptions: i.i.d. Bernoulli
+loss per message, an optional link filter (used to force partitions in
+fault-injection tests), and a latency distribution used by the discrete-event
+runner.  :class:`CrashPlan` pre-draws which processes crash and when, honoring
+the ``τ`` bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.ids import ProcessId
+
+#: Paper defaults (Sec. 4.1): "we will assume τ = 0.01 and ε = 0.05".
+PAPER_LOSS_RATE = 0.05
+PAPER_CRASH_RATE = 0.01
+
+LinkFilter = Callable[[ProcessId, ProcessId], bool]
+"""Returns True when src→dst traffic is allowed (False forces a cut)."""
+
+LatencyModel = Callable[[random.Random], float]
+"""Draws one message latency, in simulated time units."""
+
+
+def constant_latency(value: float) -> LatencyModel:
+    """Latency fixed at ``value`` (< T keeps the Sec. 4.1 round abstraction)."""
+    if value < 0:
+        raise ValueError("latency must be non-negative")
+    return lambda rng: value
+
+
+def uniform_latency(low: float, high: float) -> LatencyModel:
+    """Latency uniform in [low, high]."""
+    if not 0 <= low <= high:
+        raise ValueError("need 0 <= low <= high")
+    return lambda rng: rng.uniform(low, high)
+
+
+def exponential_latency(mean: float, cap: Optional[float] = None) -> LatencyModel:
+    """Exponential latency with the given mean, optionally truncated at
+    ``cap`` (the paper assumes an upper bound below the gossip period)."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+
+    def draw(rng: random.Random) -> float:
+        value = rng.expovariate(1.0 / mean)
+        return min(value, cap) if cap is not None else value
+
+    return draw
+
+
+class NetworkModel:
+    """Message-level loss, latency and reachability.
+
+    Parameters
+    ----------
+    loss_rate:
+        ε — i.i.d. probability that any given message is dropped in transit.
+    rng:
+        The network's private random stream.
+    latency:
+        Latency model for the discrete-event runner (ignored by the
+        round-based runner, where one round is one time step).
+    link_filter:
+        Optional reachability predicate; messages on disallowed links are
+        dropped deterministically.  Tests use this to carve partitions.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = PAPER_LOSS_RATE,
+        rng: Optional[random.Random] = None,
+        latency: Optional[LatencyModel] = None,
+        link_filter: Optional[LinkFilter] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate (epsilon) must be in [0, 1]")
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random()
+        self.latency = latency if latency is not None else constant_latency(0.1)
+        self.link_filter = link_filter
+        self.messages_offered = 0
+        self.messages_dropped = 0
+        self.messages_cut = 0
+
+    def deliverable(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Decide the fate of one message (count it either way)."""
+        self.messages_offered += 1
+        if self.link_filter is not None and not self.link_filter(src, dst):
+            self.messages_cut += 1
+            return False
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return False
+        return True
+
+    def draw_latency(self) -> float:
+        return self.latency(self.rng)
+
+    def observed_loss_rate(self) -> float:
+        """Empirical loss fraction (random drops only, not link cuts)."""
+        if self.messages_offered == 0:
+            return 0.0
+        return self.messages_dropped / self.messages_offered
+
+
+def partition_filter(groups: Sequence[Sequence[ProcessId]]) -> LinkFilter:
+    """A link filter allowing traffic only within the given groups.
+
+    Processes not listed in any group may talk to anyone.
+    """
+    membership: Dict[ProcessId, int] = {}
+    for idx, group in enumerate(groups):
+        for pid in group:
+            membership[pid] = idx
+
+    def allowed(src: ProcessId, dst: ProcessId) -> bool:
+        gs, gd = membership.get(src), membership.get(dst)
+        return gs is None or gd is None or gs == gd
+
+    return allowed
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Process ``pid`` fail-stops at time/round ``at``."""
+
+    pid: ProcessId
+    at: float
+
+
+class CrashPlan:
+    """Pre-drawn fail-stop schedule bounded by τ (Sec. 4.1).
+
+    "The number of process crashes in a run does not exceed f < n.  The
+    probability of a process crash during a run is thus bounded by τ = f/n."
+    We draw ``f = round(τ·n)`` distinct victims and give each a crash time
+    uniform over the run horizon.  Crashed processes are silenced (fail-stop,
+    no recovery, no byzantine behaviour — exactly the paper's model).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[ProcessId],
+        crash_rate: float = PAPER_CRASH_RATE,
+        horizon: float = 10.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= crash_rate < 1.0:
+            raise ValueError("crash_rate (tau) must be in [0, 1)")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.crash_rate = crash_rate
+        rng = rng if rng is not None else random.Random()
+        count = int(round(crash_rate * len(processes)))
+        victims = rng.sample(list(processes), count) if count else []
+        self.events: List[CrashEvent] = sorted(
+            (CrashEvent(pid, rng.uniform(0.0, horizon)) for pid in victims),
+            key=lambda ev: ev.at,
+        )
+
+    def crashes_before(self, now: float) -> List[CrashEvent]:
+        """All crash events with ``at <= now`` (runner applies and removes)."""
+        return [ev for ev in self.events if ev.at <= now]
+
+    def victims(self) -> List[ProcessId]:
+        return [ev.pid for ev in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

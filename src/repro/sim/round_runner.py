@@ -1,0 +1,211 @@
+"""Synchronous-round simulation (paper Sec. 5.1).
+
+"In a first attempt we have simulated the entire system in a single process.
+More precisely, we have simulated synchronous gossip rounds in which each
+process gossips once."
+
+The runner is protocol-agnostic: any object exposing ``pid``,
+``on_tick(now) -> [Outgoing]`` and ``handle_message(sender, message, now) ->
+[Outgoing]`` can participate, which lets the same harness drive lpbcast,
+pbcast with a total view, and pbcast with the partial-view membership — the
+exact comparison of Fig. 7(a).
+
+Round semantics
+---------------
+At round ``r`` (``now = r``):
+
+1. crash events due at or before ``r`` silence their victims;
+2. round hooks fire (workloads publish, churn scripts join/leave processes);
+3. every alive node ticks once; the produced gossips are shuffled and
+   delivered subject to the network model;
+4. *reply* messages produced during delivery (retransmission solicitations
+   and answers, subscription handshakes) are delivered within the same round
+   up to ``max_reply_generations`` generations — mirroring the paper's
+   assumption that network latency is below the gossip period — and carried
+   over to the next round beyond that;
+5. observers run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..core.ids import ProcessId
+from ..core.message import Outgoing
+from .network import CrashPlan, NetworkModel
+from .rng import SeedSequence
+
+
+class GossipProcess(Protocol):
+    """Structural interface every simulated protocol node satisfies."""
+
+    pid: ProcessId
+
+    def on_tick(self, now: float) -> List[Outgoing]: ...
+
+    def handle_message(
+        self, sender: ProcessId, message: object, now: float
+    ) -> List[Outgoing]: ...
+
+
+RoundHook = Callable[[int, "RoundSimulation"], None]
+"""Invoked at the start of a round: ``hook(round_number, sim)``."""
+
+RoundObserver = Callable[[int, "RoundSimulation"], None]
+"""Invoked at the end of a round: ``observer(round_number, sim)``."""
+
+
+class RoundSimulation:
+    """Drives a set of gossip processes through synchronous rounds."""
+
+    def __init__(
+        self,
+        network: Optional[NetworkModel] = None,
+        seed: int = 0,
+        max_reply_generations: int = 4,
+        on_node_error: str = "raise",
+    ) -> None:
+        if on_node_error not in ("raise", "crash"):
+            raise ValueError("on_node_error must be 'raise' or 'crash'")
+        self.seeds = SeedSequence(seed)
+        self.network = network if network is not None else NetworkModel(
+            loss_rate=0.0, rng=self.seeds.rng("network")
+        )
+        self.max_reply_generations = max_reply_generations
+        #: "raise" propagates a node's exception (deterministic test runs);
+        #: "crash" converts it into a fail-stop of that node — what a real
+        #: deployment's process supervisor would observe.
+        self.on_node_error = on_node_error
+        self.node_errors: List[tuple] = []
+        self._shuffle_rng: random.Random = self.seeds.rng("delivery-order")
+        self.nodes: Dict[ProcessId, GossipProcess] = {}
+        self.crashed: set = set()
+        self.round = 0
+        self.messages_delivered = 0
+        self.messages_to_crashed = 0
+        self._carryover: List[Tuple[ProcessId, Outgoing]] = []
+        self._hooks: List[RoundHook] = []
+        self._observers: List[RoundObserver] = []
+        self._crash_plan: Optional[CrashPlan] = None
+
+    # -- construction ------------------------------------------------------
+    def add_node(self, node: GossipProcess) -> None:
+        if node.pid in self.nodes:
+            raise ValueError(f"duplicate process id {node.pid}")
+        self.nodes[node.pid] = node
+
+    def add_nodes(self, nodes: Sequence[GossipProcess]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def add_round_hook(self, hook: RoundHook) -> None:
+        self._hooks.append(hook)
+
+    def add_observer(self, observer: RoundObserver) -> None:
+        self._observers.append(observer)
+
+    def use_crash_plan(self, plan: CrashPlan) -> None:
+        """Attach a pre-drawn fail-stop schedule (applied as rounds pass)."""
+        self._crash_plan = plan
+
+    # -- runtime control ---------------------------------------------------
+    def crash(self, pid: ProcessId) -> None:
+        """Fail-stop ``pid`` immediately (no recovery, Sec. 4.1)."""
+        if pid in self.nodes:
+            self.crashed.add(pid)
+
+    def alive(self, pid: ProcessId) -> bool:
+        return pid in self.nodes and pid not in self.crashed
+
+    def alive_nodes(self) -> List[GossipProcess]:
+        return [n for pid, n in self.nodes.items() if pid not in self.crashed]
+
+    def inject(self, src: ProcessId, outgoings: Sequence[Outgoing]) -> None:
+        """Queue externally produced messages (e.g. a join request from a
+        process created mid-run) for delivery in the next round."""
+        self._carryover.extend((src, out) for out in outgoings)
+
+    # -- the round loop ----------------------------------------------------
+    def run_round(self) -> None:
+        self.round += 1
+        now = float(self.round)
+
+        if self._crash_plan is not None:
+            for event in self._crash_plan.crashes_before(now):
+                self.crash(event.pid)
+
+        for hook in self._hooks:
+            hook(self.round, self)
+
+        queue: List[Tuple[ProcessId, Outgoing]] = list(self._carryover)
+        self._carryover = []
+        for node in self.alive_nodes():
+            try:
+                ticked = node.on_tick(now)
+            except Exception as exc:
+                self._handle_node_error(node.pid, "on_tick", exc)
+                continue
+            for out in ticked:
+                queue.append((node.pid, out))
+
+        generation = 0
+        while queue and generation <= self.max_reply_generations:
+            self._shuffle_rng.shuffle(queue)
+            replies: List[Tuple[ProcessId, Outgoing]] = []
+            for src, out in queue:
+                replies.extend(self._deliver(src, out, now))
+            queue = replies
+            generation += 1
+        # Anything still queued (deep reply chains) is delayed one round.
+        self._carryover.extend(queue)
+
+        for observer in self._observers:
+            observer(self.round, self)
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+    def run_until(self, predicate: Callable[["RoundSimulation"], bool],
+                  max_rounds: int = 1000) -> int:
+        """Run rounds until ``predicate(sim)`` holds; returns the round count.
+
+        Raises ``RuntimeError`` if the predicate is still false after
+        ``max_rounds`` — simulations must not hang silently.
+        """
+        for _ in range(max_rounds):
+            if predicate(self):
+                return self.round
+            self.run_round()
+        if predicate(self):
+            return self.round
+        raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")
+
+    # -- delivery ----------------------------------------------------------
+    def _deliver(
+        self, src: ProcessId, out: Outgoing, now: float
+    ) -> List[Tuple[ProcessId, Outgoing]]:
+        dst = out.destination
+        target = self.nodes.get(dst)
+        if target is None or dst in self.crashed:
+            self.messages_to_crashed += 1
+            return []
+        if src in self.crashed:
+            return []  # the sender crashed earlier this round
+        if not self.network.deliverable(src, dst):
+            return []
+        self.messages_delivered += 1
+        try:
+            replies = target.handle_message(src, out.message, now)
+        except Exception as exc:
+            self._handle_node_error(dst, "handle_message", exc)
+            return []
+        return [(dst, reply) for reply in replies]
+
+    def _handle_node_error(self, pid: ProcessId, where: str,
+                           exc: Exception) -> None:
+        if self.on_node_error == "raise":
+            raise exc
+        self.node_errors.append((pid, where, exc))
+        self.crash(pid)

@@ -1,0 +1,63 @@
+"""Initial-membership construction.
+
+The analysis (Sec. 4.1) assumes that "at each round, each process has a
+uniformly distributed random view of size l of known subscribers".  Every
+experiment therefore starts from views drawn uniformly at random — each
+combination of ``l`` out of the other ``n-1`` processes equally probable —
+and lets the protocol's own membership traffic keep them evolving.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import LpbcastConfig
+from ..core.ids import ProcessId
+from ..core.node import LpbcastNode
+from .rng import SeedSequence
+
+
+def uniform_random_views(
+    pids: Sequence[ProcessId],
+    view_size: int,
+    rng: random.Random,
+) -> Dict[ProcessId, List[ProcessId]]:
+    """Draw an independent uniform view of ``view_size`` for every process.
+
+    Each view is a uniform sample (without replacement) of the *other*
+    processes, exactly the Sec. 4.1 assumption.
+    """
+    views: Dict[ProcessId, List[ProcessId]] = {}
+    pid_list = list(pids)
+    for pid in pid_list:
+        others = [p for p in pid_list if p != pid]
+        k = min(view_size, len(others))
+        views[pid] = rng.sample(others, k)
+    return views
+
+
+def build_lpbcast_nodes(
+    count: int,
+    config: Optional[LpbcastConfig] = None,
+    seed: int = 0,
+    first_pid: ProcessId = 0,
+    node_factory: Optional[Callable[..., LpbcastNode]] = None,
+) -> List[LpbcastNode]:
+    """Create ``count`` lpbcast nodes with uniform random initial views.
+
+    Each node receives an independent random stream derived from ``seed``;
+    the initial views are drawn from a separate ``views`` stream so node
+    construction order cannot perturb them.
+    """
+    if count < 1:
+        raise ValueError("need at least one process")
+    cfg = config if config is not None else LpbcastConfig()
+    seeds = SeedSequence(seed)
+    pids = list(range(first_pid, first_pid + count))
+    views = uniform_random_views(pids, cfg.view_max, seeds.rng("views"))
+    factory = node_factory if node_factory is not None else LpbcastNode
+    return [
+        factory(pid, cfg, seeds.rng("node", pid), initial_view=views[pid])
+        for pid in pids
+    ]

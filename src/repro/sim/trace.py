@@ -1,0 +1,117 @@
+"""Structured event tracing for simulations.
+
+A :class:`Tracer` records protocol-level events — publish, deliver, drop,
+eviction, membership change — as typed records with timestamps, queryable
+after the run.  It plugs into the existing hook surfaces (delivery
+listeners, round observers, the network model) without touching protocol
+code, and is the debugging substrate the integration tests and examples use
+to answer "why didn't process X get event Y?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.events import Notification
+from ..core.ids import EventId, ProcessId
+
+# Event kinds
+PUBLISH = "publish"
+DELIVER = "deliver"
+DROP = "drop"           # network loss
+CUT = "cut"             # link-filter cut
+TO_CRASHED = "to-crashed"
+ROUND = "round"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    kind: str
+    at: float
+    pid: Optional[ProcessId] = None
+    peer: Optional[ProcessId] = None
+    event_id: Optional[EventId] = None
+    detail: str = ""
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries from a simulation run."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.truncated = 0
+
+    # -- recording ----------------------------------------------------------
+    def record(self, record: TraceRecord) -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.truncated += 1
+            return
+        self.records.append(record)
+
+    def emit(self, kind: str, at: float, **fields) -> None:
+        self.record(TraceRecord(kind=kind, at=at, **fields))
+
+    # -- wiring --------------------------------------------------------------
+    def attach_deliveries(self, nodes: Iterable) -> "Tracer":
+        """Trace every delivery on the given nodes."""
+        def listener(pid: ProcessId, notification: Notification, now: float) -> None:
+            self.emit(DELIVER, now, pid=pid, event_id=notification.event_id)
+
+        for node in nodes:
+            node.add_delivery_listener(listener)
+        return self
+
+    def attach_network(self, network) -> "Tracer":
+        """Trace drops and cuts by wrapping the network's ``deliverable``."""
+        original = network.deliverable
+
+        def traced(src: ProcessId, dst: ProcessId) -> bool:
+            cut_before = network.messages_cut
+            drop_before = network.messages_dropped
+            ok = original(src, dst)
+            if not ok:
+                kind = CUT if network.messages_cut > cut_before else DROP
+                self.emit(kind, 0.0, pid=src, peer=dst)
+            return ok
+
+        network.deliverable = traced
+        return self
+
+    def on_round(self, round_number: int, sim) -> None:
+        """Round observer: marks round boundaries."""
+        self.emit(ROUND, float(round_number),
+                  detail=f"alive={len(sim.alive_nodes())}")
+
+    def trace_publish(self, pid: ProcessId, notification: Notification,
+                      now: float) -> None:
+        self.emit(PUBLISH, now, pid=pid, event_id=notification.event_id)
+
+    # -- queries -----------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def for_event(self, event_id: EventId) -> List[TraceRecord]:
+        return [r for r in self.records if r.event_id == event_id]
+
+    def for_process(self, pid: ProcessId) -> List[TraceRecord]:
+        return [r for r in self.records if r.pid == pid or r.peer == pid]
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            totals[record.kind] = totals.get(record.kind, 0) + 1
+        return totals
+
+    def delivery_order(self, event_id: EventId) -> List[ProcessId]:
+        """Processes in the order they delivered ``event_id``."""
+        return [r.pid for r in self.records
+                if r.kind == DELIVER and r.event_id == event_id]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,81 @@
+"""Tests for the Appendix A expected-infection recursion."""
+
+import pytest
+
+from repro.analysis import (
+    InfectionMarkovChain,
+    expected_infected_curve,
+    expected_infected_curve_rounded,
+    expected_rounds_to_fraction,
+    infection_probability,
+)
+
+
+class TestRecursion:
+    def test_starts_at_one(self):
+        curve = expected_infected_curve(100, 0.03, 5)
+        assert curve[0] == 1.0
+
+    def test_monotone_and_bounded(self):
+        curve = expected_infected_curve(100, 0.03, 30)
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        assert all(v <= 100 for v in curve)
+
+    def test_reaches_saturation(self):
+        curve = expected_infected_curve(100, 0.03, 40)
+        assert curve[-1] == pytest.approx(100, rel=1e-3)
+
+    def test_matches_markov_expectation_closely(self):
+        # The recursion approximates E[s_r]; early rounds should agree well
+        # (the recursion treats E[q^s] as q^{E[s]}, exact while variance is
+        # small relative to curvature).
+        n, F = 125, 3
+        p = infection_probability(n, F)
+        recursion = expected_infected_curve(n, p, 8)
+        markov = InfectionMarkovChain(n, F).expected_curve(8)
+        for r in range(4):
+            assert recursion[r] == pytest.approx(markov[r], rel=0.15)
+
+    def test_rounded_variant_is_integer(self):
+        curve = expected_infected_curve_rounded(100, 0.03, 10)
+        assert all(isinstance(v, int) for v in curve)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_infected_curve(0, 0.03, 5)
+        with pytest.raises(ValueError):
+            expected_infected_curve(10, 0.0, 5)
+        with pytest.raises(ValueError):
+            expected_infected_curve(10, 0.03, -1)
+
+
+class TestRoundsToFraction:
+    def test_paper_range(self):
+        # Fig. 3(b): roughly 5-7 rounds across n = 100..1000 at F = 3.
+        for n in (125, 500, 1000):
+            rounds = expected_rounds_to_fraction(n, 3)
+            assert 4.5 <= rounds <= 8.0
+
+    def test_logarithmic_growth(self):
+        r1 = expected_rounds_to_fraction(125, 3)
+        r2 = expected_rounds_to_fraction(250, 3)
+        r3 = expected_rounds_to_fraction(500, 3)
+        assert r1 < r2 < r3
+        assert r3 - r1 < 2.0  # doubling twice adds < 2 rounds
+
+    def test_fractional_interpolation(self):
+        rounds = expected_rounds_to_fraction(125, 3)
+        assert rounds != int(rounds)  # generically non-integer
+
+    def test_zero_rounds_for_trivial_fraction(self):
+        assert expected_rounds_to_fraction(125, 3, fraction=0.001) == 0.0
+
+    def test_subcritical_returns_none(self):
+        # With essentially total loss the epidemic stalls.
+        assert expected_rounds_to_fraction(
+            1000, 1, loss_rate=0.999, crash_rate=0.0, max_rounds=50
+        ) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_rounds_to_fraction(125, 3, fraction=1.5)

@@ -1,0 +1,56 @@
+"""Tests for the per-process latency analysis."""
+
+import pytest
+
+from repro.analysis import LatencyAnalysis
+
+
+class TestLatencyAnalysis:
+    def test_cumulative_starts_at_zero(self):
+        analysis = LatencyAnalysis(125, 3)
+        assert analysis.infected_by(0) == 0.0
+        assert analysis.infected_by(-5) == 0.0
+
+    def test_cumulative_monotone_to_one(self):
+        analysis = LatencyAnalysis(125, 3, horizon=20)
+        values = [analysis.infected_by(r) for r in range(21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_beyond_horizon_clamps(self):
+        analysis = LatencyAnalysis(60, 3, horizon=15)
+        assert analysis.infected_by(100) == analysis.infected_by(15)
+
+    def test_pmf_sums_to_coverage(self):
+        analysis = LatencyAnalysis(125, 3, horizon=20)
+        assert sum(analysis.pmf()) == pytest.approx(
+            analysis.infected_by(20), abs=1e-9
+        )
+
+    def test_expected_latency_in_sane_range(self):
+        # n=125, F=3: the epidemic saturates in ~7 rounds; a random process
+        # is infected around rounds 3-5 on average.
+        analysis = LatencyAnalysis(125, 3)
+        assert 3.0 <= analysis.expected_latency() <= 5.5
+
+    def test_higher_fanout_lowers_latency(self):
+        slow = LatencyAnalysis(125, 3).expected_latency()
+        fast = LatencyAnalysis(125, 6).expected_latency()
+        assert fast < slow
+
+    def test_quantiles_monotone(self):
+        analysis = LatencyAnalysis(125, 3)
+        q50 = analysis.latency_quantile(0.5)
+        q99 = analysis.latency_quantile(0.99)
+        assert q50 <= q99
+
+    def test_quantile_unreachable_returns_none(self):
+        # Sub-critical epidemic: essentially nobody infected in 3 rounds.
+        analysis = LatencyAnalysis(1000, 1, loss_rate=0.49, horizon=3)
+        assert analysis.latency_quantile(0.99) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyAnalysis(125, 3, horizon=0)
+        with pytest.raises(ValueError):
+            LatencyAnalysis(125, 3).latency_quantile(0.0)

@@ -1,0 +1,116 @@
+"""Tests for the partitioning analysis (Eqs. 4–5)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    log_comb,
+    log_psi,
+    partition_probability_per_round,
+    phi,
+    psi,
+    psi_curve,
+    rounds_until_partition,
+)
+
+
+class TestLogComb:
+    def test_known_values(self):
+        assert log_comb(5, 2) == pytest.approx(math.log(10))
+        assert log_comb(10, 0) == pytest.approx(0.0)
+        assert log_comb(10, 10) == pytest.approx(0.0)
+
+    def test_out_of_range_is_minus_inf(self):
+        assert log_comb(5, 6) == -math.inf
+        assert log_comb(5, -1) == -math.inf
+        assert log_comb(-1, 0) == -math.inf
+
+
+class TestPsi:
+    def test_hand_computed_value(self):
+        # psi(4, 50, 3) = C(50,4) * [C(3,3)/C(49,3)]^4 * [C(45,3)/C(49,3)]^46
+        expected = (
+            math.comb(50, 4)
+            * (math.comb(3, 3) / math.comb(49, 3)) ** 4
+            * (math.comb(45, 3) / math.comb(49, 3)) ** 46
+        )
+        assert psi(4, 50, 3) == pytest.approx(expected, rel=1e-9)
+
+    def test_impossible_small_partition(self):
+        # A partition of size i <= l cannot fill its members' views.
+        assert psi(3, 50, 3) == 0.0
+        assert log_psi(3, 50, 3) == -math.inf
+
+    def test_impossible_large_complement(self):
+        # If the complement is too small to fill *its* views outside: i > n-l-1.
+        assert psi(48, 50, 3) == 0.0
+
+    def test_probability_range(self):
+        for i in range(4, 26):
+            value = psi(i, 50, 3)
+            assert 0.0 <= value <= 1.0
+
+    def test_monotone_decreasing_in_n(self):
+        # Fig. 4: larger systems partition less.
+        assert psi(10, 50, 3) > psi(10, 75, 3) > psi(10, 125, 3)
+
+    def test_monotone_decreasing_in_l(self):
+        assert psi(10, 50, 3) > psi(10, 50, 5) > psi(10, 50, 8)
+
+    def test_magnitudes_are_tiny(self):
+        # Around the paper's Fig. 4 settings the values are astronomically
+        # small — partitioning is practically impossible.
+        assert psi(4, 50, 3) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            psi(4, 1, 3)
+
+    def test_curve_default_sizes(self):
+        curve = psi_curve(50, 3)
+        sizes = [i for i, _ in curve]
+        assert sizes[0] == 4
+        assert sizes[-1] == 25
+
+
+class TestPerRoundAndPhi:
+    def test_per_round_sums_curve(self):
+        total = partition_probability_per_round(50, 3)
+        manual = sum(v for _, v in psi_curve(50, 3))
+        assert total == pytest.approx(manual)
+
+    def test_phi_bounds(self):
+        assert phi(50, 3, 0) == pytest.approx(1.0)
+        assert 0.0 <= phi(50, 3, 1e15) <= 1.0
+
+    def test_phi_decreasing_in_rounds(self):
+        assert phi(50, 3, 1e16) < phi(50, 3, 1e15)
+
+    def test_phi_linearized_close_for_small_r(self):
+        exact = phi(50, 3, 1e10, exact=True)
+        approx = phi(50, 3, 1e10, exact=False)
+        assert exact == pytest.approx(approx, abs=1e-6)
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            phi(50, 3, -1)
+
+
+class TestRoundsUntilPartition:
+    def test_astronomical_for_paper_setting(self):
+        # Sec. 4.4 reports ~1e12 rounds for (n=50, l=3, prob=0.9); the exact
+        # Eq.-4 evaluation gives an even larger horizon (~1e17) — either way,
+        # partitioning effectively never happens.
+        rounds = rounds_until_partition(50, 3, probability=0.9)
+        assert rounds > 1e12
+
+    def test_monotone_in_probability(self):
+        assert rounds_until_partition(50, 3, 0.5) < rounds_until_partition(50, 3, 0.9)
+
+    def test_larger_system_survives_longer(self):
+        assert rounds_until_partition(75, 3, 0.9) > rounds_until_partition(50, 3, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_until_partition(50, 3, probability=1.0)

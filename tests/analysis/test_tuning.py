@@ -1,0 +1,115 @@
+"""Tests for the parameter-tuning tool (Sec. 7)."""
+
+import pytest
+
+from repro.analysis.tuning import (
+    TuningReport,
+    recommend_config,
+    recommend_fanout,
+    recommend_view_size,
+)
+from repro.core import LpbcastConfig
+
+
+class TestRecommendFanout:
+    def test_paper_setting_yields_small_fanout(self):
+        # n=125 reaches 99% in < 8 rounds already at F=3 (Fig. 2).
+        assert recommend_fanout(125, max_rounds=8.0) <= 3
+
+    def test_tighter_budget_needs_larger_fanout(self):
+        relaxed = recommend_fanout(1000, max_rounds=8.0)
+        tight = recommend_fanout(1000, max_rounds=4.0)
+        assert tight > relaxed
+
+    def test_result_meets_budget(self):
+        from repro.analysis import expected_rounds_to_fraction
+        fanout = recommend_fanout(500, max_rounds=6.0)
+        rounds = expected_rounds_to_fraction(500, fanout)
+        assert rounds <= 6.0
+
+    def test_minimality(self):
+        from repro.analysis import expected_rounds_to_fraction
+        fanout = recommend_fanout(500, max_rounds=6.0)
+        if fanout > 1:
+            rounds = expected_rounds_to_fraction(500, fanout - 1)
+            assert rounds is None or rounds > 6.0
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="no fanout"):
+            recommend_fanout(10_000, max_rounds=1.0, fanout_cap=4)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            recommend_fanout(100, max_rounds=0.0)
+
+
+class TestRecommendViewSize:
+    def test_at_least_fanout(self):
+        l = recommend_view_size(125, fanout=5, lifetime_rounds=1e6)
+        assert l >= 5
+
+    def test_longer_lifetime_never_smaller_view(self):
+        short = recommend_view_size(50, fanout=3, lifetime_rounds=1e3)
+        long = recommend_view_size(50, fanout=3, lifetime_rounds=1e15)
+        assert long >= short
+
+    def test_meets_horizon(self):
+        from repro.analysis import rounds_until_partition
+        l = recommend_view_size(50, fanout=3, lifetime_rounds=1e12,
+                                partition_probability=0.01)
+        assert rounds_until_partition(50, l, 0.01) >= 1e12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_view_size(50, 3, lifetime_rounds=0.0)
+        with pytest.raises(ValueError):
+            recommend_view_size(50, 3, partition_probability=1.0)
+
+
+class TestRecommendConfig:
+    def test_returns_valid_config(self):
+        report = recommend_config(500)
+        assert isinstance(report, TuningReport)
+        assert isinstance(report.config, LpbcastConfig)
+        assert report.config.fanout == report.fanout
+        assert report.config.view_max == report.view_size
+        assert report.fanout <= report.view_size
+
+    def test_guarantees_recorded(self):
+        report = recommend_config(500, max_rounds=8.0, lifetime_rounds=1e9)
+        assert report.expected_rounds_to_target <= 8.0
+        assert report.partition_horizon_rounds >= 1e9
+
+    def test_base_config_preserved_for_other_fields(self):
+        base = LpbcastConfig(event_ids_max=99)
+        report = recommend_config(125, base=base)
+        assert report.config.event_ids_max == 99
+
+    def test_str_mentions_parameters(self):
+        text = str(recommend_config(125))
+        assert "F=" in text and "l=" in text
+
+    def test_view_slack_floor_applied(self):
+        # The practical floor l >= 2F compensates the Fig. 5(b) correlation
+        # slowdown for minimal views.
+        report = recommend_config(125, view_slack_factor=2.0)
+        assert report.view_size >= 2 * report.fanout
+
+    def test_view_slack_factor_scales_floor(self):
+        loose = recommend_config(125, view_slack_factor=1.0)
+        tight = recommend_config(125, view_slack_factor=4.0)
+        assert tight.view_size >= 4 * tight.fanout
+        assert tight.view_size >= loose.view_size
+
+    def test_view_slack_validation(self):
+        with pytest.raises(ValueError):
+            recommend_config(125, view_slack_factor=0.5)
+
+
+class TestViewSizeFloor:
+    def test_floor_respected(self):
+        l = recommend_view_size(125, fanout=3, floor=10)
+        assert l >= 10
+
+    def test_zero_floor_backwards_compatible(self):
+        assert recommend_view_size(125, fanout=3) >= 3

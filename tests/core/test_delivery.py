@@ -1,0 +1,118 @@
+"""Tests for the per-origin FIFO delivery gate."""
+
+import pytest
+
+from repro.core.delivery import FifoDeliveryGate
+
+from ..helpers import notification
+
+
+def make_gate(max_holdback=8):
+    gate = FifoDeliveryGate(max_holdback=max_holdback)
+    released = []
+    gate.add_listener(lambda pid, n, now: released.append(n.event_id.seq))
+    return gate, released
+
+
+class TestInOrder:
+    def test_in_order_passes_through(self):
+        gate, released = make_gate()
+        for seq in (1, 2, 3):
+            gate.on_delivery(0, notification(5, seq), now=float(seq))
+        assert released == [1, 2, 3]
+        assert gate.delivered_in_order == 3
+
+    def test_origins_independent(self):
+        gate, released = make_gate()
+        gate.on_delivery(0, notification(5, 1), 0.0)
+        gate.on_delivery(0, notification(6, 1), 0.0)
+        gate.on_delivery(0, notification(6, 2), 0.0)
+        assert released == [1, 1, 2]
+        assert gate.expected_next(5) == 2
+        assert gate.expected_next(6) == 3
+
+
+class TestReordering:
+    def test_out_of_order_held_and_released(self):
+        gate, released = make_gate()
+        gate.on_delivery(0, notification(5, 2), 0.0)
+        assert released == []
+        assert gate.held_count(5) == 1
+        gate.on_delivery(0, notification(5, 1), 1.0)
+        assert released == [1, 2]
+        assert gate.held_count(5) == 0
+
+    def test_long_reordering_run(self):
+        gate, released = make_gate()
+        for seq in (3, 5, 2, 4, 1):
+            gate.on_delivery(0, notification(5, seq), 0.0)
+        assert released == [1, 2, 3, 4, 5]
+
+    def test_duplicate_of_released_dropped(self):
+        gate, released = make_gate()
+        gate.on_delivery(0, notification(5, 1), 0.0)
+        gate.on_delivery(0, notification(5, 1), 1.0)
+        assert released == [1]
+        assert gate.stale_dropped == 1
+
+    def test_duplicate_of_held_not_double_buffered(self):
+        gate, released = make_gate()
+        gate.on_delivery(0, notification(5, 3), 0.0)
+        gate.on_delivery(0, notification(5, 3), 1.0)
+        assert gate.held_count(5) == 1
+
+
+class TestGapSkipping:
+    def test_overflow_skips_gap(self):
+        gate, released = make_gate(max_holdback=2)
+        # seq 1 never arrives; 2, 3, 4 pile up.
+        gate.on_delivery(0, notification(5, 2), 0.0)
+        gate.on_delivery(0, notification(5, 3), 0.0)
+        assert released == []
+        gate.on_delivery(0, notification(5, 4), 0.0)  # overflow: skip 1
+        assert released == [2, 3, 4]
+        assert gate.gaps_skipped == 1
+
+    def test_progress_after_skip(self):
+        gate, released = make_gate(max_holdback=1)
+        gate.on_delivery(0, notification(5, 3), 0.0)
+        gate.on_delivery(0, notification(5, 5), 0.0)  # skips to 3, holds 5
+        gate.on_delivery(0, notification(5, 4), 0.0)
+        assert released == [3, 4, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FifoDeliveryGate(max_holdback=0)
+
+
+class TestEndToEnd:
+    def test_fifo_order_over_lossy_simulation(self):
+        import random
+        from repro.core import LpbcastConfig
+        from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+        cfg = LpbcastConfig(fanout=3, view_max=8)
+        nodes = build_lpbcast_nodes(20, cfg, seed=10)
+        sim = RoundSimulation(
+            NetworkModel(loss_rate=0.1, rng=random.Random(11)), seed=10
+        )
+        sim.add_nodes(nodes)
+
+        orders = {}
+        for node in nodes[1:]:
+            gate = FifoDeliveryGate()
+            order = []
+            gate.add_listener(
+                lambda pid, n, now, order=order: order.append(n.event_id.seq)
+            )
+            node.add_delivery_listener(gate.on_delivery)
+            orders[node.pid] = order
+
+        for r in range(5):
+            nodes[0].lpb_cast(f"m{r}", now=float(r))
+            sim.run_round()
+        sim.run(10)
+
+        for pid, order in orders.items():
+            assert order == sorted(order), f"process {pid} out of order"
+            assert order == list(range(1, len(order) + 1))

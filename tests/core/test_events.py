@@ -1,0 +1,48 @@
+"""Tests for notifications and unsubscription records."""
+
+import pytest
+
+from repro.core.events import Notification, Unsubscription, make_notification
+from repro.core.ids import EventId
+
+
+class TestNotification:
+    def test_origin_comes_from_event_id(self):
+        n = Notification(EventId(8, 2), "payload")
+        assert n.origin == 8
+
+    def test_default_created_at(self):
+        n = Notification(EventId(1, 1), None)
+        assert n.created_at == 0.0
+
+    def test_make_notification(self):
+        n = make_notification(5, 3, payload="x", created_at=2.5)
+        assert n.event_id == EventId(5, 3)
+        assert n.payload == "x"
+        assert n.created_at == 2.5
+
+    def test_make_notification_rejects_zero_seq(self):
+        with pytest.raises(ValueError):
+            make_notification(5, 0)
+
+    def test_immutable(self):
+        n = make_notification(1, 1)
+        with pytest.raises(AttributeError):
+            n.payload = "other"
+
+
+class TestUnsubscription:
+    def test_not_obsolete_before_ttl(self):
+        u = Unsubscription(3, timestamp=10.0)
+        assert not u.is_obsolete(now=15.0, ttl=20.0)
+
+    def test_obsolete_at_ttl(self):
+        u = Unsubscription(3, timestamp=10.0)
+        assert u.is_obsolete(now=30.0, ttl=20.0)
+
+    def test_obsolete_after_ttl(self):
+        u = Unsubscription(3, timestamp=10.0)
+        assert u.is_obsolete(now=100.0, ttl=20.0)
+
+    def test_hashable_record(self):
+        assert len({Unsubscription(1, 0.0), Unsubscription(1, 0.0)}) == 1

@@ -1,0 +1,117 @@
+"""Tests for the subscription lifecycle of Sec. 3.4."""
+
+import pytest
+
+from repro.core.message import SubscriptionAck, SubscriptionRequest
+
+from ..helpers import gossip, make_node, unsub
+
+
+class TestJoin:
+    def test_start_join_emits_request(self):
+        joiner = make_node(pid=10)
+        out = joiner.start_join(contact=1, now=0.0)
+        assert len(out) == 1
+        assert out[0].destination == 1
+        assert isinstance(out[0].message, SubscriptionRequest)
+        assert out[0].message.subscriber == 10
+
+    def test_cannot_join_through_self(self):
+        node = make_node(pid=10)
+        with pytest.raises(ValueError):
+            node.start_join(contact=10, now=0.0)
+
+    def test_contact_adopts_and_acks(self):
+        contact = make_node(pid=1, view=(2, 3))
+        out = contact.on_subscription_request(SubscriptionRequest(10), now=0.0)
+        assert 10 in contact.view
+        assert 10 in contact.subs  # will be gossiped on the joiner's behalf
+        assert len(out) == 1
+        assert isinstance(out[0].message, SubscriptionAck)
+        assert out[0].destination == 10
+
+    def test_contact_ignores_own_request(self):
+        contact = make_node(pid=1)
+        assert contact.on_subscription_request(SubscriptionRequest(1), now=0.0) == []
+
+    def test_ack_seeds_joiner_view(self):
+        joiner = make_node(pid=10)
+        joiner.start_join(contact=1, now=0.0)
+        joiner.on_subscription_ack(SubscriptionAck(1, view_sample=(2, 3, 4)), now=0.5)
+        assert 1 in joiner.view
+        assert {2, 3, 4} <= set(joiner.view)
+
+    def test_join_not_integrated_until_gossip_received(self):
+        joiner = make_node(pid=10)
+        joiner.start_join(contact=1, now=0.0)
+        assert not joiner.joined
+        joiner.on_gossip(gossip(sender=1), now=1.0)
+        assert joiner.joined
+
+    def test_join_retries_after_timeout(self):
+        joiner = make_node(pid=10, join_timeout=2.0)
+        joiner.start_join(contact=1, now=0.0)
+        assert joiner.stats.join_requests_sent == 1
+        joiner.on_tick(now=1.0)  # before the deadline: no retry
+        assert joiner.stats.join_requests_sent == 1
+        out = joiner.on_tick(now=2.5)
+        assert joiner.stats.join_requests_sent == 2
+        assert any(isinstance(o.message, SubscriptionRequest) for o in out)
+
+    def test_no_retry_once_integrated(self):
+        joiner = make_node(pid=10, join_timeout=2.0)
+        joiner.start_join(contact=1, now=0.0)
+        joiner.on_gossip(gossip(sender=1), now=0.5)
+        joiner.on_tick(now=10.0)
+        assert joiner.stats.join_requests_sent == 1
+
+    def test_bootstrapped_node_counts_as_joined(self):
+        node = make_node(view=(1, 2))
+        assert node.joined
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_adds_own_record(self):
+        node = make_node(view=(1, 2))
+        assert node.try_unsubscribe(now=5.0)
+        assert node.unsubscribed
+        assert node.pid in node.unsubs
+
+    def test_unsubscribe_idempotent(self):
+        node = make_node(view=(1, 2))
+        assert node.try_unsubscribe(now=5.0)
+        assert node.try_unsubscribe(now=6.0)
+
+    def test_unsubscribe_refused_when_buffer_saturated(self):
+        # Sec. 3.4: refusal protects the own unsubscription from truncation.
+        node = make_node(view=(1, 2), unsubs_max=20, unsub_refusal_threshold=3)
+        unsubs = tuple(unsub(pid, 1.0) for pid in range(100, 104))
+        node.on_gossip(gossip(unsubs=unsubs), now=1.0)
+        assert not node.try_unsubscribe(now=2.0)
+        assert not node.unsubscribed
+
+    def test_unsubscribe_possible_after_buffer_drains(self):
+        node = make_node(view=(1, 2), unsubs_max=20, unsub_refusal_threshold=3,
+                         unsub_ttl=5.0)
+        unsubs = tuple(unsub(pid, 1.0) for pid in range(100, 104))
+        node.on_gossip(gossip(unsubs=unsubs), now=1.0)
+        assert not node.try_unsubscribe(now=2.0)
+        node.on_tick(now=10.0)  # ttl expires the foreign unsubscriptions
+        assert node.try_unsubscribe(now=10.5)
+
+    def test_unsubscribed_node_stops_advertising_itself(self):
+        node = make_node(pid=7, view=(1, 2, 3))
+        node.try_unsubscribe(now=1.0)
+        out = [o for o in node.on_tick(now=2.0)]
+        for o in out:
+            assert 7 not in o.message.subs
+            assert any(u.pid == 7 for u in o.message.unsubs)
+
+    def test_peers_drop_unsubscribed_process(self):
+        leaver = make_node(pid=7, view=(1,))
+        leaver.try_unsubscribe(now=1.0)
+        peer = make_node(pid=1, view=(7, 2))
+        gossips = [o.message for o in leaver.on_tick(now=2.0)]
+        peer.on_gossip(gossips[0], now=2.0)
+        assert 7 not in peer.view
+        assert 7 in peer.unsubs  # forwarded onwards

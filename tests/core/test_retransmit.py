@@ -1,0 +1,160 @@
+"""Tests for the retransmission archive and gossip-pull engine."""
+
+import pytest
+
+from repro.core.ids import EventId
+from repro.core.message import RetransmitRequest, RetransmitResponse
+from repro.core.retransmit import NotificationArchive, RetransmissionEngine
+
+from ..helpers import gossip, make_node, notification
+
+
+class TestNotificationArchive:
+    def test_store_and_get(self):
+        archive = NotificationArchive(5)
+        n = notification(1, 1)
+        archive.add(n)
+        assert archive.get(n.event_id) == n
+        assert n.event_id in archive
+
+    def test_fifo_eviction(self):
+        archive = NotificationArchive(2)
+        ns = [notification(1, s) for s in (1, 2, 3)]
+        for n in ns:
+            archive.add(n)
+        assert archive.get(ns[0].event_id) is None
+        assert archive.get(ns[2].event_id) == ns[2]
+
+    def test_add_returns_evicted(self):
+        archive = NotificationArchive(1)
+        a, b = notification(1, 1), notification(1, 2)
+        assert archive.add(a) == []
+        assert archive.add(b) == [a]
+
+    def test_duplicate_add_noop(self):
+        archive = NotificationArchive(5)
+        n = notification(1, 1)
+        archive.add(n)
+        archive.add(n)
+        assert len(archive) == 1
+
+    def test_ids(self):
+        archive = NotificationArchive(5)
+        archive.add(notification(1, 1))
+        assert archive.ids() == (EventId(1, 1),)
+
+
+class TestRetransmissionEngine:
+    def test_selects_missing_only(self):
+        engine = RetransmissionEngine(request_max=10)
+        delivered = {EventId(1, 1)}
+        digest = (EventId(1, 1), EventId(1, 2))
+        missing = engine.select_missing(digest, delivered, now=0.0)
+        assert missing == [EventId(1, 2)]
+
+    def test_pending_not_re_requested(self):
+        engine = RetransmissionEngine(request_max=10, pending_ttl=5.0)
+        digest = (EventId(1, 2),)
+        assert engine.select_missing(digest, set(), now=0.0) == [EventId(1, 2)]
+        assert engine.select_missing(digest, set(), now=1.0) == []
+
+    def test_pending_expires(self):
+        engine = RetransmissionEngine(request_max=10, pending_ttl=5.0)
+        digest = (EventId(1, 2),)
+        engine.select_missing(digest, set(), now=0.0)
+        assert engine.select_missing(digest, set(), now=10.0) == [EventId(1, 2)]
+
+    def test_request_cap(self):
+        engine = RetransmissionEngine(request_max=2)
+        digest = tuple(EventId(1, s) for s in range(1, 10))
+        assert len(engine.select_missing(digest, set(), now=0.0)) == 2
+
+    def test_on_received_clears_pending(self):
+        engine = RetransmissionEngine(request_max=10, pending_ttl=100.0)
+        digest = (EventId(1, 2),)
+        engine.select_missing(digest, set(), now=0.0)
+        engine.on_received(EventId(1, 2))
+        assert engine.select_missing(digest, set(), now=1.0) == [EventId(1, 2)]
+
+    def test_serve_prefers_pending_events_then_archive(self):
+        archive = NotificationArchive(5)
+        archived = notification(1, 1, payload="archived")
+        archive.add(archived)
+        pending = [notification(1, 2, payload="pending")]
+        found = RetransmissionEngine.serve(
+            (EventId(1, 1), EventId(1, 2), EventId(1, 3)), pending, archive
+        )
+        assert {n.event_id for n in found} == {EventId(1, 1), EventId(1, 2)}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RetransmissionEngine(request_max=-1)
+        with pytest.raises(ValueError):
+            RetransmissionEngine(request_max=1, pending_ttl=0)
+
+
+class TestNodeRetransmissionFlow:
+    def make_retransmitting_node(self, pid=0, view=(1,), **overrides):
+        return make_node(
+            pid=pid,
+            view=view,
+            retransmissions=True,
+            digest_implies_delivery=False,
+            **overrides,
+        )
+
+    def test_digest_triggers_request(self):
+        node = self.make_retransmitting_node()
+        eid = EventId(9, 1)
+        out = node.on_gossip(gossip(sender=5, event_ids=(eid,)), now=1.0)
+        assert len(out) == 1
+        assert out[0].destination == 5
+        request = out[0].message
+        assert isinstance(request, RetransmitRequest)
+        assert request.event_ids == (eid,)
+
+    def test_request_served_from_archive(self):
+        holder = self.make_retransmitting_node(pid=5)
+        n = notification(9, 1, payload="data")
+        holder.on_gossip(gossip(sender=9, events=(n,)), now=0.5)
+        holder.on_tick(now=1.0)  # events flushed; archive retains it
+        out = holder.on_retransmit_request(
+            RetransmitRequest(0, (n.event_id,)), now=1.5
+        )
+        assert len(out) == 1
+        response = out[0].message
+        assert isinstance(response, RetransmitResponse)
+        assert response.events[0].payload == "data"
+
+    def test_response_delivers(self):
+        node = self.make_retransmitting_node()
+        n = notification(9, 1, payload="data")
+        node.on_retransmit_response(RetransmitResponse(5, (n,)), now=2.0)
+        assert node.has_delivered(n.event_id)
+        assert node.stats.retransmits_delivered == 1
+
+    def test_full_pull_roundtrip(self):
+        holder = self.make_retransmitting_node(pid=5, view=(0,))
+        requester = self.make_retransmitting_node(pid=0, view=(5,))
+        n = holder.lpb_cast("payload", now=0.0)
+        gossips = [o for o in holder.on_tick(now=1.0)]
+        # Simulate the event itself being lost: deliver a digest-only gossip.
+        digest_only = gossip(sender=5, event_ids=(n.event_id,))
+        requests = requester.on_gossip(digest_only, now=1.0)
+        responses = holder.handle_message(0, requests[0].message, now=1.1)
+        requester.handle_message(5, responses[0].message, now=1.2)
+        assert requester.has_delivered(n.event_id)
+
+    def test_unserveable_request_ignored(self):
+        node = self.make_retransmitting_node()
+        out = node.on_retransmit_request(
+            RetransmitRequest(1, (EventId(42, 42),)), now=1.0
+        )
+        assert out == []
+
+    def test_no_requests_when_nothing_missing(self):
+        node = self.make_retransmitting_node()
+        n = notification(9, 1)
+        node.on_gossip(gossip(sender=5, events=(n,)), now=1.0)
+        out = node.on_gossip(gossip(sender=5, event_ids=(n.event_id,)), now=2.0)
+        assert out == []

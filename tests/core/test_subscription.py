@@ -1,0 +1,93 @@
+"""Tests for UnsubscriptionBuffer and JoinState."""
+
+import random
+
+import pytest
+
+from repro.core.events import Unsubscription
+from repro.core.subscription import JoinState, UnsubscriptionBuffer
+
+
+class TestUnsubscriptionBuffer:
+    def test_add_and_contains(self):
+        buf = UnsubscriptionBuffer(5, random.Random(0))
+        buf.add(Unsubscription(3, 1.0))
+        assert 3 in buf
+        assert len(buf) == 1
+
+    def test_newest_timestamp_wins(self):
+        buf = UnsubscriptionBuffer(5, random.Random(0))
+        buf.add(Unsubscription(3, 1.0))
+        buf.add(Unsubscription(3, 5.0))
+        assert buf.snapshot() == (Unsubscription(3, 5.0),)
+
+    def test_older_timestamp_ignored(self):
+        buf = UnsubscriptionBuffer(5, random.Random(0))
+        buf.add(Unsubscription(3, 5.0))
+        buf.add(Unsubscription(3, 1.0))
+        assert buf.snapshot() == (Unsubscription(3, 5.0),)
+
+    def test_truncate_random_eviction(self):
+        buf = UnsubscriptionBuffer(2, random.Random(0))
+        for pid in range(5):
+            buf.add(Unsubscription(pid, 1.0))
+        evicted = buf.truncate()
+        assert len(buf) == 2
+        assert len(evicted) == 3
+
+    def test_purge_obsolete(self):
+        buf = UnsubscriptionBuffer(10, random.Random(0))
+        buf.add(Unsubscription(1, 0.0))
+        buf.add(Unsubscription(2, 8.0))
+        expired = buf.purge_obsolete(now=10.0, ttl=5.0)
+        assert [u.pid for u in expired] == [1]
+        assert 2 in buf
+
+    def test_discard(self):
+        buf = UnsubscriptionBuffer(10, random.Random(0))
+        buf.add(Unsubscription(1, 0.0))
+        assert buf.discard(1)
+        assert not buf.discard(1)
+
+    def test_iter(self):
+        buf = UnsubscriptionBuffer(10, random.Random(0))
+        buf.add(Unsubscription(1, 0.0))
+        buf.add(Unsubscription(2, 0.0))
+        assert set(buf) == {1, 2}
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnsubscriptionBuffer(-1)
+
+
+class TestJoinState:
+    def test_retry_after_timeout(self):
+        join = JoinState(contact=1, timeout=2.0)
+        join.start(now=0.0)
+        assert not join.should_retry(now=1.0)
+        assert join.should_retry(now=2.0)
+
+    def test_no_retry_after_integration(self):
+        join = JoinState(contact=1, timeout=2.0)
+        join.start(now=0.0)
+        join.on_gossip_received()
+        assert not join.should_retry(now=100.0)
+
+    def test_ack_alone_does_not_stop_retries(self):
+        # The ack only confirms the contact got the request; integration
+        # evidence is receiving gossip (Sec. 3.4).
+        join = JoinState(contact=1, timeout=2.0)
+        join.start(now=0.0)
+        join.on_ack()
+        assert join.acknowledged
+        assert join.should_retry(now=5.0)
+
+    def test_attempts_counted(self):
+        join = JoinState(contact=1, timeout=2.0)
+        join.start(now=0.0)
+        join.start(now=2.0)
+        assert join.attempts == 2
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            JoinState(contact=1, timeout=0.0)

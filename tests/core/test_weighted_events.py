@@ -1,0 +1,112 @@
+"""Tests for the frequency-aware events buffer (Sec. 6.1 applied to events)."""
+
+import random
+
+import pytest
+
+from repro.core.buffers import FrequencyAwareEventBuffer
+
+from ..helpers import gossip, make_node, notification
+
+
+class TestFrequencyAwareEventBuffer:
+    def make(self, max_size=3, seed=0):
+        return FrequencyAwareEventBuffer(max_size, random.Random(seed))
+
+    def test_add_and_contains(self):
+        buf = self.make()
+        n = notification(1, 1)
+        assert buf.add(n)
+        assert not buf.add(n)
+        assert n in buf
+        assert buf.contains_key(n.event_id)
+        assert len(buf) == 1
+
+    def test_truncate_evicts_most_seen(self):
+        buf = self.make(max_size=2)
+        a, b, c = (notification(1, s) for s in (1, 2, 3))
+        for n in (a, b, c):
+            buf.add(n)
+        buf.note_seen(b.event_id)
+        buf.note_seen(b.event_id)
+        dropped = buf.truncate()
+        assert dropped == [b]
+        assert a in buf and c in buf
+
+    def test_ties_broken_randomly(self):
+        victims = set()
+        for seed in range(100):
+            buf = self.make(max_size=2, seed=seed)
+            items = [notification(1, s) for s in (1, 2, 3)]
+            for n in items:
+                buf.add(n)
+            victims.add(buf.truncate()[0].event_id)
+        assert len(victims) == 3  # uniform fallback when weights equal
+
+    def test_note_seen_unknown_is_noop(self):
+        buf = self.make()
+        buf.note_seen(notification(9, 9).event_id)
+        assert buf.seen_count(notification(9, 9).event_id) == 0
+
+    def test_drain_clears(self):
+        buf = self.make()
+        buf.add(notification(1, 1))
+        drained = buf.drain()
+        assert len(drained) == 1
+        assert len(buf) == 0
+
+    def test_seen_counts_reset_on_drain(self):
+        buf = self.make()
+        n = notification(1, 1)
+        buf.add(n)
+        buf.note_seen(n.event_id)
+        buf.drain()
+        assert buf.seen_count(n.event_id) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyAwareEventBuffer(-1)
+
+    def test_contains_foreign_type(self):
+        assert "nope" not in self.make()
+
+
+class TestNodeIntegration:
+    def test_weighted_events_buffer_selected(self):
+        node = make_node(view=(1,), weighted_events=True)
+        assert isinstance(node.events, FrequencyAwareEventBuffer)
+
+    def test_duplicates_bump_weight(self):
+        node = make_node(view=(1,), weighted_events=True, events_max=10)
+        n = notification(2, 1)
+        node.on_gossip(gossip(events=(n,)), now=1.0)
+        node.on_gossip(gossip(events=(n,)), now=2.0)
+        assert node.events.seen_count(n.event_id) == 1
+
+    def test_overflow_prefers_duplicated_event(self):
+        node = make_node(view=(1,), weighted_events=True, events_max=2)
+        a, b = notification(2, 1), notification(2, 2)
+        node.on_gossip(gossip(events=(a, b)), now=1.0)
+        node.on_gossip(gossip(events=(a,)), now=2.0)  # duplicate of a
+        c = notification(2, 3)
+        node.on_gossip(gossip(events=(c,)), now=3.0)  # overflow
+        assert not node.events.contains_key(a.event_id)  # most-seen dropped
+        assert node.events.contains_key(b.event_id)
+        assert node.events.contains_key(c.event_id)
+
+    def test_dissemination_still_works(self):
+        import random as _random
+        from repro.core import LpbcastConfig
+        from repro.metrics import DeliveryLog
+        from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+        cfg = LpbcastConfig(fanout=3, view_max=8, weighted_events=True)
+        nodes = build_lpbcast_nodes(30, cfg, seed=4)
+        sim = RoundSimulation(
+            NetworkModel(loss_rate=0.05, rng=_random.Random(5)), seed=4
+        )
+        sim.add_nodes(nodes)
+        log = DeliveryLog().attach(nodes)
+        event = nodes[0].lpb_cast("x", now=0.0)
+        sim.run(10)
+        assert log.delivery_count(event.event_id) == 30

@@ -1,0 +1,97 @@
+"""Tests for the heartbeat failure detector."""
+
+import random
+
+import pytest
+
+from repro.failuredetector import HeartbeatFailureDetector
+
+
+def make_fd(owner=0, suspect=5.0, forget=20.0, sample=5, seed=0):
+    return HeartbeatFailureDetector(
+        owner, suspect_timeout=suspect, forget_timeout=forget,
+        sample_size=sample, rng=random.Random(seed),
+    )
+
+
+class TestHeartbeats:
+    def test_own_counter_advances(self):
+        fd = make_fd()
+        fd.tick(0.0)
+        fd.tick(1.0)
+        assert fd.counter_of(0) == 2
+
+    def test_payload_always_includes_self(self):
+        fd = make_fd(owner=7)
+        fd.tick(0.0)
+        payload = dict(fd.payload())
+        assert payload[7] == 1
+
+    def test_payload_sample_bounded(self):
+        fd = make_fd(sample=3)
+        fd.merge([(pid, 1) for pid in range(1, 20)], now=0.0)
+        assert len(fd.payload()) <= 3
+
+    def test_merge_keeps_maximum(self):
+        fd = make_fd()
+        fd.merge([(5, 3)], now=0.0)
+        fd.merge([(5, 2)], now=1.0)  # stale: ignored
+        assert fd.counter_of(5) == 3
+
+    def test_merge_ignores_own_id(self):
+        fd = make_fd(owner=0)
+        fd.merge([(0, 99)], now=0.0)
+        assert fd.counter_of(0) == 0
+
+    def test_advance_refreshes_timestamp(self):
+        fd = make_fd(suspect=5.0)
+        fd.merge([(5, 1)], now=0.0)
+        fd.merge([(5, 2)], now=4.0)
+        assert not fd.is_suspected(5, now=8.0)  # advanced at t=4
+
+
+class TestSuspicion:
+    def test_silent_process_suspected(self):
+        fd = make_fd(suspect=5.0)
+        fd.merge([(5, 1)], now=0.0)
+        assert not fd.is_suspected(5, now=4.9)
+        assert fd.is_suspected(5, now=5.0)
+        assert fd.suspects(5.0) == [5]
+
+    def test_unknown_process_not_suspected(self):
+        fd = make_fd()
+        assert not fd.is_suspected(42, now=100.0)
+
+    def test_stale_counters_do_not_refresh(self):
+        fd = make_fd(suspect=5.0)
+        fd.merge([(5, 3)], now=0.0)
+        fd.merge([(5, 3)], now=4.0)  # same counter: no advance
+        assert fd.is_suspected(5, now=5.0)
+
+    def test_observe_alive_refreshes(self):
+        fd = make_fd(suspect=5.0)
+        fd.merge([(5, 1)], now=0.0)
+        fd.observe_alive(5, now=4.0)
+        assert not fd.is_suspected(5, now=8.0)
+
+    def test_expire_forgets(self):
+        fd = make_fd(suspect=5.0, forget=10.0)
+        fd.merge([(5, 1)], now=0.0)
+        assert fd.expire(now=9.0) == []
+        assert fd.expire(now=10.0) == [5]
+        assert 5 not in fd.known()
+        assert not fd.is_suspected(5, now=11.0)  # no verdict once forgotten
+
+
+class TestValidation:
+    def test_timeout_ordering(self):
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(0, suspect_timeout=5.0, forget_timeout=5.0)
+
+    def test_positive_timeouts(self):
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(0, suspect_timeout=0.0)
+
+    def test_sample_size(self):
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(0, sample_size=0)

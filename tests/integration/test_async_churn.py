@@ -1,0 +1,120 @@
+"""Churn on the asynchronous runtime: joins and leaves mid-run."""
+
+import random
+
+from repro.core import LpbcastConfig, LpbcastNode
+from repro.loggers import build_logged_system
+from repro.metrics import DeliveryLog
+from repro.pubsub import build_pubsub_peers
+from repro.sim import (
+    AsyncGossipRuntime,
+    NetworkModel,
+    build_lpbcast_nodes,
+    constant_latency,
+)
+
+
+def build_runtime(n=20, seed=4, loss=0.05):
+    cfg = LpbcastConfig(fanout=3, view_max=8)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    net = NetworkModel(loss_rate=loss, rng=random.Random(seed + 41),
+                       latency=constant_latency(0.1))
+    runtime = AsyncGossipRuntime(network=net, seed=seed)
+    runtime.add_nodes(nodes)
+    return cfg, nodes, runtime
+
+
+class TestAsyncJoin:
+    def test_mid_run_join_integrates(self):
+        cfg, nodes, runtime = build_runtime()
+        joiner = LpbcastNode(100, cfg, random.Random(100))
+        runtime.join_at(joiner, contact=nodes[0].pid, at=3.0)
+        runtime.run_until(20.0)
+        assert joiner.joined
+        assert len(joiner.view) > 0
+
+    def test_joiner_receives_later_events(self):
+        cfg, nodes, runtime = build_runtime()
+        joiner = LpbcastNode(100, cfg, random.Random(100))
+        log = DeliveryLog().attach([joiner])
+        runtime.join_at(joiner, contact=nodes[0].pid, at=2.0)
+        holder = {}
+        runtime.call_at(
+            10.0, lambda: holder.update(
+                event=nodes[3].lpb_cast("late", now=runtime.now)
+            )
+        )
+        runtime.run_until(30.0)
+        assert log.delivered(100, holder["event"].event_id)
+
+    def test_join_request_retries_through_loss(self):
+        cfg, nodes, runtime = build_runtime(loss=0.5, seed=6)
+        joiner = LpbcastNode(
+            100, cfg.with_overrides(join_timeout=2.0), random.Random(100)
+        )
+        runtime.join_at(joiner, contact=nodes[0].pid, at=1.0)
+        runtime.run_until(40.0)
+        assert joiner.stats.join_requests_sent >= 1
+        assert joiner.joined
+
+
+class TestAsyncLeave:
+    def test_mid_run_leave_drains_views(self):
+        cfg, nodes, runtime = build_runtime(n=25, seed=7)
+        leaver = nodes[4]
+        runtime.leave_at(leaver.pid, at=3.0)
+        runtime.run_until(35.0)
+        assert leaver.unsubscribed
+        knowers = sum(
+            1 for n in nodes if n.pid != leaver.pid and leaver.pid in n.view
+        )
+        assert knowers <= 3
+
+
+class TestAsyncComposites:
+    def test_pubsub_over_async_runtime(self):
+        topics = {"a": list(range(12))}
+        peers = build_pubsub_peers(12, topics,
+                                   LpbcastConfig(fanout=3, view_max=6), seed=8)
+        net = NetworkModel(loss_rate=0.05, rng=random.Random(9),
+                           latency=constant_latency(0.1))
+        runtime = AsyncGossipRuntime(network=net, seed=8)
+        runtime.add_nodes(peers)
+        holder = {}
+        runtime.call_at(
+            1.0, lambda: holder.update(
+                event=peers[0].publish("a", "async", now=runtime.now)
+            )
+        )
+        runtime.run_until(15.0)
+        covered = sum(
+            1 for pid in range(12)
+            if peers[pid].topic_node("a").has_delivered(holder["event"].event_id)
+        )
+        assert covered == 12
+
+    def test_loggers_over_async_runtime(self):
+        cfg = LpbcastConfig(fanout=3, view_max=8, events_max=3,
+                            event_ids_max=6, digest_implies_delivery=False)
+        clients, loggers = build_logged_system(15, logger_count=1,
+                                               config=cfg, seed=10)
+        net = NetworkModel(loss_rate=0.2, rng=random.Random(11),
+                           latency=constant_latency(0.1))
+        runtime = AsyncGossipRuntime(network=net, seed=10)
+        runtime.add_nodes(clients + loggers)
+        holder = {}
+
+        def publish():
+            notification, uploads = clients[0].publish_logged(
+                "x", now=runtime.now
+            )
+            holder["event"] = notification
+            runtime.send(clients[0].pid, uploads)
+
+        runtime.call_at(1.0, publish)
+        runtime.run_until(60.0)
+        missing = sum(
+            1 for c in clients
+            if not c.has_contiguously_delivered(holder["event"].event_id)
+        )
+        assert missing == 0

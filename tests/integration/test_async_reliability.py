@@ -1,0 +1,60 @@
+"""Reliability measurements on the asynchronous runtime (Sec. 5.2 substitute)."""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.metrics import DeliveryLog, measure_reliability
+from repro.sim import (
+    AsyncGossipRuntime,
+    BroadcastWorkload,
+    NetworkModel,
+    build_lpbcast_nodes,
+    uniform_latency,
+)
+
+
+def run_measurement(n=40, l=10, event_ids_max=60, events_max=60,
+                    rate=1, publish_window=(1, 6), horizon=25.0, seed=0):
+    cfg = LpbcastConfig(
+        fanout=3, view_max=l,
+        event_ids_max=event_ids_max, events_max=events_max,
+    )
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    net = NetworkModel(loss_rate=0.05, rng=random.Random(seed + 3),
+                       latency=uniform_latency(0.05, 0.4))
+    runtime = AsyncGossipRuntime(network=net, seed=seed)
+    runtime.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    workload = BroadcastWorkload(
+        nodes[:10], events_per_round=rate,
+        start=publish_window[0], stop=publish_window[1],
+    )
+    runtime.on_tick_complete(workload.on_tick)
+    runtime.run_until(horizon)
+    report = measure_reliability(
+        log, workload.published_ids(), [node.pid for node in nodes]
+    )
+    return report
+
+
+class TestAsyncReliability:
+    def test_light_load_high_reliability(self):
+        report = run_measurement(rate=1)
+        assert report.reliability > 0.95
+
+    def test_reliability_reported_over_all_pairs(self):
+        report = run_measurement(rate=1)
+        assert report.pairs_total == report.events * report.processes
+
+    def test_tiny_id_buffer_degrades_reliability(self):
+        # Fig. 6(b) mechanism: once ids are purged everywhere before global
+        # infection, the epidemic stops spreading that event.
+        generous = run_measurement(event_ids_max=100, events_max=100,
+                                   rate=4, seed=2)
+        starved = run_measurement(event_ids_max=4, events_max=4,
+                                  rate=4, seed=2)
+        assert starved.reliability < generous.reliability
+
+    def test_unsynchronized_ticks_still_disseminate(self):
+        report = run_measurement(rate=2, seed=5)
+        assert report.reliability > 0.9

@@ -1,0 +1,83 @@
+"""The Sec. 6.2 comparison: lpbcast vs pbcast with partial/total views."""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.metrics import DeliveryLog, InfectionObserver, mean_curves
+from repro.pbcast import FIRST_PHASE_NONE, PbcastConfig, build_pbcast_nodes
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+
+def run_lpbcast(n, seed, fanout=5, l=15, rounds=8):
+    cfg = LpbcastConfig(fanout=fanout, view_max=l)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.05, rng=random.Random(seed + 31)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    event = nodes[0].lpb_cast("x", now=0.0)
+    observer = InfectionObserver(log, event.event_id)
+    sim.add_observer(observer.on_round)
+    sim.run(rounds)
+    return observer.curve(rounds)
+
+
+def run_pbcast(n, seed, membership, fanout=5, l=15, rounds=8,
+               first_phase=FIRST_PHASE_NONE):
+    cfg = PbcastConfig(fanout=fanout, view_max=l, first_phase=first_phase)
+    nodes = build_pbcast_nodes(n, cfg, seed=seed, membership=membership)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.05, rng=random.Random(seed + 31)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    event, first = nodes[0].publish("x", now=0.0)
+    sim.inject(nodes[0].pid, first)
+    observer = InfectionObserver(log, event.event_id)
+    sim.add_observer(observer.on_round)
+    sim.run(rounds)
+    return observer.curve(rounds)
+
+
+class TestFig7aOrdering:
+    def test_all_protocols_infect_almost_everyone(self):
+        # lpbcast's unlimited repetitions give atomic coverage here; pbcast's
+        # bounded repetitions can strand the odd straggler (that is what
+        # "bimodal" delivery means), so it gets a 98% bar.
+        for seed in range(2):
+            assert run_lpbcast(125, seed)[-1] == 125
+            assert run_pbcast(125, seed, "partial")[-1] >= 123
+            assert run_pbcast(125, seed, "total")[-1] >= 123
+
+    def test_partial_view_preserves_pbcast_behaviour(self):
+        # Fig. 7(a): pbcast-with-partial-view tracks pbcast-with-total-view.
+        seeds = range(5)
+        partial = mean_curves([run_pbcast(125, s, "partial") for s in seeds])
+        total = mean_curves([run_pbcast(125, s, "total") for s in seeds])
+        for r in range(2, 7):
+            assert abs(partial[r] - total[r]) < 20
+
+    def test_lpbcast_at_least_as_fast_mid_epidemic(self):
+        # "The advantage of our lpbcast over pbcast ... hops and repetitions
+        # are not limited" — compare area under the infection curve.
+        seeds = range(5)
+        lpb = mean_curves([run_lpbcast(125, s) for s in seeds])
+        pb = mean_curves([run_pbcast(125, s, "partial") for s in seeds])
+        assert sum(lpb[:7]) >= sum(pb[:7]) - 10
+
+
+class TestFirstPhase:
+    def test_multicast_first_phase_gives_instant_mass_infection(self):
+        curve = run_pbcast(60, seed=1, membership="total",
+                           first_phase="multicast", rounds=6)
+        # ~95% infected at the end of round 1 (ε = 0.05 losses).
+        assert curve[1] >= 0.85 * 60
+        assert curve[-1] == 60
+
+    def test_gossip_phase_repairs_first_phase_losses(self):
+        for seed in range(3):
+            curve = run_pbcast(60, seed=seed, membership="partial",
+                               first_phase="multicast", rounds=6)
+            assert curve[1] < 60      # losses happened
+            assert curve[-1] == 60    # anti-entropy repaired them

@@ -1,0 +1,50 @@
+"""Scale test: the full paper range (n = 1000) in a single process.
+
+The paper's analysis spans n = 100..1000 (Fig. 3); this test runs the top
+of that range end-to-end and checks both dissemination and the logarithmic
+latency claim empirically.
+"""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.metrics import DeliveryLog, InfectionObserver, in_degree_stats
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+
+def run_large(n, rounds=12, seed=1):
+    cfg = LpbcastConfig(fanout=3, view_max=25)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.05, rng=random.Random(seed + 55)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    event = nodes[0].lpb_cast("x", now=0.0)
+    observer = InfectionObserver(log, event.event_id)
+    sim.add_observer(observer.on_round)
+    sim.run(rounds)
+    return nodes, log, event, observer
+
+
+class TestThousandProcesses:
+    def test_dissemination_at_n1000(self):
+        nodes, log, event, observer = run_large(1000)
+        assert log.delivery_count(event.event_id) >= 995
+
+    def test_views_healthy_at_scale(self):
+        nodes, log, event, observer = run_large(1000, rounds=6)
+        stats = in_degree_stats(nodes)
+        assert stats.mean == 25.0
+        assert stats.isolated == 0
+
+    def test_latency_grows_logarithmically(self):
+        # Fig. 3(b) empirically: 8x the system size costs ~1-2 extra rounds.
+        def rounds_to_99(n):
+            _, _, _, observer = run_large(n, rounds=14, seed=2)
+            return observer.rounds_to_fraction(0.99, population=n)
+
+        small = rounds_to_99(125)
+        large = rounds_to_99(1000)
+        assert small is not None and large is not None
+        assert large - small <= 3

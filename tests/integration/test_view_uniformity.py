@@ -1,0 +1,77 @@
+"""Long-run view-uniformity: the membership stays close to the analysis
+assumption (Sec. 4.1 uniform views) as the protocol churns the views."""
+
+import random
+
+from repro.core import LpbcastConfig
+from repro.metrics import in_degree_stats, view_uniformity_chi2
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+
+def run_system(rounds, n=80, l=10, seed=0, **overrides):
+    cfg = LpbcastConfig(fanout=3, view_max=l, **overrides)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.05, rng=random.Random(seed + 27)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    sim.run(rounds)
+    return nodes
+
+
+class TestUniformityOverTime:
+    def test_mean_in_degree_conserved(self):
+        # Every view stays full (l entries), so mean in-degree == l always.
+        for rounds in (0, 10, 40):
+            nodes = run_system(rounds)
+            assert in_degree_stats(nodes).mean == 10.0
+
+    def test_no_process_becomes_hub_or_orphan(self):
+        nodes = run_system(40)
+        stats = in_degree_stats(nodes)
+        # Binomial(79, 10/79): mean 10, std ~3 — beyond 6 std would signal
+        # systematic skew.
+        assert stats.maximum < 10 + 6 * 3.2
+        assert stats.minimum > 0
+
+    def test_chi2_does_not_blow_up_over_time(self):
+        early = view_uniformity_chi2(run_system(5), view_size=10)
+        late = view_uniformity_chi2(run_system(40), view_size=10)
+        # The protocol's views are correlated (Sec. 6.1), so chi2 exceeds a
+        # fresh uniform draw's — but it must stabilize, not diverge.
+        assert late < max(4 * early, 200)
+
+    def test_views_keep_churning(self):
+        # "these views are not constant, but continue evolving" (Sec. 4.1):
+        # compare views at round 20 and round 40 of the same run.
+        cfg = LpbcastConfig(fanout=3, view_max=10)
+        nodes = build_lpbcast_nodes(80, cfg, seed=3)
+        sim = RoundSimulation(
+            NetworkModel(loss_rate=0.05, rng=random.Random(30)), seed=3
+        )
+        sim.add_nodes(nodes)
+        sim.run(20)
+        mid = {n.pid: set(n.view.snapshot()) for n in nodes}
+        sim.run(20)
+        changed = sum(
+            1 for n in nodes if set(n.view.snapshot()) != mid[n.pid]
+        )
+        assert changed > 60
+
+    def test_membership_boost_tightens_in_degree_spread(self):
+        plain_stds = []
+        boosted_stds = []
+        for seed in range(3):
+            plain_stds.append(
+                in_degree_stats(run_system(30, seed=seed)).std
+            )
+            boosted_stds.append(
+                in_degree_stats(
+                    run_system(30, seed=seed, membership_boost=2)
+                ).std
+            )
+        plain = sum(plain_stds) / len(plain_stds)
+        boosted = sum(boosted_stds) / len(boosted_stds)
+        # Sec. 6.1: more membership gossip brings views closer to ideal;
+        # at minimum it must not make the spread worse.
+        assert boosted <= plain * 1.15

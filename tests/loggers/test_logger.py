@@ -1,0 +1,109 @@
+"""Tests for the logger process (rpbcast-style, Sec. 7)."""
+
+import random
+
+import pytest
+
+from repro.core.ids import EventId
+from repro.loggers import (
+    LOGGER_CONFIG,
+    LoggerNode,
+    LogUpload,
+    LogUploadAck,
+    RecoveryRequest,
+    RecoveryResponse,
+)
+
+from ..helpers import gossip, notification
+
+
+def make_logger(pid=900, view=(1, 2, 3), **kw):
+    return LoggerNode(pid, rng=random.Random(pid), initial_view=view, **kw)
+
+
+class TestArchiving:
+    def test_gossiped_notification_archived(self):
+        logger = make_logger()
+        n = notification(5, 1, "payload")
+        logger.on_gossip(gossip(sender=5, events=(n,)), now=1.0)
+        assert logger.has_logged(n.event_id)
+        assert logger.logged_count() == 1
+
+    def test_upload_archives_and_acks(self):
+        logger = make_logger()
+        n = notification(5, 1, "payload")
+        out = logger.on_upload(LogUpload(5, n), now=1.0)
+        assert logger.has_logged(n.event_id)
+        assert len(out) == 1
+        ack = out[0].message
+        assert isinstance(ack, LogUploadAck)
+        assert ack.event_id == n.event_id
+        assert out[0].destination == 5
+
+    def test_duplicate_upload_still_acked(self):
+        logger = make_logger()
+        n = notification(5, 1)
+        logger.on_upload(LogUpload(5, n), now=1.0)
+        out = logger.on_upload(LogUpload(5, n), now=2.0)
+        assert len(out) == 1
+        assert logger.logged_count() == 1
+        assert logger.uploads_received == 2
+
+    def test_logger_config_uses_real_payload_mode(self):
+        assert LOGGER_CONFIG.retransmissions
+        assert not LOGGER_CONFIG.digest_implies_delivery
+
+
+class TestRecoveryService:
+    def fill(self, logger, origin=5, count=4):
+        for seq in range(1, count + 1):
+            logger.on_upload(LogUpload(origin, notification(origin, seq)), 0.0)
+
+    def test_empty_frontier_gets_everything(self):
+        logger = make_logger()
+        self.fill(logger, count=3)
+        out = logger.on_recovery_request(RecoveryRequest(7, ()), now=1.0)
+        response = out[0].message
+        assert isinstance(response, RecoveryResponse)
+        assert len(response.events) == 3
+        assert response.complete
+
+    def test_frontier_filters_known_prefix(self):
+        logger = make_logger()
+        self.fill(logger, origin=5, count=4)
+        request = RecoveryRequest(7, (EventId(5, 2),))
+        response = logger.on_recovery_request(request, now=1.0)[0].message
+        assert sorted(n.event_id.seq for n in response.events) == [3, 4]
+
+    def test_up_to_date_requester_gets_empty_complete_response(self):
+        logger = make_logger()
+        self.fill(logger, origin=5, count=2)
+        request = RecoveryRequest(7, (EventId(5, 2),))
+        response = logger.on_recovery_request(request, now=1.0)[0].message
+        assert response.events == ()
+        assert response.complete
+
+    def test_batch_limit_truncates(self):
+        logger = make_logger(recovery_batch_max=2)
+        self.fill(logger, count=5)
+        response = logger.on_recovery_request(RecoveryRequest(7, ()), 1.0)[0].message
+        assert len(response.events) == 2
+        assert not response.complete
+
+    def test_multiple_origins_served(self):
+        logger = make_logger()
+        self.fill(logger, origin=5, count=2)
+        self.fill(logger, origin=6, count=2)
+        response = logger.on_recovery_request(RecoveryRequest(7, ()), 1.0)[0].message
+        origins = {n.event_id.origin for n in response.events}
+        assert origins == {5, 6}
+
+    def test_invalid_batch_limit(self):
+        with pytest.raises(ValueError):
+            make_logger(recovery_batch_max=0)
+
+    def test_regular_gossip_still_handled(self):
+        logger = make_logger()
+        out = logger.handle_message(1, gossip(sender=1, subs=(42,)), now=1.0)
+        assert 42 in logger.view
+        assert isinstance(out, list)

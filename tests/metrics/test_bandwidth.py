@@ -1,0 +1,75 @@
+"""Tests for protocol-overhead accounting."""
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.metrics.bandwidth import BandwidthMeter
+from repro.sim import RoundSimulation, build_lpbcast_nodes
+
+
+def build_metered(n=20, rounds=8, fanout=3):
+    cfg = LpbcastConfig(fanout=fanout, view_max=8)
+    nodes = build_lpbcast_nodes(n, cfg, seed=0)
+    meter = BandwidthMeter()
+    for node in nodes:
+        meter.instrument(node)
+    sim = RoundSimulation(seed=0)
+    sim.add_round_hook(meter.on_round)
+    sim.add_nodes(nodes)
+    sim.run(rounds)
+    return meter, nodes
+
+
+class TestBandwidthMeter:
+    def test_message_count_is_n_times_fanout_per_round(self):
+        meter, nodes = build_metered(n=20, rounds=8, fanout=3)
+        for r in range(2, 8):
+            assert meter.round_traffic(r).messages == 20 * 3
+
+    def test_totals(self):
+        meter, _ = build_metered(n=10, rounds=5, fanout=2)
+        assert meter.total_messages() == 10 * 2 * 5
+        assert meter.total_elements() >= meter.total_messages()
+
+    def test_by_kind(self):
+        meter, _ = build_metered(n=10, rounds=4)
+        kinds = meter.messages_by_kind()
+        assert set(kinds) == {"GossipMessage"}
+
+    def test_per_sender_balanced(self):
+        meter, nodes = build_metered(n=15, rounds=6, fanout=3)
+        totals = meter.per_sender_totals()
+        assert set(totals.values()) == {6 * 3}
+
+    def test_load_stability_is_perfect_without_app_traffic(self):
+        # Sec. 3.3: protocol load does not fluctuate.
+        meter, _ = build_metered(n=20, rounds=10)
+        assert meter.load_stability() == pytest.approx(0.0)
+
+    def test_load_stable_under_application_traffic(self):
+        cfg = LpbcastConfig(fanout=3, view_max=8)
+        nodes = build_lpbcast_nodes(20, cfg, seed=1)
+        meter = BandwidthMeter()
+        for node in nodes:
+            meter.instrument(node)
+        sim = RoundSimulation(seed=1)
+        sim.add_round_hook(meter.on_round)
+        sim.add_nodes(nodes)
+
+        def publish(round_number, sim_):
+            nodes[round_number % 20].lpb_cast("x", now=float(round_number))
+
+        sim.add_round_hook(publish)
+        sim.run(10)
+        # Messages per round unchanged: notifications piggyback on the same
+        # F gossips (element volume grows instead).
+        assert meter.load_stability() == pytest.approx(0.0)
+
+    def test_load_stability_needs_enough_rounds(self):
+        meter, _ = build_metered(n=5, rounds=2)
+        with pytest.raises(ValueError):
+            meter.load_stability()
+
+    def test_unmeasured_round_is_empty(self):
+        meter, _ = build_metered(n=5, rounds=2)
+        assert meter.round_traffic(99).messages == 0

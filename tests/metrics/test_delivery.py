@@ -1,0 +1,59 @@
+"""Tests for the delivery log."""
+
+from repro.core.ids import EventId
+from repro.metrics import DeliveryLog
+
+from ..helpers import make_node, notification
+
+
+class TestDeliveryLog:
+    def test_records_first_delivery(self):
+        log = DeliveryLog()
+        n = notification(1, 1)
+        log.on_delivery(5, n, now=2.0)
+        assert log.delivered(5, n.event_id)
+        assert log.delivery_time(5, n.event_id) == 2.0
+        assert log.delivery_count(n.event_id) == 1
+
+    def test_redelivery_counted_separately(self):
+        log = DeliveryLog()
+        n = notification(1, 1)
+        log.on_delivery(5, n, now=2.0)
+        log.on_delivery(5, n, now=4.0)
+        assert log.total_deliveries == 2
+        assert log.redeliveries == 1
+        assert log.delivery_time(5, n.event_id) == 2.0  # first kept
+
+    def test_distinct_processes_counted(self):
+        log = DeliveryLog()
+        n = notification(1, 1)
+        log.on_delivery(5, n, now=1.0)
+        log.on_delivery(6, n, now=1.5)
+        assert log.deliverers_of(n.event_id) == {5, 6}
+
+    def test_unknown_event(self):
+        log = DeliveryLog()
+        assert not log.delivered(1, EventId(9, 9))
+        assert log.delivery_count(EventId(9, 9)) == 0
+        assert log.delivery_time(1, EventId(9, 9)) is None
+
+    def test_attach_wires_listener(self):
+        log = DeliveryLog()
+        node = make_node(view=(1,))
+        log.attach([node])
+        n = node.lpb_cast("x", now=3.0)
+        assert log.delivered(node.pid, n.event_id)
+
+    def test_latencies(self):
+        log = DeliveryLog()
+        n = notification(1, 1)
+        log.on_delivery(5, n, now=2.0)
+        log.on_delivery(6, n, now=3.0)
+        assert sorted(log.latencies(n.event_id, published_at=1.0)) == [1.0, 2.0]
+
+    def test_known_events_and_len(self):
+        log = DeliveryLog()
+        log.on_delivery(1, notification(1, 1), now=0.0)
+        log.on_delivery(1, notification(1, 2), now=0.0)
+        assert len(log.known_events()) == 2
+        assert len(log) == 2

@@ -1,0 +1,73 @@
+"""Tests for infection-curve tracking."""
+
+from repro.metrics import DeliveryLog, InfectionObserver, mean_curves
+
+from ..helpers import notification, run_dissemination
+
+
+class TestInfectionObserver:
+    def test_curve_from_simulation(self):
+        sim, nodes, log, event = run_dissemination(n=20, rounds=10)
+        observer = InfectionObserver(log, event.event_id)
+        # Reconstruct counts post-hoc for determinism of this unit test.
+        observer.counts = {0: 1}
+        for r in range(1, 11):
+            observer.counts[r] = min(
+                20, len(log.deliverers_of(event.event_id))
+            )
+        curve = observer.curve(10)
+        assert curve[0] == 1
+        assert curve[-1] == 20
+
+    def test_live_observation(self):
+        from ..helpers import small_system
+        sim, nodes, log = small_system(n=15, seed=2)
+        event = nodes[0].lpb_cast("x", now=0.0)
+        observer = InfectionObserver(log, event.event_id)
+        sim.add_observer(observer.on_round)
+        sim.run(8)
+        curve = observer.curve()
+        assert curve[0] == 1
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == 15
+
+    def test_rounds_to_reach(self):
+        log = DeliveryLog()
+        observer = InfectionObserver(log, notification(1, 1).event_id)
+        observer.counts = {0: 1, 1: 5, 2: 12, 3: 20}
+        assert observer.rounds_to_reach(5) == 1
+        assert observer.rounds_to_reach(13) == 3
+        assert observer.rounds_to_reach(25) is None
+
+    def test_rounds_to_fraction(self):
+        log = DeliveryLog()
+        observer = InfectionObserver(log, notification(1, 1).event_id)
+        observer.counts = {0: 1, 1: 10, 2: 20}
+        assert observer.rounds_to_fraction(0.99, population=20) == 2
+
+    def test_fraction_validation(self):
+        log = DeliveryLog()
+        observer = InfectionObserver(log, notification(1, 1).event_id)
+        try:
+            observer.rounds_to_fraction(0.0, population=10)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_curve_fills_gaps(self):
+        log = DeliveryLog()
+        observer = InfectionObserver(log, notification(1, 1).event_id)
+        observer.counts = {0: 1, 3: 7}
+        assert observer.curve(4) == [1, 1, 1, 7, 7]
+
+
+class TestMeanCurves:
+    def test_pointwise_mean(self):
+        assert mean_curves([[1, 2, 3], [3, 4, 5]]) == [2.0, 3.0, 4.0]
+
+    def test_ragged_tails_extend(self):
+        assert mean_curves([[1, 5], [1, 1, 1]]) == [1.0, 3.0, 3.0]
+
+    def test_empty(self):
+        assert mean_curves([]) == []

@@ -1,0 +1,96 @@
+"""Tests for the 1-β reliability metric."""
+
+import pytest
+
+from repro.metrics import DeliveryLog, measure_reliability, per_event_coverage
+
+from ..helpers import notification
+
+
+def make_log(deliveries):
+    """deliveries: iterable of (pid, notification)."""
+    log = DeliveryLog()
+    for pid, n in deliveries:
+        log.on_delivery(pid, n, now=0.0)
+    return log
+
+
+class TestMeasureReliability:
+    def test_full_coverage(self):
+        n1 = notification(1, 1)
+        log = make_log((pid, n1) for pid in range(5))
+        report = measure_reliability(log, [n1.event_id], range(5))
+        assert report.reliability == 1.0
+        assert report.pairs_total == 5
+        assert report.worst_event_coverage == 1.0
+
+    def test_partial_coverage(self):
+        n1 = notification(1, 1)
+        log = make_log((pid, n1) for pid in range(3))
+        report = measure_reliability(log, [n1.event_id], range(5))
+        assert report.reliability == pytest.approx(0.6)
+        assert report.pairs_delivered == 3
+
+    def test_multiple_events_averaged(self):
+        a, b = notification(1, 1), notification(1, 2)
+        log = make_log(
+            [(pid, a) for pid in range(4)] + [(pid, b) for pid in range(2)]
+        )
+        report = measure_reliability(log, [a.event_id, b.event_id], range(4))
+        assert report.reliability == pytest.approx((4 + 2) / 8)
+        assert report.worst_event_coverage == pytest.approx(0.5)
+
+    def test_excluded_processes_ignored(self):
+        n1 = notification(1, 1)
+        log = make_log([(0, n1), (1, n1), (99, n1)])
+        report = measure_reliability(log, [n1.event_id], [0, 1])
+        assert report.reliability == 1.0
+
+    def test_empty_inputs_rejected(self):
+        log = DeliveryLog()
+        with pytest.raises(ValueError):
+            measure_reliability(log, [], range(5))
+        with pytest.raises(ValueError):
+            measure_reliability(log, [notification(1, 1).event_id], [])
+
+    def test_report_str(self):
+        n1 = notification(1, 1)
+        log = make_log([(0, n1)])
+        text = str(measure_reliability(log, [n1.event_id], [0]))
+        assert "reliability=1.0000" in text
+
+
+class TestPerEventCoverage:
+    def test_coverage_list(self):
+        a, b = notification(1, 1), notification(1, 2)
+        log = make_log([(0, a), (1, a), (0, b)])
+        coverage = per_event_coverage(log, [a.event_id, b.event_id], [0, 1])
+        assert coverage == [1.0, 0.5]
+
+    def test_empty_processes_rejected(self):
+        with pytest.raises(ValueError):
+            per_event_coverage(DeliveryLog(), [notification(1, 1).event_id], [])
+
+
+class TestCoverageHistogram:
+    def test_binning(self):
+        from repro.metrics import coverage_histogram
+        histogram = coverage_histogram([0.0, 0.05, 0.5, 0.95, 1.0], bins=10)
+        assert histogram[0] == 2     # 0.0 and 0.05
+        assert histogram[5] == 1     # 0.5
+        assert histogram[9] == 2     # 0.95 and 1.0 (1.0 clamped into last bin)
+        assert sum(histogram) == 5
+
+    def test_single_bin(self):
+        from repro.metrics import coverage_histogram
+        assert coverage_histogram([0.1, 0.9], bins=1) == [2]
+
+    def test_out_of_range_rejected(self):
+        from repro.metrics import coverage_histogram
+        with pytest.raises(ValueError):
+            coverage_histogram([1.5])
+
+    def test_invalid_bins(self):
+        from repro.metrics import coverage_histogram
+        with pytest.raises(ValueError):
+            coverage_histogram([0.5], bins=0)

@@ -1,0 +1,57 @@
+"""Tests for the text reporting helpers."""
+
+from repro.metrics import format_series, format_table, merge_curves
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_scientific_for_tiny_values(self):
+        text = format_table(["v"], [[1.5e-14]])
+        assert "e-14" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "round", [0, 1, 2],
+            {"F=3": [1, 3, 9], "F=4": [1, 4, 16]},
+        )
+        header = text.splitlines()[0]
+        assert "round" in header and "F=3" in header and "F=4" in header
+        assert "16" in text
+
+    def test_short_series_padded_with_blank(self):
+        text = format_series("x", [0, 1], {"s": [5]})
+        assert text  # no crash; second row has empty cell
+
+
+class TestMergeCurves:
+    def test_pads_to_longest(self):
+        merged = merge_curves({"a": [1, 2], "b": [1, 2, 3]})
+        assert merged["a"] == [1, 2, 2]
+        assert merged["b"] == [1, 2, 3]
+
+    def test_empty_mapping(self):
+        assert merge_curves({}) == {}
+
+    def test_empty_curve_padded_with_zero(self):
+        merged = merge_curves({"a": [], "b": [7]})
+        assert merged["a"] == [0.0]

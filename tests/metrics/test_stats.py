@@ -1,0 +1,84 @@
+"""Tests for the statistical helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import (
+    compare_means,
+    proportion_summary,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.stderr == pytest.approx(1.0 / math.sqrt(3))
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.count == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+
+
+class TestWilson:
+    def test_symmetric_at_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert (0.5 - low) == pytest.approx(high - 0.5, abs=1e-9)
+
+    def test_clamped_to_unit_interval(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0
+
+    def test_narrower_with_more_trials(self):
+        low1, high1 = wilson_interval(7, 10)
+        low2, high2 = wilson_interval(700, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_never_degenerate_at_extremes(self):
+        low, high = wilson_interval(10, 10)
+        assert low < 1.0  # unlike the normal approximation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_proportion_summary_format(self):
+        text = proportion_summary(73, 100)
+        assert text.startswith("0.7300 [")
+
+
+class TestCompareMeans:
+    def test_sign_convention(self):
+        assert compare_means([2.0, 2.1, 1.9], [1.0, 1.1, 0.9]) > 0
+        assert compare_means([1.0, 1.1, 0.9], [2.0, 2.1, 1.9]) < 0
+
+    def test_identical_samples_zero(self):
+        assert compare_means([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_zero_variance_different_means_infinite(self):
+        assert compare_means([2.0, 2.0], [1.0, 1.0]) == math.inf
+
+    def test_large_effect_large_t(self):
+        t = compare_means([10.0, 10.1, 9.9, 10.05], [1.0, 1.2, 0.8, 1.1])
+        assert abs(t) > 10

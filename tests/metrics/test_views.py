@@ -1,0 +1,123 @@
+"""Tests for view-graph statistics and partition detection."""
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.metrics import (
+    dissemination_reachable,
+    find_partitions,
+    in_degree_distribution,
+    in_degree_stats,
+    is_partitioned,
+    view_graph,
+    view_uniformity_chi2,
+)
+from repro.sim import build_lpbcast_nodes
+
+from ..helpers import make_node
+
+
+def chain_nodes():
+    """0 -> 1 -> 2 (directed knows-about chain)."""
+    return [
+        make_node(pid=0, view=(1,), view_max=3, fanout=1),
+        make_node(pid=1, view=(2,), view_max=3, fanout=1),
+        make_node(pid=2, view=(), view_max=3, fanout=1),
+    ]
+
+
+class TestViewGraph:
+    def test_edges_follow_views(self):
+        graph = view_graph(chain_nodes())
+        assert set(graph.edges) == {(0, 1), (1, 2)}
+
+    def test_all_nodes_present(self):
+        graph = view_graph(chain_nodes())
+        assert set(graph.nodes) == {0, 1, 2}
+
+
+class TestInDegree:
+    def test_stats(self):
+        stats = in_degree_stats(chain_nodes())
+        assert stats.mean == pytest.approx(2 / 3)
+        assert stats.minimum == 0
+        assert stats.maximum == 1
+        assert stats.isolated == 1  # nobody knows node 0
+
+    def test_uniform_bootstrap_mean_equals_l(self):
+        nodes = build_lpbcast_nodes(60, LpbcastConfig(view_max=10), seed=0)
+        stats = in_degree_stats(nodes)
+        assert stats.mean == pytest.approx(10.0)
+        assert stats.isolated == 0
+
+    def test_distribution_sums_to_n(self):
+        nodes = build_lpbcast_nodes(30, LpbcastConfig(view_max=5), seed=0)
+        histogram = in_degree_distribution(nodes)
+        assert sum(histogram.values()) == 30
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            in_degree_stats([])
+
+
+class TestPartitions:
+    def test_connected_system_single_component(self):
+        nodes = build_lpbcast_nodes(30, LpbcastConfig(view_max=5), seed=0)
+        assert not is_partitioned(nodes)
+        assert len(find_partitions(nodes)) == 1
+
+    def test_two_islands_detected(self):
+        island1 = [
+            make_node(pid=0, view=(1,), view_max=2, fanout=1),
+            make_node(pid=1, view=(0,), view_max=2, fanout=1),
+        ]
+        island2 = [
+            make_node(pid=2, view=(3,), view_max=2, fanout=1),
+            make_node(pid=3, view=(2,), view_max=2, fanout=1),
+        ]
+        nodes = island1 + island2
+        assert is_partitioned(nodes)
+        partitions = find_partitions(nodes)
+        assert {frozenset(p) for p in partitions} == {
+            frozenset({0, 1}), frozenset({2, 3})
+        }
+
+    def test_one_directional_edge_joins_components(self):
+        # 2 knows 0: the membership knowledge can still flow.
+        nodes = [
+            make_node(pid=0, view=(1,), view_max=2, fanout=1),
+            make_node(pid=1, view=(0,), view_max=2, fanout=1),
+            make_node(pid=2, view=(0, 3), view_max=2, fanout=1),
+            make_node(pid=3, view=(2,), view_max=2, fanout=1),
+        ]
+        assert not is_partitioned(nodes)
+
+
+class TestReachability:
+    def test_chain_reachability(self):
+        nodes = chain_nodes()
+        assert dissemination_reachable(nodes, 0) == {0, 1, 2}
+        assert dissemination_reachable(nodes, 2) == {2}
+
+    def test_unknown_origin(self):
+        assert dissemination_reachable(chain_nodes(), 99) == set()
+
+
+class TestUniformity:
+    def test_uniform_views_score_low(self):
+        nodes = build_lpbcast_nodes(100, LpbcastConfig(view_max=8), seed=1)
+        chi2 = view_uniformity_chi2(nodes, view_size=8)
+        assert chi2 < 100
+
+    def test_skewed_views_score_higher(self):
+        # Everyone knows only node 0's neighbourhood: highly non-uniform.
+        nodes = [make_node(pid=i, view=tuple(j for j in range(1, 9) if j != i),
+                           view_max=8, fanout=2) for i in range(100)]
+        skewed = view_uniformity_chi2(nodes, view_size=8)
+        uniform_nodes = build_lpbcast_nodes(100, LpbcastConfig(view_max=8), seed=1)
+        uniform = view_uniformity_chi2(uniform_nodes, view_size=8)
+        assert skewed > uniform * 5
+
+    def test_small_population_rejected(self):
+        with pytest.raises(ValueError):
+            view_uniformity_chi2([make_node(pid=0)], view_size=3)

@@ -1,0 +1,55 @@
+"""Tests for PbcastConfig validation."""
+
+import pytest
+
+from repro.pbcast import FIRST_PHASE_MULTICAST, FIRST_PHASE_NONE, PbcastConfig
+
+
+class TestDefaults:
+    def test_paper_fanout(self):
+        # Fig. 7: "a higher fanout is required ... (F = 5 here vs F = 3)".
+        assert PbcastConfig().fanout == 5
+
+    def test_limits_are_bounded(self):
+        cfg = PbcastConfig()
+        assert cfg.repetition_limit >= 1
+        assert cfg.hop_limit >= 1
+
+    def test_first_phase_default(self):
+        assert PbcastConfig().first_phase == FIRST_PHASE_MULTICAST
+
+
+class TestValidation:
+    def test_fanout_positive(self):
+        with pytest.raises(ValueError):
+            PbcastConfig(fanout=0)
+
+    def test_repetition_limit_positive(self):
+        with pytest.raises(ValueError):
+            PbcastConfig(repetition_limit=0)
+
+    def test_hop_limit_positive(self):
+        with pytest.raises(ValueError):
+            PbcastConfig(hop_limit=0)
+
+    def test_first_phase_values(self):
+        with pytest.raises(ValueError):
+            PbcastConfig(first_phase="broadcast")
+        assert PbcastConfig(first_phase=FIRST_PHASE_NONE).first_phase == "none"
+
+    def test_view_max_vs_fanout(self):
+        with pytest.raises(ValueError):
+            PbcastConfig(fanout=5, view_max=3)
+
+    @pytest.mark.parametrize("field", ["message_buffer_max", "event_ids_max", "solicit_max"])
+    def test_non_negative_bounds(self, field):
+        with pytest.raises(ValueError):
+            PbcastConfig(**{field: -1})
+
+    def test_gossip_period_positive(self):
+        with pytest.raises(ValueError):
+            PbcastConfig(gossip_period=0)
+
+    def test_with_overrides(self):
+        cfg = PbcastConfig().with_overrides(fanout=6, view_max=20)
+        assert cfg.fanout == 6

@@ -1,0 +1,180 @@
+"""Tests for the pbcast node: two phases, hop and repetition limits."""
+
+import random
+
+import pytest
+
+from repro.core.ids import EventId
+from repro.pbcast import (
+    FIRST_PHASE_NONE,
+    PbcastConfig,
+    PbcastData,
+    PbcastDigest,
+    PbcastNode,
+    PbcastSolicit,
+    build_pbcast_nodes,
+)
+
+from ..helpers import notification
+
+
+def make_pbcast(pid=0, view=(1, 2, 3, 4, 5), **overrides):
+    cfg = PbcastConfig(**overrides) if overrides else PbcastConfig()
+    return PbcastNode(pid, cfg, random.Random(pid), initial_view=view)
+
+
+class TestFirstPhase:
+    def test_multicast_targets_everyone(self):
+        node = make_pbcast()
+        node.set_multicast_oracle(lambda: range(10))
+        notification_, out = node.publish("x", now=0.0)
+        assert len(out) == 9  # everyone but self
+        assert all(isinstance(o.message, PbcastData) for o in out)
+        assert all(o.message.hops == 0 for o in out)
+
+    def test_first_phase_none_sends_nothing(self):
+        node = make_pbcast(first_phase=FIRST_PHASE_NONE)
+        _, out = node.publish("x", now=0.0)
+        assert out == []
+
+    def test_publisher_delivers_locally(self):
+        node = make_pbcast()
+        n, _ = node.publish("x", now=0.0)
+        assert node.has_delivered(n.event_id)
+
+    def test_oracle_fallback_is_membership(self):
+        node = make_pbcast(view=(1, 2))
+        assert set(node.first_phase_targets()) == {1, 2}
+
+
+class TestDigestGossip:
+    def test_tick_gossips_digest_to_fanout(self):
+        node = make_pbcast(view=tuple(range(1, 16)))
+        node.multicast("x", now=0.0)
+        out = node.on_tick(now=1.0)
+        assert len(out) == 5
+        assert all(isinstance(o.message, PbcastDigest) for o in out)
+        assert all(len(o.message.ids) == 1 for o in out)
+
+    def test_digest_piggybacks_membership(self):
+        node = make_pbcast(pid=7)
+        out = node.on_tick(now=1.0)
+        assert all(7 in o.message.subs for o in out)
+
+    def test_repetition_limit_expires_ids(self):
+        node = make_pbcast(repetition_limit=2)
+        node.multicast("x", now=0.0)
+        for tick in (1.0, 2.0):
+            out = node.on_tick(now=tick)
+            assert all(o.message.ids for o in out), f"tick {tick}"
+        out = node.on_tick(now=3.0)
+        assert all(o.message.ids == () for o in out)
+
+    def test_digest_receiver_solicits_missing(self):
+        receiver = make_pbcast(pid=1)
+        eid = EventId(9, 1)
+        out = receiver.on_digest(PbcastDigest(5, ids=(eid,)), now=1.0)
+        assert len(out) == 1
+        assert out[0].destination == 5
+        assert isinstance(out[0].message, PbcastSolicit)
+        assert out[0].message.ids == (eid,)
+
+    def test_digest_receiver_ignores_known(self):
+        receiver = make_pbcast(pid=1)
+        n = notification(9, 1)
+        receiver.on_data(PbcastData(9, n), now=0.5)
+        out = receiver.on_digest(PbcastDigest(5, ids=(n.event_id,)), now=1.0)
+        assert out == []
+
+    def test_solicit_cap(self):
+        receiver = make_pbcast(pid=1, solicit_max=3)
+        ids = tuple(EventId(9, s) for s in range(1, 10))
+        out = receiver.on_digest(PbcastDigest(5, ids=ids), now=1.0)
+        assert len(out[0].message.ids) == 3
+
+    def test_digest_merges_membership(self):
+        receiver = make_pbcast(pid=1, view_max=10)
+        digest = PbcastDigest(5, ids=(), subs=(42,))
+        receiver.on_digest(digest, now=1.0)
+        assert 42 in receiver.membership.known_processes()
+
+
+class TestRetransmission:
+    def test_solicit_served_with_incremented_hops(self):
+        holder = make_pbcast(pid=5)
+        n = notification(9, 1)
+        holder.on_data(PbcastData(9, n, hops=1), now=0.5)
+        out = holder.on_solicit(PbcastSolicit(1, (n.event_id,)), now=1.0)
+        assert len(out) == 1
+        assert out[0].message.hops == 2
+
+    def test_hop_limit_refuses(self):
+        holder = make_pbcast(pid=5, hop_limit=2)
+        n = notification(9, 1)
+        holder.on_data(PbcastData(9, n, hops=2), now=0.5)
+        out = holder.on_solicit(PbcastSolicit(1, (n.event_id,)), now=1.0)
+        assert out == []
+        assert holder.stats.hop_limit_refusals == 1
+
+    def test_unknown_id_not_served(self):
+        holder = make_pbcast(pid=5)
+        out = holder.on_solicit(PbcastSolicit(1, (EventId(1, 1),)), now=1.0)
+        assert out == []
+
+    def test_message_buffer_bounded(self):
+        holder = make_pbcast(pid=5, message_buffer_max=2)
+        for seq in range(1, 5):
+            holder.on_data(PbcastData(9, notification(9, seq)), now=0.5)
+        out = holder.on_solicit(PbcastSolicit(1, (EventId(9, 1),)), now=1.0)
+        assert out == []  # dropped from the bounded store
+
+    def test_duplicate_data_counted(self):
+        node = make_pbcast(pid=1)
+        n = notification(9, 1)
+        node.on_data(PbcastData(9, n), now=0.5)
+        node.on_data(PbcastData(9, n), now=0.6)
+        assert node.stats.duplicates == 1
+        assert node.stats.delivered == 1
+
+    def test_event_ids_bounded(self):
+        node = make_pbcast(pid=1, event_ids_max=2)
+        for seq in range(1, 5):
+            node.on_data(PbcastData(9, notification(9, seq)), now=0.5)
+        assert not node.has_delivered(EventId(9, 1))
+        assert node.has_delivered(EventId(9, 4))
+
+
+class TestDispatchAndBuilders:
+    def test_unknown_message_raises(self):
+        with pytest.raises(TypeError):
+            make_pbcast().handle_message(1, object(), now=0.0)
+
+    def test_delivery_listener(self):
+        node = make_pbcast(pid=1)
+        seen = []
+        node.add_delivery_listener(lambda pid, n, now: seen.append(n))
+        n = notification(9, 1)
+        node.on_data(PbcastData(9, n), now=0.5)
+        assert seen == [n]
+
+    def test_build_total_membership(self):
+        nodes = build_pbcast_nodes(10, membership="total", seed=1)
+        assert len(nodes) == 10
+        assert len(nodes[0].membership.known_processes()) == 9
+
+    def test_build_partial_membership(self):
+        cfg = PbcastConfig(view_max=6)
+        nodes = build_pbcast_nodes(20, cfg, membership="partial", seed=1)
+        assert all(len(n.membership.known_processes()) == 6 for n in nodes)
+
+    def test_build_oracle_knows_everyone(self):
+        nodes = build_pbcast_nodes(10, membership="partial", seed=1)
+        assert len(nodes[3].first_phase_targets()) == 9
+
+    def test_build_rejects_bad_membership(self):
+        with pytest.raises(ValueError):
+            build_pbcast_nodes(5, membership="global")
+
+    def test_with_total_view_classmethod(self):
+        node = PbcastNode.with_total_view(0, range(5), rng=random.Random(0))
+        assert len(node.membership.known_processes()) == 4

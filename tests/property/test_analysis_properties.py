@@ -1,0 +1,83 @@
+"""Property-based tests for the analytical models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    InfectionMarkovChain,
+    expected_infected_curve,
+    infection_probability,
+    phi,
+    psi,
+)
+
+n_values = st.integers(min_value=10, max_value=200)
+fanouts = st.integers(min_value=1, max_value=6)
+view_sizes = st.integers(min_value=1, max_value=8)
+rates = st.floats(min_value=0.0, max_value=0.5)
+
+
+class TestInfectionProbabilityProperties:
+    @given(n=n_values, fanout=fanouts, eps=rates, tau=rates)
+    def test_is_a_probability(self, n, fanout, eps, tau):
+        p = infection_probability(n, fanout, eps, tau)
+        assert 0.0 <= p <= 1.0
+
+    @given(n=n_values, fanout=fanouts, eps=rates, tau=rates)
+    def test_perfect_network_upper_bounds(self, n, fanout, eps, tau):
+        lossy = infection_probability(n, fanout, eps, tau)
+        perfect = infection_probability(n, fanout, 0.0, 0.0)
+        assert lossy <= perfect + 1e-12
+
+
+class TestMarkovProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(10, 80), fanout=st.integers(1, 5))
+    def test_distribution_normalized_every_round(self, n, fanout):
+        chain = InfectionMarkovChain(n, fanout)
+        history = chain.round_distributions(6)
+        for row in history:
+            assert abs(row.sum() - 1.0) < 1e-8
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(10, 80), fanout=st.integers(1, 5))
+    def test_expected_curve_monotone_bounded(self, n, fanout):
+        curve = InfectionMarkovChain(n, fanout).expected_curve(8)
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+        assert all(1.0 - 1e-9 <= v <= n + 1e-9 for v in curve)
+
+
+class TestExpectationProperties:
+    @given(n=n_values, p=st.floats(min_value=0.001, max_value=0.999),
+           rounds=st.integers(0, 30))
+    def test_recursion_monotone_bounded(self, n, p, rounds):
+        curve = expected_infected_curve(n, p, rounds)
+        assert len(curve) == rounds + 1
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+        assert all(1.0 - 1e-9 <= v <= n + 1e-9 for v in curve)
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(10, 150), l=view_sizes,
+           i=st.integers(0, 160))
+    def test_psi_is_probability(self, n, l, i):
+        value = psi(i, n, l)
+        assert 0.0 <= value <= 1.0
+        assert not math.isnan(value)
+
+    @given(n=st.integers(10, 150), l=view_sizes)
+    def test_psi_impossible_sizes_zero(self, n, l):
+        for i in range(0, min(l + 1, n)):
+            assert psi(i, n, l) == 0.0
+
+    @given(n=st.integers(12, 100), l=st.integers(1, 4),
+           r=st.floats(min_value=0.0, max_value=1e6))
+    def test_phi_is_probability(self, n, l, r):
+        value = phi(n, l, r)
+        assert 0.0 <= value <= 1.0
+
+    @given(n=st.integers(12, 100), l=st.integers(1, 4))
+    def test_phi_monotone_decreasing_in_rounds(self, n, l):
+        assert phi(n, l, 10.0) >= phi(n, l, 1e6) - 1e-12

@@ -1,0 +1,147 @@
+"""Property-based tests for the bounded buffers (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import (
+    CompactEventIdDigest,
+    FifoBuffer,
+    RandomDropBuffer,
+)
+from repro.core.ids import EventId
+
+items = st.lists(st.integers(min_value=0, max_value=50), max_size=60)
+capacities = st.integers(min_value=0, max_value=20)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestRandomDropBufferProperties:
+    @given(items=items, capacity=capacities, seed=seeds)
+    def test_bound_always_holds_after_truncate(self, items, capacity, seed):
+        buf = RandomDropBuffer(capacity, random.Random(seed))
+        buf.add_all(items)
+        buf.truncate()
+        assert len(buf) <= capacity
+
+    @given(items=items, capacity=capacities, seed=seeds)
+    def test_no_duplicates_ever(self, items, capacity, seed):
+        buf = RandomDropBuffer(capacity, random.Random(seed))
+        buf.add_all(items)
+        contents = list(buf)
+        assert len(contents) == len(set(contents))
+
+    @given(items=items, capacity=capacities, seed=seeds)
+    def test_truncate_partitions_content(self, items, capacity, seed):
+        buf = RandomDropBuffer(capacity, random.Random(seed))
+        buf.add_all(items)
+        before = set(buf)
+        evicted = buf.truncate()
+        after = set(buf)
+        assert after | set(evicted) == before
+        assert after.isdisjoint(evicted)
+
+    @given(items=items, seed=seeds)
+    def test_unbounded_add_preserves_all(self, items, seed):
+        buf = RandomDropBuffer(1000, random.Random(seed))
+        buf.add_all(items)
+        assert set(buf) == set(items)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "discard", "truncate"]),
+                      st.integers(0, 30)),
+            max_size=80,
+        ),
+        capacity=capacities,
+        seed=seeds,
+    )
+    def test_index_consistency_under_mixed_operations(self, ops, capacity, seed):
+        buf = RandomDropBuffer(capacity, random.Random(seed))
+        model = set()
+        for op, value in ops:
+            if op == "add":
+                buf.add(value)
+                model.add(value)
+            elif op == "discard":
+                buf.discard(value)
+                model.discard(value)
+            else:
+                for evicted in buf.truncate():
+                    model.discard(evicted)
+            assert set(buf) == model
+            for item in model:
+                assert item in buf
+
+
+class TestFifoBufferProperties:
+    @given(items=items, capacity=capacities)
+    def test_bound_holds(self, items, capacity):
+        buf = FifoBuffer(capacity)
+        buf.add_all(items)
+        assert len(buf) <= capacity
+
+    @staticmethod
+    def reference_model(items, capacity):
+        """Ordered-set-with-capacity reference: re-adding an item evicted
+        earlier re-inserts it at the back."""
+        content, evicted = [], []
+        for item in items:
+            if item not in content:
+                content.append(item)
+            while len(content) > capacity:
+                evicted.append(content.pop(0))
+        return content, evicted
+
+    @given(items=items, capacity=st.integers(min_value=1, max_value=20))
+    def test_matches_reference_content(self, items, capacity):
+        buf = FifoBuffer(capacity)
+        buf.add_all(items)
+        expected, _ = self.reference_model(items, capacity)
+        assert list(buf.snapshot()) == expected
+
+    @given(items=items, capacity=capacities)
+    def test_matches_reference_evictions(self, items, capacity):
+        buf = FifoBuffer(capacity)
+        evicted = buf.add_all(items)
+        _, expected = self.reference_model(items, capacity)
+        assert evicted == expected
+
+
+event_ids = st.tuples(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=1, max_value=30),
+).map(lambda t: EventId(*t))
+
+
+class TestCompactDigestProperties:
+    @given(ids=st.lists(event_ids, max_size=60))
+    def test_never_forgets_without_eviction(self, ids):
+        digest = CompactEventIdDigest(max_out_of_order=10_000)
+        seen = set()
+        for event_id in ids:
+            digest.add(event_id)
+            seen.add(event_id)
+            for known in seen:
+                assert known in digest
+
+    @given(ids=st.lists(event_ids, max_size=60))
+    def test_eviction_only_over_approximates(self, ids):
+        # With a tight budget the digest may claim extra ids as delivered
+        # (folding), but must never lose one it actually recorded.
+        digest = CompactEventIdDigest(max_out_of_order=3)
+        seen = set()
+        for event_id in ids:
+            digest.add(event_id)
+            seen.add(event_id)
+        for event_id in seen:
+            assert event_id in digest
+
+    @given(ids=st.lists(event_ids, max_size=60),
+           budget=st.integers(min_value=0, max_value=8))
+    def test_out_of_order_budget_respected(self, ids, budget):
+        digest = CompactEventIdDigest(max_out_of_order=budget)
+        for event_id in ids:
+            digest.add(event_id)
+        assert len(digest._insertion_order) <= budget

@@ -1,0 +1,79 @@
+"""Property-based tests for the membership layer."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Unsubscription
+from repro.membership import PartialViewMembership
+
+pids = st.integers(min_value=0, max_value=25)
+timestamps = st.floats(min_value=0.0, max_value=20.0)
+unsubs = st.builds(Unsubscription, pid=pids, timestamp=timestamps)
+
+membership_updates = st.lists(
+    st.tuples(
+        st.lists(pids, max_size=6).map(tuple),       # subs
+        st.lists(unsubs, max_size=3).map(tuple),      # unsubs
+        st.floats(min_value=0.0, max_value=30.0),     # now
+    ),
+    max_size=30,
+)
+
+
+def fresh_layer(seed: int, weighted: bool = False) -> PartialViewMembership:
+    return PartialViewMembership(
+        owner=0, view_max=5, subs_max=4, unsubs_max=3, unsub_ttl=10.0,
+        rng=random.Random(seed), weighted=weighted,
+        initial_view=(1, 2),
+    )
+
+
+class TestMembershipInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(updates=membership_updates, seed=st.integers(0, 2**32 - 1),
+           weighted=st.booleans())
+    def test_bounds_and_self_exclusion(self, updates, seed, weighted):
+        layer = fresh_layer(seed, weighted)
+        for subs, unsub_batch, now in updates:
+            layer.apply_membership(subs, unsub_batch, now)
+            assert len(layer.view) <= 5
+            assert len(layer.subs) <= 4
+            assert len(layer.unsubs) <= 3
+            assert 0 not in layer.view
+            assert 0 not in layer.subs
+
+    @settings(max_examples=60, deadline=None)
+    @given(updates=membership_updates, seed=st.integers(0, 2**32 - 1))
+    def test_buffered_unsub_never_coexists_with_view_entry(self, updates, seed):
+        # The death-certificate rule: a pid cannot simultaneously be in the
+        # view and in the unsubscription buffer after any update batch.
+        layer = fresh_layer(seed)
+        for subs, unsub_batch, now in updates:
+            layer.apply_membership(subs, unsub_batch, now)
+            for pid in layer.unsubs:
+                assert pid not in layer.view
+
+    @settings(max_examples=60, deadline=None)
+    @given(updates=membership_updates, seed=st.integers(0, 2**32 - 1))
+    def test_payload_well_formed(self, updates, seed):
+        layer = fresh_layer(seed)
+        for subs, unsub_batch, now in updates:
+            layer.apply_membership(subs, unsub_batch, now)
+            payload_subs, payload_unsubs = layer.membership_payload(now)
+            assert len(payload_subs) == len(set(payload_subs))
+            assert 0 in payload_subs            # self-advertisement
+            assert len(payload_unsubs) <= 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(updates=membership_updates, seed=st.integers(0, 2**32 - 1),
+           fanout=st.integers(1, 6))
+    def test_targets_always_valid(self, updates, seed, fanout):
+        layer = fresh_layer(seed)
+        for subs, unsub_batch, now in updates:
+            layer.apply_membership(subs, unsub_batch, now)
+            targets = layer.gossip_targets(fanout)
+            assert len(targets) == min(fanout, len(layer.view))
+            assert len(set(targets)) == len(targets)
+            assert all(t in layer.view for t in targets)

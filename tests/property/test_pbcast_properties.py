@@ -1,0 +1,94 @@
+"""Property-based tests for the pbcast node."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Notification, Unsubscription
+from repro.core.ids import EventId
+from repro.pbcast import PbcastConfig, PbcastData, PbcastDigest, PbcastNode, PbcastSolicit
+
+pids = st.integers(min_value=0, max_value=15)
+event_ids = st.builds(EventId, origin=pids,
+                      seq=st.integers(min_value=1, max_value=10))
+notifications = st.builds(Notification, event_id=event_ids,
+                          payload=st.none(), created_at=st.just(0.0))
+
+data_messages = st.builds(
+    PbcastData, sender=pids, notification=notifications,
+    hops=st.integers(min_value=0, max_value=6),
+)
+digests = st.builds(
+    PbcastDigest, sender=pids,
+    ids=st.lists(event_ids, max_size=6).map(tuple),
+    subs=st.lists(pids, max_size=4).map(tuple),
+    unsubs=st.lists(
+        st.builds(Unsubscription, pid=pids,
+                  timestamp=st.floats(min_value=0, max_value=3)),
+        max_size=3,
+    ).map(tuple),
+)
+solicits = st.builds(
+    PbcastSolicit, requester=pids,
+    ids=st.lists(event_ids, max_size=6).map(tuple),
+)
+messages = st.one_of(data_messages, digests, solicits)
+
+
+def fresh_node(seed: int) -> PbcastNode:
+    config = PbcastConfig(fanout=2, view_max=4, message_buffer_max=6,
+                          event_ids_max=8, solicit_max=4)
+    return PbcastNode(0, config, random.Random(seed), initial_view=(1, 2))
+
+
+class TestPbcastInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(msgs=st.lists(messages, max_size=25),
+           seed=st.integers(0, 2**32 - 1))
+    def test_bounds_hold(self, msgs, seed):
+        node = fresh_node(seed)
+        for i, message in enumerate(msgs):
+            node.handle_message(message.sender if hasattr(message, "sender")
+                                else 1, message, now=float(i))
+            if i % 3 == 0:
+                node.on_tick(now=float(i))
+            assert len(node._store) <= node.config.message_buffer_max
+            assert len(node.event_ids) <= node.config.event_ids_max
+            assert len(node.membership) <= node.config.view_max
+
+    @settings(max_examples=50, deadline=None)
+    @given(msgs=st.lists(messages, max_size=20),
+           seed=st.integers(0, 2**32 - 1))
+    def test_solicits_bounded_and_targeted(self, msgs, seed):
+        node = fresh_node(seed)
+        for i, message in enumerate(msgs):
+            out = node.handle_message(1, message, now=float(i))
+            for outgoing in out:
+                assert outgoing.destination != node.pid
+                if isinstance(outgoing.message, PbcastSolicit):
+                    assert len(outgoing.message.ids) <= node.config.solicit_max
+
+    @settings(max_examples=50, deadline=None)
+    @given(msgs=st.lists(messages, max_size=20),
+           seed=st.integers(0, 2**32 - 1))
+    def test_served_data_respects_hop_limit(self, msgs, seed):
+        node = fresh_node(seed)
+        for i, message in enumerate(msgs):
+            out = node.handle_message(1, message, now=float(i))
+            for outgoing in out:
+                if isinstance(outgoing.message, PbcastData):
+                    assert outgoing.message.hops <= node.config.hop_limit
+
+    @settings(max_examples=50, deadline=None)
+    @given(msgs=st.lists(messages, max_size=20),
+           seed=st.integers(0, 2**32 - 1))
+    def test_digest_ids_are_known(self, msgs, seed):
+        # Everything a node gossips about, it has actually stored.
+        node = fresh_node(seed)
+        for i, message in enumerate(msgs):
+            node.handle_message(1, message, now=float(i))
+            for outgoing in node.on_tick(now=float(i)):
+                if isinstance(outgoing.message, PbcastDigest):
+                    for event_id in outgoing.message.ids:
+                        assert event_id in node._store

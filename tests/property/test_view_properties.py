@@ -1,0 +1,73 @@
+"""Property-based tests for partial views."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.view import PartialView, WeightedPartialView
+
+pids = st.integers(min_value=0, max_value=40)
+pid_lists = st.lists(pids, max_size=60)
+bounds = st.integers(min_value=0, max_value=15)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+view_classes = st.sampled_from([PartialView, WeightedPartialView])
+
+
+class TestViewInvariants:
+    @given(cls=view_classes, owner=pids, additions=pid_lists,
+           bound=bounds, seed=seeds)
+    def test_owner_never_in_view(self, cls, owner, additions, bound, seed):
+        view = cls(owner, bound, random.Random(seed))
+        for pid in additions:
+            view.add(pid)
+        view.truncate()
+        assert owner not in view
+
+    @given(cls=view_classes, owner=pids, additions=pid_lists,
+           bound=bounds, seed=seeds)
+    def test_bound_holds_after_truncate(self, cls, owner, additions, bound, seed):
+        view = cls(owner, bound, random.Random(seed))
+        for pid in additions:
+            view.add(pid)
+        view.truncate()
+        assert len(view) <= bound
+
+    @given(cls=view_classes, owner=pids, additions=pid_lists,
+           bound=bounds, seed=seeds)
+    def test_no_duplicates(self, cls, owner, additions, bound, seed):
+        view = cls(owner, bound, random.Random(seed))
+        for pid in additions:
+            view.add(pid)
+        contents = list(view)
+        assert len(contents) == len(set(contents))
+
+    @given(cls=view_classes, owner=pids, additions=pid_lists,
+           bound=bounds, seed=seeds,
+           fanout=st.integers(min_value=1, max_value=10))
+    def test_gossip_targets_are_view_members(self, cls, owner, additions,
+                                             bound, seed, fanout):
+        view = cls(owner, bound, random.Random(seed))
+        for pid in additions:
+            view.add(pid)
+        view.truncate()
+        targets = view.choose_gossip_targets(fanout)
+        assert len(targets) == min(fanout, len(view))
+        assert len(set(targets)) == len(targets)
+        assert set(targets) <= set(view)
+
+    @given(owner=pids, additions=pid_lists, bound=bounds, seed=seeds)
+    def test_weighted_truncation_evicts_maximal_weight(self, owner, additions,
+                                                       bound, seed):
+        view = WeightedPartialView(owner, bound, random.Random(seed))
+        for pid in additions:
+            view.add(pid)
+            view.note_awareness(pid)  # weights vary with re-adds
+        if len(view) > bound:
+            max_weight = max(view.weight_of(p) for p in view)
+            evicted = view.truncate()
+            # The first evictee must have carried the maximal weight.
+            assert all(
+                view.weight_of(p) <= max_weight for p in view
+            )
+            assert evicted  # something was evicted

@@ -1,0 +1,174 @@
+"""Tests for the pub/sub peer."""
+
+import random
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.pubsub import PubSubPeer, TopicEnvelope, build_pubsub_peers
+from repro.sim import NetworkModel, RoundSimulation
+
+
+class TestSubscription:
+    def test_subscribe_creates_topic_node(self):
+        peer = PubSubPeer(0)
+        peer.subscribe("stocks", initial_view=(1, 2))
+        assert peer.topics() == ["stocks"]
+        assert len(peer.topic_node("stocks").view) == 2
+
+    def test_double_subscribe_keeps_node(self):
+        peer = PubSubPeer(0)
+        peer.subscribe("stocks", initial_view=(1,))
+        node = peer.topic_node("stocks")
+        peer.subscribe("stocks")
+        assert peer.topic_node("stocks") is node
+
+    def test_subscribe_via_contact_emits_join(self):
+        peer = PubSubPeer(0)
+        out = peer.subscribe("stocks", contact=7)
+        assert len(out) == 1
+        assert isinstance(out[0].message, TopicEnvelope)
+        assert out[0].message.topic == "stocks"
+        assert out[0].destination == 7
+
+    def test_invalid_topic_rejected(self):
+        with pytest.raises(ValueError):
+            PubSubPeer(0).subscribe("bad topic!")
+
+    def test_unsubscribe_unknown_topic_true(self):
+        assert PubSubPeer(0).unsubscribe("never-joined")
+
+
+class TestPublish:
+    def test_publish_requires_subscription(self):
+        with pytest.raises(KeyError):
+            PubSubPeer(0).publish("stocks", "x")
+
+    def test_publish_returns_notification(self):
+        peer = PubSubPeer(0)
+        peer.subscribe("stocks", initial_view=(1,))
+        n = peer.publish("stocks", {"price": 10})
+        assert n.payload == {"price": 10}
+        assert n.event_id.origin == 0
+
+    def test_listener_fires_on_own_publish(self):
+        peer = PubSubPeer(0)
+        seen = []
+        peer.subscribe("stocks", listener=lambda t, n, now: seen.append((t, n)),
+                       initial_view=(1,))
+        peer.publish("stocks", "x")
+        assert seen[0][0] == "stocks"
+
+
+class TestRouting:
+    def test_messages_wrapped_per_topic(self):
+        peer = PubSubPeer(0)
+        peer.subscribe("a", initial_view=(1, 2, 3))
+        peer.subscribe("b", initial_view=(4, 5, 6))
+        out = peer.on_tick(1.0)
+        topics = {o.message.topic for o in out}
+        assert topics == {"a", "b"}
+
+    def test_unknown_topic_message_tolerated(self):
+        peer = PubSubPeer(0)
+        envelope = TopicEnvelope("ghost", object())
+        assert peer.handle_message(1, envelope, now=0.0) == []
+        assert peer.unknown_topic_messages == 1
+
+    def test_non_envelope_rejected(self):
+        with pytest.raises(TypeError):
+            PubSubPeer(0).handle_message(1, "raw", now=0.0)
+
+
+class TestEndToEnd:
+    def test_topic_isolation(self):
+        topics = {
+            "a": list(range(0, 10)),
+            "b": list(range(5, 15)),
+        }
+        peers = build_pubsub_peers(15, topics, LpbcastConfig(fanout=3, view_max=6),
+                                   seed=1)
+        sim = RoundSimulation(NetworkModel(loss_rate=0.0,
+                                           rng=random.Random(0)), seed=1)
+        sim.add_nodes(peers)
+        event = peers[0].publish("a", "hello", now=0.0)
+        sim.run(10)
+        a_delivered = sum(
+            1 for pid in topics["a"]
+            if peers[pid].topic_node("a").has_delivered(event.event_id)
+        )
+        assert a_delivered == 10
+        # Peers only in topic b never saw it.
+        for pid in range(10, 15):
+            assert "a" not in peers[pid].topics()
+
+    def test_join_through_contact_end_to_end(self):
+        topics = {"a": list(range(0, 10))}
+        peers = build_pubsub_peers(11, topics, LpbcastConfig(fanout=3, view_max=6),
+                                   seed=2)
+        sim = RoundSimulation(seed=2)
+        sim.add_nodes(peers)
+        out = peers[10].subscribe("a", contact=0)
+        sim.inject(10, out)
+        sim.run(8)
+        assert peers[10].topic_node("a").joined
+        event = peers[3].publish("a", "post-join", now=8.0)
+        sim.run(8)
+        assert peers[10].topic_node("a").has_delivered(event.event_id)
+
+    def test_resubscribe_after_unsubscribe(self):
+        topics = {"a": list(range(0, 10))}
+        peers = build_pubsub_peers(10, topics,
+                                   LpbcastConfig(fanout=3, view_max=6,
+                                                 unsub_ttl=4.0), seed=5)
+        sim = RoundSimulation(seed=5)
+        sim.add_nodes(peers)
+        sim.run(2)
+        assert peers[4].unsubscribe("a", now=2.0)
+        sim.run(10)  # unsubscription spreads and then expires (ttl=4)
+        # Re-subscribing replaces the departed instance with a fresh one
+        # that joins through the contact.
+        out = peers[4].subscribe("a", contact=0, now=12.0)
+        assert len(out) == 1  # fresh join handshake
+        sim.inject(4, out)
+        sim.run(10)
+        node = peers[4].topic_node("a")
+        assert not node.unsubscribed
+        assert node.joined
+        event = peers[4].publish("a", "back again", now=22.0)
+        sim.run(8)
+        covered = sum(
+            1 for pid in range(10)
+            if peers[pid].topic_node("a").has_delivered(event.event_id)
+        )
+        assert covered >= 9
+
+    def test_listener_on_multiple_topics(self):
+        topics = {"a": [0, 1, 2], "b": [0, 1, 2]}
+        peers = build_pubsub_peers(3, topics,
+                                   LpbcastConfig(fanout=2, view_max=2), seed=6)
+        sim = RoundSimulation(seed=6)
+        sim.add_nodes(peers)
+        seen = []
+        listener = lambda topic, n, now: seen.append(topic)
+        peers[2].subscribe("a", listener=listener)
+        peers[2].subscribe("b", listener=listener)
+        peers[0].publish("a", 1, now=0.0)
+        peers[1].publish("b", 2, now=0.0)
+        sim.run(6)
+        assert set(seen) == {"a", "b"}
+
+    def test_unsubscribe_drains(self):
+        topics = {"a": list(range(0, 12))}
+        peers = build_pubsub_peers(12, topics, LpbcastConfig(fanout=3, view_max=6),
+                                   seed=3)
+        sim = RoundSimulation(seed=3)
+        sim.add_nodes(peers)
+        sim.run(2)
+        assert peers[4].unsubscribe("a", now=2.0)
+        sim.run(15)
+        knowers = sum(
+            1 for pid in range(12) if pid != 4
+            and 4 in peers[pid].topic_node("a").view
+        )
+        assert knowers <= 3  # mostly drained from views

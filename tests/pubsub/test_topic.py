@@ -1,0 +1,28 @@
+"""Tests for topic-name validation."""
+
+import pytest
+
+from repro.pubsub import validate_topic
+
+
+class TestValidateTopic:
+    @pytest.mark.parametrize("name", [
+        "stocks", "stocks/nasdaq", "a.b-c_d", "T1", "0numeric",
+    ])
+    def test_valid_names(self, name):
+        assert validate_topic(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "", "/leading-slash", ".dot-first", "spa ce", "ex!cl", "-dash",
+    ])
+    def test_invalid_names(self, name):
+        with pytest.raises(ValueError):
+            validate_topic(name)
+
+    def test_too_long(self):
+        with pytest.raises(ValueError):
+            validate_topic("x" * 256)
+
+    def test_non_string(self):
+        with pytest.raises(TypeError):
+            validate_topic(42)

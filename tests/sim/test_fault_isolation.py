@@ -1,0 +1,83 @@
+"""Tests for the runner's fault-isolation mode (on_node_error="crash")."""
+
+import pytest
+
+from repro.core.message import Outgoing
+from repro.sim import RoundSimulation
+
+from ..helpers import small_system
+
+
+class Bomb:
+    """A node that raises after a configurable number of interactions."""
+
+    def __init__(self, pid, peer, explode_on_tick=None, explode_on_msg=None):
+        self.pid = pid
+        self.peer = peer
+        self.ticks = 0
+        self.explode_on_tick = explode_on_tick
+        self.explode_on_msg = explode_on_msg
+
+    def on_tick(self, now):
+        self.ticks += 1
+        if self.explode_on_tick is not None and self.ticks >= self.explode_on_tick:
+            raise RuntimeError(f"tick bomb in {self.pid}")
+        return [Outgoing(self.peer, "ping")]
+
+    def handle_message(self, sender, message, now):
+        if self.explode_on_msg:
+            raise RuntimeError(f"message bomb in {self.pid}")
+        return []
+
+
+class TestRaiseMode:
+    def test_default_propagates(self):
+        sim = RoundSimulation()
+        sim.add_node(Bomb(1, 2, explode_on_tick=1))
+        with pytest.raises(RuntimeError, match="tick bomb"):
+            sim.run_round()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RoundSimulation(on_node_error="ignore")
+
+
+class TestCrashMode:
+    def test_tick_failure_crashes_node_only(self):
+        sim = RoundSimulation(on_node_error="crash")
+        bomb = Bomb(1, 2, explode_on_tick=2)
+        healthy = Bomb(2, 1)
+        sim.add_nodes([bomb, healthy])
+        sim.run(4)
+        assert not sim.alive(1)
+        assert sim.alive(2)
+        assert healthy.ticks == 4
+        assert len(sim.node_errors) == 1
+        pid, where, exc = sim.node_errors[0]
+        assert pid == 1 and where == "on_tick"
+
+    def test_handler_failure_crashes_receiver(self):
+        sim = RoundSimulation(on_node_error="crash")
+        bomb = Bomb(1, 2, explode_on_msg=True)
+        sender = Bomb(2, 1)
+        sim.add_nodes([bomb, sender])
+        sim.run(2)
+        assert not sim.alive(1)
+        assert sim.node_errors[0][1] == "handle_message"
+
+    def test_system_survives_a_faulty_member(self):
+        sim, nodes, log = small_system(n=20, seed=9)
+        sim.on_node_error = "crash"
+        # Sabotage one node's handler.
+        victim = nodes[7]
+        def broken(sender, message, now):
+            raise ValueError("corrupted state")
+        victim.handle_message = broken
+        event = nodes[0].lpb_cast("x", now=0.0)
+        sim.run(10)
+        assert not sim.alive(victim.pid)
+        survivors = [n for n in nodes if sim.alive(n.pid)]
+        covered = sum(
+            1 for n in survivors if log.delivered(n.pid, event.event_id)
+        )
+        assert covered == len(survivors)

@@ -1,0 +1,138 @@
+"""Tests for the network and failure models."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    CrashPlan,
+    NetworkModel,
+    constant_latency,
+    exponential_latency,
+    partition_filter,
+    uniform_latency,
+)
+
+
+class TestNetworkModel:
+    def test_no_loss(self):
+        net = NetworkModel(loss_rate=0.0, rng=random.Random(0))
+        assert all(net.deliverable(0, 1) for _ in range(100))
+
+    def test_total_loss(self):
+        net = NetworkModel(loss_rate=1.0, rng=random.Random(0))
+        assert not any(net.deliverable(0, 1) for _ in range(100))
+
+    def test_loss_rate_statistics(self):
+        net = NetworkModel(loss_rate=0.2, rng=random.Random(0))
+        delivered = sum(net.deliverable(0, 1) for _ in range(10_000))
+        assert 0.75 < delivered / 10_000 < 0.85
+        assert abs(net.observed_loss_rate() - 0.2) < 0.02
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            NetworkModel(loss_rate=1.5)
+
+    def test_link_filter_cuts_deterministically(self):
+        net = NetworkModel(
+            loss_rate=0.0,
+            rng=random.Random(0),
+            link_filter=lambda s, d: not (s == 0 and d == 1),
+        )
+        assert not net.deliverable(0, 1)
+        assert net.deliverable(1, 0)
+        assert net.messages_cut == 1
+
+    def test_counters(self):
+        net = NetworkModel(loss_rate=0.0, rng=random.Random(0))
+        net.deliverable(0, 1)
+        assert net.messages_offered == 1
+        assert net.messages_dropped == 0
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = constant_latency(0.25)
+        assert model(random.Random(0)) == 0.25
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            constant_latency(-1.0)
+
+    def test_uniform_in_range(self):
+        model = uniform_latency(0.1, 0.5)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.1 <= model(rng) <= 0.5
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_latency(0.5, 0.1)
+
+    def test_exponential_capped(self):
+        model = exponential_latency(mean=1.0, cap=0.5)
+        rng = random.Random(0)
+        assert all(model(rng) <= 0.5 for _ in range(100))
+
+    def test_exponential_mean(self):
+        model = exponential_latency(mean=2.0)
+        rng = random.Random(0)
+        values = [model(rng) for _ in range(20_000)]
+        assert abs(sum(values) / len(values) - 2.0) < 0.1
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            exponential_latency(0.0)
+
+
+class TestPartitionFilter:
+    def test_within_group_allowed(self):
+        allowed = partition_filter([[0, 1], [2, 3]])
+        assert allowed(0, 1)
+        assert allowed(2, 3)
+
+    def test_across_groups_cut(self):
+        allowed = partition_filter([[0, 1], [2, 3]])
+        assert not allowed(0, 2)
+        assert not allowed(3, 1)
+
+    def test_unlisted_processes_unrestricted(self):
+        allowed = partition_filter([[0, 1]])
+        assert allowed(0, 9)
+        assert allowed(9, 0)
+
+
+class TestCrashPlan:
+    def test_victim_count_respects_tau(self):
+        plan = CrashPlan(range(100), crash_rate=0.05, horizon=10.0,
+                         rng=random.Random(0))
+        assert len(plan) == 5
+
+    def test_zero_rate_no_crashes(self):
+        plan = CrashPlan(range(100), crash_rate=0.0, rng=random.Random(0))
+        assert len(plan) == 0
+        assert plan.victims() == []
+
+    def test_events_sorted_and_within_horizon(self):
+        plan = CrashPlan(range(200), crash_rate=0.1, horizon=7.0,
+                         rng=random.Random(0))
+        times = [ev.at for ev in plan.events]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 7.0 for t in times)
+
+    def test_crashes_before(self):
+        plan = CrashPlan(range(200), crash_rate=0.1, horizon=10.0,
+                         rng=random.Random(0))
+        early = plan.crashes_before(5.0)
+        assert all(ev.at <= 5.0 for ev in early)
+
+    def test_victims_distinct(self):
+        plan = CrashPlan(range(100), crash_rate=0.2, rng=random.Random(0))
+        victims = plan.victims()
+        assert len(victims) == len(set(victims))
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            CrashPlan(range(10), crash_rate=1.0)
+        with pytest.raises(ValueError):
+            CrashPlan(range(10), crash_rate=0.1, horizon=0.0)

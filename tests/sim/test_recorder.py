@@ -1,0 +1,94 @@
+"""Tests for the run recorder."""
+
+import io
+
+import pytest
+
+from repro.sim.recorder import RunRecorder
+
+from ..helpers import small_system
+
+
+def recorded_run(rounds=6, n=15, publish=True):
+    sim, nodes, log = small_system(n=n, seed=22)
+    recorder = RunRecorder(nodes)
+    sim.add_observer(recorder.on_round)
+    if publish:
+        nodes[0].lpb_cast("x", now=0.0)
+    sim.run(rounds)
+    return sim, nodes, recorder
+
+
+class TestRecording:
+    def test_one_record_per_round(self):
+        _, _, recorder = recorded_run(rounds=6)
+        assert len(recorder) == 6
+        assert recorder.series("round") == [1, 2, 3, 4, 5, 6]
+
+    def test_delivery_progress_monotone(self):
+        _, _, recorder = recorded_run()
+        delivered = recorder.series("delivered_total")
+        assert all(b >= a for a, b in zip(delivered, delivered[1:]))
+        assert recorder.last()["delivered_total"] == 15  # everyone got it
+
+    def test_view_stats_present(self):
+        _, _, recorder = recorded_run()
+        assert recorder.last()["in_degree_mean"] == pytest.approx(8.0)
+
+    def test_view_stats_optional(self):
+        sim, nodes, log = small_system(n=10, seed=23)
+        recorder = RunRecorder(nodes, sample_view_stats=False)
+        sim.add_observer(recorder.on_round)
+        sim.run(2)
+        assert "in_degree_mean" not in recorder.last()
+
+    def test_alive_count_tracks_crashes(self):
+        sim, nodes, log = small_system(n=10, seed=24)
+        recorder = RunRecorder(nodes)
+        sim.add_observer(recorder.on_round)
+        sim.run(2)
+        sim.crash(nodes[0].pid)
+        sim.run(2)
+        assert recorder.series("alive") == [10, 10, 9, 9]
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunRecorder([]).last()
+
+
+class TestExport:
+    def test_json_lines_round_trip(self):
+        _, _, recorder = recorded_run(rounds=3)
+        text = recorder.to_json_lines()
+        parsed = RunRecorder.from_json_lines(text)
+        assert parsed == recorder.records
+
+    def test_streaming_to_file_object(self):
+        sim, nodes, log = small_system(n=10, seed=25)
+        buffer = io.StringIO()
+        recorder = RunRecorder(nodes, stream=buffer)
+        sim.add_observer(recorder.on_round)
+        sim.run(3)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        assert RunRecorder.from_json_lines(buffer.getvalue()) == recorder.records
+
+    def test_buffer_pressure_visible_under_load(self):
+        # Starved id buffers pin at their bound and evictions climb —
+        # the Fig. 6 mechanism, visible in the operational record.
+        from repro.core import LpbcastConfig
+        from repro.sim import BroadcastWorkload, RoundSimulation, build_lpbcast_nodes
+
+        cfg = LpbcastConfig(fanout=3, view_max=8, event_ids_max=10,
+                            events_max=10)
+        nodes = build_lpbcast_nodes(20, cfg, seed=26)
+        sim = RoundSimulation(seed=26)
+        sim.add_nodes(nodes)
+        workload = BroadcastWorkload(nodes[:10], events_per_round=2,
+                                     start=1, stop=8)
+        sim.add_round_hook(workload.on_round)
+        recorder = RunRecorder(nodes)
+        sim.add_observer(recorder.on_round)
+        sim.run(8)
+        assert recorder.last()["event_ids_occupancy"] == pytest.approx(10.0)
+        assert recorder.last()["event_ids_evicted_total"] > 0

@@ -1,0 +1,215 @@
+"""Tests for the synchronous round runner (Sec. 5.1 setting)."""
+
+import random
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.core.message import Outgoing
+from repro.sim import CrashPlan, NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+from ..helpers import small_system
+
+
+class Echo:
+    """Minimal protocol node: forwards a counter to a fixed peer each tick."""
+
+    def __init__(self, pid, peer):
+        self.pid = pid
+        self.peer = peer
+        self.received = []
+        self.sent = 0
+
+    def on_tick(self, now):
+        self.sent += 1
+        return [Outgoing(self.peer, ("tick", self.pid, now))]
+
+    def handle_message(self, sender, message, now):
+        self.received.append((sender, message))
+        return []
+
+
+class TestBasics:
+    def test_round_counter(self):
+        sim = RoundSimulation()
+        sim.run(3)
+        assert sim.round == 3
+
+    def test_duplicate_pid_rejected(self):
+        sim = RoundSimulation()
+        sim.add_node(Echo(1, 2))
+        with pytest.raises(ValueError):
+            sim.add_node(Echo(1, 2))
+
+    def test_messages_delivered_same_round(self):
+        sim = RoundSimulation()
+        a, b = Echo(1, 2), Echo(2, 1)
+        sim.add_nodes([a, b])
+        sim.run_round()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+    def test_message_to_unknown_destination_dropped(self):
+        sim = RoundSimulation()
+        a = Echo(1, 99)
+        sim.add_node(a)
+        sim.run_round()
+        assert sim.messages_to_crashed == 1
+
+    def test_loss_applied(self):
+        net = NetworkModel(loss_rate=1.0, rng=random.Random(0))
+        sim = RoundSimulation(network=net)
+        a, b = Echo(1, 2), Echo(2, 1)
+        sim.add_nodes([a, b])
+        sim.run(3)
+        assert a.received == [] and b.received == []
+
+
+class TestCrashes:
+    def test_crashed_node_does_not_tick_or_receive(self):
+        sim = RoundSimulation()
+        a, b = Echo(1, 2), Echo(2, 1)
+        sim.add_nodes([a, b])
+        sim.crash(2)
+        sim.run(2)
+        assert b.sent == 0
+        assert b.received == []
+        assert a.received == []  # 2 is silent
+
+    def test_crash_plan_applied(self):
+        sim = RoundSimulation()
+        nodes = [Echo(i, (i + 1) % 4) for i in range(4)]
+        sim.add_nodes(nodes)
+        plan = CrashPlan(range(4), crash_rate=0.25, horizon=1.0,
+                         rng=random.Random(3))
+        assert len(plan) == 1
+        sim.use_crash_plan(plan)
+        sim.run(3)
+        victim = plan.victims()[0]
+        assert not sim.alive(victim)
+        assert nodes[victim].sent == 0
+
+    def test_alive_nodes(self):
+        sim = RoundSimulation()
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.crash(1)
+        assert [n.pid for n in sim.alive_nodes()] == [2]
+
+
+class TestHooksAndObservers:
+    def test_hook_runs_before_ticks(self):
+        order = []
+        sim = RoundSimulation()
+
+        class Probe(Echo):
+            def on_tick(self, now):
+                order.append("tick")
+                return []
+
+        sim.add_node(Probe(1, 1))
+        sim.add_round_hook(lambda r, s: order.append("hook"))
+        sim.run_round()
+        assert order == ["hook", "tick"]
+
+    def test_observer_runs_after_delivery(self):
+        sim = RoundSimulation()
+        a, b = Echo(1, 2), Echo(2, 1)
+        sim.add_nodes([a, b])
+        seen = []
+        sim.add_observer(lambda r, s: seen.append(len(a.received)))
+        sim.run_round()
+        assert seen == [1]
+
+    def test_inject_delivers_next_round(self):
+        sim = RoundSimulation()
+        a, b = Echo(1, 2), Echo(2, 1)
+        sim.add_nodes([a, b])
+        sim.inject(1, [Outgoing(2, "hello")])
+        sim.run_round()
+        assert (1, "hello") in b.received
+
+
+class TestReplies:
+    def test_replies_delivered_within_round(self):
+        class PingPong:
+            def __init__(self, pid, peer):
+                self.pid = pid
+                self.peer = peer
+                self.pings = 0
+                self.pongs = 0
+
+            def on_tick(self, now):
+                if self.pid == 1:
+                    return [Outgoing(self.peer, "ping")]
+                return []
+
+            def handle_message(self, sender, message, now):
+                if message == "ping":
+                    self.pings += 1
+                    return [Outgoing(sender, "pong")]
+                self.pongs += 1
+                return []
+
+        sim = RoundSimulation()
+        a, b = PingPong(1, 2), PingPong(2, 1)
+        sim.add_nodes([a, b])
+        sim.run_round()
+        assert b.pings == 1
+        assert a.pongs == 1
+
+    def test_runaway_reply_chain_carries_over(self):
+        class Chatter:
+            def __init__(self, pid, peer):
+                self.pid = pid
+                self.peer = peer
+                self.count = 0
+
+            def on_tick(self, now):
+                if self.pid == 1 and now == 1.0:
+                    return [Outgoing(self.peer, "x")]
+                return []
+
+            def handle_message(self, sender, message, now):
+                self.count += 1
+                return [Outgoing(sender, "x")]  # infinite chatter
+
+        sim = RoundSimulation(max_reply_generations=3)
+        a, b = Chatter(1, 2), Chatter(2, 1)
+        sim.add_nodes([a, b])
+        sim.run_round()
+        first_round = a.count + b.count
+        assert first_round <= 4  # bounded within the round
+        sim.run_round()
+        assert a.count + b.count > first_round  # carryover continues
+
+
+class TestRunUntil:
+    def test_returns_round_when_predicate_holds(self):
+        sim = RoundSimulation()
+        result = sim.run_until(lambda s: s.round >= 4, max_rounds=10)
+        assert result == 4
+
+    def test_raises_when_never_satisfied(self):
+        sim = RoundSimulation()
+        with pytest.raises(RuntimeError):
+            sim.run_until(lambda s: False, max_rounds=3)
+
+
+class TestDeterminism:
+    def run_once(self, seed):
+        sim, nodes, log = small_system(n=30, seed=seed, loss_rate=0.05)
+        event = nodes[0].lpb_cast("x", now=0.0)
+        sim.run(8)
+        return tuple(
+            sorted(
+                (pid, log.delivery_time(pid, event.event_id))
+                for pid in log.deliverers_of(event.event_id)
+            )
+        )
+
+    def test_same_seed_same_outcome(self):
+        assert self.run_once(5) == self.run_once(5)
+
+    def test_different_seed_different_outcome(self):
+        outcomes = {self.run_once(seed) for seed in range(5)}
+        assert len(outcomes) > 1

@@ -1,0 +1,116 @@
+"""Tests for the canned scenario builders."""
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.sim.scenarios import (
+    correlated_crashes,
+    flaky_wan,
+    flash_crowd,
+    mass_departure,
+    steady_state,
+)
+
+
+class TestSteadyState:
+    def test_broadcast_completes(self):
+        scenario = steady_state(n=40, seed=1)
+        event = scenario.nodes[0].lpb_cast("x", now=0.0)
+        scenario.run(10)
+        assert scenario.log.delivery_count(event.event_id) == 40
+
+    def test_custom_config_used(self):
+        cfg = LpbcastConfig(fanout=4, view_max=9)
+        scenario = steady_state(n=20, config=cfg, seed=1)
+        assert all(node.config.fanout == 4 for node in scenario.nodes)
+
+
+class TestFlashCrowd:
+    def test_all_joiners_integrate(self):
+        scenario = flash_crowd(n=40, joiners=15, seed=2).run(15)
+        for pid in scenario.extras["joiner_pids"]:
+            assert scenario.sim.nodes[pid].joined
+
+    def test_joiners_receive_post_join_broadcasts(self):
+        scenario = flash_crowd(n=40, joiners=10, seed=3).run(12)
+        event = scenario.nodes[5].lpb_cast("late", now=12.0)
+        scenario.run(12)
+        joiners_covered = sum(
+            1 for pid in scenario.extras["joiner_pids"]
+            if scenario.log.delivered(pid, event.event_id)
+        )
+        assert joiners_covered == 10
+
+    def test_original_members_learn_joiners(self):
+        scenario = flash_crowd(n=40, joiners=10, seed=4).run(25)
+        joiner_pids = set(scenario.extras["joiner_pids"])
+        knowers = sum(
+            1 for node in scenario.nodes
+            if joiner_pids & set(node.view.snapshot())
+        )
+        assert knowers > 20
+
+
+class TestMassDeparture:
+    def test_leavers_marked(self):
+        scenario = mass_departure(n=40, leavers=12, seed=5).run(20)
+        for pid in scenario.extras["leaver_pids"]:
+            assert scenario.sim.nodes[pid].unsubscribed
+
+    def test_survivors_still_broadcast(self):
+        scenario = mass_departure(n=40, leavers=12, seed=6).run(20)
+        survivors = [n for n in scenario.nodes if not n.unsubscribed]
+        event = survivors[0].lpb_cast("post-exodus", now=20.0)
+        scenario.run(12)
+        covered = sum(
+            1 for n in survivors
+            if scenario.log.delivered(n.pid, event.event_id)
+        )
+        assert covered == len(survivors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mass_departure(n=10, leavers=10)
+
+
+class TestCorrelatedCrashes:
+    def test_victims_silenced(self):
+        scenario = correlated_crashes(n=40, crash_fraction=0.25, seed=7).run(6)
+        for pid in scenario.extras["victims"]:
+            assert not scenario.sim.alive(pid)
+        assert len(scenario.extras["victims"]) == 10
+
+    def test_survivors_fully_covered_despite_rack_failure(self):
+        scenario = correlated_crashes(n=40, crash_fraction=0.25, seed=8)
+        event = scenario.nodes[0].lpb_cast("x", now=0.0)
+        # Publisher must survive for the test to be meaningful.
+        if scenario.nodes[0].pid in scenario.extras["victims"]:
+            pytest.skip("publisher among victims for this seed")
+        scenario.run(14)
+        survivors = scenario.alive_nodes()
+        covered = sum(
+            1 for n in survivors
+            if scenario.log.delivered(n.pid, event.event_id)
+        )
+        assert covered == len(survivors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlated_crashes(crash_fraction=0.0)
+
+
+class TestFlakyWan:
+    def test_crash_plan_attached(self):
+        scenario = flaky_wan(n=40, seed=9)
+        assert len(scenario.extras["crash_plan"]) == 2  # 5% of 40
+
+    def test_broadcast_survives_heavy_loss(self):
+        scenario = flaky_wan(n=40, loss_rate=0.3, seed=10)
+        event = scenario.nodes[0].lpb_cast("x", now=0.0)
+        scenario.run(15)
+        survivors = scenario.alive_nodes()
+        covered = sum(
+            1 for n in survivors
+            if scenario.log.delivered(n.pid, event.event_id)
+        )
+        assert covered >= 0.95 * len(survivors)

@@ -1,0 +1,78 @@
+"""Tests for initial-membership construction."""
+
+import random
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.sim import build_lpbcast_nodes, uniform_random_views
+
+
+class TestUniformRandomViews:
+    def test_size_and_self_exclusion(self):
+        views = uniform_random_views(range(20), 5, random.Random(0))
+        for pid, view in views.items():
+            assert len(view) == 5
+            assert pid not in view
+            assert len(set(view)) == 5
+
+    def test_small_population_capped(self):
+        views = uniform_random_views(range(3), 10, random.Random(0))
+        assert all(len(v) == 2 for v in views.values())
+
+    def test_approximately_uniform_in_degree(self):
+        views = uniform_random_views(range(100), 10, random.Random(0))
+        in_degree = {pid: 0 for pid in range(100)}
+        for view in views.values():
+            for target in view:
+                in_degree[target] += 1
+        mean = sum(in_degree.values()) / 100
+        assert mean == pytest.approx(10.0)
+        assert max(in_degree.values()) < 30
+
+
+class TestBuildLpbcastNodes:
+    def test_count_and_pids(self):
+        nodes = build_lpbcast_nodes(10, seed=0)
+        assert [n.pid for n in nodes] == list(range(10))
+
+    def test_views_filled_to_bound(self):
+        cfg = LpbcastConfig(view_max=7)
+        nodes = build_lpbcast_nodes(30, cfg, seed=0)
+        assert all(len(n.view) == 7 for n in nodes)
+
+    def test_first_pid_offset(self):
+        nodes = build_lpbcast_nodes(5, seed=0, first_pid=100)
+        assert [n.pid for n in nodes] == list(range(100, 105))
+
+    def test_reproducible(self):
+        a = build_lpbcast_nodes(10, seed=3)
+        b = build_lpbcast_nodes(10, seed=3)
+        assert all(
+            set(x.view.snapshot()) == set(y.view.snapshot())
+            for x, y in zip(a, b)
+        )
+
+    def test_seed_changes_views(self):
+        cfg = LpbcastConfig(view_max=4)
+        a = build_lpbcast_nodes(10, cfg, seed=3)
+        b = build_lpbcast_nodes(10, cfg, seed=4)
+        assert any(
+            set(x.view.snapshot()) != set(y.view.snapshot())
+            for x, y in zip(a, b)
+        )
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_lpbcast_nodes(0)
+
+    def test_node_factory_hook(self):
+        captured = []
+
+        def factory(pid, cfg, rng, initial_view):
+            from repro.core import LpbcastNode
+            captured.append(pid)
+            return LpbcastNode(pid, cfg, rng, initial_view=initial_view)
+
+        build_lpbcast_nodes(3, seed=0, node_factory=factory)
+        assert captured == [0, 1, 2]

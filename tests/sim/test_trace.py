@@ -1,0 +1,111 @@
+"""Tests for structured event tracing."""
+
+import random
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+from repro.sim.trace import (
+    CUT,
+    DELIVER,
+    DROP,
+    PUBLISH,
+    ROUND,
+    TraceRecord,
+    Tracer,
+)
+
+
+class TestTracerBasics:
+    def test_emit_and_query(self):
+        tracer = Tracer()
+        tracer.emit(PUBLISH, 1.0, pid=3)
+        tracer.emit(DELIVER, 2.0, pid=4)
+        assert len(tracer) == 2
+        assert [r.pid for r in tracer.of_kind(DELIVER)] == [4]
+        assert tracer.counts() == {PUBLISH: 1, DELIVER: 1}
+
+    def test_capacity_truncates(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(ROUND, float(i))
+        assert len(tracer) == 2
+        assert tracer.truncated == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_for_process_matches_either_side(self):
+        tracer = Tracer()
+        tracer.emit(DROP, 0.0, pid=1, peer=2)
+        assert len(tracer.for_process(1)) == 1
+        assert len(tracer.for_process(2)) == 1
+        assert tracer.for_process(3) == []
+
+
+class TestTracerWiring:
+    def build(self, loss=0.0, seed=0):
+        cfg = LpbcastConfig(fanout=3, view_max=6)
+        nodes = build_lpbcast_nodes(15, cfg, seed=seed)
+        network = NetworkModel(loss_rate=loss, rng=random.Random(seed + 1))
+        sim = RoundSimulation(network=network, seed=seed)
+        sim.add_nodes(nodes)
+        tracer = Tracer()
+        tracer.attach_deliveries(nodes)
+        tracer.attach_network(network)
+        sim.add_observer(tracer.on_round)
+        return sim, nodes, tracer
+
+    def test_deliveries_traced(self):
+        sim, nodes, tracer = self.build()
+        event = nodes[0].lpb_cast("x", now=0.0)
+        tracer.trace_publish(nodes[0].pid, event, 0.0)
+        sim.run(8)
+        deliveries = tracer.for_event(event.event_id)
+        delivered_pids = {r.pid for r in deliveries if r.kind == DELIVER}
+        assert delivered_pids == {n.pid for n in nodes}
+
+    def test_delivery_order_starts_at_publisher(self):
+        sim, nodes, tracer = self.build()
+        event = nodes[0].lpb_cast("x", now=0.0)
+        sim.run(8)
+        order = tracer.delivery_order(event.event_id)
+        assert order[0] == nodes[0].pid
+        assert len(order) == 15
+
+    def test_drops_traced_under_loss(self):
+        sim, nodes, tracer = self.build(loss=0.3)
+        sim.run(5)
+        assert len(tracer.of_kind(DROP)) > 0
+        assert tracer.of_kind(CUT) == []
+
+    def test_cuts_traced_with_link_filter(self):
+        cfg = LpbcastConfig(fanout=2, view_max=5)
+        nodes = build_lpbcast_nodes(10, cfg, seed=2)
+        network = NetworkModel(
+            loss_rate=0.0, rng=random.Random(3),
+            link_filter=lambda s, d: d != nodes[0].pid,
+        )
+        sim = RoundSimulation(network=network, seed=2)
+        sim.add_nodes(nodes)
+        tracer = Tracer().attach_network(network)
+        sim.run(4)
+        cuts = tracer.of_kind(CUT)
+        assert cuts
+        assert all(r.peer == nodes[0].pid for r in cuts)
+
+    def test_round_markers(self):
+        sim, nodes, tracer = self.build()
+        sim.run(5)
+        rounds = tracer.of_kind(ROUND)
+        assert [r.at for r in rounds] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert all("alive=15" in r.detail for r in rounds)
+
+
+class TestTraceRecord:
+    def test_frozen(self):
+        record = TraceRecord(kind=DELIVER, at=1.0, pid=2)
+        with pytest.raises(Exception):
+            record.pid = 5

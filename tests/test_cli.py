@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 125
+        assert args.fanout == 3
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9z"])
+
+
+class TestCommands:
+    def test_demo_succeeds_and_prints_curve(self, capsys):
+        assert main(["demo", "-n", "30", "--view", "8", "--rounds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "lpbcast demo" in out
+        assert "infected" in out
+
+    def test_demo_exit_code_on_incomplete_infection(self, capsys):
+        # One round cannot infect 30 processes.
+        assert main(["demo", "-n", "30", "--view", "8", "--rounds", "1"]) == 1
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "125"]) == 0
+        out = capsys.readouterr().out
+        assert "p (Eq. 1)" in out
+        assert "0.0228" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "fanout F" in out
+        assert "view size l" in out
+
+    def test_tune_with_publish_rate(self, capsys):
+        assert main(["tune", "250", "--publish-rate", "10"]) == 0
+        assert "|eventIds|m" in capsys.readouterr().out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "F=3" in out and "F=6" in out
+
+    def test_figure_3b(self, capsys):
+        assert main(["figure", "3b"]) == 0
+        assert "rounds to 99%" in capsys.readouterr().out
+
+    def test_figure_4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        assert "n=125" in capsys.readouterr().out
+
+    def test_figure_5b_with_one_seed(self, capsys):
+        assert main(["figure", "5b", "--seeds", "1"]) == 0
+        assert "l=10" in capsys.readouterr().out
+
+    def test_figure_7a_with_one_seed(self, capsys):
+        assert main(["figure", "7a", "--seeds", "1"]) == 0
+        assert "lpbcast" in capsys.readouterr().out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "125"]) == 0
+        out = capsys.readouterr().out
+        assert "E[delivery round" in out
+        assert "99%" in out
+
+    def test_validate_partition(self, capsys):
+        assert main(["validate-partition", "8", "--view", "1",
+                     "--trials", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "empirical partition rate" in out

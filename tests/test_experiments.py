@@ -1,0 +1,67 @@
+"""Smoke tests for the experiment library (cheap configurations).
+
+The benchmark harness runs these at paper scale; here we only verify that
+each figure function produces well-formed series at reduced scale, so a
+plain `pytest tests/` run covers the module without the bench runtime.
+"""
+
+from repro.experiments import (
+    fig2_series,
+    fig3a_series,
+    fig3b_series,
+    fig4_series,
+    fig5b_series,
+    fig7a_series,
+    lpbcast_infection_curve,
+    measurement_reliability,
+    pbcast_infection_curve,
+)
+
+
+class TestAnalyticalFigures:
+    def test_fig2_shape(self):
+        series = fig2_series(rounds=8)
+        assert set(series) == {"F=3", "F=4", "F=5", "F=6"}
+        assert all(len(curve) == 9 for curve in series.values())
+        assert all(curve[0] == 1.0 for curve in series.values())
+
+    def test_fig3a_keys(self):
+        series = fig3a_series(rounds=6)
+        assert f"n=125" in series and f"n=1000" in series
+
+    def test_fig3b_aligned(self):
+        sizes, rounds = fig3b_series()
+        assert len(sizes) == len(rounds)
+        assert all(r is not None for r in rounds)
+
+    def test_fig4_points(self):
+        curves = fig4_series()
+        for name, points in curves.items():
+            assert all(0.0 <= p <= 1.0 for _, p in points)
+
+
+class TestSimulatedFigures:
+    def test_infection_curve_monotone(self):
+        curve = lpbcast_infection_curve(30, l=8, seed=1, rounds=8)
+        assert curve[0] == 1
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_fig5b_small(self):
+        series = fig5b_series(seeds=[0], rounds=6)
+        assert set(series) == {"l=10", "l=15", "l=20"}
+
+    def test_fig7a_small(self):
+        series = fig7a_series(seeds=[0], rounds=6)
+        assert len(series) == 3
+
+    def test_pbcast_curve(self):
+        curve = pbcast_infection_curve(30, "partial", l=8, seed=1, rounds=8)
+        assert curve[0] == 1
+        assert curve[-1] >= 25
+
+    def test_measurement_reliability_range(self):
+        value = measurement_reliability(
+            n=30, l=8, publishers=5, rate=1, horizon=15.0, seed=1
+        )
+        assert 0.0 <= value <= 1.0
+        assert value > 0.8
