@@ -1,4 +1,4 @@
-"""Methodology bench: the two runners agree.
+"""Methodology bench: the runners agree.
 
 The paper validates its analysis twice — synchronous-round simulation
 (Sec. 5.1) and a real deployment (Sec. 5.2).  This repository mirrors that
@@ -6,6 +6,11 @@ with the round runner and the discrete-event runtime; this bench checks the
 *methodology itself*: the same protocol under both runners produces the
 same epidemic, measured as rounds (resp. gossip periods) to reach 99%
 coverage.
+
+The sharded engine is held to a strictly stronger standard than the async
+runtime: not "the same epidemic" but the *same run* — bit-identical
+delivery traces, node statistics and simulator counters for the same root
+seed (``test_sharded_engine_bit_identical``).
 """
 
 import random
@@ -15,9 +20,12 @@ from repro.core import LpbcastConfig
 from repro.metrics import DeliveryLog, format_table
 from repro.sim import (
     AsyncGossipRuntime,
+    BroadcastWorkload,
     NetworkModel,
     RoundSimulation,
+    ShardedRoundSimulation,
     build_lpbcast_nodes,
+    create_simulation,
     uniform_latency,
 )
 
@@ -92,3 +100,72 @@ def test_runners_agree_on_epidemic_speed(benchmark):
     # ...and within ~1.5 periods of each other: unsynchronized timers and
     # sub-period latency do not change the epidemic.
     assert abs(round_mean - async_mean) <= 1.5
+
+
+# ---------------------------------------------------------------------------
+# Serial vs sharded: identical runs, not just identical epidemics
+# ---------------------------------------------------------------------------
+
+EQ_N = 500
+EQ_ROUNDS = 30
+
+
+def _engine_trace(engine: str, seed: int, shards=None):
+    """Run the standard workload scenario and return every observable the
+    two engines must agree on, including the full delivery trace."""
+    cfg = LpbcastConfig(fanout=3, view_max=20, events_max=30,
+                        event_ids_max=60)
+    network = NetworkModel(loss_rate=figlib.EPSILON,
+                           rng=random.Random(seed + 61))
+    sim = create_simulation(engine, network=network, seed=seed, shards=shards)
+    nodes = build_lpbcast_nodes(EQ_N, cfg, seed=seed)
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    workload = BroadcastWorkload([n.pid for n in nodes[:3]],
+                                 events_per_round=1, start=1,
+                                 stop=EQ_ROUNDS - 10)
+    sim.add_round_hook(workload.on_round)
+    per_round = []
+    sim.add_observer(lambda r, s: per_round.append(
+        (r, s.messages_delivered, s.network.messages_offered,
+         s.network.messages_dropped)))
+    sim.run(EQ_ROUNDS)
+    if isinstance(sim, ShardedRoundSimulation):
+        sim.collect()
+    trace = sorted(
+        (pid, event_id, at)
+        for (pid, event_id), at in log._first_delivery_time.items()
+    )
+    stats = {
+        pid: (node.stats.delivered, node.stats.duplicates,
+              node.stats.gossips_sent, node.stats.events_dropped)
+        for pid, node in sim.nodes.items()
+    }
+    return trace, stats, per_round
+
+
+def test_sharded_engine_bit_identical(benchmark):
+    """Acceptance: identical delivery traces serial vs sharded, n=500,
+    30 rounds, same root seed."""
+    def compute():
+        serial = _engine_trace("serial", seed=17)
+        sharded = _engine_trace("sharded", seed=17, shards=2)
+        return serial, sharded
+
+    serial, sharded = benchmark.pedantic(compute, rounds=1, iterations=1)
+    trace_s, stats_s, rounds_s = serial
+    trace_p, stats_p, rounds_p = sharded
+    print()
+    print(format_table(
+        ["engine", "deliveries", "distinct (pid, event) pairs"],
+        [
+            ["serial", rounds_s[-1][1], len(trace_s)],
+            ["sharded (2 shards)", rounds_p[-1][1], len(trace_p)],
+        ],
+        title=f"Engine equivalence, n={EQ_N}, {EQ_ROUNDS} rounds, "
+              f"eps={figlib.EPSILON}",
+    ))
+    assert trace_p == trace_s, "delivery traces diverged"
+    assert stats_p == stats_s, "node statistics diverged"
+    assert rounds_p == rounds_s, "per-round counters diverged"
+    assert len(trace_s) > EQ_N  # the epidemic actually spread

@@ -36,9 +36,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     curve = lpbcast_infection_curve(
         args.n, l=args.view, fanout=args.fanout, seed=args.seed,
         rounds=args.rounds, loss_rate=args.loss,
+        engine=args.engine, shards=args.shards,
     )
+    engine_label = args.engine
+    if args.engine == "sharded":
+        from .sim import DEFAULT_SHARDS
+        engine_label = f"sharded/{args.shards or DEFAULT_SHARDS}"
     print(f"lpbcast demo: n={args.n}, l={args.view}, F={args.fanout}, "
-          f"loss={args.loss}, seed={args.seed}")
+          f"loss={args.loss}, seed={args.seed}, engine={engine_label}")
     print("round  infected")
     for r, count in enumerate(curve):
         print(f"{r:5d}  {count:6d}  {'#' * (60 * count // args.n)}")
@@ -190,6 +195,13 @@ def _cmd_validate_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--rounds", type=int, default=10)
     demo.add_argument("--loss", type=float, default=0.05)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--engine", choices=["serial", "sharded"], default="serial",
+        help="round engine: single-process, or sharded across worker "
+             "processes (bit-identical result, faster at large n)",
+    )
+    demo.add_argument(
+        "--shards", type=_positive_int, default=None,
+        help="worker processes for --engine sharded (default: core count, "
+             "capped at 4)",
+    )
     demo.set_defaults(fn=_cmd_demo)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")

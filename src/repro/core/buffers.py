@@ -40,6 +40,12 @@ from .ids import EventId, ProcessId
 T = TypeVar("T", bound=Hashable)
 
 
+def _identity(item):
+    """Default buffer key (module-level, not a lambda, so buffers — and the
+    nodes holding them — can be pickled across shard-worker boundaries)."""
+    return item
+
+
 class RandomDropBuffer(Generic[T]):
     """A bounded duplicate-free collection with uniform random eviction.
 
@@ -65,7 +71,7 @@ class RandomDropBuffer(Generic[T]):
             raise ValueError("max_size must be non-negative")
         self.max_size = max_size
         self._rng = rng if rng is not None else random.Random()
-        self._key: Callable[[T], Hashable] = key if key is not None else (lambda x: x)
+        self._key: Callable[[T], Hashable] = key if key is not None else _identity
         self._items: List[T] = []
         self._index: Dict[Hashable, int] = {}
 

@@ -65,6 +65,13 @@ DeliveryListener = Callable[[ProcessId, Notification, float], None]
 """Callback invoked as ``listener(pid, notification, now)`` on LPB-DELIVER."""
 
 
+def _notification_key(notification: Notification) -> EventId:
+    """Buffer identity of a staged notification (module-level so node state
+    stays picklable — the sharded round engine ships nodes across
+    processes)."""
+    return notification.event_id
+
+
 @dataclass
 class NodeStats:
     """Per-node protocol counters, used by metrics and assertions."""
@@ -131,7 +138,7 @@ class LpbcastNode:
             self.events = FrequencyAwareEventBuffer(cfg.events_max, self.rng)
         else:
             self.events = RandomDropBuffer(
-                cfg.events_max, self.rng, key=lambda n: n.event_id
+                cfg.events_max, self.rng, key=_notification_key
             )
         self.event_ids: Union[FifoEventIdBuffer, CompactEventIdDigest]
         if cfg.compact_event_ids:
@@ -297,11 +304,18 @@ class LpbcastNode:
             for event_id in gossip.event_ids:
                 if event_id in self.event_ids:
                     continue
-                self._deliver(Notification(event_id, None, now), now)
+                # The synthetic notification stands in for a payload this
+                # node never received: it must not enter the retransmission
+                # archive, or a later retransmission / push-back could serve
+                # a ``payload=None`` ghost in place of the real event.
+                self._deliver(Notification(event_id, None, now), now,
+                              archivable=False)
 
-    def _deliver(self, notification: Notification, now: float) -> None:
+    def _deliver(self, notification: Notification, now: float,
+                 archivable: bool = True) -> None:
         """LPB-DELIVER: hand the notification to the application and record
-        its id (bounded, oldest-drop)."""
+        its id (bounded, oldest-drop).  ``archivable=False`` marks synthetic
+        digest-implied deliveries, which carry no payload worth serving."""
         self.stats.delivered += 1
         for listener in self._listeners:
             listener(self.pid, notification, now)
@@ -310,7 +324,7 @@ class LpbcastNode:
         else:
             evicted = self.event_ids.add(notification.event_id)
             self.stats.event_ids_evicted += len(evicted)
-        if self.config.retransmissions or self.config.push_back:
+        if archivable and (self.config.retransmissions or self.config.push_back):
             self.archive.add(notification)
 
     def _stage_for_forwarding(self, notification: Notification) -> None:
@@ -352,12 +366,17 @@ class LpbcastNode:
 
         # Sec. 6.1: gossiping membership information more often than events
         # brings views closer to uniform.  Boost gossips carry membership
-        # only, to freshly drawn targets.
-        for _ in range(cfg.membership_boost):
-            boost = self._build_gossip(now, include_membership=True,
-                                       membership_only=True)
-            for target in self.membership.gossip_targets(cfg.fanout):
-                out.append(Outgoing(target, boost))
+        # only, to freshly drawn targets, and count against ``gossips_sent``
+        # exactly like the regular emission — they are real wire traffic.
+        if len(self.view) > 0:
+            for _ in range(cfg.membership_boost):
+                boost = self._build_gossip(now, include_membership=True,
+                                           membership_only=True)
+                boost_targets = self.membership.gossip_targets(cfg.fanout)
+                for target in boost_targets:
+                    out.append(Outgoing(target, boost))
+                if boost_targets:
+                    self.stats.gossips_sent += 1
         return out
 
     def _build_gossip(

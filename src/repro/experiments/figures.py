@@ -36,7 +36,9 @@ from ..sim import (
     BroadcastWorkload,
     NetworkModel,
     RoundSimulation,
+    ShardedRoundSimulation,
     build_lpbcast_nodes,
+    create_simulation,
     uniform_latency,
 )
 
@@ -56,23 +58,37 @@ def lpbcast_infection_curve(
     rounds: int = 10,
     loss_rate: float = EPSILON,
     config_overrides: Dict = None,
+    engine: str = "serial",
+    shards: int = None,
 ) -> List[int]:
-    """One dissemination run; returns the per-round infected counts."""
+    """One dissemination run; returns the per-round infected counts.
+
+    ``engine`` selects the round engine (``"serial"`` or ``"sharded"``,
+    see :func:`repro.sim.create_simulation`); the curve is identical for
+    either — sharding only changes the wall clock at large ``n``.
+    """
     overrides = dict(fanout=fanout, view_max=l)
     if config_overrides:
         overrides.update(config_overrides)
     cfg = LpbcastConfig(**overrides)
     nodes = build_lpbcast_nodes(n, cfg, seed=seed)
-    sim = RoundSimulation(
-        NetworkModel(loss_rate=loss_rate, rng=random.Random(seed + 7919)),
+    sim = create_simulation(
+        engine,
+        network=NetworkModel(loss_rate=loss_rate,
+                             rng=random.Random(seed + 7919)),
         seed=seed,
+        shards=shards,
     )
-    sim.add_nodes(nodes)
-    log = DeliveryLog().attach(nodes)
-    event = nodes[0].lpb_cast("bench", now=0.0)
-    observer = InfectionObserver(log, event.event_id)
-    sim.add_observer(observer.on_round)
-    sim.run(rounds)
+    try:
+        sim.add_nodes(nodes)
+        log = DeliveryLog().attach(nodes)
+        event = nodes[0].lpb_cast("bench", now=0.0)
+        observer = InfectionObserver(log, event.event_id)
+        sim.add_observer(observer.on_round)
+        sim.run(rounds)
+    finally:
+        if isinstance(sim, ShardedRoundSimulation):
+            sim.close()
     return observer.curve(rounds)
 
 

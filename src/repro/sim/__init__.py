@@ -2,6 +2,10 @@
 
 * :class:`~repro.sim.round_runner.RoundSimulation` — synchronous gossip
   rounds, the setting of the paper's simulations (Sec. 5.1).
+* :class:`~repro.sim.parallel_runner.ShardedRoundSimulation` — the same
+  round semantics executed across multiple worker processes, bit-identical
+  to the serial engine for the same root seed; pick engines with
+  :func:`~repro.sim.parallel_runner.create_simulation`.
 * :class:`~repro.sim.async_runner.AsyncGossipRuntime` — non-synchronized
   periodic gossips over a discrete-event kernel, standing in for the
   paper's 125-workstation testbed (Sec. 5.2).
@@ -25,6 +29,13 @@ from .network import (
     partition_filter,
     uniform_latency,
 )
+from .parallel_runner import (
+    DEFAULT_SHARDS,
+    ENGINES,
+    NodeProxy,
+    ShardedRoundSimulation,
+    create_simulation,
+)
 from .round_runner import GossipProcess, RoundSimulation
 from .rng import SeedSequence, derive_rng, derive_seed
 from .scenarios import (
@@ -47,6 +58,9 @@ __all__ = [
     "correlated_crashes",
     "CrashEvent",
     "CrashPlan",
+    "create_simulation",
+    "DEFAULT_SHARDS",
+    "ENGINES",
     "flaky_wan",
     "flash_crowd",
     "mass_departure",
@@ -58,6 +72,7 @@ __all__ = [
     "exponential_latency",
     "GossipProcess",
     "NetworkModel",
+    "NodeProxy",
     "PAPER_CRASH_RATE",
     "PAPER_LOSS_RATE",
     "partition_filter",
@@ -65,6 +80,7 @@ __all__ = [
     "PublicationRecord",
     "RoundSimulation",
     "SeedSequence",
+    "ShardedRoundSimulation",
     "Simulator",
     "uniform_latency",
     "uniform_random_views",

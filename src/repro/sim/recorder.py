@@ -39,7 +39,15 @@ class RunRecorder:
             self.stream.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def snapshot(self, sim, round_number: int) -> Dict:
-        alive = [n for n in self.nodes if sim.alive(n.pid)]
+        # Engines that run nodes out-of-process (the sharded engine) expose
+        # refresh_nodes(); pull current replicas, then read through the
+        # engine's own handles so swapped nodes (proxies) are honored.
+        refresh = getattr(sim, "refresh_nodes", None)
+        if refresh is not None:
+            refresh()
+        alive = [
+            sim.nodes.get(n.pid, n) for n in self.nodes if sim.alive(n.pid)
+        ]
         record: Dict = {
             "round": round_number,
             "alive": len(alive),

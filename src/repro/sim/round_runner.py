@@ -83,7 +83,12 @@ class RoundSimulation:
         self.crashed: set = set()
         self.round = 0
         self.messages_delivered = 0
+        #: Messages addressed to a process that fail-stopped (Sec. 4.1).
         self.messages_to_crashed = 0
+        #: Messages addressed to a process this simulation never knew about
+        #: (e.g. a stale view entry for a process that was never added) —
+        #: distinct from crashes, which are fail-stops of known processes.
+        self.messages_to_unknown = 0
         self._carryover: List[Tuple[ProcessId, Outgoing]] = []
         self._hooks: List[RoundHook] = []
         self._observers: List[RoundObserver] = []
@@ -183,21 +188,37 @@ class RoundSimulation:
         raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")
 
     # -- delivery ----------------------------------------------------------
+    def _admit(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Decide whether one message survives to delivery, updating the
+        accounting counters and consuming the network stream.
+
+        The sender check comes first: a message from a process that crashed
+        earlier in the round was never sent, so it must not count against
+        the destination (or consume a network-loss draw).  Unknown and
+        crashed destinations are counted separately — conflating them hides
+        stale-view traffic behind the crash counter.
+        """
+        if src in self.crashed:
+            return False  # the sender crashed earlier this round
+        if dst not in self.nodes:
+            self.messages_to_unknown += 1
+            return False
+        if dst in self.crashed:
+            self.messages_to_crashed += 1
+            return False
+        if not self.network.deliverable(src, dst):
+            return False
+        self.messages_delivered += 1
+        return True
+
     def _deliver(
         self, src: ProcessId, out: Outgoing, now: float
     ) -> List[Tuple[ProcessId, Outgoing]]:
         dst = out.destination
-        target = self.nodes.get(dst)
-        if target is None or dst in self.crashed:
-            self.messages_to_crashed += 1
+        if not self._admit(src, dst):
             return []
-        if src in self.crashed:
-            return []  # the sender crashed earlier this round
-        if not self.network.deliverable(src, dst):
-            return []
-        self.messages_delivered += 1
         try:
-            replies = target.handle_message(src, out.message, now)
+            replies = self.nodes[dst].handle_message(src, out.message, now)
         except Exception as exc:
             self._handle_node_error(dst, "handle_message", exc)
             return []

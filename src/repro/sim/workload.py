@@ -75,14 +75,22 @@ class BroadcastWorkload:
 
     # -- round-runner integration ------------------------------------------
     def on_round(self, round_number: int, sim) -> None:
-        """RoundHook: publish on every alive publisher in the window."""
+        """RoundHook: publish on every alive publisher in the window.
+
+        Publishers may be node objects or bare process ids; either way the
+        publish target is re-resolved through ``sim.nodes`` at hook time, so
+        the workload stays valid when an engine replaces its node handles
+        (the sharded engine swaps real nodes for proxies at start).
+        """
         if not self._active(round_number):
             return
         now = float(round_number)
-        for node in self.publishers:
-            if not sim.alive(node.pid):
+        for publisher in self.publishers:
+            pid = publisher if isinstance(publisher, int) else publisher.pid
+            if not sim.alive(pid):
                 continue
-            self._publish_batch(node, now)
+            node = sim.nodes.get(pid, publisher)
+            self._publish_batch(node, pid, now)
 
     # -- async-runtime integration ------------------------------------------
     def on_tick(self, pid: ProcessId, now: float) -> None:
@@ -92,7 +100,7 @@ class BroadcastWorkload:
             return
         for node in self.publishers:
             if node.pid == pid:
-                self._publish_batch(node, now)
+                self._publish_batch(node, pid, now)
                 return
 
     def _active(self, at: float) -> bool:
@@ -100,11 +108,11 @@ class BroadcastWorkload:
             return False
         return self.stop is None or at < self.stop
 
-    def _publish_batch(self, node, now: float) -> None:
+    def _publish_batch(self, node, pid: ProcessId, now: float) -> None:
         for _ in range(self.events_per_round):
             notification = self.publish_fn(node, now)
             self.records.append(
-                PublicationRecord(notification.event_id, node.pid, now)
+                PublicationRecord(notification.event_id, pid, now)
             )
 
     # -- queries -------------------------------------------------------------

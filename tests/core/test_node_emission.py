@@ -100,6 +100,18 @@ class TestMembershipFrequency:
         out = tick_gossips(node)
         assert all(7 in o.message.subs for o in out)
 
+    def test_boost_gossips_counted_as_sent(self):
+        # Boost emissions are real wire traffic: each boost batch increments
+        # gossips_sent exactly like the regular per-tick emission.
+        node = make_node(view=(1, 2, 3, 4, 5), fanout=2, membership_boost=2)
+        tick_gossips(node)
+        assert node.stats.gossips_sent == 3  # 1 regular + 2 boost batches
+
+    def test_boost_with_empty_view_sends_nothing(self):
+        node = make_node(view=(), membership_boost=3)
+        assert node.on_tick(1.0) == []
+        assert node.stats.gossips_sent == 0
+
 
 class TestWeightedSubsConstruction:
     def test_weighted_payload_includes_low_weight_view_entries(self):

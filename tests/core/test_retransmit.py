@@ -158,3 +158,39 @@ class TestNodeRetransmissionFlow:
         node.on_gossip(gossip(sender=5, events=(n,)), now=1.0)
         out = node.on_gossip(gossip(sender=5, event_ids=(n.event_id,)), now=2.0)
         assert out == []
+
+
+class TestArchiveGhosts:
+    """Digest-implied deliveries carry no payload and must never enter the
+    retransmission archive — an archived ``payload=None`` ghost would later
+    be served in place of the real event."""
+
+    def make_hybrid_node(self):
+        # digest_implies_delivery and the archive-backed features are
+        # mutually exclusive at the config layer; force the combination to
+        # pin down the node-level guard independently of that validation.
+        node = make_node(view=(1,), retransmissions=True,
+                         digest_implies_delivery=False)
+        object.__setattr__(node.config, "digest_implies_delivery", True)
+        return node
+
+    def test_digest_implied_delivery_not_archived(self):
+        node = self.make_hybrid_node()
+        eid = EventId(9, 1)
+        node.on_gossip(gossip(sender=5, event_ids=(eid,)), now=1.0)
+        assert node.has_delivered(eid)   # the digest counted as a delivery
+        assert eid not in node.archive   # but no ghost was archived
+
+    def test_real_payload_still_archived(self):
+        node = self.make_hybrid_node()
+        n = notification(9, 2, payload="data")
+        node.on_gossip(gossip(sender=5, events=(n,)), now=1.0)
+        assert n.event_id in node.archive
+        assert node.archive.get(n.event_id).payload == "data"
+
+    def test_ghost_never_served(self):
+        node = self.make_hybrid_node()
+        eid = EventId(9, 3)
+        node.on_gossip(gossip(sender=5, event_ids=(eid,)), now=1.0)
+        out = node.on_retransmit_request(RetransmitRequest(1, (eid,)), now=2.0)
+        assert out == []  # nothing to serve: the payload was never received

@@ -1,0 +1,259 @@
+"""Tests for the sharded multi-process round engine.
+
+The headline property is *bit-for-bit equivalence*: for the same root seed,
+the sharded engine must reproduce the serial engine's delivery trace,
+per-round accounting and final node statistics exactly — under loss,
+crashes, churn and mid-run publication.  The remaining tests cover the
+engine surface (proxies, tethering, collect, error modes, the factory).
+"""
+
+import random
+
+import pytest
+
+from repro.core import LpbcastConfig, LpbcastNode
+from repro.core.message import Outgoing
+from repro.metrics import DeliveryLog
+from repro.sim import (
+    BroadcastWorkload,
+    CrashPlan,
+    NetworkModel,
+    NodeProxy,
+    RoundSimulation,
+    ShardedRoundSimulation,
+    build_lpbcast_nodes,
+    create_simulation,
+)
+
+CFG = LpbcastConfig(fanout=3, view_max=8, events_max=25, event_ids_max=50)
+
+
+class Echo:
+    """Minimal protocol node: forwards a counter to a fixed peer each tick."""
+
+    def __init__(self, pid, peer):
+        self.pid = pid
+        self.peer = peer
+        self.received = []
+        self.sent = 0
+
+    def on_tick(self, now):
+        self.sent += 1
+        return [Outgoing(self.peer, ("tick", self.pid, now))]
+
+    def handle_message(self, sender, message, now):
+        self.received.append((sender, message))
+        return []
+
+
+def lpbcast_run(engine, shards=None, n=40, rounds=10, seed=11, churn=True):
+    """One full scenario (loss + crash plan + workload + churn); returns
+    everything two engines must agree on."""
+    network = NetworkModel(loss_rate=0.05, rng=random.Random(99))
+    sim = create_simulation(engine, network=network, seed=seed, shards=shards)
+    nodes = build_lpbcast_nodes(n, CFG, seed=seed)
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    workload = BroadcastWorkload([node.pid for node in nodes[:4]],
+                                 events_per_round=2, start=1, stop=rounds - 2)
+    sim.add_round_hook(workload.on_round)
+    plan = CrashPlan(range(1, n + 1), crash_rate=0.05, horizon=rounds / 2,
+                     rng=random.Random(5))
+    sim.use_crash_plan(plan)
+
+    if churn:
+        def churn_hook(round_number, s):
+            if round_number == 4:
+                newcomer = LpbcastNode(pid=9999, config=CFG,
+                                       rng=random.Random(4242))
+                s.add_node(newcomer)
+                s.inject(9999, newcomer.start_join(1, float(round_number)))
+            if round_number == rounds - 3 and s.alive(2):
+                s.nodes[2].try_unsubscribe(float(round_number))
+
+        sim.add_round_hook(churn_hook)
+
+    per_round = []
+    sim.add_observer(lambda r, s: per_round.append((
+        r, s.messages_delivered, s.messages_to_crashed,
+        s.messages_to_unknown, s.network.messages_offered,
+        s.network.messages_dropped,
+    )))
+    sim.run(rounds)
+    if isinstance(sim, ShardedRoundSimulation):
+        sim.collect()
+    stats = {
+        pid: (node.stats.delivered, node.stats.gossips_sent,
+              node.stats.duplicates, node.stats.events_dropped,
+              node.stats.event_ids_evicted)
+        for pid, node in sim.nodes.items()
+    }
+    trace = sorted(
+        (pid, event_id, at)
+        for (pid, event_id), at in log._first_delivery_time.items()
+    )
+    return stats, trace, per_round, sorted(sim.crashed), len(workload.records)
+
+
+class TestEquivalence:
+    def test_bit_identical_delivery_trace_and_stats(self):
+        serial = lpbcast_run("serial")
+        sharded = lpbcast_run("sharded", shards=3)
+        stats_s, trace_s, rounds_s, crashed_s, published_s = serial
+        stats_p, trace_p, rounds_p, crashed_p, published_p = sharded
+        assert trace_p == trace_s          # every (pid, event, time) triple
+        assert stats_p == stats_s          # final per-node statistics
+        assert rounds_p == rounds_s        # per-round delivery/loss counters
+        assert crashed_p == crashed_s
+        assert published_p == published_s
+
+    def test_shard_count_does_not_change_the_run(self):
+        one = lpbcast_run("sharded", shards=1, churn=False, rounds=6)
+        four = lpbcast_run("sharded", shards=4, churn=False, rounds=6)
+        assert one == four
+
+    def test_different_seeds_differ(self):
+        a = lpbcast_run("sharded", shards=2, churn=False, rounds=6, seed=1)
+        b = lpbcast_run("sharded", shards=2, churn=False, rounds=6, seed=2)
+        assert a[1] != b[1]
+
+
+class TestSurface:
+    def test_echo_roundtrip_and_collect(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.run(3)
+        nodes = sim.collect()
+        assert nodes[1].sent == 3
+        assert len(nodes[2].received) == 3
+        assert not isinstance(sim.nodes[1], NodeProxy)  # real again
+
+    def test_run_until(self):
+        with ShardedRoundSimulation(shards=2) as sim:
+            sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+            assert sim.run_until(lambda s: s.round >= 4, max_rounds=10) == 4
+
+    def test_inject_prestart_delivered(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.inject(1, [Outgoing(2, "hello")])
+        sim.run_round()
+        nodes = sim.collect()
+        assert (1, "hello") in nodes[2].received
+
+    def test_detached_original_node_is_tethered(self):
+        sim = ShardedRoundSimulation(shards=2)
+        nodes = build_lpbcast_nodes(4, CFG, seed=0)
+        sim.add_nodes(nodes)
+        sim.run_round()  # starts the engine, ships the nodes
+        with pytest.raises(RuntimeError, match="lives in a shard"):
+            nodes[0].lpb_cast("late", now=1.0)
+        sim.close()
+
+    def test_proxy_blocks_engine_driven_entry_points(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes(build_lpbcast_nodes(4, CFG, seed=0))
+        sim.run_round()
+        proxy = sim.nodes[1]
+        assert isinstance(proxy, NodeProxy)
+        with pytest.raises(RuntimeError):
+            proxy.on_tick(2.0)
+        with pytest.raises(RuntimeError):
+            proxy.handle_message(2, object(), 2.0)
+        sim.close()
+
+    def test_proxy_reads_refresh(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes(build_lpbcast_nodes(6, CFG, seed=3))
+        sim.nodes[1].lpb_cast("x", now=0.0)  # pre-start: real node
+        sim.run(2)
+        before = sim.nodes[1].stats.gossips_sent  # stale replica
+        sim.refresh_nodes()
+        after = sim.nodes[1].stats.gossips_sent
+        assert after >= before
+        assert after >= 1
+        sim.close()
+
+    def test_collect_reattaches_listeners(self):
+        sim = ShardedRoundSimulation(shards=2)
+        nodes = build_lpbcast_nodes(6, CFG, seed=3)
+        sim.add_nodes(nodes)
+        log = DeliveryLog().attach(nodes)
+        nodes[0].lpb_cast("x", now=0.0)
+        sim.run(3)
+        collected = sim.collect()
+        assert log.on_delivery in collected[0]._listeners
+        # post-collect deliveries reach the same log again
+        n_before = log.total_deliveries
+        collected[0].lpb_cast("y", now=4.0)
+        assert log.total_deliveries == n_before + 1
+
+    def test_mid_run_listener_attach(self):
+        sim = ShardedRoundSimulation(shards=2)
+        nodes = build_lpbcast_nodes(6, CFG, seed=3)
+        sim.add_nodes(nodes)
+        sim.run_round()
+        seen = []
+        sim.nodes[1].add_delivery_listener(
+            lambda pid, notification, now: seen.append(notification.event_id))
+        sim.nodes[2].lpb_cast("x", now=1.0)
+        sim.run(4)
+        sim.close()
+        assert seen  # gossip reached pid 1 and the late listener saw it
+
+    def test_run_round_after_collect_raises(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.run_round()
+        sim.collect()
+        with pytest.raises(RuntimeError):
+            sim.run_round()
+
+    def test_add_node_mid_run_duplicate_rejected(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.run_round()
+        with pytest.raises(ValueError):
+            sim.add_node(Echo(1, 2))
+        sim.close()
+
+
+class TestErrors:
+    class Faulty(Echo):
+        def on_tick(self, now):
+            raise RuntimeError("boom")
+
+    def test_raise_mode_propagates(self):
+        sim = ShardedRoundSimulation(shards=2)
+        sim.add_nodes([self.Faulty(1, 2), Echo(2, 1)])
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_round()
+        sim.close()
+
+    def test_crash_mode_fail_stops_the_node(self):
+        sim = ShardedRoundSimulation(shards=2, on_node_error="crash")
+        sim.add_nodes([self.Faulty(1, 2), Echo(2, 1)])
+        sim.run(2)
+        assert not sim.alive(1)
+        assert sim.alive(2)
+        assert sim.node_errors and sim.node_errors[0][0] == 1
+        sim.close()
+
+
+class TestFactory:
+    def test_serial_engine(self):
+        sim = create_simulation("serial", seed=3)
+        assert type(sim) is RoundSimulation
+
+    def test_sharded_engine(self):
+        sim = create_simulation("sharded", seed=3, shards=2)
+        assert isinstance(sim, ShardedRoundSimulation)
+        assert sim.shards == 2
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            create_simulation("quantum")
+
+    def test_nonpositive_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRoundSimulation(shards=0)

@@ -54,7 +54,8 @@ class TestBasics:
         a = Echo(1, 99)
         sim.add_node(a)
         sim.run_round()
-        assert sim.messages_to_crashed == 1
+        assert sim.messages_to_unknown == 1
+        assert sim.messages_to_crashed == 0  # 99 never existed: not a crash
 
     def test_loss_applied(self):
         net = NetworkModel(loss_rate=1.0, rng=random.Random(0))
@@ -63,6 +64,42 @@ class TestBasics:
         sim.add_nodes([a, b])
         sim.run(3)
         assert a.received == [] and b.received == []
+
+
+class TestAdmissionAccounting:
+    def test_message_to_crashed_destination_counted_as_crashed(self):
+        sim = RoundSimulation()
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.crash(2)
+        sim.run_round()
+        assert sim.messages_to_crashed == 1   # 1 -> 2 (crashed, known)
+        assert sim.messages_to_unknown == 0
+        assert sim.messages_delivered == 0
+
+    def test_crashed_sender_consumes_no_network_draws(self):
+        # A message "from" a crashed process was never sent: it must not
+        # count against any destination counter nor touch the loss model.
+        sim = RoundSimulation()
+        sim.add_nodes([Echo(1, 2), Echo(2, 1)])
+        sim.inject(1, [Outgoing(2, "late")])
+        sim.crash(1)
+        sim.run_round()  # only 2 -> 1 survives admission
+        assert sim.messages_to_crashed == 1   # 2 -> 1 hits the crashed node
+        assert sim.network.messages_offered == 0
+        assert sim.messages_delivered == 0
+
+    def test_unknown_and_crashed_counted_separately(self):
+        sim = RoundSimulation()
+
+        class Fanning(Echo):
+            def on_tick(self, now):
+                return [Outgoing(2, "a"), Outgoing(99, "b")]
+
+        sim.add_nodes([Fanning(1, 2), Echo(2, 1)])
+        sim.crash(2)
+        sim.run_round()
+        assert sim.messages_to_crashed == 1   # 1 -> 2
+        assert sim.messages_to_unknown == 1   # 1 -> 99 (never existed)
 
 
 class TestCrashes:
