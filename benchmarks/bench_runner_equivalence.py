@@ -110,7 +110,7 @@ EQ_N = 500
 EQ_ROUNDS = 30
 
 
-def _engine_trace(engine: str, seed: int, shards=None):
+def _engine_trace(engine: str, seed: int, shards=None, fault_plan=None):
     """Run the standard workload scenario and return every observable the
     two engines must agree on, including the full delivery trace."""
     cfg = LpbcastConfig(fanout=3, view_max=20, events_max=30,
@@ -121,6 +121,8 @@ def _engine_trace(engine: str, seed: int, shards=None):
     nodes = build_lpbcast_nodes(EQ_N, cfg, seed=seed)
     sim.add_nodes(nodes)
     log = DeliveryLog().attach(nodes)
+    if fault_plan is not None:
+        sim.use_fault_plan(fault_plan)
     workload = BroadcastWorkload([n.pid for n in nodes[:3]],
                                  events_per_round=1, start=1,
                                  stop=EQ_ROUNDS - 10)
@@ -169,3 +171,46 @@ def test_sharded_engine_bit_identical(benchmark):
     assert stats_p == stats_s, "node statistics diverged"
     assert rounds_p == rounds_s, "per-round counters diverged"
     assert len(trace_s) > EQ_N  # the epidemic actually spread
+
+
+def _chaos_plan():
+    from repro.faults import FaultPlan
+
+    return (
+        FaultPlan()
+        .drop(0.1, start=2, stop=EQ_ROUNDS)
+        .partition(range(0, EQ_N // 5), range(EQ_N // 5, EQ_N),
+                   start=6, heal=14)
+        .crash(4, at=5, recover_at=18)
+        .crash(11, at=9)
+    )
+
+
+def test_sharded_engine_bit_identical_under_faults(benchmark):
+    """Acceptance: one FaultPlan combining drop + partition-with-heal +
+    crash-with-recovery produces identical delivery outcomes on the serial
+    and sharded engines for the same seed."""
+    def compute():
+        plan = _chaos_plan()
+        serial = _engine_trace("serial", seed=23, fault_plan=plan)
+        sharded = _engine_trace("sharded", seed=23, shards=2,
+                                fault_plan=_chaos_plan())
+        return serial, sharded
+
+    serial, sharded = benchmark.pedantic(compute, rounds=1, iterations=1)
+    trace_s, stats_s, rounds_s = serial
+    trace_p, stats_p, rounds_p = sharded
+    print()
+    print(format_table(
+        ["engine", "deliveries", "distinct (pid, event) pairs"],
+        [
+            ["serial + faults", rounds_s[-1][1], len(trace_s)],
+            ["sharded (2 shards) + faults", rounds_p[-1][1], len(trace_p)],
+        ],
+        title=f"Engine equivalence under faults, n={EQ_N}, "
+              f"{EQ_ROUNDS} rounds, plan: {_chaos_plan().describe()}",
+    ))
+    assert trace_p == trace_s, "delivery traces diverged under faults"
+    assert stats_p == stats_s, "node statistics diverged under faults"
+    assert rounds_p == rounds_s, "per-round counters diverged under faults"
+    assert len(trace_s) > EQ_N  # chaos notwithstanding, the epidemic spread

@@ -11,6 +11,9 @@ Commands
     "tool to tune the algorithm").
 ``analyze N``
     Print the analytical quantities (Eqs. 1-5) for a system size.
+``chaos``
+    Soak seeded scenarios under random fault plans with live invariant
+    monitoring; exits non-zero if any safety invariant was violated.
 """
 
 from __future__ import annotations
@@ -195,6 +198,25 @@ def _cmd_validate_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import PRESET_NAMES, format_soak_report, run_chaos_soak
+
+    presets = args.preset if args.preset else list(PRESET_NAMES)
+    results = run_chaos_soak(
+        scenarios=args.scenarios,
+        n=args.n,
+        rounds=args.rounds,
+        seed=args.seed,
+        intensity=args.intensity,
+        presets=presets,
+    )
+    print(f"chaos soak: {args.scenarios} scenario(s), n={args.n}, "
+          f"rounds={args.rounds}, seed={args.seed}, "
+          f"intensity={args.intensity}")
+    print(format_soak_report(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -272,6 +294,29 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--trials", type=int, default=5000)
     validate.add_argument("--seed", type=int, default=0)
     validate.set_defaults(fn=_cmd_validate_partition)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="soak seeded scenarios under random fault plans with live "
+             "invariant checks (exit 1 on any violation)",
+    )
+    chaos.add_argument("--scenarios", type=_positive_int, default=10,
+                       help="number of seeded chaos runs")
+    chaos.add_argument("-n", type=int, default=40, help="system size per run")
+    chaos.add_argument("--rounds", type=_positive_int, default=50)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="root seed; every run derives from it and its "
+                            "index, so reports are replayable")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="fault-plan harshness multiplier")
+    chaos.add_argument(
+        "--preset", action="append", default=None,
+        choices=["steady_state", "flash_crowd", "mass_departure",
+                 "correlated_crashes", "flaky_wan"],
+        help="restrict to specific scenario presets (repeatable; "
+             "default: cycle through all)",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -211,6 +211,10 @@ def decode_message(data: dict) -> object:
     if not isinstance(data, dict) or "@" not in data:
         raise CodecError(f"not a tagged message: {data!r}")
     tag = data["@"]
+    if not isinstance(tag, str):
+        # An unhashable or non-string tag (e.g. {"@": []}) must be a codec
+        # error, not a TypeError from the registry lookup.
+        raise CodecError(f"invalid message tag {tag!r}")
     if tag == "te":
         from ..pubsub.peer import TopicEnvelope
         try:

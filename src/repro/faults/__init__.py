@@ -1,0 +1,54 @@
+"""Unified deterministic fault injection and invariant monitoring.
+
+One :class:`FaultPlan` describes a hostile episode (drops, duplicates, delay
+spikes, partitions with heal, crash-with-recovery, slow nodes); the same
+plan wires into every engine — ``sim.use_fault_plan(plan)`` on the serial
+and sharded round engines (bit-identical runs for the same root seed),
+``runtime.use_fault_plan(plan)`` on the async runtime, and
+:class:`DatagramFaultInjector` at the UDP send boundary.
+:class:`InvariantMonitor` checks the paper's safety properties live while
+the chaos plays out, and :mod:`repro.faults.chaos` soaks seeded scenarios.
+"""
+
+from .chaos import (
+    PRESET_NAMES,
+    ChaosResult,
+    format_soak_report,
+    run_chaos_scenario,
+    run_chaos_soak,
+)
+from .injector import FaultInjector, FaultVerdict, InjectorStats, RoundActions
+from .invariants import InvariantMonitor, InvariantViolation, Violation
+from .plan import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    PartitionFault,
+    PauseFault,
+)
+from .wire import DatagramFaultInjector
+
+__all__ = [
+    "PRESET_NAMES",
+    "ChaosResult",
+    "CrashFault",
+    "DatagramFaultInjector",
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultVerdict",
+    "InjectorStats",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "PartitionFault",
+    "PauseFault",
+    "RoundActions",
+    "Violation",
+    "format_soak_report",
+    "run_chaos_scenario",
+    "run_chaos_soak",
+]

@@ -1,0 +1,192 @@
+"""Chaos soak harness: seeded scenarios × random fault plans × invariants.
+
+One chaos run composes three layers that already exist separately:
+
+1. a scenario preset from :mod:`repro.sim.scenarios` (steady state, flash
+   crowd, mass departure, correlated crashes, flaky WAN);
+2. a random :class:`~repro.faults.plan.FaultPlan` drawn from the run's seed
+   (drops, duplicates, delay spikes, a partition with heal,
+   crash-with-recovery, slow nodes);
+3. an :class:`~repro.faults.invariants.InvariantMonitor` in collect mode.
+
+The run publishes a workload, rides out the chaos, and reports delivery
+reliability together with the invariant outcome.  *Reliability* is data —
+under a harsh enough plan it may legitimately sag (that is Fig. 6's story);
+*invariants* are the pass/fail signal: safety must hold under any schedule.
+Every result is replayable from ``(preset, n, rounds, seed, intensity)``.
+
+``repro chaos`` (the CLI) drives :func:`run_chaos_soak`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.rng import derive_rng, derive_seed
+from .invariants import InvariantMonitor, Violation
+from .plan import FaultPlan
+
+#: Preset name -> builder accepting (n=..., seed=...); all scenario presets
+#: from repro.sim.scenarios qualify.
+PresetBuilder = Callable[..., object]
+
+
+def _presets() -> Dict[str, PresetBuilder]:
+    from ..sim import scenarios
+
+    return {
+        "steady_state": scenarios.steady_state,
+        "flash_crowd": scenarios.flash_crowd,
+        "mass_departure": scenarios.mass_departure,
+        "correlated_crashes": scenarios.correlated_crashes,
+        "flaky_wan": scenarios.flaky_wan,
+    }
+
+
+PRESET_NAMES = ("steady_state", "flash_crowd", "mass_departure",
+                "correlated_crashes", "flaky_wan")
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos scenario run."""
+
+    preset: str
+    seed: int
+    n: int
+    rounds: int
+    plan_summary: str
+    events_published: int
+    reliability: Optional[float]
+    worst_event_coverage: Optional[float]
+    survivors: int
+    violations: List[Violation] = field(default_factory=list)
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Safety verdict: no invariant violated (reliability is reported,
+        not judged — see the module docstring)."""
+        return not self.violations
+
+    def summary(self) -> str:
+        rel = "n/a" if self.reliability is None else f"{self.reliability:.4f}"
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (f"{self.preset:<20} seed={self.seed:<22} n={self.n} "
+                f"rounds={self.rounds} reliability={rel} "
+                f"survivors={self.survivors} invariants={verdict}")
+
+
+def run_chaos_scenario(
+    preset: str = "steady_state",
+    n: int = 40,
+    rounds: int = 50,
+    seed: int = 0,
+    intensity: float = 1.0,
+    publishes: int = 5,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosResult:
+    """Run one preset under one (random or given) fault plan with live
+    invariant monitoring; fully determined by the arguments."""
+    builders = _presets()
+    if preset not in builders:
+        raise ValueError(f"unknown preset {preset!r}; "
+                         f"expected one of {PRESET_NAMES}")
+    scenario = builders[preset](n=n, seed=seed)
+    sim = scenario.sim
+    pids = [node.pid for node in scenario.nodes]
+
+    if plan is None:
+        plan = FaultPlan.random(pids, horizon=rounds,
+                                rng=derive_rng(seed, "chaos-plan"),
+                                intensity=intensity)
+    injector = sim.use_fault_plan(plan)
+    monitor = InvariantMonitor(mode="collect").attach(sim)
+
+    # Workload: one publish per round for the first ``publishes`` rounds,
+    # from a seeded draw over the processes still able to publish.
+    pub_rng = derive_rng(seed, "chaos-publish")
+    published: List = []
+
+    def publish_hook(round_no: int, s) -> None:
+        if round_no > publishes:
+            return
+        ready = [p for p in pids
+                 if s.alive(p) and p not in s._fault_paused
+                 and not getattr(s.nodes[p], "unsubscribed", False)]
+        if not ready:
+            return
+        pid = ready[pub_rng.randrange(len(ready))]
+        event = s.nodes[pid].lpb_cast(f"chaos-{round_no}", float(round_no))
+        published.append(event.event_id)
+
+    sim.add_round_hook(publish_hook)
+    sim.run(rounds)
+
+    survivors = [p for p in pids if sim.alive(p)
+                 and not getattr(sim.nodes[p], "unsubscribed", False)]
+    reliability = worst = None
+    if published and survivors:
+        from ..metrics.reliability import measure_reliability
+
+        report = measure_reliability(scenario.log, published, survivors)
+        reliability, worst = report.reliability, report.worst_event_coverage
+
+    return ChaosResult(
+        preset=preset,
+        seed=seed,
+        n=n,
+        rounds=rounds,
+        plan_summary=plan.describe(),
+        events_published=len(published),
+        reliability=reliability,
+        worst_event_coverage=worst,
+        survivors=len(survivors),
+        violations=list(monitor.violations),
+        fault_stats=injector.stats.as_dict(),
+    )
+
+
+def run_chaos_soak(
+    scenarios: int = 10,
+    n: int = 40,
+    rounds: int = 50,
+    seed: int = 0,
+    intensity: float = 1.0,
+    presets: Optional[Sequence[str]] = None,
+) -> List[ChaosResult]:
+    """Run ``scenarios`` seeded chaos runs, cycling through ``presets``
+    (default: all of them).  Each run's seed derives from ``seed`` and its
+    index, so any failing line of the report replays in isolation."""
+    chosen = tuple(presets) if presets else PRESET_NAMES
+    results: List[ChaosResult] = []
+    for i in range(scenarios):
+        preset = chosen[i % len(chosen)]
+        run_seed = derive_seed(seed, "chaos-soak", i)
+        results.append(
+            run_chaos_scenario(preset=preset, n=n, rounds=rounds,
+                               seed=run_seed, intensity=intensity)
+        )
+    return results
+
+
+def format_soak_report(results: Sequence[ChaosResult]) -> str:
+    """Multi-line report: one summary line per run, then the verdict and
+    every violation with its replay hint."""
+    lines = [result.summary() for result in results]
+    failures = [r for r in results if not r.ok]
+    total_events = sum(r.events_published for r in results)
+    measured = [r.reliability for r in results if r.reliability is not None]
+    mean_rel = (sum(measured) / len(measured)) if measured else None
+    lines.append(
+        f"-- {len(results)} scenario(s), {total_events} events, "
+        + (f"mean reliability {mean_rel:.4f}, " if mean_rel is not None else "")
+        + f"{len(failures)} with invariant violations"
+    )
+    for result in failures:
+        lines.append(f"FAILED {result.preset} (seed={result.seed}): "
+                     f"plan: {result.plan_summary}")
+        for violation in result.violations:
+            lines.append(f"  {violation}")
+    return "\n".join(lines)

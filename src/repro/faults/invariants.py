@@ -1,0 +1,241 @@
+"""Live monitoring of the paper's safety properties.
+
+The reliability numbers of Sec. 5.2 are only meaningful if the protocol's
+*safety* side holds while they are measured.  :class:`InvariantMonitor`
+attaches to a running round simulation and checks, as the run progresses:
+
+``no-duplicate-delivery``
+    No process LPB-DELIVERs the same event id twice while that id is
+    provably still in its bounded ``eventIds`` buffer.  The buffer is FIFO
+    with capacity ``|eventIds|_m``, so a second delivery fewer than
+    ``|eventIds|_m`` deliveries after the first cannot be explained by
+    eviction — it is a duplicate-suppression bug.  Re-deliveries *after* the
+    id may have been evicted are legitimate (bounded memory is the paper's
+    explicit trade-off) and reset the baseline instead.
+``buffer-bounds``
+    ``|view| ≤ l``, ``|subs| ≤ |subs|_m``, ``|unSubs| ≤ |unSubs|_m``,
+    ``|events| ≤ |events|_m`` and ``|eventIds| ≤ |eventIds|_m`` after every
+    round.
+``view-excludes-owner``
+    A process never holds itself in its own view (Sec. 3.2's views are over
+    *other* processes).
+``unsub-expiry``
+    No buffered unsubscription older than the unsubscription TTL survives a
+    node's purge (Sec. 3.4: timestamps "limit the subsistence of obsolete
+    unsubscriptions").
+``crashed-silence``
+    A fail-stopped process emits no gossip and delivers nothing (Sec. 4.1's
+    crash model).
+
+Violations carry the run's root seed and round, so every report is
+replayable: rebuild the same scenario with the same seed and the violation
+reappears at the same round.
+
+Engine notes: delivery-level checks (``no-duplicate-delivery``,
+crashed-delivery) ride the delivery-listener path and work on every engine,
+including the sharded one.  Node-state checks read node buffers each round;
+on the sharded engine those reads see the last synced replica, so they are
+only exercised when the caller refreshes replicas (serial runs check every
+round for free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ids import EventId, ProcessId
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    pid: Optional[ProcessId]
+    round: int
+    seed: Optional[int]
+    detail: str
+
+    def replay_hint(self) -> str:
+        seed = "?" if self.seed is None else self.seed
+        return f"replay with seed={seed}, violated at round {self.round}"
+
+    def __str__(self) -> str:
+        who = "" if self.pid is None else f" process {self.pid}"
+        return (f"[{self.invariant}]{who} at round {self.round}: "
+                f"{self.detail} ({self.replay_hint()})")
+
+
+class InvariantViolation(AssertionError):
+    """Raised in ``mode="raise"`` the moment an invariant breaks."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+@dataclass
+class InvariantMonitor:
+    """Attachable safety-property checker for round simulations.
+
+    >>> sim, nodes, log = ...  # any wired system
+    >>> monitor = InvariantMonitor(mode="collect").attach(sim)
+    >>> sim.run(200)
+    >>> assert not monitor.violations, monitor.report()
+
+    ``mode="raise"`` (default) raises :class:`InvariantViolation` at the
+    first breach; ``mode="collect"`` accumulates into ``violations``.
+    """
+
+    mode: str = "raise"
+    seed: Optional[int] = None
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "collect"):
+            raise ValueError("mode must be 'raise' or 'collect'")
+        self._sim = None
+        # (pid, event id) -> per-pid delivery counter at last delivery.
+        self._last_seen: Dict[Tuple[ProcessId, EventId], int] = {}
+        self._delivery_count: Dict[ProcessId, int] = {}
+        self._id_window: Dict[ProcessId, int] = {}
+        # pid -> gossips_sent observed when the crash was first seen.
+        self._gossip_baseline: Dict[ProcessId, int] = {}
+
+    # -- wiring --------------------------------------------------------------
+    def attach(self, sim) -> "InvariantMonitor":
+        """Register on every current node and on the round loop of ``sim``
+        (a :class:`~repro.sim.round_runner.RoundSimulation` or subclass)."""
+        self._sim = sim
+        if self.seed is None:
+            seeds = getattr(sim, "seeds", None)
+            self.seed = getattr(seeds, "root_seed", None)
+        for pid, node in sim.nodes.items():
+            self.watch_node(pid, node)
+        sim.add_observer(self._on_round)
+        return self
+
+    def watch_node(self, pid: ProcessId, node) -> None:
+        """Hook one node's delivery stream (call for nodes added later)."""
+        if hasattr(node, "add_delivery_listener"):
+            node.add_delivery_listener(self._on_delivery)
+        window = getattr(getattr(node, "config", None), "event_ids_max", None)
+        if window is not None:
+            self._id_window[pid] = window
+
+    # -- delivery-path checks ------------------------------------------------
+    def _on_delivery(self, pid: ProcessId, notification, now: float) -> None:
+        count = self._delivery_count.get(pid, 0) + 1
+        self._delivery_count[pid] = count
+        sim = self._sim
+
+        if (sim is not None and pid in sim.crashed
+                and getattr(sim, "on_node_error", "raise") != "crash"):
+            # Round-start fail-stops must silence a process completely; with
+            # on_node_error="crash" a node can legitimately deliver earlier
+            # in the round it error-crashes, so the check is skipped there.
+            self._flag("crashed-silence", pid,
+                       f"crashed process delivered {notification!r}")
+
+        key = (pid, notification.event_id)
+        first = self._last_seen.get(key)
+        window = self._id_window.get(pid)
+        if first is not None and window is not None:
+            if count - first < window:
+                self._flag(
+                    "no-duplicate-delivery", pid,
+                    f"event {notification.event_id} delivered again after "
+                    f"{count - first} deliveries — inside the |eventIds|m="
+                    f"{window} window, so it cannot have been evicted",
+                )
+        self._last_seen[key] = count
+
+    # -- round-path checks ---------------------------------------------------
+    def _on_round(self, round_no: int, sim) -> None:
+        self.checks_run += 1
+        paused = getattr(sim, "_fault_paused", frozenset())
+        for pid, node in sim.nodes.items():
+            if pid in sim.crashed:
+                self._check_crashed_silent(pid, node)
+                continue
+            self._gossip_baseline.pop(pid, None)  # recovered: re-arm later
+            try:
+                self._check_node_state(pid, node, round_no,
+                                       skip_purge_checks=pid in paused)
+            except AttributeError:
+                # Sharded proxy without a fresh replica (or a non-lpbcast
+                # node type): state is unreadable here, not wrong.
+                continue
+
+    def _check_crashed_silent(self, pid: ProcessId, node) -> None:
+        try:
+            sent = node.stats.gossips_sent
+        except AttributeError:
+            return
+        baseline = self._gossip_baseline.get(pid)
+        if baseline is None:
+            self._gossip_baseline[pid] = sent
+        elif sent > baseline:
+            self._flag("crashed-silence", pid,
+                       f"gossips_sent advanced {baseline} -> {sent} after "
+                       f"the fail-stop")
+
+    def _check_node_state(self, pid: ProcessId, node, round_no: int,
+                          skip_purge_checks: bool) -> None:
+        cfg = node.config
+        for label, buf, bound in (
+            ("view", node.view, cfg.view_max),
+            ("subs", node.subs, cfg.subs_max),
+            ("unsubs", node.unsubs, cfg.unsubs_max),
+            ("events", node.events, cfg.events_max),
+            ("event_ids", node.event_ids, cfg.event_ids_max),
+        ):
+            try:
+                size = len(buf)
+            except TypeError:
+                continue  # e.g. the compact digest is bounded structurally
+            if size > bound:
+                self._flag("buffer-bounds", pid,
+                           f"|{label}| = {size} exceeds its bound {bound}")
+
+        if pid in node.view:
+            self._flag("view-excludes-owner", pid,
+                       "the process holds itself in its own view")
+
+        if not skip_purge_checks:
+            # The node ticked (and purged) at now == round_no, and Phase I
+            # refuses already-obsolete entries, so nothing obsolete at
+            # round_no may remain buffered.  Paused nodes skipped the purge.
+            ttl = cfg.unsub_ttl
+            for unsub in node.unsubs.snapshot():
+                if unsub.is_obsolete(float(round_no), ttl):
+                    self._flag(
+                        "unsub-expiry", pid,
+                        f"unsubscription of {unsub.pid} (t={unsub.timestamp})"
+                        f" outlived its TTL {ttl} at round {round_no}",
+                    )
+
+    # -- reporting -----------------------------------------------------------
+    def _flag(self, invariant: str, pid: Optional[ProcessId],
+              detail: str) -> None:
+        round_no = getattr(self._sim, "round", 0) if self._sim else 0
+        violation = Violation(invariant, pid, round_no, self.seed, detail)
+        self.violations.append(violation)
+        if self.mode == "raise":
+            raise InvariantViolation(violation)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        """Human-readable summary, one line per violation."""
+        if not self.violations:
+            return (f"all invariants held "
+                    f"({self.checks_run} round checks, seed={self.seed})")
+        lines = [f"{len(self.violations)} invariant violation(s), "
+                 f"seed={self.seed}:"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)

@@ -1,0 +1,364 @@
+"""Composable, deterministic fault schedules.
+
+The paper's central claim (Sec. 5.2, Fig. 6) is that lpbcast stays reliable
+under message loss, process crashes and membership churn while every buffer
+stays bounded.  A :class:`FaultPlan` is the declarative description of one
+such hostile episode: a set of fault *windows* (expressed in rounds — the
+round engines use them directly, the async runtime maps one round to one
+gossip period) that an engine-side
+:class:`~repro.faults.injector.FaultInjector` applies deterministically from
+a seeded stream, so the same plan + seed replays the same chaos bit-for-bit
+on the serial and the sharded engine.
+
+Fault vocabulary
+----------------
+* :class:`DropFault` — extra i.i.d. message loss on top of the network's ε,
+  optionally scoped to a (src, dst) link.
+* :class:`DuplicateFault` — a message is delivered twice (the duplicate
+  immediately follows the original, exercising duplicate suppression).
+* :class:`DelayFault` — a latency spike: the message is held back a fixed
+  number of rounds and re-enters with the victim round's carryover
+  (reordering it past everything sent in between).
+* :class:`PartitionFault` — a scheduled cut between two process groups,
+  optionally *asymmetric* (one direction only), healing at a given round.
+* :class:`CrashFault` — fail-stop, optionally followed by recovery: the
+  recovered process re-enters through the Sec. 3.3/3.4 membership path by
+  re-subscribing via a contact.
+* :class:`PauseFault` — a slow node: it stops gossiping (no ticks) for a
+  window but keeps receiving, simulating a GC or CPU stall.
+
+All round windows are half-open ``[start, stop)`` and compare against the
+engine's 1-based round counter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.ids import ProcessId
+
+
+def _check_window(start: int, stop: int) -> None:
+    if start < 1:
+        raise ValueError("fault windows start at round 1 or later")
+    if stop <= start:
+        raise ValueError("fault window must be non-empty (stop > start)")
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("fault rate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DropFault:
+    """Extra Bernoulli loss with probability ``rate`` in ``[start, stop)``.
+
+    ``src``/``dst`` of ``None`` match any process; set both to target one
+    directed link.
+    """
+
+    rate: float
+    start: int = 1
+    stop: int = 2 ** 31
+    src: Optional[ProcessId] = None
+    dst: Optional[ProcessId] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+
+    def matches(self, src: ProcessId, dst: ProcessId) -> bool:
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+
+@dataclass(frozen=True)
+class DuplicateFault:
+    """Deliver a message twice with probability ``rate`` in ``[start, stop)``."""
+
+    rate: float
+    start: int = 1
+    stop: int = 2 ** 31
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+
+
+@dataclass(frozen=True)
+class DelayFault:
+    """Hold a message back ``delay`` rounds with probability ``rate``."""
+
+    rate: float
+    delay: int = 1
+    start: int = 1
+    stop: int = 2 ** 31
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+        if self.delay < 1:
+            raise ValueError("delay must be at least one round")
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Cut traffic between ``side_a`` and ``side_b`` in ``[start, heal)``.
+
+    ``direction`` selects which crossings are cut: ``"both"`` (symmetric),
+    ``"a-to-b"`` or ``"b-to-a"`` (asymmetric — one side still hears the
+    other, the pathological case for view convergence).  Processes in
+    neither side are unaffected.
+    """
+
+    side_a: Tuple[ProcessId, ...]
+    side_b: Tuple[ProcessId, ...]
+    start: int
+    heal: int
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.heal)
+        if self.direction not in ("both", "a-to-b", "b-to-a"):
+            raise ValueError("direction must be 'both', 'a-to-b' or 'b-to-a'")
+        if set(self.side_a) & set(self.side_b):
+            raise ValueError("partition sides must be disjoint")
+        if not self.side_a or not self.side_b:
+            raise ValueError("both partition sides must be non-empty")
+
+    def blocks(self, src: ProcessId, dst: ProcessId) -> bool:
+        """True when a src→dst message is cut while the partition is up."""
+        src_a, src_b = src in self._a_set(), src in self._b_set()
+        dst_a, dst_b = dst in self._a_set(), dst in self._b_set()
+        a_to_b = src_a and dst_b
+        b_to_a = src_b and dst_a
+        if self.direction == "both":
+            return a_to_b or b_to_a
+        if self.direction == "a-to-b":
+            return a_to_b
+        return b_to_a
+
+    # frozensets cached lazily (dataclass is frozen; use object.__setattr__).
+    def _a_set(self) -> frozenset:
+        cached = self.__dict__.get("_a")
+        if cached is None:
+            cached = frozenset(self.side_a)
+            object.__setattr__(self, "_a", cached)
+        return cached
+
+    def _b_set(self) -> frozenset:
+        cached = self.__dict__.get("_b")
+        if cached is None:
+            cached = frozenset(self.side_b)
+            object.__setattr__(self, "_b", cached)
+        return cached
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop ``pid`` at round ``at``; optionally recover at
+    ``recover_at``.
+
+    Recovery models a process restart that kept its buffers (a warm
+    restart): the engine removes the fail-stop and the process re-subscribes
+    through ``contact`` via the Sec. 3.4 handshake — or through a contact the
+    injector draws from the processes alive at recovery time when ``contact``
+    is ``None``.
+    """
+
+    pid: ProcessId
+    at: int
+    recover_at: Optional[int] = None
+    contact: Optional[ProcessId] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError("crash round must be >= 1")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError("recover_at must come after the crash round")
+        if self.contact is not None and self.contact == self.pid:
+            raise ValueError("a process cannot re-join through itself")
+
+
+@dataclass(frozen=True)
+class PauseFault:
+    """``pid`` emits no gossip for rounds ``[at, at + duration)``.
+
+    The node keeps receiving and replying — only its periodic tick is
+    suppressed, like a long GC or CPU stall.
+    """
+
+    pid: ProcessId
+    at: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError("pause round must be >= 1")
+        if self.duration < 1:
+            raise ValueError("pause duration must be >= 1 round")
+
+
+@dataclass
+class FaultPlan:
+    """A composable schedule of fault windows.
+
+    Build one fluently::
+
+        plan = (FaultPlan()
+                .drop(rate=0.1, start=2, stop=20)
+                .partition(side_a, side_b, start=5, heal=12,
+                           direction="a-to-b")
+                .crash(7, at=4, recover_at=14, contact=3)
+                .pause(11, at=6, duration=3))
+
+    and install it with ``sim.use_fault_plan(plan)`` (round engines),
+    ``runtime.use_fault_plan(plan)`` (async runtime).  The plan itself is
+    pure data — all randomness lives in the engine-side injector.
+    """
+
+    drops: List[DropFault] = field(default_factory=list)
+    duplicates: List[DuplicateFault] = field(default_factory=list)
+    delays: List[DelayFault] = field(default_factory=list)
+    partitions: List[PartitionFault] = field(default_factory=list)
+    crashes: List[CrashFault] = field(default_factory=list)
+    pauses: List[PauseFault] = field(default_factory=list)
+
+    # -- fluent construction -------------------------------------------------
+    def drop(self, rate: float, start: int = 1, stop: int = 2 ** 31,
+             src: Optional[ProcessId] = None,
+             dst: Optional[ProcessId] = None) -> "FaultPlan":
+        self.drops.append(DropFault(rate, start, stop, src, dst))
+        return self
+
+    def duplicate(self, rate: float, start: int = 1,
+                  stop: int = 2 ** 31) -> "FaultPlan":
+        self.duplicates.append(DuplicateFault(rate, start, stop))
+        return self
+
+    def delay(self, rate: float, delay: int = 1, start: int = 1,
+              stop: int = 2 ** 31) -> "FaultPlan":
+        self.delays.append(DelayFault(rate, delay, start, stop))
+        return self
+
+    def partition(self, side_a: Sequence[ProcessId],
+                  side_b: Sequence[ProcessId], start: int, heal: int,
+                  direction: str = "both") -> "FaultPlan":
+        self.partitions.append(
+            PartitionFault(tuple(side_a), tuple(side_b), start, heal,
+                           direction)
+        )
+        return self
+
+    def crash(self, pid: ProcessId, at: int,
+              recover_at: Optional[int] = None,
+              contact: Optional[ProcessId] = None) -> "FaultPlan":
+        if any(c.pid == pid for c in self.crashes):
+            raise ValueError(f"process {pid} already has a crash fault")
+        self.crashes.append(CrashFault(pid, at, recover_at, contact))
+        return self
+
+    def pause(self, pid: ProcessId, at: int, duration: int) -> "FaultPlan":
+        self.pauses.append(PauseFault(pid, at, duration))
+        return self
+
+    # -- queries -------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not (self.drops or self.duplicates or self.delays
+                    or self.partitions or self.crashes or self.pauses)
+
+    def fault_count(self) -> int:
+        return (len(self.drops) + len(self.duplicates) + len(self.delays)
+                + len(self.partitions) + len(self.crashes) + len(self.pauses))
+
+    def describe(self) -> str:
+        """One-line human summary (chaos reports embed it)."""
+        parts: List[str] = []
+        for d in self.drops:
+            scope = "" if d.src is None and d.dst is None else \
+                f" on {d.src if d.src is not None else '*'}->" \
+                f"{d.dst if d.dst is not None else '*'}"
+            parts.append(f"drop {d.rate:.0%}{scope} @[{d.start},{_w(d.stop)})")
+        for d in self.duplicates:
+            parts.append(f"dup {d.rate:.0%} @[{d.start},{_w(d.stop)})")
+        for d in self.delays:
+            parts.append(f"delay+{d.delay} {d.rate:.0%} "
+                         f"@[{d.start},{_w(d.stop)})")
+        for p in self.partitions:
+            parts.append(f"partition {len(p.side_a)}|{len(p.side_b)} "
+                         f"({p.direction}) @[{p.start},{p.heal})")
+        for c in self.crashes:
+            rec = f"->recover@{c.recover_at}" if c.recover_at else ""
+            parts.append(f"crash p{c.pid}@{c.at}{rec}")
+        for p in self.pauses:
+            parts.append(f"pause p{p.pid}@[{p.at},{p.at + p.duration})")
+        return "; ".join(parts) if parts else "no faults"
+
+    # -- randomized composition ----------------------------------------------
+    @classmethod
+    def random(cls, pids: Sequence[ProcessId], horizon: int,
+               rng: random.Random,
+               intensity: float = 1.0) -> "FaultPlan":
+        """Draw a random composed plan over ``pids`` for a ``horizon``-round
+        run — the chaos soak's scenario generator.
+
+        ``intensity`` scales fault probabilities/counts; 1.0 yields a plan
+        with moderate loss, one partition-with-heal, one or two
+        crash(-with-recovery) events and a pause.  Every draw comes from
+        ``rng``, so (pids, horizon, rng seed) fully determine the plan.
+        """
+        if horizon < 8:
+            raise ValueError("need a horizon of at least 8 rounds")
+        if len(pids) < 4:
+            raise ValueError("need at least 4 processes")
+        pids = list(pids)
+        plan = cls()
+        mid = horizon // 2
+
+        # Background extra loss for a window of the run.
+        if rng.random() < min(1.0, 0.9 * intensity):
+            start = rng.randrange(1, mid)
+            stop = rng.randrange(start + 2, horizon + 1)
+            plan.drop(rate=min(0.5, rng.uniform(0.02, 0.2) * intensity),
+                      start=start, stop=stop)
+        # Duplication and delay spikes.
+        if rng.random() < min(1.0, 0.6 * intensity):
+            plan.duplicate(rate=min(0.5, rng.uniform(0.02, 0.1) * intensity),
+                           start=1, stop=horizon + 1)
+        if rng.random() < min(1.0, 0.6 * intensity):
+            plan.delay(rate=min(0.5, rng.uniform(0.02, 0.1) * intensity),
+                       delay=rng.randrange(1, 3), start=1, stop=horizon + 1)
+        # One partition with a scheduled heal, sometimes asymmetric.
+        if rng.random() < min(1.0, 0.7 * intensity):
+            cut_size = max(1, len(pids) // rng.choice((3, 4, 5)))
+            side_a = rng.sample(pids, cut_size)
+            side_b = [p for p in pids if p not in side_a]
+            start = rng.randrange(2, mid + 1)
+            heal = rng.randrange(start + 2, horizon)
+            plan.partition(side_a, side_b, start=start, heal=heal,
+                           direction=rng.choice(("both", "a-to-b", "b-to-a")))
+        # Crashes, some with recovery (warm restart + re-subscribe).
+        n_crashes = rng.randrange(1, max(2, int(2 * intensity) + 1) + 1)
+        victims = rng.sample(pids, min(n_crashes, max(1, len(pids) // 4)))
+        for pid in victims:
+            at = rng.randrange(2, horizon - 2)
+            recover_at = None
+            if rng.random() < 0.5 and at + 2 < horizon:
+                recover_at = rng.randrange(at + 2, horizon)
+            plan.crash(pid, at=at, recover_at=recover_at)
+        # A slow node.
+        if rng.random() < min(1.0, 0.6 * intensity):
+            candidates = [p for p in pids if p not in victims]
+            if candidates:
+                pid = rng.choice(candidates)
+                at = rng.randrange(1, horizon - 2)
+                plan.pause(pid, at=at,
+                           duration=rng.randrange(1, max(2, horizon // 5) + 1))
+        return plan
+
+
+def _w(stop: int) -> str:
+    return "inf" if stop >= 2 ** 31 else str(stop)

@@ -1,0 +1,65 @@
+"""Fault injection at a real send boundary (the UDP runtime).
+
+The simulators apply faults round-by-round under a global clock; a
+:class:`~repro.runtime.udp.UdpProcessHost` lives on wall-clock threads, so
+:class:`DatagramFaultInjector` adapts the same :class:`FaultPlan` to that
+world: time is mapped onto rounds (round ``r`` spans
+``[(r-1)*round_duration, r*round_duration)`` from the first send), verdicts
+come from one shared :class:`~repro.faults.injector.FaultInjector` behind a
+lock (hosts send concurrently), and a delay verdict becomes seconds for the
+host to hold the datagram back.
+
+Message-level faults only — drop, duplicate, delay, partition.  Process
+faults (crash/pause/recovery) belong to whoever owns the process lifecycle;
+over UDP that is the deployment harness, not the send path.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional, Tuple
+
+from ..core.ids import ProcessId
+from .injector import FaultInjector, FaultVerdict, InjectorStats
+from .plan import FaultPlan
+
+
+class DatagramFaultInjector:
+    """Thread-safe, wall-clock adapter of a :class:`FaultPlan` for the UDP
+    send path.
+
+    >>> injector = DatagramFaultInjector(FaultPlan().drop(0.1),
+    ...                                  rng=random.Random(7),
+    ...                                  round_duration=0.05)
+    >>> verdict, delay_s = injector.decide(src=1, dst=2, now=0.0)
+    """
+
+    def __init__(self, plan: FaultPlan, rng: Optional[random.Random] = None,
+                 round_duration: float = 0.05) -> None:
+        if round_duration <= 0:
+            raise ValueError("round_duration must be positive")
+        self.round_duration = round_duration
+        self._injector = FaultInjector(
+            plan, rng if rng is not None else random.Random()
+        )
+        self._lock = threading.Lock()
+        self._t0: Optional[float] = None
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._injector.plan
+
+    @property
+    def stats(self) -> InjectorStats:
+        return self._injector.stats
+
+    def decide(self, src: ProcessId, dst: ProcessId,
+               now: float) -> Tuple[FaultVerdict, float]:
+        """Verdict for one datagram plus its hold-back in seconds."""
+        with self._lock:
+            if self._t0 is None:
+                self._t0 = now
+            round_no = int((now - self._t0) / self.round_duration) + 1
+            verdict = self._injector.decide(src, dst, round_no)
+        return verdict, verdict.delay * self.round_duration

@@ -204,6 +204,9 @@ class PbcastNode:
     def on_solicit(self, solicit: PbcastSolicit, now: float) -> List[Outgoing]:
         """Serve retransmissions, respecting the hop limit."""
         self.stats.solicits_received += 1
+        if solicit.requester == self.pid:
+            return []  # a self-addressed (stray or forged) solicit: never
+            # answer — a node must not send messages to itself
         out: List[Outgoing] = []
         for event_id in solicit.ids:
             stored = self._store.get(event_id)

@@ -8,8 +8,11 @@ loopback UDP socket, messages cross a real serialization boundary
 the periodic gossip — the same protocol objects the simulators run, deployed
 for real.
 
-Loopback UDP practically never drops, so the deployment injects Bernoulli
-loss at the send boundary to recreate the paper's ε.
+Loopback UDP practically never drops, so the deployment injects loss at the
+send boundary to recreate the paper's ε — via the unified fault layer: a
+``loss_rate`` is sugar for a one-fault :class:`~repro.faults.plan.FaultPlan`,
+and any richer plan (duplication, delay spikes, partitions) can be supplied
+through a :class:`~repro.faults.wire.DatagramFaultInjector`.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ class UdpProcessHost:
         gossip_period: float = 0.05,
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        fault_injector=None,
     ) -> None:
         if gossip_period <= 0:
             raise ValueError("gossip_period must be positive")
@@ -55,6 +59,18 @@ class UdpProcessHost:
         self.gossip_period = gossip_period
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else random.Random()
+        # All send-side faults go through one injector: an explicit one
+        # (possibly shared across hosts, e.g. for partitions), or one built
+        # from the plain loss_rate knob.
+        if fault_injector is None and loss_rate:
+            from ..faults.plan import FaultPlan
+            from ..faults.wire import DatagramFaultInjector
+
+            fault_injector = DatagramFaultInjector(
+                FaultPlan().drop(loss_rate), rng=self.rng,
+                round_duration=gossip_period,
+            )
+        self.fault_injector = fault_injector
 
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind(("127.0.0.1", 0))
@@ -72,8 +88,20 @@ class UdpProcessHost:
         )
         self.datagrams_sent = 0
         self.datagrams_received = 0
-        self.datagrams_dropped = 0
+        #: Send-side drops, split by cause: loss injected by the fault
+        #: layer, datagrams over the 65 kB cap, and socket-level OSError.
+        #: Conflating them (the old single counter) made loss-rate
+        #: experiments misreport whenever oversize or socket errors occurred.
+        self.datagrams_lost_injected = 0
+        self.datagrams_oversize = 0
+        self.datagrams_send_errors = 0
         self.decode_errors = 0
+
+    @property
+    def datagrams_dropped(self) -> int:
+        """Total send-side drops (back-compat sum of the split counters)."""
+        return (self.datagrams_lost_injected + self.datagrams_oversize
+                + self.datagrams_send_errors)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -144,18 +172,35 @@ class UdpProcessHost:
             address = self.directory.get(out.destination)
             if address is None:
                 continue
-            if self.loss_rate and self.rng.random() < self.loss_rate:
-                self.datagrams_dropped += 1
-                continue
+            copies, delay_s = 1, 0.0
+            if self.fault_injector is not None:
+                verdict, delay_s = self.fault_injector.decide(
+                    self.node.pid, out.destination, time.monotonic()
+                )
+                if verdict.action == "drop":
+                    self.datagrams_lost_injected += 1
+                    continue
+                copies = verdict.copies
             datagram = f"{self.node.pid}|{to_json(out.message)}".encode("utf-8")
             if len(datagram) > _MAX_DATAGRAM:
-                self.datagrams_dropped += 1
+                self.datagrams_oversize += 1
                 continue
-            try:
-                self._sock.sendto(datagram, address)
-                self.datagrams_sent += 1
-            except OSError:
-                self.datagrams_dropped += 1
+            for _ in range(copies):
+                if delay_s > 0:
+                    timer = threading.Timer(
+                        delay_s, self._transmit, (datagram, address)
+                    )
+                    timer.daemon = True
+                    timer.start()
+                else:
+                    self._transmit(datagram, address)
+
+    def _transmit(self, datagram: bytes, address: Address) -> None:
+        try:
+            self._sock.sendto(datagram, address)
+            self.datagrams_sent += 1
+        except OSError:
+            self.datagrams_send_errors += 1
 
 
 class LocalDeployment:
@@ -176,9 +221,21 @@ class LocalDeployment:
         gossip_period: float = 0.05,
         loss_rate: float = 0.0,
         seed: int = 0,
+        fault_plan=None,
     ) -> None:
         self.directory: Dict[ProcessId, Address] = {}
         root = random.Random(seed)
+        # One injector shared by every host: partitions and scoped drops
+        # must see traffic from all senders against one schedule and one
+        # seeded stream.
+        self.fault_injector = None
+        if fault_plan is not None:
+            from ..faults.wire import DatagramFaultInjector
+
+            self.fault_injector = DatagramFaultInjector(
+                fault_plan, rng=random.Random(root.getrandbits(64)),
+                round_duration=gossip_period,
+            )
         self.hosts: List[UdpProcessHost] = [
             UdpProcessHost(
                 node,
@@ -186,6 +243,7 @@ class LocalDeployment:
                 gossip_period=gossip_period,
                 loss_rate=loss_rate,
                 rng=random.Random(root.getrandbits(64)),
+                fault_injector=self.fault_injector,
             )
             for node in nodes
         ]
@@ -233,3 +291,17 @@ class LocalDeployment:
 
     def total_datagrams(self) -> int:
         return sum(host.datagrams_sent for host in self.hosts)
+
+    def datagram_counters(self) -> Dict[str, int]:
+        """Cluster-wide datagram accounting with drop causes kept distinct —
+        the numbers a loss-rate experiment should report alongside
+        :meth:`total_datagrams`."""
+        return {
+            "sent": sum(h.datagrams_sent for h in self.hosts),
+            "received": sum(h.datagrams_received for h in self.hosts),
+            "lost_injected": sum(h.datagrams_lost_injected for h in self.hosts),
+            "oversize": sum(h.datagrams_oversize for h in self.hosts),
+            "send_errors": sum(h.datagrams_send_errors for h in self.hosts),
+            "dropped": sum(h.datagrams_dropped for h in self.hosts),
+            "decode_errors": sum(h.decode_errors for h in self.hosts),
+        }

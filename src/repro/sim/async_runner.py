@@ -49,6 +49,8 @@ class AsyncGossipRuntime:
         self.crashed: set = set()
         self.messages_delivered = 0
         self._tick_listeners: List[Callable[[ProcessId, float], None]] = []
+        self._fault_injector = None
+        self._fault_round_duration = default_period
 
     # -- construction ------------------------------------------------------
     def add_node(self, node: GossipProcess, period: Optional[float] = None) -> None:
@@ -113,16 +115,84 @@ class AsyncGossipRuntime:
 
         self.sim.schedule_at(at, try_leave)
 
+    def use_fault_plan(self, plan, round_duration: Optional[float] = None):
+        """Attach a :class:`~repro.faults.plan.FaultPlan`.
+
+        Plans express windows in *rounds*; here one round spans
+        ``round_duration`` of simulated time (default: the runtime's default
+        gossip period), so round ``r`` covers ``[(r-1)*T, r*T)``.  Crashes
+        and recoveries are scheduled on the event kernel; per-message faults
+        apply at each send; paused processes skip gossips but keep their
+        timers.  Returns the installed injector.
+        """
+        from ..faults.injector import FaultInjector
+
+        self._fault_injector = FaultInjector(plan, self.seeds.rng("faults"))
+        if round_duration is not None:
+            if round_duration <= 0:
+                raise ValueError("round_duration must be positive")
+            self._fault_round_duration = round_duration
+        period = self._fault_round_duration
+        for fault in plan.crashes:
+            self.sim.schedule_at((fault.at - 1) * period,
+                                 lambda p=fault.pid: self._fault_crash(p))
+            if fault.recover_at is not None:
+                self.sim.schedule_at((fault.recover_at - 1) * period,
+                                     lambda f=fault: self._fault_revive(f))
+        return self._fault_injector
+
+    def _fault_crash(self, pid: ProcessId) -> None:
+        if pid in self.nodes and pid not in self.crashed:
+            self.crash(pid)
+            self._fault_injector.stats.crashes_applied += 1
+
+    def _fault_round(self, at: float) -> int:
+        return int(at / self._fault_round_duration) + 1
+
+    def _fault_revive(self, fault) -> None:
+        """Crash-with-recovery: un-silence the process and re-subscribe it
+        through a contact (Sec. 3.4), restarting its gossip timer at a fresh
+        random phase."""
+        pid = fault.pid
+        if pid not in self.crashed or pid not in self.nodes:
+            return
+        self.crashed.discard(pid)
+        self._fault_injector.stats.recoveries_applied += 1
+        contact = fault.contact
+        if contact is None or not self.alive(contact):
+            candidates = [p for p in self.nodes
+                          if p != pid and p not in self.crashed]
+            contact = self._fault_injector.pick_contact(candidates)
+        if contact is None:
+            return
+        node = self.nodes[pid]
+        self.send(pid, node.start_join(contact, self.sim.now))
+        period = self._period_of(node)
+        phase = self.seeds.rng("fault-revive-phase", pid,
+                               fault.recover_at).uniform(0.0, period)
+        self.sim.schedule(phase, lambda: self._tick(pid, period))
+
     def send(self, src: ProcessId, outgoings: Sequence[Outgoing]) -> None:
         """Put messages on the wire with loss and latency applied."""
         for out in outgoings:
+            copies, extra_delay = 1, 0.0
+            if self._fault_injector is not None:
+                verdict = self._fault_injector.decide(
+                    src, out.destination, self._fault_round(self.sim.now)
+                )
+                if verdict.action == "drop":
+                    continue
+                if verdict.action == "delay":
+                    extra_delay = verdict.delay * self._fault_round_duration
+                copies = verdict.copies
             if not self.network.deliverable(src, out.destination):
                 continue
-            latency = self.network.draw_latency()
-            self.sim.schedule(
-                latency,
-                lambda s=src, o=out: self._deliver(s, o),
-            )
+            for _ in range(copies):
+                latency = self.network.draw_latency() + extra_delay
+                self.sim.schedule(
+                    latency,
+                    lambda s=src, o=out: self._deliver(s, o),
+                )
 
     def run_until(self, deadline: float) -> None:
         self.sim.run_until(deadline)
@@ -135,6 +205,13 @@ class AsyncGossipRuntime:
     def _tick(self, pid: ProcessId, period: float) -> None:
         if pid in self.crashed:
             return  # fail-stop: the timer dies with the process
+        if (self._fault_injector is not None
+                and self._fault_injector.is_paused(
+                    pid, self._fault_round(self.sim.now))):
+            # Slow-node fault (GC/CPU stall): the process emits nothing and
+            # runs no application work, but its timer survives the pause.
+            self.sim.schedule(period, lambda: self._tick(pid, period))
+            return
         node = self.nodes[pid]
         self.send(pid, node.on_tick(self.sim.now))
         for listener in self._tick_listeners:

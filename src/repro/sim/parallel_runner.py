@@ -531,6 +531,42 @@ class ShardedRoundSimulation(RoundSimulation):
                 _Ref(_MAIN, handle, src, out.destination)
             )
 
+    # -- fault injection (ref-queue overrides) -------------------------------
+    def _release_delayed(self, entries: List) -> None:
+        self._carryover_refs.extend(entries)
+
+    def _fault_expand(self, queue: List[_Ref]) -> List[_Ref]:
+        """Ref-queue twin of the serial expansion: one verdict per entry in
+        shuffled order, so the fault stream is consumed identically and the
+        expanded queues line up position-for-position across engines."""
+        expanded: List[_Ref] = []
+        for ref in queue:
+            verdict = self._fault_injector.decide(ref.src, ref.dst)
+            if verdict.action == "drop":
+                if ref.owner == _MAIN:
+                    self._main_messages.pop(ref.handle, None)
+                continue
+            if verdict.action == "delay":
+                self._delayed_faults.append(
+                    (self.round + verdict.delay, ref)
+                )
+                continue
+            expanded.append(ref)
+            for _ in range(verdict.copies - 1):
+                if ref.owner == _MAIN:
+                    # The inline delivery path pops coordinator-held
+                    # payloads, so each extra copy needs its own handle.
+                    handle = self._main_counter
+                    self._main_counter += 1
+                    self._main_messages[handle] = \
+                        self._main_messages[ref.handle]
+                    expanded.append(_Ref(_MAIN, handle, ref.src, ref.dst))
+                else:
+                    expanded.append(
+                        _Ref(ref.owner, ref.handle, ref.src, ref.dst)
+                    )
+        return expanded
+
     # -- proxy services -----------------------------------------------------
     def _queue_op(self, shard: int, op: tuple) -> None:
         op = (op[0], self._op_counter) + op[2:]
@@ -617,6 +653,9 @@ class ShardedRoundSimulation(RoundSimulation):
             for event in self._crash_plan.crashes_before(now):
                 self.crash(event.pid)
 
+        if self._fault_injector is not None:
+            self._fault_round_start(now)
+
         for hook in self._hooks:
             hook(self.round, self)
 
@@ -624,6 +663,8 @@ class ShardedRoundSimulation(RoundSimulation):
         generation = 0
         while queue and generation <= self.max_reply_generations:
             self._shuffle_rng.shuffle(queue)
+            if self._fault_injector is not None:
+                queue = self._fault_expand(queue)
             queue = self._delivery_phase(now, generation, queue)
             generation += 1
         self._carryover_refs.extend(queue)
@@ -637,7 +678,15 @@ class ShardedRoundSimulation(RoundSimulation):
         for ref in self._carryover_refs:
             if ref.owner != _MAIN:
                 retain[ref.owner].append(ref.handle)
-        crashed = frozenset(self.crashed)
+        # Messages held back by delay faults still live in shard outboxes;
+        # keep their handles alive until they come due.
+        for _due, ref in self._delayed_faults:
+            if ref.owner != _MAIN:
+                retain[ref.owner].append(ref.handle)
+        # Workers use this set only to decide who ticks, so folding the
+        # fault-paused pids in silences their gossip without blocking
+        # reception — exactly the serial engine's pause semantics.
+        crashed = frozenset(self.crashed | self._fault_paused)
         pending = {s: [self._materialize(op) for op in
                        self._pending_ops.pop(s, [])]
                    for s in range(self.shards)}

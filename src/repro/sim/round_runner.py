@@ -93,6 +93,12 @@ class RoundSimulation:
         self._hooks: List[RoundHook] = []
         self._observers: List[RoundObserver] = []
         self._crash_plan: Optional[CrashPlan] = None
+        #: Fault-injection state (see repro.faults): the attached injector,
+        #: the pids whose ticks are suppressed this round, and messages held
+        #: back by delay faults as (due_round, entry) pairs.
+        self._fault_injector = None
+        self._fault_paused: frozenset = frozenset()
+        self._delayed_faults: List[tuple] = []
 
     # -- construction ------------------------------------------------------
     def add_node(self, node: GossipProcess) -> None:
@@ -113,6 +119,17 @@ class RoundSimulation:
     def use_crash_plan(self, plan: CrashPlan) -> None:
         """Attach a pre-drawn fail-stop schedule (applied as rounds pass)."""
         self._crash_plan = plan
+
+    def use_fault_plan(self, plan) -> "object":
+        """Attach a :class:`~repro.faults.plan.FaultPlan`; its faults draw
+        from the dedicated ``"faults"`` stream, so runs with the same root
+        seed and plan replay bit-for-bit (on this and the sharded engine).
+        Returns the installed :class:`~repro.faults.injector.FaultInjector`
+        (its ``stats`` count the faults that actually struck)."""
+        from ..faults.injector import FaultInjector
+
+        self._fault_injector = FaultInjector(plan, self.seeds.rng("faults"))
+        return self._fault_injector
 
     # -- runtime control ---------------------------------------------------
     def crash(self, pid: ProcessId) -> None:
@@ -140,12 +157,17 @@ class RoundSimulation:
             for event in self._crash_plan.crashes_before(now):
                 self.crash(event.pid)
 
+        if self._fault_injector is not None:
+            self._fault_round_start(now)
+
         for hook in self._hooks:
             hook(self.round, self)
 
         queue: List[Tuple[ProcessId, Outgoing]] = list(self._carryover)
         self._carryover = []
         for node in self.alive_nodes():
+            if node.pid in self._fault_paused:
+                continue  # slow-node fault: no tick, but it still receives
             try:
                 ticked = node.on_tick(now)
             except Exception as exc:
@@ -157,6 +179,8 @@ class RoundSimulation:
         generation = 0
         while queue and generation <= self.max_reply_generations:
             self._shuffle_rng.shuffle(queue)
+            if self._fault_injector is not None:
+                queue = self._fault_expand(queue)
             replies: List[Tuple[ProcessId, Outgoing]] = []
             for src, out in queue:
                 replies.extend(self._deliver(src, out, now))
@@ -186,6 +210,70 @@ class RoundSimulation:
         if predicate(self):
             return self.round
         raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")
+
+    # -- fault injection ---------------------------------------------------
+    def _fault_round_start(self, now: float) -> None:
+        """Apply the plan's round-start actions: crashes, recoveries (with
+        the Sec. 3.4 re-subscription), the paused-pid set, and the release
+        of delay-fault messages that come due this round.
+
+        The ordering (recovery joins before released delays, both ahead of
+        tick output) is part of the serial/sharded determinism contract —
+        the sharded override replays exactly this sequence over refs.
+        """
+        actions = self._fault_injector.round_start(self.round)
+        for fault in actions.crashes:
+            self.crash(fault.pid)
+        for fault in actions.recoveries:
+            self._fault_recover(fault, now)
+        self._fault_paused = actions.paused
+        due: List = []
+        later: List[tuple] = []
+        for due_round, entry in self._delayed_faults:
+            (due if due_round <= self.round else later).append(
+                (due_round, entry)
+            )
+        self._delayed_faults = later
+        self._release_delayed([entry for _, entry in due])
+
+    def _release_delayed(self, entries: List) -> None:
+        self._carryover.extend(entries)
+
+    def _fault_recover(self, fault, now: float) -> None:
+        """Un-crash ``fault.pid`` and re-subscribe it through a contact —
+        crash-with-recovery exercises the Sec. 3.3/3.4 membership path."""
+        pid = fault.pid
+        if pid not in self.crashed or pid not in self.nodes:
+            return
+        self.crashed.discard(pid)
+        contact = fault.contact
+        if contact is None or not self.alive(contact):
+            candidates = [p for p in self.nodes
+                          if p != pid and p not in self.crashed]
+            contact = self._fault_injector.pick_contact(candidates)
+        if contact is None:
+            return  # nobody left alive to rejoin through
+        node = self.nodes[pid]
+        self.inject(pid, node.start_join(contact, now))
+
+    def _fault_expand(self, queue: List[Tuple[ProcessId, Outgoing]]
+                      ) -> List[Tuple[ProcessId, Outgoing]]:
+        """One injector verdict per queued message, in shuffled order:
+        drops vanish, delays move to the hold-back list, duplicates appear
+        immediately after their original."""
+        expanded: List[Tuple[ProcessId, Outgoing]] = []
+        for src, out in queue:
+            verdict = self._fault_injector.decide(src, out.destination)
+            if verdict.action == "drop":
+                continue
+            if verdict.action == "delay":
+                self._delayed_faults.append(
+                    (self.round + verdict.delay, (src, out))
+                )
+                continue
+            for _ in range(verdict.copies):
+                expanded.append((src, out))
+        return expanded
 
     # -- delivery ----------------------------------------------------------
     def _admit(self, src: ProcessId, dst: ProcessId) -> bool:

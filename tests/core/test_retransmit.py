@@ -152,6 +152,27 @@ class TestNodeRetransmissionFlow:
         )
         assert out == []
 
+    def test_lost_request_re_solicited_after_pending_ttl(self):
+        # The wire is lossy (that is the paper's premise): a solicitation
+        # can vanish.  The pending entry must expire after pending_ttl
+        # (4 gossip periods) so a later digest re-triggers the pull.
+        node = self.make_retransmitting_node()
+        eid = EventId(9, 1)
+        digest_only = gossip(sender=5, event_ids=(eid,))
+        first = node.on_gossip(digest_only, now=1.0)
+        assert isinstance(first[0].message, RetransmitRequest)
+        # The request is lost; while the entry is pending, digests naming
+        # the same id do not produce a second solicitation...
+        assert node.on_gossip(digest_only, now=2.0) == []
+        assert node.on_gossip(digest_only, now=4.9) == []
+        # ...but once pending_ttl (4 * gossip_period = 4.0) has elapsed,
+        # the id is solicited again.
+        retry = node.on_gossip(digest_only, now=5.0)
+        assert len(retry) == 1
+        assert isinstance(retry[0].message, RetransmitRequest)
+        assert retry[0].message.event_ids == (eid,)
+        assert node.stats.retransmit_requests_sent == 2
+
     def test_no_requests_when_nothing_missing(self):
         node = self.make_retransmitting_node()
         n = notification(9, 1)

@@ -83,6 +83,38 @@ class TestSuspicion:
         assert not fd.is_suspected(5, now=11.0)  # no verdict once forgotten
 
 
+class TestRecovery:
+    """Regression: a process that goes silent and comes back must shed its
+    suspect status — recovery is the whole point of crash-with-recovery."""
+
+    def test_suspect_cleared_when_heard_again(self):
+        fd = make_fd(suspect=5.0, forget=20.0)
+        fd.merge([(5, 1)], now=0.0)
+        assert fd.is_suspected(5, now=6.0)  # silent past suspect_timeout
+        fd.merge([(5, 2)], now=7.0)         # the process recovered
+        assert not fd.is_suspected(5, now=7.0)
+        assert fd.suspects(11.0) == []      # and the clock restarted at 7
+
+    def test_observe_alive_also_clears_suspicion(self):
+        fd = make_fd(suspect=5.0, forget=20.0)
+        fd.merge([(5, 1)], now=0.0)
+        assert fd.is_suspected(5, now=6.0)
+        fd.observe_alive(5, now=6.0)        # direct message, no new counter
+        assert not fd.is_suspected(5, now=10.0)
+
+    def test_forgotten_process_restarts_fresh(self):
+        fd = make_fd(suspect=5.0, forget=10.0)
+        fd.merge([(5, 7)], now=0.0)
+        assert fd.expire(now=10.0) == [5]   # silent past forget_timeout
+        # A recovered process restarts its counter from scratch; the stale
+        # pre-crash counter (7) must not shadow the fresh one (1).
+        fd.merge([(5, 1)], now=11.0)
+        assert fd.counter_of(5) == 1
+        assert not fd.is_suspected(5, now=12.0)
+        fd.merge([(5, 2)], now=13.0)
+        assert fd.counter_of(5) == 2
+
+
 class TestValidation:
     def test_timeout_ordering(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,88 @@
+"""Chaos soak harness: seeded scenarios, replayability, reporting."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.chaos import (
+    PRESET_NAMES,
+    ChaosResult,
+    format_soak_report,
+    run_chaos_scenario,
+    run_chaos_soak,
+)
+
+
+class TestScenarioRuns:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos_scenario(preset="thundering_herd")
+
+    def test_single_run_reports_everything(self):
+        result = run_chaos_scenario(preset="steady_state", n=24, rounds=30,
+                                    seed=3)
+        assert result.preset == "steady_state"
+        assert result.events_published > 0
+        assert result.plan_summary != "no faults"
+        assert result.survivors > 0
+        assert result.fault_stats["decisions"] > 0
+        assert result.ok, format_soak_report([result])
+        assert result.reliability is not None
+        assert 0.0 <= result.reliability <= 1.0
+
+    def test_same_seed_replays_identically(self):
+        a = run_chaos_scenario(preset="flaky_wan", n=24, rounds=30, seed=9)
+        b = run_chaos_scenario(preset="flaky_wan", n=24, rounds=30, seed=9)
+        assert a.plan_summary == b.plan_summary
+        assert a.reliability == b.reliability
+        assert a.fault_stats == b.fault_stats
+        assert a.events_published == b.events_published
+
+    def test_explicit_plan_overrides_the_random_draw(self):
+        plan = FaultPlan().drop(0.05)
+        result = run_chaos_scenario(preset="steady_state", n=20, rounds=20,
+                                    seed=1, plan=plan)
+        assert result.plan_summary == plan.describe()
+
+    def test_two_hundred_round_soak_holds_all_invariants(self):
+        """Acceptance: a 200-round chaos run passes the invariant monitor."""
+        result = run_chaos_scenario(preset="steady_state", n=30, rounds=200,
+                                    seed=0)
+        assert result.rounds == 200
+        assert result.ok, format_soak_report([result])
+
+
+class TestSoak:
+    def test_soak_cycles_presets_with_derived_seeds(self):
+        results = run_chaos_soak(scenarios=5, n=25, rounds=20, seed=4)
+        assert [r.preset for r in results] == list(PRESET_NAMES)
+        assert len({r.seed for r in results}) == 5
+        assert all(r.ok for r in results), format_soak_report(results)
+
+    def test_preset_filter_respected(self):
+        results = run_chaos_soak(scenarios=3, n=20, rounds=15, seed=4,
+                                 presets=["flash_crowd"])
+        assert [r.preset for r in results] == ["flash_crowd"] * 3
+
+
+class TestReporting:
+    def test_report_has_one_line_per_run_and_a_verdict(self):
+        results = run_chaos_soak(scenarios=2, n=20, rounds=15, seed=6)
+        report = format_soak_report(results)
+        lines = report.splitlines()
+        assert len(lines) == 3  # two runs + the verdict line
+        assert "2 scenario(s)" in lines[-1]
+        assert "0 with invariant violations" in lines[-1]
+
+    def test_report_surfaces_failures_with_replay_hints(self):
+        from repro.faults.invariants import Violation
+
+        bad = ChaosResult(
+            preset="steady_state", seed=13, n=10, rounds=10,
+            plan_summary="drop 10%", events_published=3,
+            reliability=0.5, worst_event_coverage=0.2, survivors=9,
+            violations=[Violation("no-duplicate-delivery", 4, 6, 13, "dup")],
+        )
+        report = format_soak_report([bad])
+        assert "1 with invariant violations" in report
+        assert "FAILED steady_state (seed=13)" in report
+        assert "replay with seed=13" in report

@@ -1,0 +1,200 @@
+"""InvariantMonitor: clean runs pass, broken nodes are caught replayably."""
+
+import random
+import types
+
+import pytest
+
+from repro.core import LpbcastConfig, LpbcastNode
+from repro.core.events import Unsubscription
+from repro.core.ids import EventId
+from repro.faults import (
+    FaultPlan,
+    InvariantMonitor,
+    InvariantViolation,
+    Violation,
+)
+from repro.metrics import DeliveryLog
+from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+from ..helpers import small_system
+
+
+class DoubleDeliverNode(LpbcastNode):
+    """Broken on purpose: notifies the application twice per LPB-DELIVER,
+    the exact duplicate-suppression bug the monitor exists to catch."""
+
+    def _deliver(self, notification, now, archivable=True):
+        super()._deliver(notification, now, archivable)
+        for listener in self._listeners:
+            listener(self.pid, notification, now)
+
+
+def _system_with_rogue(mode, seed=1, n=16):
+    cfg = LpbcastConfig(fanout=3, view_max=8)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    rogue = DoubleDeliverNode(
+        nodes[5].pid, cfg, random.Random(500 + seed),
+        initial_view=nodes[5].view.snapshot(),
+    )
+    nodes[5] = rogue
+    sim = RoundSimulation(
+        NetworkModel(loss_rate=0.0, rng=random.Random(seed + 1000)), seed=seed
+    )
+    sim.add_nodes(nodes)
+    log = DeliveryLog().attach(nodes)
+    monitor = InvariantMonitor(mode=mode).attach(sim)
+    return sim, nodes, rogue, monitor
+
+
+class TestCleanRuns:
+    def test_healthy_faulted_run_holds_every_invariant(self):
+        sim, nodes, log = small_system(n=24, seed=11)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        sim.use_fault_plan(
+            FaultPlan().drop(0.1).duplicate(0.1)
+            .crash(3, at=4, recover_at=10)
+            .pause(7, at=5, duration=3)
+        )
+        for i in range(5):
+            nodes[i].lpb_cast(f"e{i}", float(i))
+        sim.run(30)
+        assert monitor.ok, monitor.report()
+        assert monitor.checks_run == 30
+        assert "all invariants held" in monitor.report()
+        assert "seed=11" in monitor.report()
+
+    def test_seed_harvested_from_simulation(self):
+        sim, _, _ = small_system(n=8, seed=123)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        assert monitor.seed == 123
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            InvariantMonitor(mode="log")
+
+
+class TestDoubleDeliveryCaught:
+    def test_rogue_node_caught_with_replayable_report(self):
+        """Acceptance: the deliberately broken double-delivering node is
+        caught, and the violation report carries enough to replay it."""
+        sim, nodes, rogue, monitor = _system_with_rogue("collect", seed=1)
+        nodes[0].lpb_cast("probe", 0.0)
+        sim.run(15)
+        dupes = [v for v in monitor.violations
+                 if v.invariant == "no-duplicate-delivery"]
+        assert dupes, "the rogue node escaped the monitor"
+        violation = dupes[0]
+        assert violation.pid == rogue.pid
+        assert violation.seed == 1
+        assert violation.round >= 1
+        assert violation.replay_hint() == (
+            f"replay with seed=1, violated at round {violation.round}"
+        )
+        assert "no-duplicate-delivery" in str(violation)
+
+    def test_replay_reproduces_the_violation(self):
+        def first_violation():
+            sim, nodes, _, monitor = _system_with_rogue("collect", seed=7)
+            nodes[0].lpb_cast("probe", 0.0)
+            sim.run(15)
+            v = monitor.violations[0]
+            return (v.invariant, v.pid, v.round)
+
+        assert first_violation() == first_violation()
+
+    def test_raise_mode_stops_the_run_immediately(self):
+        sim, nodes, rogue, monitor = _system_with_rogue("raise", seed=1)
+        nodes[0].lpb_cast("probe", 0.0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sim.run(15)
+        assert excinfo.value.violation.invariant == "no-duplicate-delivery"
+        assert excinfo.value.violation.pid == rogue.pid
+
+    def test_redelivery_after_possible_eviction_is_legitimate(self):
+        # Soundness: with |eventIds|m = 3, a second delivery 3+ deliveries
+        # after the first could be an evicted id coming back — the paper's
+        # accepted trade-off, not a bug.
+        monitor = InvariantMonitor(mode="collect")
+        monitor._sim = types.SimpleNamespace(crashed=set(), round=1)
+        monitor._id_window[1] = 3
+        event = types.SimpleNamespace(event_id=EventId(9, 1))
+        filler = [types.SimpleNamespace(event_id=EventId(9, s))
+                  for s in range(2, 5)]
+        monitor._on_delivery(1, event, 0.0)
+        for notif in filler:
+            monitor._on_delivery(1, notif, 0.0)
+        monitor._on_delivery(1, event, 1.0)  # 4 deliveries later: legal
+        assert monitor.ok
+        monitor._on_delivery(1, event, 2.0)  # 1 delivery later: a duplicate
+        assert [v.invariant for v in monitor.violations] == [
+            "no-duplicate-delivery"
+        ]
+
+
+class TestNodeStateChecks:
+    def test_buffer_bound_breach_is_flagged(self):
+        sim, nodes, _ = small_system(n=12, seed=2)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        sim.run(2)
+        assert monitor.ok
+        # A config swap makes node 0's (healthy, size-8) view read as
+        # overflowing a bound of 2 — the monitor must notice.
+        nodes[0].config = LpbcastConfig(fanout=1, view_max=2)
+        sim.run(1)
+        breaches = [v for v in monitor.violations
+                    if v.invariant == "buffer-bounds"]
+        assert breaches and breaches[0].pid == nodes[0].pid
+        assert "|view|" in breaches[0].detail
+
+    def test_owner_in_view_is_flagged(self):
+        sim, nodes, _ = small_system(n=10, seed=3)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        node = nodes[4]
+        # PartialView.add refuses the owner, so smuggle it in directly —
+        # exactly what a membership bug would amount to.
+        node.view._index[node.pid] = len(node.view._items)
+        node.view._items.append(node.pid)
+        sim.run(1)
+        assert any(v.invariant == "view-excludes-owner"
+                   and v.pid == node.pid for v in monitor.violations)
+
+    def test_unpurged_obsolete_unsub_is_flagged(self):
+        sim, nodes, _ = small_system(n=10, seed=4)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        node = nodes[2]
+        node.membership.purge = lambda now: None  # break the purge
+        node.unsubs.add(Unsubscription(99, -100.0))
+        sim.run(1)
+        assert any(v.invariant == "unsub-expiry" and v.pid == node.pid
+                   for v in monitor.violations)
+
+    def test_gossip_after_fail_stop_is_flagged(self):
+        sim, nodes, _ = small_system(n=10, seed=5)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        victim = nodes[0]
+        sim.crash(victim.pid)
+        sim.run(1)  # baseline gossips_sent recorded post-crash
+        victim.on_tick(99.0)  # a buggy engine keeps ticking the corpse
+        sim.run(1)
+        assert any(v.invariant == "crashed-silence" and v.pid == victim.pid
+                   for v in monitor.violations)
+
+
+class TestReporting:
+    def test_report_lists_each_violation_with_replay_hint(self):
+        sim, nodes, _, monitor = _system_with_rogue("collect", seed=9)
+        nodes[0].lpb_cast("probe", 0.0)
+        sim.run(15)
+        report = monitor.report()
+        assert f"{len(monitor.violations)} invariant violation(s)" in report
+        assert "replay with seed=9" in report
+        assert not monitor.ok
+
+    def test_violation_str_names_invariant_process_and_round(self):
+        v = Violation("buffer-bounds", 3, 7, 42, "|view| = 9 exceeds 8")
+        text = str(v)
+        assert "[buffer-bounds]" in text
+        assert "process 3" in text
+        assert "round 7" in text
+        assert "seed=42" in text

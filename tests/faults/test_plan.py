@@ -1,0 +1,138 @@
+"""FaultPlan construction, validation and random composition."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    PartitionFault,
+    PauseFault,
+)
+
+
+class TestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            DropFault(rate=0.1, start=5, stop=5)
+
+    def test_window_before_round_one_rejected(self):
+        with pytest.raises(ValueError):
+            DuplicateFault(rate=0.1, start=0)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            DropFault(rate=0.0)
+        with pytest.raises(ValueError):
+            DropFault(rate=1.5)
+        DropFault(rate=1.0)  # inclusive upper bound is legal
+
+    def test_delay_must_hold_at_least_one_round(self):
+        with pytest.raises(ValueError):
+            DelayFault(rate=0.1, delay=0)
+
+    def test_partition_sides_disjoint_and_nonempty(self):
+        with pytest.raises(ValueError):
+            PartitionFault((1, 2), (2, 3), start=1, heal=5)
+        with pytest.raises(ValueError):
+            PartitionFault((), (1,), start=1, heal=5)
+
+    def test_partition_direction_checked(self):
+        with pytest.raises(ValueError):
+            PartitionFault((1,), (2,), start=1, heal=5, direction="sideways")
+
+    def test_recover_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashFault(pid=1, at=5, recover_at=5)
+
+    def test_cannot_rejoin_through_self(self):
+        with pytest.raises(ValueError):
+            CrashFault(pid=1, at=2, contact=1)
+
+    def test_pause_duration_positive(self):
+        with pytest.raises(ValueError):
+            PauseFault(pid=1, at=2, duration=0)
+
+    def test_double_crash_of_same_pid_rejected(self):
+        plan = FaultPlan().crash(1, at=2)
+        with pytest.raises(ValueError):
+            plan.crash(1, at=5)
+
+
+class TestSemantics:
+    def test_drop_scoping(self):
+        anywhere = DropFault(rate=0.5)
+        link = DropFault(rate=0.5, src=1, dst=2)
+        assert anywhere.matches(7, 8)
+        assert link.matches(1, 2)
+        assert not link.matches(2, 1)
+        assert not link.matches(1, 3)
+
+    def test_partition_blocks_by_direction(self):
+        sym = PartitionFault((1, 2), (3, 4), start=1, heal=9)
+        assert sym.blocks(1, 3) and sym.blocks(3, 1)
+        assert not sym.blocks(1, 2) and not sym.blocks(3, 4)
+        a2b = PartitionFault((1, 2), (3, 4), start=1, heal=9,
+                             direction="a-to-b")
+        assert a2b.blocks(1, 3)
+        assert not a2b.blocks(3, 1)  # asymmetric: B still reaches A
+        assert not a2b.blocks(5, 6)  # outsiders unaffected
+
+    def test_builders_chain_and_count(self):
+        plan = (FaultPlan()
+                .drop(0.1).duplicate(0.1).delay(0.1, delay=2)
+                .partition([1], [2], start=2, heal=4)
+                .crash(3, at=2, recover_at=6)
+                .pause(4, at=3, duration=2))
+        assert plan.fault_count() == 6
+        assert not plan.is_empty()
+        assert FaultPlan().is_empty()
+
+    def test_describe_mentions_every_fault(self):
+        plan = (FaultPlan().drop(0.25, src=1, dst=2)
+                .partition([1], [2], start=2, heal=4, direction="b-to-a")
+                .crash(3, at=2, recover_at=6).pause(4, at=3, duration=2))
+        text = plan.describe()
+        assert "drop 25%" in text and "1->2" in text
+        assert "partition" in text and "b-to-a" in text
+        assert "crash p3@2->recover@6" in text
+        assert "pause p4@[3,5)" in text
+        assert FaultPlan().describe() == "no faults"
+
+
+class TestRandomComposition:
+    def test_same_seed_same_plan(self):
+        pids = list(range(20))
+        a = FaultPlan.random(pids, horizon=40, rng=random.Random(5))
+        b = FaultPlan.random(pids, horizon=40, rng=random.Random(5))
+        assert a.describe() == b.describe()
+
+    def test_different_seeds_differ(self):
+        pids = list(range(20))
+        seen = {
+            FaultPlan.random(pids, horizon=40,
+                             rng=random.Random(s)).describe()
+            for s in range(8)
+        }
+        assert len(seen) > 1
+
+    def test_windows_respect_horizon(self):
+        pids = list(range(30))
+        for s in range(20):
+            plan = FaultPlan.random(pids, horizon=25, rng=random.Random(s))
+            for c in plan.crashes:
+                assert 1 <= c.at < 25
+                if c.recover_at is not None:
+                    assert c.at < c.recover_at < 25
+            for p in plan.partitions:
+                assert 1 <= p.start < p.heal <= 25
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random([1, 2, 3], horizon=40, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            FaultPlan.random(list(range(10)), horizon=4, rng=random.Random(0))

@@ -114,6 +114,91 @@ class TestDeployment:
         assert joined
 
 
+class TestDropAccounting:
+    """The three send-side drop causes stay distinct (a conflated counter
+    made loss-rate experiments misreport whenever oversize occurred)."""
+
+    def test_injected_loss_lands_in_its_own_counter(self):
+        cluster, nodes, log = build_cluster(n=6, loss=0.25, seed=11)
+        with cluster:
+            event = cluster.host(nodes[0].pid).publish("count me")
+            cluster.wait_until(
+                lambda: log.delivery_count(event.event_id) == 6, timeout=10.0
+            )
+        lost = sum(h.datagrams_lost_injected for h in cluster.hosts)
+        assert lost > 0
+        assert sum(h.datagrams_oversize for h in cluster.hosts) == 0
+        assert sum(h.datagrams_send_errors for h in cluster.hosts) == 0
+        assert sum(h.datagrams_dropped for h in cluster.hosts) == lost
+
+    def test_oversize_lands_in_its_own_counter(self):
+        cluster, nodes, log = build_cluster(n=2, seed=12)
+        with cluster:
+            host = cluster.host(nodes[0].pid)
+            host.with_node(lambda node: node.lpb_cast("x" * 100_000))
+            cluster.run_for(0.3)
+            oversize = host.datagrams_oversize
+            assert oversize > 0
+            assert host.datagrams_lost_injected == 0
+            assert host.datagrams_dropped == oversize
+
+    def test_cluster_counters_aggregate_by_cause(self):
+        cluster, nodes, log = build_cluster(n=6, loss=0.2, seed=13)
+        with cluster:
+            cluster.host(nodes[0].pid).publish("tally")
+            cluster.run_for(0.5)
+            counters = cluster.datagram_counters()
+        assert counters["sent"] > 0
+        assert counters["received"] > 0
+        assert counters["lost_injected"] > 0
+        assert counters["dropped"] == (counters["lost_injected"]
+                                       + counters["oversize"]
+                                       + counters["send_errors"])
+
+
+class TestFaultPlanDeployment:
+    def test_drop_plan_replaces_loss_rate(self):
+        from repro.faults import FaultPlan
+
+        cfg = LpbcastConfig(fanout=3, view_max=6, gossip_period=0.03)
+        nodes = build_lpbcast_nodes(8, cfg, seed=14)
+        log = DeliveryLog().attach(nodes)
+        cluster = LocalDeployment(nodes, gossip_period=0.03, seed=14,
+                                  fault_plan=FaultPlan().drop(0.25))
+        assert all(h.fault_injector is cluster.fault_injector
+                   for h in cluster.hosts)
+        with cluster:
+            event = cluster.host(nodes[0].pid).publish("planned loss")
+            done = cluster.wait_until(
+                lambda: log.delivery_count(event.event_id) == 8, timeout=10.0
+            )
+        assert done
+        assert cluster.datagram_counters()["lost_injected"] > 0
+        assert cluster.fault_injector.stats.dropped > 0
+
+    def test_partition_plan_cuts_the_cluster(self):
+        from repro.faults import FaultPlan
+
+        cfg = LpbcastConfig(fanout=3, view_max=6, gossip_period=0.03)
+        nodes = build_lpbcast_nodes(6, cfg, seed=15)
+        log = DeliveryLog().attach(nodes)
+        side_a = [n.pid for n in nodes[:3]]
+        side_b = [n.pid for n in nodes[3:]]
+        plan = FaultPlan().partition(side_a, side_b, start=1, heal=100_000)
+        cluster = LocalDeployment(nodes, gossip_period=0.03, seed=15,
+                                  fault_plan=plan)
+        with cluster:
+            event = cluster.host(side_a[0]).publish("walled in")
+            cluster.wait_until(
+                lambda: log.delivery_count(event.event_id) == 3, timeout=8.0
+            )
+            cluster.run_for(0.3)  # grace: a crossing would surface here
+        assert {p for p in side_a if log.delivered(p, event.event_id)} \
+            == set(side_a)
+        assert all(not log.delivered(p, event.event_id) for p in side_b)
+        assert cluster.fault_injector.stats.partition_blocked > 0
+
+
 class TestValidation:
     def test_invalid_period(self):
         with pytest.raises(ValueError):

@@ -79,3 +79,16 @@ class TestCommands:
                      "--trials", "500"]) == 0
         out = capsys.readouterr().out
         assert "empirical partition rate" in out
+
+    def test_chaos_soak_runs_and_reports(self, capsys):
+        assert main(["chaos", "--scenarios", "2", "-n", "20",
+                     "--rounds", "15", "--seed", "5",
+                     "--preset", "steady_state"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos soak: 2 scenario(s)" in out
+        assert "invariants=OK" in out
+        assert "0 with invariant violations" in out
+
+    def test_chaos_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--preset", "nonsense"])
