@@ -14,6 +14,11 @@ Commands
 ``chaos``
     Soak seeded scenarios under random fault plans with live invariant
     monitoring; exits non-zero if any safety invariant was violated.
+``trace``
+    Run a fixed-seed simulation with engine-native telemetry (tracing on)
+    and print the counter/profile/trace summary; ``--jsonl``/``--prom``
+    export the registry, ``--validate`` checks the exports against the
+    documented schema (the CI telemetry-smoke job runs exactly this).
 """
 
 from __future__ import annotations
@@ -217,6 +222,79 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import random as _random
+
+    from .core import LpbcastConfig
+    from .sim import NetworkModel, build_lpbcast_nodes, create_simulation
+    from .telemetry import (
+        format_counters,
+        format_profile,
+        to_jsonl,
+        to_prometheus,
+        validate_export_files,
+    )
+
+    cfg = LpbcastConfig(fanout=args.fanout, view_max=args.view)
+    nodes = build_lpbcast_nodes(args.n, cfg, seed=args.seed)
+    network = None
+    if args.loss:
+        network = NetworkModel(loss_rate=args.loss,
+                               rng=_random.Random(args.seed + 1))
+    sim = create_simulation(engine=args.engine, network=network,
+                            seed=args.seed, shards=args.shards)
+    sim.add_nodes(nodes)
+    sim.telemetry.tracing = not args.no_tracing
+
+    def publish(round_no: int, s) -> None:
+        if round_no <= args.publishes:
+            s.nodes[nodes[round_no % args.n].pid].lpb_cast(
+                f"trace-{round_no}", float(round_no)
+            )
+
+    sim.add_round_hook(publish)
+    try:
+        sim.run(args.rounds)
+        telemetry = sim.telemetry
+    finally:
+        close = getattr(sim, "close", None)
+        if close is not None:
+            close()
+
+    print(f"telemetry trace: n={args.n}, rounds={args.rounds}, "
+          f"seed={args.seed}, engine={args.engine}, loss={args.loss}, "
+          f"tracing={'off' if args.no_tracing else 'on'}")
+    print("\n-- counter totals --")
+    print(format_counters(telemetry))
+    print("\n-- timing profile --")
+    print(format_profile(telemetry))
+    counts = telemetry.trace.counts()
+    print("\n-- trace events --")
+    if counts:
+        for kind in sorted(counts):
+            print(f"{kind:<24} {counts[kind]}")
+        if telemetry.trace.dropped:
+            print(f"(dropped {telemetry.trace.dropped} past capacity)")
+    else:
+        print("none recorded")
+
+    jsonl_text = to_jsonl(telemetry)
+    prom_text = to_prometheus(telemetry)
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(jsonl_text)
+        print(f"\nwrote {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(prom_text)
+        print(f"wrote {args.prom}")
+    if args.validate:
+        counts = validate_export_files(jsonl_text, prom_text)
+        print(f"schema OK: {counts['jsonl_records']} JSONL record(s), "
+              f"{counts['prometheus_samples']} Prometheus sample(s)")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -317,6 +395,34 @@ def build_parser() -> argparse.ArgumentParser:
              "default: cycle through all)",
     )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a fixed-seed sim with telemetry and print/export the "
+             "counter, profile and trace-event summary",
+    )
+    trace.add_argument("-n", type=int, default=30, help="system size")
+    trace.add_argument("--rounds", type=_positive_int, default=10)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--view", type=int, default=8, help="view bound l")
+    trace.add_argument("--fanout", type=int, default=3, help="fanout F")
+    trace.add_argument("--loss", type=float, default=0.0)
+    trace.add_argument("--publishes", type=int, default=5,
+                       help="publish one event per round this many rounds")
+    trace.add_argument("--engine", choices=["serial", "sharded"],
+                       default="serial")
+    trace.add_argument("--shards", type=_positive_int, default=None)
+    trace.add_argument("--no-tracing", action="store_true",
+                       help="record counters/timers only, no per-message "
+                            "trace events")
+    trace.add_argument("--jsonl", metavar="PATH", default=None,
+                       help="write the registry as JSON lines")
+    trace.add_argument("--prom", metavar="PATH", default=None,
+                       help="write the registry in Prometheus text format")
+    trace.add_argument("--validate", action="store_true",
+                       help="validate both exports against the documented "
+                            "schema")
+    trace.set_defaults(fn=_cmd_trace)
 
     return parser
 

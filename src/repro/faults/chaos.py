@@ -63,6 +63,10 @@ class ChaosResult:
     survivors: int
     violations: List[Violation] = field(default_factory=list)
     fault_stats: Dict[str, int] = field(default_factory=dict)
+    #: The run's telemetry registry (counters, timers, and — when the run
+    #: was started with ``tracing=True`` — the trace-event stream).  Feed it
+    #: to repro.telemetry.exporters for JSONL/Prometheus dumps of the run.
+    telemetry: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -86,15 +90,23 @@ def run_chaos_scenario(
     intensity: float = 1.0,
     publishes: int = 5,
     plan: Optional[FaultPlan] = None,
+    tracing: bool = False,
 ) -> ChaosResult:
     """Run one preset under one (random or given) fault plan with live
-    invariant monitoring; fully determined by the arguments."""
+    invariant monitoring; fully determined by the arguments.
+
+    ``tracing=True`` additionally records the per-message trace stream
+    (sends, receives, fault verdicts) into the sim's telemetry registry —
+    telemetry is engine-native and consumes no randomness, so the run is
+    bit-identical with tracing on or off.
+    """
     builders = _presets()
     if preset not in builders:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")
     scenario = builders[preset](n=n, seed=seed)
     sim = scenario.sim
+    sim.telemetry.tracing = tracing
     pids = [node.pid for node in scenario.nodes]
 
     if plan is None:
@@ -145,6 +157,7 @@ def run_chaos_scenario(
         survivors=len(survivors),
         violations=list(monitor.violations),
         fault_stats=injector.stats.as_dict(),
+        telemetry=sim.telemetry,
     )
 
 

@@ -223,6 +223,13 @@ class InvariantMonitor:
         round_no = getattr(self._sim, "round", 0) if self._sim else 0
         violation = Violation(invariant, pid, round_no, self.seed, detail)
         self.violations.append(violation)
+        telemetry = getattr(self._sim, "telemetry", None)
+        if telemetry is not None:
+            # Violations are rare and critical: count them and force the
+            # trace event through even when per-message tracing is off.
+            telemetry.inc("invariants.violations", 1, invariant=invariant)
+            telemetry.emit("invariant.violation", float(round_no), pid=pid,
+                           force=True, invariant=invariant, detail=detail)
         if self.mode == "raise":
             raise InvariantViolation(violation)
 

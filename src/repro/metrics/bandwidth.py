@@ -8,16 +8,24 @@ module measures that: per-round message counts and element-size estimates
 (via each message's ``size_estimate``), split by message kind, so benches
 can compare lpbcast's single-phase overhead against pbcast's
 digest+solicit+data traffic.
+
+The meter is a *reader* over the engine-native telemetry layer
+(:mod:`repro.telemetry`): every round engine counts its own emissions into
+``sim.sends`` / ``sim.send_elements`` / ``sim.sends_by_sender``, so the
+numbers are exact on the sharded engine too.  The previous implementation
+wrapped ``on_tick``/``handle_message`` with closures; those wrappers did
+not survive pickling nodes into shard workers, silently undercounting
+every sharded run.  :meth:`BandwidthMeter.instrument` remains as a
+back-compat no-op so existing call sites keep working unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.ids import ProcessId
-from ..core.message import Outgoing
+from ..telemetry import Telemetry
 
 
 @dataclass
@@ -26,6 +34,11 @@ class RoundTraffic:
 
     messages: int = 0
     elements: int = 0
+    #: Messages without a callable ``size_estimate``.  They contribute 0 to
+    #: ``elements`` — counting them as 1 element each (the old behaviour)
+    #: inflated element volume with control messages that carry no payload
+    #: elements at all.
+    unsized: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, message: object) -> None:
@@ -33,76 +46,105 @@ class RoundTraffic:
         kind = type(message).__name__
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
         size = getattr(message, "size_estimate", None)
-        self.elements += size() if callable(size) else 1
+        if callable(size):
+            self.elements += size()
+        else:
+            self.unsized += 1
 
 
 class BandwidthMeter:
     """Measures per-round protocol traffic in a round simulation.
 
-    Wire it by wrapping nodes with :meth:`instrument` *before* adding them to
-    the simulation; every outgoing message from ``on_tick`` and
-    ``handle_message`` is counted against the current round.
+    Wire it by registering :meth:`on_round` as a round hook (as before);
+    the first invocation binds the meter to the engine's telemetry
+    registry.  :meth:`attach` binds explicitly for use without hooks
+    (e.g. reading a finished run, or an async runtime).
     """
 
     def __init__(self) -> None:
-        self._rounds: Dict[int, RoundTraffic] = defaultdict(RoundTraffic)
-        self._per_sender: Dict[ProcessId, int] = defaultdict(int)
-        self._current_round = 0
+        self._telemetry: Optional[Telemetry] = None
 
     # -- wiring ---------------------------------------------------------------
     def on_round(self, round_number: int, sim) -> None:
-        """Register as a round *hook* so counting attributes to the round
-        being executed."""
-        self._current_round = round_number
+        """Round hook (kept for API compatibility): binds the engine's
+        telemetry registry on first call."""
+        if self._telemetry is None:
+            self.attach(sim)
+
+    def attach(self, sim_or_telemetry) -> "BandwidthMeter":
+        """Bind to an engine (anything with a ``telemetry`` attribute) or
+        directly to a :class:`~repro.telemetry.Telemetry` registry."""
+        telemetry = getattr(sim_or_telemetry, "telemetry", sim_or_telemetry)
+        if not isinstance(telemetry, Telemetry):
+            raise TypeError(f"cannot attach to {sim_or_telemetry!r}: "
+                            f"no telemetry registry found")
+        self._telemetry = telemetry
+        return self
 
     def instrument(self, node):
-        """Wrap a node so its outgoing messages are counted."""
-        meter = self
-        original_tick = node.on_tick
-        original_handle = node.handle_message
-
-        def counted_tick(now: float) -> List[Outgoing]:
-            out = original_tick(now)
-            meter._count(node.pid, out)
-            return out
-
-        def counted_handle(sender, message, now: float) -> List[Outgoing]:
-            out = original_handle(sender, message, now)
-            meter._count(node.pid, out)
-            return out
-
-        node.on_tick = counted_tick
-        node.handle_message = counted_handle
+        """Back-compat no-op: engines count their own emissions now, so
+        there is nothing to wrap (and nothing to lose when a node is
+        pickled into a shard worker)."""
         return node
-
-    def _count(self, sender: ProcessId, outgoings: List[Outgoing]) -> None:
-        traffic = self._rounds[self._current_round]
-        for out in outgoings:
-            traffic.record(out.message)
-            self._per_sender[sender] += 1
 
     # -- queries -----------------------------------------------------------------
     def round_traffic(self, round_number: int) -> RoundTraffic:
-        return self._rounds.get(round_number, RoundTraffic())
+        traffic = RoundTraffic()
+        telemetry = self._telemetry
+        if telemetry is None:
+            return traffic
+        for key, value in telemetry.counter_series("sim.sends").items():
+            labels = dict(key)
+            if labels.get("round") != round_number:
+                continue
+            traffic.messages += value
+            kind = str(labels.get("kind", "?"))
+            traffic.by_kind[kind] = traffic.by_kind.get(kind, 0) + value
+        traffic.elements = telemetry.counter_value(
+            "sim.send_elements", round=round_number
+        )
+        traffic.unsized = telemetry.counter_value(
+            "sim.sends_unsized", round=round_number
+        )
+        return traffic
 
     def rounds(self) -> List[int]:
-        return sorted(self._rounds)
+        if self._telemetry is None:
+            return []
+        return self._telemetry.label_values("sim.sends", "round")
 
     def total_messages(self) -> int:
-        return sum(t.messages for t in self._rounds.values())
+        if self._telemetry is None:
+            return 0
+        return self._telemetry.counter_total("sim.sends")
 
     def total_elements(self) -> int:
-        return sum(t.elements for t in self._rounds.values())
+        if self._telemetry is None:
+            return 0
+        return self._telemetry.counter_total("sim.send_elements")
+
+    def total_unsized(self) -> int:
+        if self._telemetry is None:
+            return 0
+        return self._telemetry.counter_total("sim.sends_unsized")
 
     def messages_by_kind(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
-        for traffic in self._rounds.values():
-            for kind, count in traffic.by_kind.items():
-                totals[kind] = totals.get(kind, 0) + count
+        if self._telemetry is None:
+            return totals
+        for key, value in self._telemetry.counter_series("sim.sends").items():
+            kind = str(dict(key).get("kind", "?"))
+            totals[kind] = totals.get(kind, 0) + value
         return totals
 
     def per_sender_totals(self) -> Dict[ProcessId, int]:
-        return dict(self._per_sender)
+        totals: Dict[ProcessId, int] = {}
+        if self._telemetry is None:
+            return totals
+        series = self._telemetry.counter_series("sim.sends_by_sender")
+        for key, value in series.items():
+            totals[dict(key)["src"]] = value
+        return totals
 
     def load_stability(self) -> float:
         """Coefficient of variation of per-round message counts (ignoring
@@ -111,7 +153,7 @@ class BandwidthMeter:
         rounds = self.rounds()
         if len(rounds) < 4:
             raise ValueError("need at least 4 measured rounds")
-        counts = [self._rounds[r].messages for r in rounds[1:-1]]
+        counts = [self.round_traffic(r).messages for r in rounds[1:-1]]
         mean = sum(counts) / len(counts)
         if mean == 0:
             return 0.0

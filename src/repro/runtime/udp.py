@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.codec import CodecError, from_json, to_json
 from ..core.ids import ProcessId
 from ..core.message import Outgoing
+from ..telemetry import Telemetry
 
 Address = Tuple[str, int]
 
@@ -49,6 +50,7 @@ class UdpProcessHost:
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         fault_injector=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if gossip_period <= 0:
             raise ValueError("gossip_period must be positive")
@@ -86,16 +88,47 @@ class UdpProcessHost:
         self._timer = threading.Thread(
             target=self._timer_loop, name=f"tick-{node.pid}", daemon=True
         )
-        self.datagrams_sent = 0
-        self.datagrams_received = 0
-        #: Send-side drops, split by cause: loss injected by the fault
-        #: layer, datagrams over the 65 kB cap, and socket-level OSError.
-        #: Conflating them (the old single counter) made loss-rate
-        #: experiments misreport whenever oversize or socket errors occurred.
-        self.datagrams_lost_injected = 0
-        self.datagrams_oversize = 0
-        self.datagrams_send_errors = 0
-        self.decode_errors = 0
+        #: Registry the counter properties below read from — shared and
+        #: thread-safe across a deployment (receive loop, gossip timer and
+        #: delay timers of every host all write into it concurrently).
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry(thread_safe=True))
+
+    def _count(self, name: str) -> None:
+        self.telemetry.inc(name, 1, pid=self.node.pid)
+
+    def _counter(self, name: str) -> int:
+        return self.telemetry.counter_value(name, pid=self.node.pid)
+
+    # Back-compat counter surface: the old plain-int attributes, now views
+    # over the shared telemetry registry (one labelled series per pid).
+    @property
+    def datagrams_sent(self) -> int:
+        return self._counter("udp.datagrams_sent")
+
+    @property
+    def datagrams_received(self) -> int:
+        return self._counter("udp.datagrams_received")
+
+    @property
+    def datagrams_lost_injected(self) -> int:
+        """Send-side drops injected by the fault layer — kept distinct from
+        oversize and socket-error drops: conflating them (the old single
+        counter) made loss-rate experiments misreport whenever oversize or
+        socket errors occurred."""
+        return self._counter("udp.datagrams_lost_injected")
+
+    @property
+    def datagrams_oversize(self) -> int:
+        return self._counter("udp.datagrams_oversize")
+
+    @property
+    def datagrams_send_errors(self) -> int:
+        return self._counter("udp.datagrams_send_errors")
+
+    @property
+    def decode_errors(self) -> int:
+        return self._counter("udp.decode_errors")
 
     @property
     def datagrams_dropped(self) -> int:
@@ -145,11 +178,12 @@ class UdpProcessHost:
                 payload = data.decode("utf-8")
                 sender_part, message_part = payload.split("|", 1)
                 sender = int(sender_part)
-                message = from_json(message_part)
+                with self.telemetry.time("time.codec", op="decode"):
+                    message = from_json(message_part)
             except (CodecError, ValueError, UnicodeDecodeError):
-                self.decode_errors += 1
+                self._count("udp.decode_errors")
                 continue
-            self.datagrams_received += 1
+            self._count("udp.datagrams_received")
             with self._lock:
                 replies = self.node.handle_message(
                     sender, message, time.monotonic()
@@ -178,12 +212,14 @@ class UdpProcessHost:
                     self.node.pid, out.destination, time.monotonic()
                 )
                 if verdict.action == "drop":
-                    self.datagrams_lost_injected += 1
+                    self._count("udp.datagrams_lost_injected")
                     continue
                 copies = verdict.copies
-            datagram = f"{self.node.pid}|{to_json(out.message)}".encode("utf-8")
+            with self.telemetry.time("time.codec", op="encode"):
+                encoded = to_json(out.message)
+            datagram = f"{self.node.pid}|{encoded}".encode("utf-8")
             if len(datagram) > _MAX_DATAGRAM:
-                self.datagrams_oversize += 1
+                self._count("udp.datagrams_oversize")
                 continue
             for _ in range(copies):
                 if delay_s > 0:
@@ -198,9 +234,9 @@ class UdpProcessHost:
     def _transmit(self, datagram: bytes, address: Address) -> None:
         try:
             self._sock.sendto(datagram, address)
-            self.datagrams_sent += 1
+            self._count("udp.datagrams_sent")
         except OSError:
-            self.datagrams_send_errors += 1
+            self._count("udp.datagrams_send_errors")
 
 
 class LocalDeployment:
@@ -224,6 +260,9 @@ class LocalDeployment:
         fault_plan=None,
     ) -> None:
         self.directory: Dict[ProcessId, Address] = {}
+        #: One thread-safe registry for the whole cluster; every host's
+        #: ``udp.*`` series is labelled with its pid.
+        self.telemetry = Telemetry(thread_safe=True)
         root = random.Random(seed)
         # One injector shared by every host: partitions and scoped drops
         # must see traffic from all senders against one schedule and one
@@ -244,6 +283,7 @@ class LocalDeployment:
                 loss_rate=loss_rate,
                 rng=random.Random(root.getrandbits(64)),
                 fault_injector=self.fault_injector,
+                telemetry=self.telemetry,
             )
             for node in nodes
         ]

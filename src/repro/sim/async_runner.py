@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.ids import ProcessId
 from ..core.message import Outgoing
+from ..telemetry import Telemetry
+from .aggregates import NodeAggregates, aggregate_nodes
 from .engine import Simulator
 from .network import NetworkModel
 from .round_runner import GossipProcess
@@ -48,6 +50,11 @@ class AsyncGossipRuntime:
         self.nodes: Dict[ProcessId, GossipProcess] = {}
         self.crashed: set = set()
         self.messages_delivered = 0
+        #: Engine-native observability (repro.telemetry); the ``round``
+        #: label on this runtime is the integer part of simulated time,
+        #: i.e. one bucket per default gossip period.
+        self.telemetry = Telemetry()
+        self._tele_baseline: Dict[str, int] = {}
         self._tick_listeners: List[Callable[[ProcessId, float], None]] = []
         self._fault_injector = None
         self._fault_round_duration = default_period
@@ -78,7 +85,9 @@ class AsyncGossipRuntime:
 
     # -- runtime control ---------------------------------------------------
     def crash(self, pid: ProcessId) -> None:
-        self.crashed.add(pid)
+        if pid not in self.crashed:
+            self.crashed.add(pid)
+            self.telemetry.emit("crash", self.sim.now, pid=pid)
 
     def crash_at(self, pid: ProcessId, at: float) -> None:
         self.sim.schedule_at(at, lambda: self.crash(pid))
@@ -180,6 +189,7 @@ class AsyncGossipRuntime:
                 verdict = self._fault_injector.decide(
                     src, out.destination, self._fault_round(self.sim.now)
                 )
+                self._trace_verdict(verdict, src, out.destination)
                 if verdict.action == "drop":
                     continue
                 if verdict.action == "delay":
@@ -195,7 +205,9 @@ class AsyncGossipRuntime:
                 )
 
     def run_until(self, deadline: float) -> None:
-        self.sim.run_until(deadline)
+        with self.telemetry.time("time.round"):
+            self.sim.run_until(deadline)
+        self._sync_engine_counters()
 
     @property
     def now(self) -> float:
@@ -213,7 +225,10 @@ class AsyncGossipRuntime:
             self.sim.schedule(period, lambda: self._tick(pid, period))
             return
         node = self.nodes[pid]
-        self.send(pid, node.on_tick(self.sim.now))
+        with self.telemetry.time("time.tick"):
+            ticked = node.on_tick(self.sim.now)
+        self.telemetry.record_sends(int(self.sim.now), pid, ticked)
+        self.send(pid, ticked)
         for listener in self._tick_listeners:
             listener(pid, self.sim.now)
         self.sim.schedule(period, lambda: self._tick(pid, period))
@@ -223,6 +238,59 @@ class AsyncGossipRuntime:
         if dst in self.crashed or dst not in self.nodes:
             return
         self.messages_delivered += 1
-        replies = self.nodes[dst].handle_message(src, out.message, self.sim.now)
+        if self.telemetry.tracing:
+            self.telemetry.emit("receive", self.sim.now, pid=dst, peer=src,
+                                message=type(out.message).__name__)
+        with self.telemetry.time("time.delivery"):
+            replies = self.nodes[dst].handle_message(src, out.message,
+                                                     self.sim.now)
+        self.telemetry.record_sends(int(self.sim.now), dst, replies)
         if replies:
             self.send(dst, replies)
+
+    # -- telemetry ---------------------------------------------------------
+    def _trace_verdict(self, verdict, src: ProcessId,
+                       dst: ProcessId) -> None:
+        if not self.telemetry.tracing:
+            return
+        at = self.sim.now
+        if verdict.action == "drop":
+            self.telemetry.emit("fault.drop", at, pid=src, peer=dst)
+        elif verdict.action == "delay":
+            self.telemetry.emit("fault.delay", at, pid=src, peer=dst,
+                                delay=verdict.delay)
+        elif verdict.copies > 1:
+            self.telemetry.emit("fault.duplicate", at, pid=src, peer=dst,
+                                copies=verdict.copies)
+
+    def _sync_engine_counters(self) -> None:
+        """Fold the runtime's accounting attributes into the telemetry
+        registry as deltas labelled with the current time bucket."""
+        updates = {
+            "sim.delivered": self.messages_delivered,
+            "net.offered": self.network.messages_offered,
+            "net.dropped": self.network.messages_dropped,
+            "net.cut": getattr(self.network, "messages_cut", 0),
+        }
+        if self._fault_injector is not None:
+            for name, value in self._fault_injector.stats.as_dict().items():
+                updates[f"faults.{name}"] = value
+        bucket = int(self.sim.now)
+        for name, value in updates.items():
+            last = self._tele_baseline.get(name, 0)
+            if value != last:
+                self.telemetry.inc(name, value - last, round=bucket)
+                self._tele_baseline[name] = value
+        alive = sum(1 for pid in self.nodes if pid not in self.crashed)
+        self.telemetry.set_gauge("sim.alive", float(alive))
+
+    def node_aggregates(self, pids: Optional[Sequence[ProcessId]] = None
+                        ) -> NodeAggregates:
+        """Summed node stats over alive processes — the same recorder feed
+        the round engines expose (see :mod:`repro.sim.aggregates`)."""
+        if pids is None:
+            targets = [n for pid, n in self.nodes.items()
+                       if pid not in self.crashed]
+        else:
+            targets = [self.nodes[p] for p in pids if self.alive(p)]
+        return aggregate_nodes(targets)

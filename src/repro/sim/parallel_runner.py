@@ -59,6 +59,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.ids import ProcessId
 from ..core.message import Outgoing
+from ..telemetry import Telemetry
+from .aggregates import NodeAggregates, aggregate_nodes, merge_aggregates
 from .network import NetworkModel
 from .round_runner import GossipProcess, RoundSimulation
 
@@ -94,6 +96,10 @@ class _ShardState:
         self.next_handle = 0
         self.records: List[tuple] = []           # (phase, index, pid, notif, now)
         self._ctx: Tuple[int, int] = (0, 0)
+        #: Shard-local registry; drained into the coordinator after every
+        #: recording command, so counters merge by summation and trace
+        #: events carry their (phase, index) replay tags.
+        self.telemetry = Telemetry()
 
     # -- node management ----------------------------------------------------
     def install(self, pid: ProcessId, node: object, record: bool,
@@ -154,12 +160,14 @@ class _ShardState:
         return errors, self.records
 
     def do_tick(self, now: float, crashed: frozenset, retain: Sequence[int],
-                ops: Sequence[tuple]):
+                ops: Sequence[tuple], tracing: bool):
         self.records = []
+        self.telemetry.tracing = tracing
         keep = set(retain)
         self.outbox = {h: m for h, m in self.outbox.items() if h in keep}
         errors = self.apply_ops(ops)
         meta: List[tuple] = []
+        round_no = int(now)
         for pid, node in self.nodes.items():
             if pid in crashed:
                 continue
@@ -169,10 +177,12 @@ class _ShardState:
             except Exception as exc:  # noqa: BLE001
                 errors.append((pid, "on_tick", _picklable(exc)))
                 continue
+            self.telemetry.trace_tag = self._ctx
+            self.telemetry.record_sends(round_no, pid, ticked)
             for emission, out in enumerate(ticked):
                 handle = self._stash(pid, out)
                 meta.append((handle, pid, out.destination, emission))
-        return meta, self.records, errors
+        return meta, self.records, errors, self.telemetry.drain_delta()
 
     def do_fetch(self, wants: Dict[int, Sequence[int]]) -> Dict[int, bytes]:
         return {
@@ -181,8 +191,10 @@ class _ShardState:
         }
 
     def do_deliver(self, now: float, generation: int, sequence: Sequence[tuple],
-                   imports: Dict[int, bytes], inline: Dict[int, object]):
+                   imports: Dict[int, bytes], inline: Dict[int, object],
+                   tracing: bool):
         self.records = []
+        self.telemetry.tracing = tracing
         imported: Dict[Tuple[int, int], object] = {}
         for src_shard, blob in imports.items():
             for handle, message in pickle.loads(blob):
@@ -192,6 +204,7 @@ class _ShardState:
         failed: set = set()
         skipped: List[int] = []
         phase = _PHASE_GEN0 + generation
+        round_no = int(now)
         for pos, src, dst, tag in sequence:
             if dst in failed:
                 skipped.append(pos)
@@ -203,18 +216,24 @@ class _ShardState:
             else:  # "M": coordinator-held payload
                 message = inline[pos]
             self._ctx = (phase, pos)
+            self.telemetry.trace_tag = self._ctx
+            if tracing:
+                self.telemetry.emit("receive", now, pid=dst, peer=src,
+                                    message=type(message).__name__)
             try:
                 replies = self.nodes[dst].handle_message(src, message, now)
             except Exception as exc:  # noqa: BLE001
                 errors.append((dst, "handle_message", _picklable(exc)))
                 failed.add(dst)
                 continue
+            self.telemetry.record_sends(round_no, dst, replies)
             for emission, reply in enumerate(replies):
                 handle = self._stash(dst, reply)
                 replies_meta.append(
                     (pos, emission, handle, dst, reply.destination)
                 )
-        return replies_meta, self.records, errors, skipped
+        return (replies_meta, self.records, errors, skipped,
+                self.telemetry.drain_delta())
 
     def do_call(self, pid: ProcessId, method: str, args: tuple,
                 kwargs: dict, op_index: int):
@@ -239,6 +258,20 @@ class _ShardState:
             for node, listeners in stripped:
                 node._listeners = listeners
 
+    def do_stats(self, pids: Optional[Sequence[ProcessId]],
+                 crashed: frozenset) -> NodeAggregates:
+        """Aggregate this shard's alive nodes locally — the cheap
+        alternative to ``pull`` for per-round recorders (no node pickling;
+        the returned aggregate is a few integers)."""
+        if pids is None:
+            targets = [node for pid, node in self.nodes.items()
+                       if pid not in crashed]
+        else:
+            wanted = set(pids)
+            targets = [node for pid, node in self.nodes.items()
+                       if pid in wanted and pid not in crashed]
+        return aggregate_nodes(targets)
+
 
 def _picklable(exc: Exception) -> Exception:
     """The original exception when it pickles, else a faithful stand-in."""
@@ -255,13 +288,15 @@ def _shard_main(conn, shard: int) -> None:
     dispatch = {
         "add": lambda cmd: state.do_add(cmd[1]),
         "ops": lambda cmd: state.do_ops(cmd[1]),
-        "tick": lambda cmd: state.do_tick(cmd[1], cmd[2], cmd[3], cmd[4]),
+        "tick": lambda cmd: state.do_tick(cmd[1], cmd[2], cmd[3], cmd[4],
+                                          cmd[5]),
         "fetch": lambda cmd: state.do_fetch(cmd[1]),
         "deliver": lambda cmd: state.do_deliver(cmd[1], cmd[2], cmd[3],
-                                                cmd[4], cmd[5]),
+                                                cmd[4], cmd[5], cmd[6]),
         "call": lambda cmd: state.do_call(cmd[1], cmd[2], cmd[3], cmd[4],
                                           cmd[5]),
         "pull": lambda cmd: state.do_pull(cmd[1]),
+        "stats": lambda cmd: state.do_stats(cmd[1], cmd[2]),
     }
     while True:
         try:
@@ -392,6 +427,10 @@ class ShardedRoundSimulation(RoundSimulation):
         self._main_messages: Dict[int, object] = {}
         self._main_counter = 0
         self._record_buffer: List[tuple] = []
+        #: Worker-recorded trace events of the current round, still carrying
+        #: their (phase, index) tags; flushed in canonical order with the
+        #: delivery records at round end.
+        self._staged_trace: List[tuple] = []
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -542,6 +581,7 @@ class ShardedRoundSimulation(RoundSimulation):
         expanded: List[_Ref] = []
         for ref in queue:
             verdict = self._fault_injector.decide(ref.src, ref.dst)
+            self._trace_verdict(verdict, ref.src, ref.dst)
             if verdict.action == "drop":
                 if ref.owner == _MAIN:
                     self._main_messages.pop(ref.handle, None)
@@ -645,9 +685,15 @@ class ShardedRoundSimulation(RoundSimulation):
             self.start()
         if self._closed:
             raise RuntimeError("engine already closed/collected")
+        super().run_round()  # wraps _run_round_body in the time.round timer
+
+    def _run_round_body(self) -> None:
         self.round += 1
         now = float(self.round)
         self._record_buffer = []
+        self._staged_trace = []
+        self.telemetry.emit("round.start", now,
+                            alive=len(self.alive_nodes()))
 
         if self._crash_plan is not None:
             for event in self._crash_plan.crashes_before(now):
@@ -659,19 +705,28 @@ class ShardedRoundSimulation(RoundSimulation):
         for hook in self._hooks:
             hook(self.round, self)
 
-        queue = self._tick_phase(now)
+        with self.telemetry.time("time.tick"):
+            queue = self._tick_phase(now)
         generation = 0
-        while queue and generation <= self.max_reply_generations:
-            self._shuffle_rng.shuffle(queue)
-            if self._fault_injector is not None:
-                queue = self._fault_expand(queue)
-            queue = self._delivery_phase(now, generation, queue)
-            generation += 1
+        with self.telemetry.time("time.delivery"):
+            while queue and generation <= self.max_reply_generations:
+                self._shuffle_rng.shuffle(queue)
+                if self._fault_injector is not None:
+                    queue = self._fault_expand(queue)
+                queue = self._delivery_phase(now, generation, queue)
+                generation += 1
         self._carryover_refs.extend(queue)
 
         self._replay_records()
-        for observer in self._observers:
-            observer(self.round, self)
+        self.telemetry.append_trace_ordered(self._staged_trace)
+        self._staged_trace = []
+        self._sync_engine_counters()
+        self.telemetry.emit("round.end", now,
+                            alive=len(self.alive_nodes()),
+                            delivered=self.messages_delivered)
+        with self.telemetry.time("time.observers"):
+            for observer in self._observers:
+                observer(self.round, self)
 
     def _tick_phase(self, now: float) -> List[_Ref]:
         retain: Dict[int, List[int]] = {s: [] for s in range(self.shards)}
@@ -690,13 +745,16 @@ class ShardedRoundSimulation(RoundSimulation):
         pending = {s: [self._materialize(op) for op in
                        self._pending_ops.pop(s, [])]
                    for s in range(self.shards)}
+        tracing = self.telemetry.tracing
         for shard, conn in enumerate(self._conns):
-            conn.send(("tick", now, crashed, retain[shard], pending[shard]))
+            conn.send(("tick", now, crashed, retain[shard], pending[shard],
+                       tracing))
         tick_meta: List[tuple] = []
         errors: List[tuple] = []
         for shard in range(self.shards):
-            meta, records, errs = self._await(shard)
+            meta, records, errs, delta = self._await(shard)
             self._record_buffer.extend(records)
+            self._staged_trace.extend(self.telemetry.absorb_counters(delta))
             for handle, src, dst, emission in meta:
                 tick_meta.append((self._insertion[src], emission,
                                   shard, handle, src, dst))
@@ -735,26 +793,29 @@ class ShardedRoundSimulation(RoundSimulation):
 
         # Cross-shard mailboxes: each source shard pickles one blob per
         # destination shard; the coordinator forwards the bytes untouched.
-        fetching = [s for s in range(self.shards) if exports[s]]
-        for shard in fetching:
-            self._conns[shard].send(("fetch", exports[shard]))
-        mailboxes: Dict[int, Dict[int, bytes]] = {
-            s: {} for s in range(self.shards)
-        }
-        for shard in fetching:
-            for dst_shard, blob in self._await(shard).items():
-                mailboxes[dst_shard][shard] = blob
+        with self.telemetry.time("time.shard.sync"):
+            fetching = [s for s in range(self.shards) if exports[s]]
+            for shard in fetching:
+                self._conns[shard].send(("fetch", exports[shard]))
+            mailboxes: Dict[int, Dict[int, bytes]] = {
+                s: {} for s in range(self.shards)
+            }
+            for shard in fetching:
+                for dst_shard, blob in self._await(shard).items():
+                    mailboxes[dst_shard][shard] = blob
 
         active = [s for s in range(self.shards) if deliveries[s]]
+        tracing = self.telemetry.tracing
         for shard in active:
             self._conns[shard].send(("deliver", now, generation,
                                      deliveries[shard], mailboxes[shard],
-                                     inline[shard]))
+                                     inline[shard], tracing))
         replies_meta: List[tuple] = []
         errors: List[tuple] = []
         for shard in active:
-            rmeta, records, errs, skipped = self._await(shard)
+            rmeta, records, errs, skipped, delta = self._await(shard)
             self._record_buffer.extend(records)
+            self._staged_trace.extend(self.telemetry.absorb_counters(delta))
             for pos, emission, handle, src, dst in rmeta:
                 replies_meta.append((pos, emission, shard, handle, src, dst))
             errors.extend(errs)
@@ -794,6 +855,25 @@ class ShardedRoundSimulation(RoundSimulation):
         self._record_buffer = []
 
     # -- state access --------------------------------------------------------
+    def node_aggregates(self, pids: Optional[Sequence[ProcessId]] = None
+                        ) -> NodeAggregates:
+        """Shard-local aggregation of alive-node stats (see
+        :mod:`repro.sim.aggregates`): each worker sums its own nodes and
+        ships a few integers, so per-round recorders never trigger the full
+        node pickle that :meth:`refresh_nodes` costs.  Totals equal the
+        serial engine's for the same seed."""
+        if not self._started or self._closed:
+            return super().node_aggregates(pids)
+        for shard in range(self.shards):
+            self._flush_ops(shard)
+        wanted = None if pids is None else list(pids)
+        crashed = frozenset(self.crashed)
+        for conn in self._conns:
+            conn.send(("stats", wanted, crashed))
+        return merge_aggregates(
+            [self._await(shard) for shard in range(self.shards)]
+        )
+
     def refresh_nodes(self, pids: Optional[Sequence[ProcessId]] = None) -> None:
         """Pull fresh node snapshots from the workers into the replica set.
 

@@ -7,14 +7,20 @@ JSON lines for offline analysis.  This is the observability layer a
 production operator would want: the reliability loss of Fig. 6 shows up
 here as ``event_ids_occupancy`` pinned at its bound while
 ``events_dropped`` climbs.
+
+Engines that expose ``node_aggregates()`` (all repro engines do) feed the
+recorder through :mod:`repro.sim.aggregates`: shards sum their own alive
+nodes locally and ship a few integers per round.  The previous
+implementation called ``refresh_nodes()`` — a full node pickle of the
+whole system — on every round of a sharded run; the aggregate path records
+the same numbers without moving node state, and serial vs sharded runs of
+the same seed produce identical records.
 """
 
 from __future__ import annotations
 
 import json
 from typing import IO, Dict, List, Optional, Sequence
-
-from ..metrics.views import in_degree_stats
 
 
 class RunRecorder:
@@ -39,44 +45,43 @@ class RunRecorder:
             self.stream.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def snapshot(self, sim, round_number: int) -> Dict:
-        # Engines that run nodes out-of-process (the sharded engine) expose
-        # refresh_nodes(); pull current replicas, then read through the
-        # engine's own handles so swapped nodes (proxies) are honored.
-        refresh = getattr(sim, "refresh_nodes", None)
-        if refresh is not None:
-            refresh()
-        alive = [
-            sim.nodes.get(n.pid, n) for n in self.nodes if sim.alive(n.pid)
-        ]
+        aggregates = getattr(sim, "node_aggregates", None)
+        if aggregates is not None:
+            agg = aggregates([n.pid for n in self.nodes])
+        else:
+            # Engine without the aggregate feed: read node state directly
+            # (out-of-process engines need their replicas synced first).
+            refresh = getattr(sim, "refresh_nodes", None)
+            if refresh is not None:
+                refresh()
+            from .aggregates import aggregate_nodes
+
+            agg = aggregate_nodes(
+                sim.nodes.get(n.pid, n) for n in self.nodes
+                if sim.alive(n.pid)
+            )
         record: Dict = {
             "round": round_number,
-            "alive": len(alive),
-            "delivered_total": sum(n.stats.delivered for n in alive),
-            "duplicates_total": sum(n.stats.duplicates for n in alive),
-            "events_dropped_total": sum(n.stats.events_dropped for n in alive),
-            "event_ids_evicted_total": sum(
-                n.stats.event_ids_evicted for n in alive
-            ),
-            "gossips_sent_total": sum(n.stats.gossips_sent for n in alive),
-            "events_occupancy": self._mean(len(n.events) for n in alive),
-            "event_ids_occupancy": self._mean(
-                len(n.event_ids) for n in alive
-            ),
-            "subs_occupancy": self._mean(len(n.subs) for n in alive),
+            "alive": agg.count,
+            "delivered_total": agg.stat_total("delivered"),
+            "duplicates_total": agg.stat_total("duplicates"),
+            "events_dropped_total": agg.stat_total("events_dropped"),
+            "event_ids_evicted_total": agg.stat_total("event_ids_evicted"),
+            "gossips_sent_total": agg.stat_total("gossips_sent"),
+            "events_occupancy": agg.occupancy_mean("events"),
+            "event_ids_occupancy": agg.occupancy_mean("event_ids"),
+            "subs_occupancy": agg.occupancy_mean("subs"),
             "messages_offered": sim.network.messages_offered,
             "messages_dropped": sim.network.messages_dropped,
         }
-        if self.sample_view_stats and alive:
-            stats = in_degree_stats(alive)
-            record["in_degree_mean"] = stats.mean
-            record["in_degree_std"] = stats.std
-            record["in_degree_min"] = stats.minimum
+        if self.sample_view_stats:
+            stats = agg.in_degree_stats()
+            if stats is not None:
+                mean, std, minimum = stats
+                record["in_degree_mean"] = mean
+                record["in_degree_std"] = std
+                record["in_degree_min"] = minimum
         return record
-
-    @staticmethod
-    def _mean(values) -> float:
-        values = list(values)
-        return sum(values) / len(values) if values else 0.0
 
     # -- queries -----------------------------------------------------------------
     def series(self, field: str) -> List:

@@ -33,6 +33,8 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..core.ids import ProcessId
 from ..core.message import Outgoing
+from ..telemetry import Telemetry
+from .aggregates import NodeAggregates, aggregate_nodes
 from .network import CrashPlan, NetworkModel
 from .rng import SeedSequence
 
@@ -78,6 +80,11 @@ class RoundSimulation:
         #: deployment's process supervisor would observe.
         self.on_node_error = on_node_error
         self.node_errors: List[tuple] = []
+        #: Engine-native observability (see repro.telemetry): the engine
+        #: counts every emitted message itself, so instruments never wrap
+        #: node methods and sharded workers count exactly like serial runs.
+        self.telemetry = Telemetry()
+        self._tele_baseline: Dict[str, int] = {}
         self._shuffle_rng: random.Random = self.seeds.rng("delivery-order")
         self.nodes: Dict[ProcessId, GossipProcess] = {}
         self.crashed: set = set()
@@ -134,8 +141,9 @@ class RoundSimulation:
     # -- runtime control ---------------------------------------------------
     def crash(self, pid: ProcessId) -> None:
         """Fail-stop ``pid`` immediately (no recovery, Sec. 4.1)."""
-        if pid in self.nodes:
+        if pid in self.nodes and pid not in self.crashed:
             self.crashed.add(pid)
+            self.telemetry.emit("crash", float(self.round), pid=pid)
 
     def alive(self, pid: ProcessId) -> bool:
         return pid in self.nodes and pid not in self.crashed
@@ -150,8 +158,14 @@ class RoundSimulation:
 
     # -- the round loop ----------------------------------------------------
     def run_round(self) -> None:
+        with self.telemetry.time("time.round"):
+            self._run_round_body()
+
+    def _run_round_body(self) -> None:
         self.round += 1
         now = float(self.round)
+        self.telemetry.emit("round.start", now,
+                            alive=len(self.alive_nodes()))
 
         if self._crash_plan is not None:
             for event in self._crash_plan.crashes_before(now):
@@ -165,32 +179,40 @@ class RoundSimulation:
 
         queue: List[Tuple[ProcessId, Outgoing]] = list(self._carryover)
         self._carryover = []
-        for node in self.alive_nodes():
-            if node.pid in self._fault_paused:
-                continue  # slow-node fault: no tick, but it still receives
-            try:
-                ticked = node.on_tick(now)
-            except Exception as exc:
-                self._handle_node_error(node.pid, "on_tick", exc)
-                continue
-            for out in ticked:
-                queue.append((node.pid, out))
+        with self.telemetry.time("time.tick"):
+            for node in self.alive_nodes():
+                if node.pid in self._fault_paused:
+                    continue  # slow-node fault: no tick, still receives
+                try:
+                    ticked = node.on_tick(now)
+                except Exception as exc:
+                    self._handle_node_error(node.pid, "on_tick", exc)
+                    continue
+                self.telemetry.record_sends(self.round, node.pid, ticked)
+                for out in ticked:
+                    queue.append((node.pid, out))
 
         generation = 0
-        while queue and generation <= self.max_reply_generations:
-            self._shuffle_rng.shuffle(queue)
-            if self._fault_injector is not None:
-                queue = self._fault_expand(queue)
-            replies: List[Tuple[ProcessId, Outgoing]] = []
-            for src, out in queue:
-                replies.extend(self._deliver(src, out, now))
-            queue = replies
-            generation += 1
+        with self.telemetry.time("time.delivery"):
+            while queue and generation <= self.max_reply_generations:
+                self._shuffle_rng.shuffle(queue)
+                if self._fault_injector is not None:
+                    queue = self._fault_expand(queue)
+                replies: List[Tuple[ProcessId, Outgoing]] = []
+                for src, out in queue:
+                    replies.extend(self._deliver(src, out, now))
+                queue = replies
+                generation += 1
         # Anything still queued (deep reply chains) is delayed one round.
         self._carryover.extend(queue)
 
-        for observer in self._observers:
-            observer(self.round, self)
+        self._sync_engine_counters()
+        self.telemetry.emit("round.end", now,
+                            alive=len(self.alive_nodes()),
+                            delivered=self.messages_delivered)
+        with self.telemetry.time("time.observers"):
+            for observer in self._observers:
+                observer(self.round, self)
 
     def run(self, rounds: int) -> None:
         for _ in range(rounds):
@@ -253,6 +275,7 @@ class RoundSimulation:
             contact = self._fault_injector.pick_contact(candidates)
         if contact is None:
             return  # nobody left alive to rejoin through
+        self.telemetry.emit("recovery", now, pid=pid, peer=contact)
         node = self.nodes[pid]
         self.inject(pid, node.start_join(contact, now))
 
@@ -264,6 +287,7 @@ class RoundSimulation:
         expanded: List[Tuple[ProcessId, Outgoing]] = []
         for src, out in queue:
             verdict = self._fault_injector.decide(src, out.destination)
+            self._trace_verdict(verdict, src, out.destination)
             if verdict.action == "drop":
                 continue
             if verdict.action == "delay":
@@ -274,6 +298,21 @@ class RoundSimulation:
             for _ in range(verdict.copies):
                 expanded.append((src, out))
         return expanded
+
+    def _trace_verdict(self, verdict, src: ProcessId,
+                       dst: ProcessId) -> None:
+        """Trace a fault verdict that struck (no event for plain delivery)."""
+        if not self.telemetry.tracing:
+            return
+        at = float(self.round)
+        if verdict.action == "drop":
+            self.telemetry.emit("fault.drop", at, pid=src, peer=dst)
+        elif verdict.action == "delay":
+            self.telemetry.emit("fault.delay", at, pid=src, peer=dst,
+                                delay=verdict.delay)
+        elif verdict.copies > 1:
+            self.telemetry.emit("fault.duplicate", at, pid=src, peer=dst,
+                                copies=verdict.copies)
 
     # -- delivery ----------------------------------------------------------
     def _admit(self, src: ProcessId, dst: ProcessId) -> bool:
@@ -305,11 +344,15 @@ class RoundSimulation:
         dst = out.destination
         if not self._admit(src, dst):
             return []
+        if self.telemetry.tracing:
+            self.telemetry.emit("receive", now, pid=dst, peer=src,
+                                message=type(out.message).__name__)
         try:
             replies = self.nodes[dst].handle_message(src, out.message, now)
         except Exception as exc:
             self._handle_node_error(dst, "handle_message", exc)
             return []
+        self.telemetry.record_sends(self.round, dst, replies)
         return [(dst, reply) for reply in replies]
 
     def _handle_node_error(self, pid: ProcessId, where: str,
@@ -318,3 +361,42 @@ class RoundSimulation:
             raise exc
         self.node_errors.append((pid, where, exc))
         self.crash(pid)
+
+    # -- telemetry ---------------------------------------------------------
+    def _sync_engine_counters(self) -> None:
+        """Fold the engine's plain accounting attributes (and the fault
+        injector's strike counters) into the telemetry registry as per-round
+        deltas.  Runs at the end of every round, before observers, so
+        observers always read current totals.  Consumes no randomness —
+        bit-identity of the run is unaffected."""
+        updates = {
+            "sim.delivered": self.messages_delivered,
+            "sim.to_crashed": self.messages_to_crashed,
+            "sim.to_unknown": self.messages_to_unknown,
+            "net.offered": self.network.messages_offered,
+            "net.dropped": self.network.messages_dropped,
+            "net.cut": getattr(self.network, "messages_cut", 0),
+        }
+        if self._fault_injector is not None:
+            for name, value in self._fault_injector.stats.as_dict().items():
+                updates[f"faults.{name}"] = value
+        for name, value in updates.items():
+            last = self._tele_baseline.get(name, 0)
+            if value != last:
+                self.telemetry.inc(name, value - last, round=self.round)
+                self._tele_baseline[name] = value
+        self.telemetry.set_gauge("sim.alive", float(len(self.alive_nodes())))
+        self.telemetry.inc("sim.rounds", 1)
+
+    def node_aggregates(self, pids: Optional[Sequence[ProcessId]] = None
+                        ) -> NodeAggregates:
+        """Summed stats/occupancy/in-degree over the alive nodes (optionally
+        restricted to ``pids``) — the :class:`~repro.sim.recorder.RunRecorder`
+        feed.  The sharded engine overrides this with a shard-local
+        aggregation, so for the same seed both engines return equal values
+        without shipping node state."""
+        if pids is None:
+            targets = self.alive_nodes()
+        else:
+            targets = [self.nodes[p] for p in pids if self.alive(p)]
+        return aggregate_nodes(targets)

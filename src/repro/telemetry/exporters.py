@@ -1,0 +1,191 @@
+"""Export surfaces for a :class:`~repro.telemetry.registry.Telemetry`.
+
+Three formats, one source of truth:
+
+* **JSONL** — one self-describing JSON object per line (``type`` is
+  ``meta``, ``counter``, ``gauge``, ``histogram`` or ``trace``), the format
+  the ``repro trace`` CLI writes and :mod:`repro.telemetry.schema`
+  validates;
+* **Prometheus text format** — counters/gauges as-is, histograms flattened
+  to ``_count``/``_sum``/``_min``/``_max`` gauges, metric names sanitized
+  to the Prometheus grammar;
+* **terminal summary** — a compact human-readable report (counter totals,
+  the timing profile, the trace tail).
+
+All three iterate metrics in sorted order, so exports of equal registries
+are byte-identical — the property the serial-vs-sharded CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterator, List
+
+from .registry import Telemetry, labels_of
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def iter_export_records(telemetry: Telemetry) -> Iterator[Dict]:
+    """Every metric and trace event as schema-conform dictionaries, starting
+    with one ``meta`` record."""
+    snap = telemetry.snapshot()
+    yield {
+        "type": "meta",
+        "counters": len(snap["counters"]),
+        "gauges": len(snap["gauges"]),
+        "histograms": len(snap["histograms"]),
+        "trace_events": len(telemetry.trace),
+        "trace_dropped": telemetry.trace.dropped,
+    }
+    for (name, key) in sorted(snap["counters"]):
+        yield {
+            "type": "counter",
+            "name": name,
+            "labels": _json_labels(key),
+            "value": snap["counters"][(name, key)],
+        }
+    for (name, key) in sorted(snap["gauges"]):
+        yield {
+            "type": "gauge",
+            "name": name,
+            "labels": _json_labels(key),
+            "value": snap["gauges"][(name, key)],
+        }
+    for (name, key) in sorted(snap["histograms"]):
+        count, total, minimum, maximum = snap["histograms"][(name, key)]
+        yield {
+            "type": "histogram",
+            "name": name,
+            "labels": _json_labels(key),
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+        }
+    for event in telemetry.trace:
+        yield event.to_dict()
+
+
+def _json_labels(key) -> Dict[str, str]:
+    return {k: str(v) for k, v in labels_of(key).items()}
+
+
+def to_jsonl(telemetry: Telemetry) -> str:
+    """The full registry as JSON lines (ends with a newline)."""
+    return "".join(
+        json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        for record in iter_export_records(telemetry)
+    )
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name to the Prometheus grammar."""
+    cleaned = _PROM_NAME_BAD.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_labels(key) -> str:
+    labels = labels_of(key)
+    if not labels:
+        return ""
+    parts = []
+    for k in sorted(labels):
+        label = _PROM_LABEL_BAD.sub("_", k)
+        value = str(labels[k]).replace("\\", r"\\").replace('"', r"\"")
+        parts.append(f'{label}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(telemetry: Telemetry) -> str:
+    """The registry in the Prometheus text exposition format (trace events
+    are represented only by their aggregate ``telemetry_trace_*`` gauges)."""
+    snap = telemetry.snapshot()
+    lines: List[str] = []
+
+    by_name: Dict[str, List] = {}
+    for (name, key), value in snap["counters"].items():
+        by_name.setdefault(name, []).append((key, value))
+    for name in sorted(by_name):
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        for key, value in sorted(by_name[name]):
+            lines.append(f"{prom}{_prom_labels(key)} {value}")
+
+    gauges: Dict[str, List] = {}
+    for (name, key), value in snap["gauges"].items():
+        gauges.setdefault(name, []).append((key, value))
+    gauges.setdefault("telemetry_trace_events", []).append(
+        ((), float(len(telemetry.trace))))
+    gauges.setdefault("telemetry_trace_dropped", []).append(
+        ((), float(telemetry.trace.dropped)))
+    for name in sorted(gauges):
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        for key, value in sorted(gauges[name]):
+            lines.append(f"{prom}{_prom_labels(key)} {value}")
+
+    for (name, key) in sorted(snap["histograms"]):
+        count, total, minimum, maximum = snap["histograms"][(name, key)]
+        prom = prometheus_name(name)
+        labels = _prom_labels(key)
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f"{prom}_count{labels} {count}")
+        lines.append(f"{prom}_sum{labels} {total}")
+        lines.append(f"{prom}_min{labels} {minimum}")
+        lines.append(f"{prom}_max{labels} {maximum}")
+
+    return "\n".join(lines) + "\n"
+
+
+def profile_summary(telemetry: Telemetry, prefix: str = "time.") -> List[Dict]:
+    """Timing histograms under ``prefix`` as a list of plain dicts
+    (name, calls, total/mean/min/max seconds), sorted by total descending."""
+    rows: List[Dict] = []
+    snap = telemetry.snapshot()
+    for (name, key), (count, total, minimum, maximum) in \
+            snap["histograms"].items():
+        if not name.startswith(prefix) or count == 0:
+            continue
+        rows.append({
+            "name": name,
+            "labels": _json_labels(key),
+            "calls": count,
+            "total_s": total,
+            "mean_s": total / count,
+            "min_s": minimum,
+            "max_s": maximum,
+        })
+    rows.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return rows
+
+
+def format_profile(telemetry: Telemetry, prefix: str = "time.") -> str:
+    """The profile summary as an aligned text table."""
+    rows = profile_summary(telemetry, prefix=prefix)
+    if not rows:
+        return "no timing data recorded"
+    lines = [f"{'phase':<28} {'calls':>7} {'total s':>10} {'mean ms':>10} "
+             f"{'max ms':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<28} {row['calls']:>7} {row['total_s']:>10.4f} "
+            f"{row['mean_s'] * 1e3:>10.3f} {row['max_s'] * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_counters(telemetry: Telemetry) -> str:
+    """Counter totals aggregated over labels, one line per metric name."""
+    names = telemetry.counter_names()
+    if not names:
+        return "no counters recorded"
+    width = max(len(name) for name in names)
+    return "\n".join(
+        f"{name:<{width}}  {telemetry.counter_total(name)}"
+        for name in names
+    )

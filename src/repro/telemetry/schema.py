@@ -1,0 +1,173 @@
+"""The documented export schema, plus dependency-free validators.
+
+The JSONL stream written by :func:`repro.telemetry.exporters.to_jsonl` (and
+``repro trace --jsonl``) contains one object per line; every object carries
+a ``type`` discriminator:
+
+``meta``
+    ``{"type","counters","gauges","histograms","trace_events",
+    "trace_dropped"}`` — all non-negative integers; exactly one per export,
+    first line.
+``counter`` / ``gauge``
+    ``{"type","name","labels","value"}`` — ``name`` a non-empty dotted
+    string, ``labels`` a string→string object, ``value`` a number
+    (counters: non-negative integer).
+``histogram``
+    ``{"type","name","labels","count","sum","min","max"}``.
+``trace``
+    ``{"type","kind","at","pid","peer","data"}`` — ``kind`` a non-empty
+    string, ``at`` a number, ``pid``/``peer`` integers or null, ``data`` an
+    object.
+
+The validators raise :class:`SchemaError` on the first offending record —
+they are what the CI telemetry-smoke job (and the ``--validate`` flag of
+``repro trace``) run against real exports, so the schema documented in
+``docs/api.md`` cannot silently drift from what the code writes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable
+
+_NUMBER = (int, float)
+
+_PROM_COMMENT = re.compile(
+    r"^# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)|HELP .*)$"
+)
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                    # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""         # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"    # further labels
+    r" -?[0-9.eE+-]+(\s+[0-9]+)?$"                  # value [timestamp]
+)
+
+
+class SchemaError(ValueError):
+    """An export record does not match the documented schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _check_labels(record: Dict) -> None:
+    labels = record.get("labels")
+    _require(isinstance(labels, dict), f"labels must be an object: {record}")
+    for key, value in labels.items():
+        _require(isinstance(key, str) and key,
+                 f"label keys must be non-empty strings: {record}")
+        _require(isinstance(value, str),
+                 f"label values must be strings: {record}")
+
+
+def _check_name(record: Dict) -> None:
+    name = record.get("name")
+    _require(isinstance(name, str) and bool(name),
+             f"name must be a non-empty string: {record}")
+
+
+def validate_record(record: Dict) -> None:
+    """Validate one parsed JSONL record; raises :class:`SchemaError`."""
+    _require(isinstance(record, dict), f"record must be an object: {record!r}")
+    rtype = record.get("type")
+    if rtype == "meta":
+        for field in ("counters", "gauges", "histograms", "trace_events",
+                      "trace_dropped"):
+            value = record.get(field)
+            _require(isinstance(value, int) and value >= 0,
+                     f"meta.{field} must be a non-negative int: {record}")
+    elif rtype == "counter":
+        _check_name(record)
+        _check_labels(record)
+        value = record.get("value")
+        _require(isinstance(value, int) and value >= 0,
+                 f"counter value must be a non-negative int: {record}")
+    elif rtype == "gauge":
+        _check_name(record)
+        _check_labels(record)
+        _require(isinstance(record.get("value"), _NUMBER),
+                 f"gauge value must be a number: {record}")
+    elif rtype == "histogram":
+        _check_name(record)
+        _check_labels(record)
+        _require(isinstance(record.get("count"), int)
+                 and record["count"] >= 0,
+                 f"histogram count must be a non-negative int: {record}")
+        for field in ("sum", "min", "max"):
+            _require(isinstance(record.get(field), _NUMBER),
+                     f"histogram {field} must be a number: {record}")
+    elif rtype == "trace":
+        _require(isinstance(record.get("kind"), str) and record["kind"],
+                 f"trace kind must be a non-empty string: {record}")
+        _require(isinstance(record.get("at"), _NUMBER),
+                 f"trace at must be a number: {record}")
+        for field in ("pid", "peer"):
+            value = record.get(field)
+            _require(value is None or isinstance(value, int),
+                     f"trace {field} must be an int or null: {record}")
+        _require(isinstance(record.get("data"), dict),
+                 f"trace data must be an object: {record}")
+    else:
+        raise SchemaError(f"unknown record type {rtype!r}: {record}")
+
+
+def validate_jsonl(text: str) -> int:
+    """Validate a full JSONL export; returns the record count.
+
+    Beyond per-record checks: the export must be non-empty, start with
+    exactly one ``meta`` record, and the meta counts must match the records
+    that follow.
+    """
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"line {lineno} is not valid JSON: {exc}")
+        validate_record(record)
+        records.append(record)
+    _require(bool(records), "export is empty")
+    _require(records[0]["type"] == "meta", "first record must be meta")
+    _require(sum(1 for r in records if r["type"] == "meta") == 1,
+             "exactly one meta record expected")
+    meta = records[0]
+    for rtype, field in (("counter", "counters"), ("gauge", "gauges"),
+                         ("histogram", "histograms"),
+                         ("trace", "trace_events")):
+        actual = sum(1 for r in records if r["type"] == rtype)
+        _require(actual == meta[field],
+                 f"meta says {meta[field]} {rtype} records, found {actual}")
+    return len(records)
+
+
+def validate_prometheus(text: str) -> int:
+    """Validate a Prometheus text-format export; returns the sample count."""
+    samples = 0
+    declared = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            _require(_PROM_COMMENT.match(line) is not None,
+                     f"line {lineno}: malformed comment {line!r}")
+            declared = True
+            continue
+        _require(_PROM_SAMPLE.match(line) is not None,
+                 f"line {lineno}: malformed sample {line!r}")
+        samples += 1
+    _require(samples > 0, "no samples in Prometheus export")
+    _require(declared, "no TYPE declarations in Prometheus export")
+    return samples
+
+
+def validate_export_files(jsonl_text: str, prometheus_text: str) -> Dict:
+    """Validate both export formats; returns the counts (CI smoke entry)."""
+    return {
+        "jsonl_records": validate_jsonl(jsonl_text),
+        "prometheus_samples": validate_prometheus(prometheus_text),
+    }

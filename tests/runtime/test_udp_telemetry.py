@@ -1,0 +1,78 @@
+"""Telemetry smoke for the loopback-UDP runtime.
+
+The deployment shares one thread-safe registry across all hosts; the old
+plain-int counters are now back-compat views over it, so both surfaces must
+agree and the shared registry must carry per-pid labelled series.
+"""
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.metrics import DeliveryLog
+from repro.runtime import LocalDeployment
+from repro.sim import build_lpbcast_nodes
+
+
+def build_cluster(n=6, loss=0.0, period=0.03, seed=6):
+    cfg = LpbcastConfig(fanout=3, view_max=6, gossip_period=period)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    log = DeliveryLog().attach(nodes)
+    cluster = LocalDeployment(nodes, gossip_period=period, loss_rate=loss,
+                              seed=seed)
+    return cluster, nodes, log
+
+
+class TestUdpTelemetry:
+    def test_shared_registry_matches_host_counters(self):
+        cluster, nodes, log = build_cluster(n=6)
+        with cluster:
+            event = cluster.host(nodes[0].pid).publish("hello")
+            done = cluster.wait_until(
+                lambda: log.delivery_count(event.event_id) == 6, timeout=8.0
+            )
+        assert done
+        telemetry = cluster.telemetry
+        for host in cluster.hosts:
+            assert host.telemetry is telemetry  # one registry, all hosts
+            assert host.datagrams_sent == telemetry.counter_value(
+                "udp.datagrams_sent", pid=host.node.pid
+            )
+            assert host.datagrams_received == telemetry.counter_value(
+                "udp.datagrams_received", pid=host.node.pid
+            )
+        assert telemetry.counter_total("udp.datagrams_sent") == \
+            sum(host.datagrams_sent for host in cluster.hosts)
+        assert telemetry.counter_total("udp.datagrams_sent") > 0
+
+    def test_injected_loss_counted(self):
+        cluster, nodes, log = build_cluster(n=6, loss=0.25, seed=7)
+        with cluster:
+            cluster.run_for(0.4)
+        telemetry = cluster.telemetry
+        lost = telemetry.counter_total("udp.datagrams_lost_injected")
+        assert lost > 0
+        assert lost == sum(h.datagrams_lost_injected for h in cluster.hosts)
+
+    def test_codec_timings_recorded(self):
+        cluster, nodes, log = build_cluster(n=4, seed=8)
+        with cluster:
+            cluster.run_for(0.3)
+        telemetry = cluster.telemetry
+        encode = telemetry.histogram_stats("time.codec", op="encode")
+        decode = telemetry.histogram_stats("time.codec", op="decode")
+        assert encode is not None and encode[0] > 0
+        assert decode is not None and decode[0] > 0
+
+    def test_decode_errors_counted(self):
+        cluster, nodes, log = build_cluster(n=4, seed=9)
+        with cluster:
+            import socket
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            target = cluster.host(nodes[0].pid).address
+            sock.sendto(b"garbage", target)
+            sock.close()
+            cluster.wait_until(
+                lambda: cluster.host(nodes[0].pid).decode_errors > 0,
+                timeout=5.0,
+            )
+        assert cluster.telemetry.counter_total("udp.decode_errors") >= 1

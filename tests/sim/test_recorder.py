@@ -19,6 +19,36 @@ def recorded_run(rounds=6, n=15, publish=True):
     return sim, nodes, recorder
 
 
+def engine_run(engine, rounds=6, n=16, seed=31, shards=2):
+    """The same recorded scenario on any round engine."""
+    import random
+
+    from repro.core import LpbcastConfig
+    from repro.sim import NetworkModel, build_lpbcast_nodes, create_simulation
+
+    cfg = LpbcastConfig(fanout=3, view_max=8)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    network = NetworkModel(loss_rate=0.05, rng=random.Random(seed + 1))
+    sim = create_simulation(engine, network=network, seed=seed, shards=shards)
+    sim.add_nodes(nodes)
+    recorder = RunRecorder(nodes)
+    sim.add_observer(recorder.on_round)
+
+    def publish(round_no, s):
+        if round_no <= 3:
+            s.nodes[nodes[round_no].pid].lpb_cast(f"evt-{round_no}",
+                                                  float(round_no))
+
+    sim.add_round_hook(publish)
+    try:
+        sim.run(rounds)
+    finally:
+        close = getattr(sim, "close", None)
+        if close is not None:
+            close()
+    return sim, nodes, recorder
+
+
 class TestRecording:
     def test_one_record_per_round(self):
         _, _, recorder = recorded_run(rounds=6)
@@ -73,6 +103,15 @@ class TestExport:
         assert len(lines) == 3
         assert RunRecorder.from_json_lines(buffer.getvalue()) == recorder.records
 
+    def test_json_lines_identical_serial_vs_sharded(self):
+        # The export of a sharded run must be byte-identical to the serial
+        # engine's for the same seed (aggregate merge, not node pickles).
+        texts = {}
+        for engine in ("serial", "sharded"):
+            sim, nodes, recorder = engine_run(engine)
+            texts[engine] = recorder.to_json_lines()
+        assert texts["serial"] == texts["sharded"]
+
     def test_buffer_pressure_visible_under_load(self):
         # Starved id buffers pin at their bound and evictions climb —
         # the Fig. 6 mechanism, visible in the operational record.
@@ -92,3 +131,92 @@ class TestExport:
         sim.run(8)
         assert recorder.last()["event_ids_occupancy"] == pytest.approx(10.0)
         assert recorder.last()["event_ids_evicted_total"] > 0
+
+
+class TestAllEngines:
+    def test_sharded_records_equal_serial(self):
+        # Same seed, same scenario: the sharded engine's per-round records
+        # must match the serial engine's exactly (including float view
+        # statistics — both derive them from the same merged integers).
+        _, _, serial = engine_run("serial")
+        _, _, sharded = engine_run("sharded")
+        assert serial.records == sharded.records
+        assert serial.last()["delivered_total"] > 0
+        assert "in_degree_mean" in serial.last()
+
+    def test_sharded_crash_mid_run_still_matches(self):
+        import random
+
+        from repro.core import LpbcastConfig
+        from repro.sim import (NetworkModel, build_lpbcast_nodes,
+                               create_simulation)
+
+        records = {}
+        for engine in ("serial", "sharded"):
+            cfg = LpbcastConfig(fanout=3, view_max=8)
+            nodes = build_lpbcast_nodes(12, cfg, seed=33)
+            sim = create_simulation(engine, seed=33, shards=2)
+            sim.add_nodes(nodes)
+            recorder = RunRecorder(nodes)
+            sim.add_observer(recorder.on_round)
+            nodes[0].lpb_cast("x", now=0.0)
+            try:
+                sim.run(2)
+                sim.crash(nodes[3].pid)
+                sim.crash(nodes[7].pid)
+                sim.run(2)
+            finally:
+                close = getattr(sim, "close", None)
+                if close is not None:
+                    close()
+            records[engine] = recorder.records
+        assert records["serial"] == records["sharded"]
+        assert records["serial"][-1]["alive"] == 10
+
+    def test_async_runtime_snapshot(self):
+        # The discrete-event runtime exposes the same aggregate feed, so
+        # the recorder can snapshot it directly (workloads poll it).
+        from repro.core import LpbcastConfig
+        from repro.sim import AsyncGossipRuntime, build_lpbcast_nodes
+
+        cfg = LpbcastConfig(fanout=3, view_max=8, gossip_period=1.0)
+        nodes = build_lpbcast_nodes(12, cfg, seed=34)
+        runtime = AsyncGossipRuntime(seed=34)
+        runtime.add_nodes(nodes)
+        nodes[0].lpb_cast("x", now=0.0)
+        runtime.run_until(6.0)
+        recorder = RunRecorder(nodes)
+        record = recorder.snapshot(runtime, round_number=6)
+        assert record["alive"] == 12
+        assert record["delivered_total"] > 0
+        assert record["in_degree_mean"] > 0
+
+    def test_crash_all_nodes_edge(self):
+        # alive == []: totals and occupancies report zero, view statistics
+        # are omitted (no graph), and nothing raises on either engine.
+        for engine in ("serial", "sharded"):
+            import random
+
+            from repro.core import LpbcastConfig
+            from repro.sim import build_lpbcast_nodes, create_simulation
+
+            cfg = LpbcastConfig(fanout=3, view_max=8)
+            nodes = build_lpbcast_nodes(8, cfg, seed=35)
+            sim = create_simulation(engine, seed=35, shards=2)
+            sim.add_nodes(nodes)
+            recorder = RunRecorder(nodes)
+            sim.add_observer(recorder.on_round)
+            try:
+                sim.run(1)
+                for node in nodes:
+                    sim.crash(node.pid)
+                sim.run(1)
+            finally:
+                close = getattr(sim, "close", None)
+                if close is not None:
+                    close()
+            last = recorder.last()
+            assert last["alive"] == 0
+            assert last["events_occupancy"] == 0.0
+            assert last["event_ids_occupancy"] == 0.0
+            assert "in_degree_mean" not in last

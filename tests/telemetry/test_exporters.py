@@ -1,0 +1,135 @@
+"""Tests for the JSONL/Prometheus exporters and the schema validators."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SchemaError,
+    Telemetry,
+    format_counters,
+    format_profile,
+    prometheus_name,
+    profile_summary,
+    to_jsonl,
+    to_prometheus,
+    validate_export_files,
+    validate_jsonl,
+    validate_prometheus,
+    validate_record,
+)
+
+
+def populated_registry() -> Telemetry:
+    t = Telemetry()
+    t.tracing = True
+    t.inc("sim.sends", 4, round=1, kind="GossipMessage")
+    t.inc("sim.sends", 2, round=2, kind="RetransmitRequest")
+    t.set_gauge("sim.alive", 19.0)
+    t.observe("time.round", 0.5)
+    t.observe("time.round", 1.5)
+    t.emit("send", 1.0, pid=0, peer=3, message="GossipMessage")
+    t.emit("round.end", 1.0)
+    return t
+
+
+class TestJsonl:
+    def test_round_trip_validates(self):
+        text = to_jsonl(populated_registry())
+        assert validate_jsonl(text) == 1 + 2 + 1 + 1 + 2  # meta+c+g+h+trace
+
+    def test_meta_record_is_first_and_counts_match(self):
+        records = [json.loads(line)
+                   for line in to_jsonl(populated_registry()).splitlines()]
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["counters"] == 2
+        assert meta["trace_events"] == 2
+        assert meta["trace_dropped"] == 0
+
+    def test_export_of_equal_registries_is_byte_identical(self):
+        assert to_jsonl(populated_registry()) == to_jsonl(populated_registry())
+
+    def test_labels_are_stringified(self):
+        records = [json.loads(line)
+                   for line in to_jsonl(populated_registry()).splitlines()]
+        counter = next(r for r in records if r["type"] == "counter")
+        assert counter["labels"]["round"] in ("1", "2")  # str, not int
+
+    def test_validate_rejects_bad_meta_counts(self):
+        text = to_jsonl(populated_registry())
+        lines = text.splitlines()
+        with pytest.raises(SchemaError):
+            validate_jsonl("\n".join(lines[:1]))  # meta claims records
+
+    def test_validate_rejects_missing_meta(self):
+        with pytest.raises(SchemaError):
+            validate_jsonl('{"type":"counter","name":"x","labels":{},"value":1}')
+
+    def test_validate_rejects_malformed_records(self):
+        for bad in (
+            {"type": "counter", "name": "", "labels": {}, "value": 1},
+            {"type": "counter", "name": "x", "labels": {}, "value": -1},
+            {"type": "counter", "name": "x", "labels": {"round": 1},
+             "value": 1},
+            {"type": "trace", "kind": "send", "at": "soon", "pid": None,
+             "peer": None, "data": {}},
+            {"type": "bogus"},
+        ):
+            with pytest.raises(SchemaError):
+                validate_record(bad)
+
+
+class TestPrometheus:
+    def test_export_validates(self):
+        text = to_prometheus(populated_registry())
+        assert validate_prometheus(text) > 0
+
+    def test_name_sanitization(self):
+        assert prometheus_name("sim.sends") == "sim_sends"
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_histograms_flattened_to_summary(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE time_round summary" in text
+        assert "time_round_count 2" in text
+        assert "time_round_sum 2.0" in text
+
+    def test_trace_aggregates_present_even_without_metrics(self):
+        text = to_prometheus(Telemetry())
+        assert "telemetry_trace_events 0.0" in text
+        assert validate_prometheus(text) > 0
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            validate_prometheus("this is not prometheus\n")
+        with pytest.raises(SchemaError):
+            validate_prometheus("")
+
+    def test_validate_export_files_returns_counts(self):
+        t = populated_registry()
+        counts = validate_export_files(to_jsonl(t), to_prometheus(t))
+        assert counts["jsonl_records"] == 7
+        assert counts["prometheus_samples"] > 0
+
+
+class TestSummaries:
+    def test_profile_summary_rows(self):
+        rows = profile_summary(populated_registry())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["name"] == "time.round"
+        assert row["calls"] == 2
+        assert row["mean_s"] == pytest.approx(1.0)
+
+    def test_profile_summary_ignores_non_time_hists(self):
+        t = Telemetry()
+        t.observe("latency", 1.0)
+        assert profile_summary(t) == []
+        assert format_profile(t) == "no timing data recorded"
+
+    def test_format_counters_lists_totals(self):
+        text = format_counters(populated_registry())
+        assert "sim.sends" in text
+        assert "6" in text
+        assert format_counters(Telemetry()) == "no counters recorded"

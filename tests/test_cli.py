@@ -92,3 +92,46 @@ class TestCommands:
     def test_chaos_rejects_unknown_preset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--preset", "nonsense"])
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.n == 30
+        assert args.rounds == 10
+        assert args.engine == "serial"
+        assert not args.no_tracing
+
+    def test_trace_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--engine", "quantum"])
+
+    def test_trace_prints_counters_profile_and_events(self, capsys):
+        assert main(["trace", "-n", "12", "--rounds", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry trace:" in out
+        assert "sim.sends" in out
+        assert "time.round" in out
+        assert "round.start" in out
+
+    def test_trace_exports_validate(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        prom = tmp_path / "trace.prom"
+        assert main(["trace", "-n", "12", "--rounds", "4", "--seed", "3",
+                     "--jsonl", str(jsonl), "--prom", str(prom),
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert jsonl.read_text().startswith('{"')
+        assert "# TYPE" in prom.read_text()
+
+    def test_trace_sharded_matches_serial_output_counters(self, capsys):
+        outputs = {}
+        for engine in ("serial", "sharded"):
+            assert main(["trace", "-n", "12", "--rounds", "4", "--seed", "3",
+                         "--engine", engine, "--shards", "2"]) == 0
+            out = capsys.readouterr().out
+            start = out.index("-- counter totals --")
+            end = out.index("-- timing profile --")
+            outputs[engine] = out[start:end]
+        assert outputs["serial"] == outputs["sharded"]
