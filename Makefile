@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-figures examples check clean
+.PHONY: install test bench bench-figures bench-hotpath examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_hotpath.py
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/bench_fig2_fanout.py \

@@ -1,0 +1,287 @@
+"""Hot-path throughput benchmarks + the perf-regression harness.
+
+This is the measurement side of the round-engine hot-path work: four small
+benchmarks covering the paths the optimization touched, written to
+``BENCH_hotpath.json`` at the repo root in a fixed, schema-validated shape
+so successive runs (and future PRs) are comparable:
+
+* ``node_tick`` — one warmed lpbcast node's ``on_tick`` throughput
+  (gossip construction, membership payload, view/buffer truncation);
+* ``node_receive`` — ``handle_message`` throughput against a pre-built
+  gossip stream (digest processing, membership phases I/II, delivery);
+* ``serial_round_loop`` — the end-to-end serial engine at n=5000, the
+  scenario behind the "≥1.5x rounds/s" acceptance bar;
+* ``shard_sync`` — the sharded engine's cross-shard payload exchange,
+  read straight from the ``time.shard.sync`` phase timer.
+
+``--check`` runs the same code at toy sizes and asserts only *correctness*
+properties — the emitted document validates against the schema and the
+serial/sharded engines produce identical counter fingerprints — never
+wall-clock thresholds, so it is safe on noisy shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import random
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not any(os.path.basename(p) == "src" for p in sys.path):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core import LpbcastConfig  # noqa: E402
+from repro.core.message import GossipMessage  # noqa: E402
+from repro.sim import (  # noqa: E402
+    NetworkModel,
+    build_lpbcast_nodes,
+    create_simulation,
+)
+
+SCHEMA_VERSION = 1
+
+#: The document contract, checked by :func:`validate`: each leaf is the
+#: required type (a tuple means "any of these types").  Kept dependency-free
+#: on purpose — the container has no jsonschema.
+SCHEMA = {
+    "schema_version": int,
+    "mode": str,
+    "python": str,
+    "platform": str,
+    "results": {
+        "node_tick": {
+            "iterations": int,
+            "seconds": float,
+            "ticks_per_sec": float,
+        },
+        "node_receive": {
+            "iterations": int,
+            "seconds": float,
+            "messages_per_sec": float,
+        },
+        "serial_round_loop": {
+            "n": int,
+            "rounds": int,
+            "seconds": float,
+            "rounds_per_sec": float,
+        },
+        "shard_sync": {
+            "n": int,
+            "shards": int,
+            "rounds": int,
+            "sync_count": int,
+            "sync_seconds_total": float,
+            "sync_seconds_mean": float,
+        },
+        "parity": {
+            "n": int,
+            "rounds": int,
+            "serial_sha256": str,
+            "sharded_sha256": str,
+            "agree": bool,
+        },
+    },
+}
+
+
+def validate(doc, spec=SCHEMA, path="$"):
+    """Recursively check ``doc`` against ``spec``; raises ValueError with
+    the offending path on a missing key or type mismatch."""
+    if isinstance(spec, dict):
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: expected object, got {type(doc).__name__}")
+        for key, sub in spec.items():
+            if key not in doc:
+                raise ValueError(f"{path}.{key}: missing")
+            validate(doc[key], sub, f"{path}.{key}")
+        return
+    if spec is float:
+        spec = (int, float)  # a whole-valued float serializes as int
+    if not isinstance(doc, spec):
+        wanted = getattr(spec, "__name__", spec)
+        raise ValueError(f"{path}: expected {wanted}, got {type(doc).__name__}")
+    if isinstance(doc, bool) and spec is int:
+        raise ValueError(f"{path}: expected int, got bool")
+
+
+# -- scenarios ---------------------------------------------------------------
+
+def _warmed_pair(cfg_seed=11):
+    """Two connected nodes from a small warmed system, for microbenches."""
+    cfg = LpbcastConfig(fanout=3, view_max=10)
+    nodes = build_lpbcast_nodes(64, cfg, seed=cfg_seed)
+    sim = create_simulation("serial", seed=cfg_seed)
+    sim.add_nodes(nodes)
+    nodes[0].lpb_cast("warm", 0.0)
+    sim.run(3)  # fill views, buffers and digests with realistic content
+    return nodes[0], nodes[1]
+
+
+def bench_node_tick(iterations):
+    node, _ = _warmed_pair()
+    now = 10.0
+    begin = time.perf_counter()
+    for i in range(iterations):
+        node.on_tick(now + i)
+    seconds = time.perf_counter() - begin
+    return {"iterations": iterations, "seconds": seconds,
+            "ticks_per_sec": iterations / seconds}
+
+
+def bench_node_receive(iterations):
+    sender, receiver = _warmed_pair()
+    # A realistic gossip stream: actual tick output, replayed round-robin.
+    stream = []
+    now = 10.0
+    while len(stream) < 64:
+        ticked = sender.on_tick(now)
+        stream.extend(out.message for out in ticked
+                      if isinstance(out.message, GossipMessage))
+        now += 1.0
+        if now > 100.0 and not stream:
+            raise RuntimeError("warmed sender produced no gossip traffic")
+    handle = receiver.handle_message
+    src = sender.pid
+    begin = time.perf_counter()
+    for i in range(iterations):
+        handle(src, stream[i % len(stream)], now + i)
+    seconds = time.perf_counter() - begin
+    return {"iterations": iterations, "seconds": seconds,
+            "messages_per_sec": iterations / seconds}
+
+
+def bench_serial_round_loop(n, rounds, warmup=2, seed=42):
+    cfg = LpbcastConfig(fanout=3, view_max=25)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = create_simulation("serial", seed=seed)
+    sim.add_nodes(nodes)
+    for i in range(3):
+        sim.nodes[nodes[i].pid].lpb_cast(f"warm-{i}", 0.0)
+    sim.run(warmup)
+    begin = time.perf_counter()
+    sim.run(rounds)
+    seconds = time.perf_counter() - begin
+    return {"n": n, "rounds": rounds, "seconds": seconds,
+            "rounds_per_sec": rounds / seconds}
+
+
+def bench_shard_sync(n, rounds, shards, seed=43):
+    cfg = LpbcastConfig(fanout=3, view_max=25)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = create_simulation("sharded", seed=seed, shards=shards)
+    sim.add_nodes(nodes)
+    sim.nodes[nodes[0].pid].lpb_cast("seed-event", 0.0)
+    try:
+        sim.run(rounds)
+        stats = sim.telemetry.histogram_stats("time.shard.sync")
+    finally:
+        sim.close()
+    count, total = (stats[0], stats[1]) if stats else (0, 0.0)
+    return {"n": n, "shards": shards, "rounds": rounds,
+            "sync_count": count, "sync_seconds_total": total,
+            "sync_seconds_mean": total / count if count else 0.0}
+
+
+def _counter_sha256(sim):
+    items = []
+    for (name, key), value in sim.telemetry.snapshot()["counters"].items():
+        items.append((name, tuple((str(k), repr(v)) for k, v in key), value))
+    items.sort()
+    return hashlib.sha256(repr(items).encode()).hexdigest()
+
+
+def bench_parity(n, rounds, seed=20260806, shards=2):
+    """Fingerprint the counter state of the same run on both engines —
+    the bench-side twin of the golden test in tests/telemetry."""
+    digests = {}
+    for engine in ("serial", "sharded"):
+        cfg = LpbcastConfig(fanout=3, view_max=15)
+        nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+        network = NetworkModel(loss_rate=0.05, rng=random.Random(seed + 1))
+        sim = create_simulation(engine, network=network, seed=seed,
+                                shards=shards)
+        sim.add_nodes(nodes)
+        sim.nodes[nodes[0].pid].lpb_cast("evt", 0.0)
+        try:
+            sim.run(rounds)
+            digests[engine] = _counter_sha256(sim)
+        finally:
+            close = getattr(sim, "close", None)
+            if close is not None:
+                close()
+    return {"n": n, "rounds": rounds,
+            "serial_sha256": digests["serial"],
+            "sharded_sha256": digests["sharded"],
+            "agree": digests["serial"] == digests["sharded"]}
+
+
+# -- driver ------------------------------------------------------------------
+
+FULL_PARAMS = dict(tick_iters=2000, recv_iters=20000, loop_n=5000,
+                   loop_rounds=8, sync_n=2000, sync_rounds=5, sync_shards=4,
+                   parity_n=200, parity_rounds=8)
+CHECK_PARAMS = dict(tick_iters=200, recv_iters=1000, loop_n=200,
+                    loop_rounds=3, sync_n=120, sync_rounds=3, sync_shards=2,
+                    parity_n=96, parity_rounds=6)
+
+
+def run(params, mode):
+    results = {
+        "node_tick": bench_node_tick(params["tick_iters"]),
+        "node_receive": bench_node_receive(params["recv_iters"]),
+        "serial_round_loop": bench_serial_round_loop(
+            params["loop_n"], params["loop_rounds"]),
+        "shard_sync": bench_shard_sync(
+            params["sync_n"], params["sync_rounds"], params["sync_shards"]),
+        "parity": bench_parity(params["parity_n"], params["parity_rounds"]),
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="toy sizes; assert schema + engine parity only "
+                             "(no wall-clock thresholds) — the CI mode")
+    parser.add_argument("--output", default=os.path.join(
+        REPO_ROOT, "BENCH_hotpath.json"))
+    args = parser.parse_args(argv)
+
+    mode = "check" if args.check else "full"
+    doc = run(CHECK_PARAMS if args.check else FULL_PARAMS, mode)
+    validate(doc)
+    if not doc["results"]["parity"]["agree"]:
+        print("FAIL: serial and sharded counter fingerprints differ",
+              file=sys.stderr)
+        print(json.dumps(doc["results"]["parity"], indent=2), file=sys.stderr)
+        return 1
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    r = doc["results"]
+    print(f"wrote {args.output} (mode={mode})")
+    print(f"  node_tick        : {r['node_tick']['ticks_per_sec']:>12.0f} ticks/s")
+    print(f"  node_receive     : {r['node_receive']['messages_per_sec']:>12.0f} msgs/s")
+    print(f"  serial_round_loop: {r['serial_round_loop']['rounds_per_sec']:>12.3f} rounds/s "
+          f"(n={r['serial_round_loop']['n']})")
+    print(f"  shard_sync       : {r['shard_sync']['sync_seconds_mean'] * 1e3:>12.3f} ms/sync "
+          f"(shards={r['shard_sync']['shards']})")
+    print(f"  parity           : engines agree "
+          f"({r['parity']['serial_sha256'][:12]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

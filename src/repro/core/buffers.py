@@ -16,6 +16,14 @@ paper's pseudocode:
 
 All random choices are drawn from an injected ``random.Random`` so that whole
 simulations are reproducible from a single seed.
+
+Hot-path note: eviction loops here dominate large-n simulation profiles, so
+:meth:`RandomDropBuffer.truncate` inlines the eviction draw when the stream is
+a plain ``random.Random``.  The inlined draw replicates
+``Random.randrange(n)`` bit-for-bit (``getrandbits(n.bit_length())``
+rejection sampling — CPython's ``_randbelow``), so optimized and
+straightforward runs consume identical random streams; the telemetry parity
+suite pins this with a pre-optimization golden counter record.
 """
 
 from __future__ import annotations
@@ -72,6 +80,9 @@ class RandomDropBuffer(Generic[T]):
         self.max_size = max_size
         self._rng = rng if rng is not None else random.Random()
         self._key: Callable[[T], Hashable] = key if key is not None else _identity
+        #: Items are their own keys in the common case; skipping the key
+        #: call per membership test/insert matters in the reception path.
+        self._key_is_identity = key is None
         self._items: List[T] = []
         self._index: Dict[Hashable, int] = {}
 
@@ -82,16 +93,22 @@ class RandomDropBuffer(Generic[T]):
         item's ``key`` (default: the item itself) — the events buffer keys
         notifications by event id so arbitrary payloads need not be
         hashable."""
-        k = self._key(item)
-        if k in self._index:
+        k = item if self._key_is_identity else self._key(item)
+        index = self._index
+        if k in index:
             return False
-        self._index[k] = len(self._items)
-        self._items.append(item)
+        items = self._items
+        index[k] = len(items)
+        items.append(item)
         return True
 
     def add_all(self, items) -> int:
         """Insert every item; return how many were new."""
-        return sum(1 for item in items if self.add(item))
+        added = 0
+        for item in items:
+            if self.add(item):
+                added += 1
+        return added
 
     def discard(self, item: T) -> bool:
         """Remove ``item`` (matched by key) if present; return whether it
@@ -122,11 +139,40 @@ class RandomDropBuffer(Generic[T]):
         """Evict uniformly random elements until the bound holds.
 
         Returns the evicted elements (callers such as Phase 2 of Figure 1(a)
-        recycle them).
+        recycle them).  For a plain ``random.Random`` stream the eviction
+        loop is inlined (identical draws to :meth:`pop_random`, see module
+        docstring); custom generators fall back to ``pop_random``.
         """
-        evicted: List[T] = []
-        while len(self._items) > self.max_size:
-            evicted.append(self.pop_random())
+        items = self._items
+        max_size = self.max_size
+        n = len(items)
+        if n <= max_size:
+            return []
+        rng = self._rng
+        if type(rng) is not random.Random:
+            evicted = []
+            while len(items) > max_size:
+                evicted.append(self.pop_random())
+            return evicted
+        evicted = []
+        index = self._index
+        keyfn = None if self._key_is_identity else self._key
+        getrandbits = rng.getrandbits
+        while n > max_size:
+            # Random.randrange(n) == _randbelow(n): rejection-sample
+            # n.bit_length() bits — same stream consumption, fewer frames.
+            k = n.bit_length()
+            pos = getrandbits(k)
+            while pos >= n:
+                pos = getrandbits(k)
+            item = items[pos]
+            last = items.pop()
+            del index[item if keyfn is None else keyfn(item)]
+            n -= 1
+            if pos < n:
+                items[pos] = last
+                index[last if keyfn is None else keyfn(last)] = pos
+            evicted.append(item)
         return evicted
 
     def add_truncating(self, item: T) -> List[T]:
@@ -183,6 +229,11 @@ class FifoBuffer(Generic[T]):
     Figure 1(a)) and for the retransmission archive.  Re-adding an existing
     element does not refresh its age — Figure 1(a) only inserts fresh ids, and
     keeping insertion age makes "oldest" well defined.
+
+    :meth:`snapshot` is cached: every gossip emission wires the ``eventIds``
+    digest (Figure 1(b)), but between deliveries the buffer is unchanged, so
+    the tuple is rebuilt only after a mutation.  Mutators invalidate the
+    cache; no-op adds (item already present, nothing evicted) keep it.
     """
 
     def __init__(self, max_size: int) -> None:
@@ -190,16 +241,22 @@ class FifoBuffer(Generic[T]):
             raise ValueError("max_size must be non-negative")
         self.max_size = max_size
         self._items: "OrderedDict[T, None]" = OrderedDict()
+        self._snapshot: Optional[Tuple[T, ...]] = None
 
     def add(self, item: T) -> List[T]:
         """Insert ``item`` (no-op if present) and evict oldest elements as
         needed to respect the bound.  Returns the evicted elements."""
-        if item not in self._items:
-            self._items[item] = None
+        items = self._items
+        if item not in items:
+            items[item] = None
+            self._snapshot = None
+        if len(items) <= self.max_size:
+            return []
         evicted: List[T] = []
-        while len(self._items) > self.max_size:
-            oldest, _ = self._items.popitem(last=False)
+        while len(items) > self.max_size:
+            oldest, _ = items.popitem(last=False)
             evicted.append(oldest)
+        self._snapshot = None
         return evicted
 
     def add_all(self, items) -> List[T]:
@@ -211,15 +268,20 @@ class FifoBuffer(Generic[T]):
     def discard(self, item: T) -> bool:
         if item in self._items:
             del self._items[item]
+            self._snapshot = None
             return True
         return False
 
     def clear(self) -> None:
         self._items.clear()
+        self._snapshot = None
 
     def snapshot(self) -> Tuple[T, ...]:
-        """Contents oldest-first."""
-        return tuple(self._items)
+        """Contents oldest-first (cached between mutations)."""
+        snap = self._snapshot
+        if snap is None:
+            snap = self._snapshot = tuple(self._items)
+        return snap
 
     def oldest(self) -> T:
         if not self._items:

@@ -151,6 +151,12 @@ class LpbcastNode:
             cfg.retransmit_request_max, pending_ttl=4 * cfg.gossip_period
         )
 
+        # Hot-path flags resolved once: reception/delivery run per message,
+        # and isinstance dispatch on buffer variants is measurable at scale.
+        self._compact_ids = cfg.compact_event_ids
+        self._weighted_events = cfg.weighted_events
+        self._archiving = cfg.retransmissions or cfg.push_back
+
         self.stats = NodeStats()
         self._listeners: List[DeliveryListener] = []
         self._next_seq = 0
@@ -261,19 +267,23 @@ class LpbcastNode:
         duplicate detection absorbs it."""
         sender_has = set(gossip.event_ids)
         pushed: List[Notification] = []
+        pushed_ids: set = set()
         budget = self.config.retransmit_request_max
         for notification in self.events:
             if len(pushed) >= budget:
                 return pushed
-            if notification.event_id not in sender_has:
+            event_id = notification.event_id
+            if event_id not in sender_has:
                 pushed.append(notification)
+                pushed_ids.add(event_id)
         for event_id in self.archive:
             if len(pushed) >= budget:
                 break
-            if event_id not in sender_has:
+            if event_id not in sender_has and event_id not in pushed_ids:
                 notification = self.archive.get(event_id)
-                if notification is not None and notification not in pushed:
+                if notification is not None:
                     pushed.append(notification)
+                    pushed_ids.add(event_id)
         return pushed
 
     def _phase3_notifications(self, gossip: GossipMessage, now: float) -> None:
@@ -288,9 +298,10 @@ class LpbcastNode:
         ``events`` (only its identity spreads, through this node's own future
         digests).
         """
-        weighted_events = isinstance(self.events, FrequencyAwareEventBuffer)
+        weighted_events = self._weighted_events
+        event_ids = self.event_ids
         for notification in gossip.events:
-            if notification.event_id in self.event_ids:
+            if notification.event_id in event_ids:
                 self.stats.duplicates += 1
                 if weighted_events:
                     # Sec. 6.1 applied to events: a duplicate is evidence the
@@ -302,7 +313,7 @@ class LpbcastNode:
             self.retransmitter.on_received(notification.event_id)
         if self.config.digest_implies_delivery:
             for event_id in gossip.event_ids:
-                if event_id in self.event_ids:
+                if event_id in event_ids:
                     continue
                 # The synthetic notification stands in for a payload this
                 # node never received: it must not enter the retransmission
@@ -317,14 +328,16 @@ class LpbcastNode:
         its id (bounded, oldest-drop).  ``archivable=False`` marks synthetic
         digest-implied deliveries, which carry no payload worth serving."""
         self.stats.delivered += 1
-        for listener in self._listeners:
-            listener(self.pid, notification, now)
-        if isinstance(self.event_ids, CompactEventIdDigest):
+        if self._listeners:
+            for listener in self._listeners:
+                listener(self.pid, notification, now)
+        if self._compact_ids:
             self.event_ids.add(notification.event_id)
         else:
             evicted = self.event_ids.add(notification.event_id)
-            self.stats.event_ids_evicted += len(evicted)
-        if archivable and (self.config.retransmissions or self.config.push_back):
+            if evicted:
+                self.stats.event_ids_evicted += len(evicted)
+        if archivable and self._archiving:
             self.archive.add(notification)
 
     def _stage_for_forwarding(self, notification: Notification) -> None:
@@ -400,9 +413,11 @@ class LpbcastNode:
         )
 
     def _wire_digest(self) -> tuple:
-        """Digest payload: the ``eventIds`` snapshot (Figure 1(b)).  With the
-        compact digest, enumerate each sender's in-sequence frontier."""
-        if isinstance(self.event_ids, CompactEventIdDigest):
+        """Digest payload: the ``eventIds`` snapshot (Figure 1(b)), cached by
+        the buffer between deliveries so idle ticks stop rebuilding an
+        unchanged tuple.  With the compact digest, enumerate each sender's
+        in-sequence frontier."""
+        if self._compact_ids:
             ids: List[EventId] = []
             for origin in self.event_ids.senders():
                 last = self.event_ids.last_in_sequence(origin)

@@ -75,17 +75,47 @@ class PartialView:
         """Hook for the weighted variant; no-op for uniform views."""
 
     def truncate(self) -> List[ProcessId]:
-        """Evict entries until ``len(view) <= l``; returns the evictees."""
+        """Evict entries until ``len(view) <= l``; returns the evictees.
+
+        Phase 2 runs this once per received gossip, so the uniform case
+        inlines the eviction draw (bit-identical to
+        ``Random.randrange(len(view))`` — rejection sampling over
+        ``bit_length`` bits, exactly CPython's ``_randbelow``); the weighted
+        subclass and custom generators use the overridable
+        :meth:`_pick_eviction_index` path.
+        """
+        items = self._items
+        n = len(items)
+        if n <= self.max_size:
+            return []
         evicted: List[ProcessId] = []
-        while len(self._items) > self.max_size:
+        index = self._index
+        max_size = self.max_size
+        if type(self) is PartialView and type(self._rng) is random.Random:
+            getrandbits = self._rng.getrandbits
+            while n > max_size:
+                k = n.bit_length()
+                pos = getrandbits(k)
+                while pos >= n:
+                    pos = getrandbits(k)
+                pid = items[pos]
+                last = items.pop()
+                del index[pid]
+                n -= 1
+                if pos < n:
+                    items[pos] = last
+                    index[last] = pos
+                evicted.append(pid)
+            return evicted
+        while len(items) > max_size:
             pos = self._pick_eviction_index()
-            pid = self._items[pos]
-            last = self._items.pop()
-            del self._index[pid]
+            pid = items[pos]
+            last = items.pop()
+            del index[pid]
             self._forget_weight(pid)
-            if pos < len(self._items):
-                self._items[pos] = last
-                self._index[last] = pos
+            if pos < len(items):
+                items[pos] = last
+                index[last] = pos
             evicted.append(pid)
         return evicted
 

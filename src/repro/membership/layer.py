@@ -98,18 +98,32 @@ class PartialViewMembership:
     def _phase1_unsubscriptions(
         self, unsubs: Tuple[Unsubscription, ...], now: float
     ) -> None:
+        if not unsubs:
+            # Nothing arrived and the buffer is already within its bound —
+            # an empty truncate draws no randomness, so skipping it keeps
+            # runs bit-identical while sparing the call per reception.
+            return
+        view = self.view
+        buffered = self.unsubs
+        ttl = self.unsub_ttl
         for unsub in unsubs:
-            if unsub.is_obsolete(now, self.unsub_ttl):
+            if unsub.is_obsolete(now, ttl):
                 continue
-            if self.view.remove(unsub.pid):
+            if view.remove(unsub.pid):
                 self.unsubs_applied += 1
-            self.unsubs.add(unsub)
-        self.unsubs.truncate()
+            buffered.add(unsub)
+        buffered.truncate()
 
     def _phase2_subscriptions(self, subs: Tuple[ProcessId, ...]) -> None:
+        if not subs:
+            return  # view/subs already within bounds: no adds, no draws
         weighted = self.weighted and isinstance(self.view, WeightedPartialView)
+        view = self.view
+        unsubs = self.unsubs
+        pending = self.subs
+        owner = self.owner
         for new_sub in subs:
-            if new_sub == self.owner:
+            if new_sub == owner:
                 continue
             # Death-certificate check (implementation note): while a process's
             # unsubscription is buffered locally, stale subscriptions for it
@@ -118,19 +132,19 @@ class PartialViewMembership:
             # (Sec. 3.2) never converges.  The certificate expires with the
             # unsubscription's timestamp (Sec. 3.4), after which a genuine
             # re-subscription is accepted again.
-            if new_sub in self.unsubs:
+            if new_sub in unsubs:
                 continue
-            if new_sub in self.view:
+            if new_sub in view:
                 if weighted:
-                    self.view.note_awareness(new_sub)
+                    view.note_awareness(new_sub)
                 continue
-            if self.view.add(new_sub):
-                self.subs.add(new_sub)
-        evicted = self.view.truncate()
+            if view.add(new_sub):
+                pending.add(new_sub)
+        evicted = view.truncate()
         if evicted:
             self.view_evictions += len(evicted)
-            self.subs.add_all(evicted)
-        self.subs.truncate()
+            pending.add_all(evicted)
+        pending.truncate()
 
     # -- outgoing ------------------------------------------------------------
     def membership_payload(

@@ -167,10 +167,28 @@ class CrashPlan:
             (CrashEvent(pid, rng.uniform(0.0, horizon)) for pid in victims),
             key=lambda ev: ev.at,
         )
+        #: Consumption cursor over the sorted schedule: events at or before
+        #: the last ``crashes_before`` call have already been handed out.
+        self._cursor = 0
 
     def crashes_before(self, now: float) -> List[CrashEvent]:
-        """All crash events with ``at <= now`` (runner applies and removes)."""
-        return [ev for ev in self.events if ev.at <= now]
+        """Consume and return the not-yet-applied events with ``at <= now``.
+
+        The schedule is sorted, so a cursor hands each event out exactly
+        once; the per-round full rescan (which kept re-offering already
+        applied crashes) is gone.  ``victims()``/``len()`` still describe
+        the whole plan.  A plan instance therefore serves one simulation —
+        build a fresh plan (same seed) to replay.
+        """
+        events = self.events
+        i = self._cursor
+        n = len(events)
+        due: List[CrashEvent] = []
+        while i < n and events[i].at <= now:
+            due.append(events[i])
+            i += 1
+        self._cursor = i
+        return due
 
     def victims(self) -> List[ProcessId]:
         return [ev.pid for ev in self.events]

@@ -26,8 +26,12 @@ consumes, in exactly the same order:
 Message payloads never pass through the coordinator: workers keep produced
 messages in a per-round outbox keyed by handle, the coordinator routes only
 ``(src, dst, handle)`` metadata, and surviving cross-shard payloads move as
-pre-pickled per-destination blobs (one pickle per mailbox, so a gossip sent
-to F targets is serialized once, not F times).
+pre-pickled blobs the coordinator forwards untouched.  Within a sync the
+source shard dedups payloads by object identity and groups the unique
+messages by their destination-shard signature, pickling each group exactly
+once — so a gossip fanned out to targets on every other shard crosses the
+pickle layer once total, not once per destination mailbox (the win shows up
+in the ``time.shard.sync`` timer).
 
 Surface
 -------
@@ -184,21 +188,57 @@ class _ShardState:
                 meta.append((handle, pid, out.destination, emission))
         return meta, self.records, errors, self.telemetry.drain_delta()
 
-    def do_fetch(self, wants: Dict[int, Sequence[int]]) -> Dict[int, bytes]:
-        return {
-            dst_shard: _dumps([(h, self.outbox[h][2]) for h in handles])
-            for dst_shard, handles in wants.items()
-        }
+    def do_fetch(
+        self, wants: Dict[int, Sequence[int]]
+    ) -> Dict[int, Tuple[List[tuple], Dict[int, bytes]]]:
+        """Serve cross-shard payload requests for one delivery sync.
+
+        Payloads are deduplicated by object identity (a gossip fanned out to
+        F targets is one message object behind F handles) and the unique
+        messages are grouped by their destination-shard signature; each
+        group is pickled exactly once and the same blob bytes ship to every
+        shard in the signature.  Each destination receives
+        ``(entries, blobs)`` where ``entries`` is ``[(handle, group, idx)]``
+        and ``blobs`` maps group id to the pickled message list.
+        """
+        outbox = self.outbox
+        msg_obj: Dict[int, object] = {}
+        msg_refs: Dict[int, List[Tuple[int, int]]] = {}
+        for dst_shard, handles in wants.items():
+            for handle in dict.fromkeys(handles):
+                message = outbox[handle][2]
+                mid = id(message)
+                refs = msg_refs.get(mid)
+                if refs is None:
+                    msg_obj[mid] = message
+                    refs = msg_refs[mid] = []
+                refs.append((dst_shard, handle))
+        groups: Dict[frozenset, List[int]] = {}
+        for mid, refs in msg_refs.items():
+            signature = frozenset(dst for dst, _h in refs)
+            groups.setdefault(signature, []).append(mid)
+        entries: Dict[int, List[tuple]] = {d: [] for d in wants}
+        blobs: Dict[int, Dict[int, bytes]] = {d: {} for d in wants}
+        for group, (signature, mids) in enumerate(groups.items()):
+            blob = _dumps([msg_obj[mid] for mid in mids])
+            for dst_shard in signature:
+                blobs[dst_shard][group] = blob
+            for idx, mid in enumerate(mids):
+                for dst_shard, handle in msg_refs[mid]:
+                    entries[dst_shard].append((handle, group, idx))
+        return {d: (entries[d], blobs[d]) for d in wants}
 
     def do_deliver(self, now: float, generation: int, sequence: Sequence[tuple],
-                   imports: Dict[int, bytes], inline: Dict[int, object],
+                   imports: Dict, inline: Dict[int, object],
                    tracing: bool):
         self.records = []
         self.telemetry.tracing = tracing
         imported: Dict[Tuple[int, int], object] = {}
-        for src_shard, blob in imports.items():
-            for handle, message in pickle.loads(blob):
-                imported[(src_shard, handle)] = message
+        for src_shard, (entries, blobs) in imports.items():
+            loaded = {group: pickle.loads(blob)
+                      for group, blob in blobs.items()}
+            for handle, group, idx in entries:
+                imported[(src_shard, handle)] = loaded[group][idx]
         replies_meta: List[tuple] = []
         errors: List[tuple] = []
         failed: set = set()
@@ -529,6 +569,7 @@ class ShardedRoundSimulation(RoundSimulation):
         """Swap the (now shipped) main copy for a proxy + tripwire."""
         self._replicas[pid] = node
         self.nodes[pid] = NodeProxy(pid, self, self._shard_of[pid])
+        self._alive_cache = None  # cached list would hold the shipped copy
         self._tether(node, pid)
 
     def _tether(self, node: object, pid: ProcessId) -> None:
@@ -558,6 +599,7 @@ class ShardedRoundSimulation(RoundSimulation):
             raise ValueError(f"duplicate process id {pid}")
         shard = self._register(pid)
         self.nodes[pid] = node       # real until shipped at the next flush
+        self._alive_cache = None
         self._staged[pid] = node
         self._queue_op(shard, ("addnode", None, pid))
 
@@ -692,8 +734,8 @@ class ShardedRoundSimulation(RoundSimulation):
         now = float(self.round)
         self._record_buffer = []
         self._staged_trace = []
-        self.telemetry.emit("round.start", now,
-                            alive=len(self.alive_nodes()))
+        if self.telemetry.tracing:
+            self.telemetry.emit("round.start", now, alive=self.alive_count())
 
         if self._crash_plan is not None:
             for event in self._crash_plan.crashes_before(now):
@@ -721,9 +763,9 @@ class ShardedRoundSimulation(RoundSimulation):
         self.telemetry.append_trace_ordered(self._staged_trace)
         self._staged_trace = []
         self._sync_engine_counters()
-        self.telemetry.emit("round.end", now,
-                            alive=len(self.alive_nodes()),
-                            delivered=self.messages_delivered)
+        if self.telemetry.tracing:
+            self.telemetry.emit("round.end", now, alive=self.alive_count(),
+                                delivered=self.messages_delivered)
         with self.telemetry.time("time.observers"):
             for observer in self._observers:
                 observer(self.round, self)
@@ -791,18 +833,20 @@ class ShardedRoundSimulation(RoundSimulation):
                 tag = ("M",)
             deliveries[dst_shard].append((pos, ref.src, ref.dst, tag))
 
-        # Cross-shard mailboxes: each source shard pickles one blob per
-        # destination shard; the coordinator forwards the bytes untouched.
+        # Cross-shard mailboxes: each source shard dedups its wanted
+        # payloads by identity, pickles each unique group once (see
+        # ``_ShardState.do_fetch``) and the coordinator forwards the
+        # resulting ``(entries, blobs)`` pairs untouched.
         with self.telemetry.time("time.shard.sync"):
             fetching = [s for s in range(self.shards) if exports[s]]
             for shard in fetching:
                 self._conns[shard].send(("fetch", exports[shard]))
-            mailboxes: Dict[int, Dict[int, bytes]] = {
+            mailboxes: Dict[int, Dict[int, tuple]] = {
                 s: {} for s in range(self.shards)
             }
             for shard in fetching:
-                for dst_shard, blob in self._await(shard).items():
-                    mailboxes[dst_shard][shard] = blob
+                for dst_shard, mailbox in self._await(shard).items():
+                    mailboxes[dst_shard][shard] = mailbox
 
         active = [s for s in range(self.shards) if deliveries[s]]
         tracing = self.telemetry.tracing
@@ -904,6 +948,7 @@ class ShardedRoundSimulation(RoundSimulation):
                     node._listeners = list(self._listeners_by_pid.get(pid, []))
                 self._replicas[pid] = node
                 self.nodes[pid] = node
+            self._alive_cache = None  # proxies swapped back for real nodes
             self.close()
         return dict(self.nodes)
 

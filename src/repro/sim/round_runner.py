@@ -88,6 +88,11 @@ class RoundSimulation:
         self._shuffle_rng: random.Random = self.seeds.rng("delivery-order")
         self.nodes: Dict[ProcessId, GossipProcess] = {}
         self.crashed: set = set()
+        #: Incrementally maintained alive-node list: rebuilt lazily after a
+        #: membership change (``add_node``/``crash``/fault recovery) instead
+        #: of once per use — the round loop used to rescan all nodes several
+        #: times per round.
+        self._alive_cache: Optional[List[GossipProcess]] = None
         self.round = 0
         self.messages_delivered = 0
         #: Messages addressed to a process that fail-stopped (Sec. 4.1).
@@ -112,6 +117,7 @@ class RoundSimulation:
         if node.pid in self.nodes:
             raise ValueError(f"duplicate process id {node.pid}")
         self.nodes[node.pid] = node
+        self._alive_cache = None
 
     def add_nodes(self, nodes: Sequence[GossipProcess]) -> None:
         for node in nodes:
@@ -143,13 +149,33 @@ class RoundSimulation:
         """Fail-stop ``pid`` immediately (no recovery, Sec. 4.1)."""
         if pid in self.nodes and pid not in self.crashed:
             self.crashed.add(pid)
+            self._alive_cache = None
             self.telemetry.emit("crash", float(self.round), pid=pid)
 
     def alive(self, pid: ProcessId) -> bool:
         return pid in self.nodes and pid not in self.crashed
 
+    def alive_count(self) -> int:
+        """Number of alive processes — O(1), ``crashed`` ⊆ ``nodes``."""
+        return len(self.nodes) - len(self.crashed)
+
+    def _alive_list(self) -> List[GossipProcess]:
+        """The maintained alive-node list, in node-insertion order.  Shared
+        internal object: callers must not mutate it (a membership change
+        invalidates and rebuilds it)."""
+        cache = self._alive_cache
+        if cache is None:
+            crashed = self.crashed
+            if crashed:
+                cache = [n for pid, n in self.nodes.items()
+                         if pid not in crashed]
+            else:
+                cache = list(self.nodes.values())
+            self._alive_cache = cache
+        return cache
+
     def alive_nodes(self) -> List[GossipProcess]:
-        return [n for pid, n in self.nodes.items() if pid not in self.crashed]
+        return list(self._alive_list())
 
     def inject(self, src: ProcessId, outgoings: Sequence[Outgoing]) -> None:
         """Queue externally produced messages (e.g. a join request from a
@@ -164,8 +190,13 @@ class RoundSimulation:
     def _run_round_body(self) -> None:
         self.round += 1
         now = float(self.round)
-        self.telemetry.emit("round.start", now,
-                            alive=len(self.alive_nodes()))
+        telemetry = self.telemetry
+        # Checked-once telemetry fast path: with tracing off, per-message
+        # ``emit`` calls are skipped at the call site (one attribute test
+        # per round instead of a function call per message); counters are
+        # always recorded — they are part of the bit-identity contract.
+        if telemetry.tracing:
+            telemetry.emit("round.start", now, alive=self.alive_count())
 
         if self._crash_plan is not None:
             for event in self._crash_plan.crashes_before(now):
@@ -179,38 +210,47 @@ class RoundSimulation:
 
         queue: List[Tuple[ProcessId, Outgoing]] = list(self._carryover)
         self._carryover = []
-        with self.telemetry.time("time.tick"):
-            for node in self.alive_nodes():
-                if node.pid in self._fault_paused:
+        round_no = self.round
+        paused = self._fault_paused
+        with telemetry.time("time.tick"):
+            append = queue.append
+            for node in self._alive_list():
+                pid = node.pid
+                if pid in paused:
                     continue  # slow-node fault: no tick, still receives
                 try:
                     ticked = node.on_tick(now)
                 except Exception as exc:
-                    self._handle_node_error(node.pid, "on_tick", exc)
+                    self._handle_node_error(pid, "on_tick", exc)
                     continue
-                self.telemetry.record_sends(self.round, node.pid, ticked)
-                for out in ticked:
-                    queue.append((node.pid, out))
+                if ticked:
+                    telemetry.record_sends(round_no, pid, ticked)
+                    for out in ticked:
+                        append((pid, out))
 
         generation = 0
-        with self.telemetry.time("time.delivery"):
+        with telemetry.time("time.delivery"):
+            shuffle = self._shuffle_rng.shuffle
+            deliver = self._deliver
             while queue and generation <= self.max_reply_generations:
-                self._shuffle_rng.shuffle(queue)
+                shuffle(queue)
                 if self._fault_injector is not None:
                     queue = self._fault_expand(queue)
+                # One shared replies list per generation; _deliver appends
+                # into it instead of allocating a fresh list per message.
                 replies: List[Tuple[ProcessId, Outgoing]] = []
                 for src, out in queue:
-                    replies.extend(self._deliver(src, out, now))
+                    deliver(src, out, now, replies)
                 queue = replies
                 generation += 1
         # Anything still queued (deep reply chains) is delayed one round.
         self._carryover.extend(queue)
 
         self._sync_engine_counters()
-        self.telemetry.emit("round.end", now,
-                            alive=len(self.alive_nodes()),
-                            delivered=self.messages_delivered)
-        with self.telemetry.time("time.observers"):
+        if telemetry.tracing:
+            telemetry.emit("round.end", now, alive=self.alive_count(),
+                           delivered=self.messages_delivered)
+        with telemetry.time("time.observers"):
             for observer in self._observers:
                 observer(self.round, self)
 
@@ -225,13 +265,15 @@ class RoundSimulation:
         Raises ``RuntimeError`` if the predicate is still false after
         ``max_rounds`` — simulations must not hang silently.
         """
-        for _ in range(max_rounds):
+        remaining = max_rounds
+        while True:
             if predicate(self):
                 return self.round
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"predicate not satisfied within {max_rounds} rounds")
             self.run_round()
-        if predicate(self):
-            return self.round
-        raise RuntimeError(f"predicate not satisfied within {max_rounds} rounds")
+            remaining -= 1
 
     # -- fault injection ---------------------------------------------------
     def _fault_round_start(self, now: float) -> None:
@@ -268,6 +310,7 @@ class RoundSimulation:
         if pid not in self.crashed or pid not in self.nodes:
             return
         self.crashed.discard(pid)
+        self._alive_cache = None
         contact = fault.contact
         if contact is None or not self.alive(contact):
             candidates = [p for p in self.nodes
@@ -338,22 +381,27 @@ class RoundSimulation:
         self.messages_delivered += 1
         return True
 
-    def _deliver(
-        self, src: ProcessId, out: Outgoing, now: float
-    ) -> List[Tuple[ProcessId, Outgoing]]:
+    def _deliver(self, src: ProcessId, out: Outgoing, now: float,
+                 replies: List[Tuple[ProcessId, Outgoing]]) -> None:
+        """Deliver one admitted message, appending any protocol replies to
+        the caller's shared ``replies`` list (one list per generation — the
+        per-message list allocation used to dominate the delivery loop)."""
         dst = out.destination
         if not self._admit(src, dst):
-            return []
-        if self.telemetry.tracing:
-            self.telemetry.emit("receive", now, pid=dst, peer=src,
-                                message=type(out.message).__name__)
+            return
+        telemetry = self.telemetry
+        if telemetry.tracing:
+            telemetry.emit("receive", now, pid=dst, peer=src,
+                           message=type(out.message).__name__)
         try:
-            replies = self.nodes[dst].handle_message(src, out.message, now)
+            produced = self.nodes[dst].handle_message(src, out.message, now)
         except Exception as exc:
             self._handle_node_error(dst, "handle_message", exc)
-            return []
-        self.telemetry.record_sends(self.round, dst, replies)
-        return [(dst, reply) for reply in replies]
+            return
+        if produced:
+            telemetry.record_sends(self.round, dst, produced)
+            for reply in produced:
+                replies.append((dst, reply))
 
     def _handle_node_error(self, pid: ProcessId, where: str,
                            exc: Exception) -> None:
@@ -385,7 +433,7 @@ class RoundSimulation:
             if value != last:
                 self.telemetry.inc(name, value - last, round=self.round)
                 self._tele_baseline[name] = value
-        self.telemetry.set_gauge("sim.alive", float(len(self.alive_nodes())))
+        self.telemetry.set_gauge("sim.alive", float(self.alive_count()))
         self.telemetry.inc("sim.rounds", 1)
 
     def node_aggregates(self, pids: Optional[Sequence[ProcessId]] = None
@@ -396,7 +444,7 @@ class RoundSimulation:
         aggregation, so for the same seed both engines return equal values
         without shipping node state."""
         if pids is None:
-            targets = self.alive_nodes()
+            targets = self._alive_list()
         else:
             targets = [self.nodes[p] for p in pids if self.alive(p)]
         return aggregate_nodes(targets)

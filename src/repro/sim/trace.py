@@ -86,7 +86,7 @@ class Tracer:
     def on_round(self, round_number: int, sim) -> None:
         """Round observer: marks round boundaries."""
         self.emit(ROUND, float(round_number),
-                  detail=f"alive={len(sim.alive_nodes())}")
+                  detail=f"alive={sim.alive_count()}")
 
     def trace_publish(self, pid: ProcessId, notification: Notification,
                       now: float) -> None:

@@ -101,6 +101,12 @@ class Telemetry:
         #: the engine's (phase, index) replay coordinates).
         self.trace_tag: Optional[TraceTag] = None
         self._tagged_trace: List[Tuple[TraceTag, TraceEvent]] = []
+        #: Per-round cache of prebuilt ``sim.sends*`` counter keys, used by
+        #: the :meth:`record_sends` fast path (see its docstring).
+        self._send_cache_round: Optional[int] = None
+        self._send_kind_keys: Dict[str, Tuple[str, LabelKey]] = {}
+        self._send_elements_key: Tuple[str, LabelKey] = ("", ())
+        self._send_unsized_key: Tuple[str, LabelKey] = ("", ())
 
     # -- writes --------------------------------------------------------------
     def inc(self, name: str, value: int = 1, **labels) -> None:
@@ -180,8 +186,48 @@ class Telemetry:
                       peer=out.destination, message=kind)
 
     def record_sends(self, round_no: int, src, outgoings: Sequence) -> None:
+        """Batch form of :meth:`record_send`, called once per tick/handler.
+
+        This is the engine's per-message accounting entry point, so when the
+        expensive features are off (no tracing, no lock) it takes a fast
+        path: counter keys for the round are prebuilt once and the dict
+        updates are inlined.  The keys match :func:`_label_key`'s canonical
+        sorted form exactly, so the recorded counter state is byte-identical
+        to the plain path — the engine-parity golden test pins this.
+        """
+        if not outgoings:
+            return
+        if self.tracing or self._lock is not None:
+            for out in outgoings:
+                self.record_send(round_no, src, out)
+            return
+        counters = self._counters
+        if round_no != self._send_cache_round:
+            self._send_cache_round = round_no
+            self._send_kind_keys = {}
+            self._send_elements_key = (
+                "sim.send_elements", (("round", round_no),))
+            self._send_unsized_key = (
+                "sim.sends_unsized", (("round", round_no),))
+        kind_keys = self._send_kind_keys
+        elements_key = self._send_elements_key
+        unsized_key = self._send_unsized_key
+        sender_key = ("sim.sends_by_sender", (("src", src),))
+        get = counters.get
         for out in outgoings:
-            self.record_send(round_no, src, out)
+            message = out.message
+            kind = type(message).__name__
+            skey = kind_keys.get(kind)
+            if skey is None:
+                skey = kind_keys[kind] = (
+                    "sim.sends", (("kind", kind), ("round", round_no)))
+            counters[skey] = get(skey, 0) + 1
+            size = getattr(message, "size_estimate", None)
+            if callable(size):
+                counters[elements_key] = get(elements_key, 0) + size()
+            else:
+                counters[unsized_key] = get(unsized_key, 0) + 1
+            counters[sender_key] = get(sender_key, 0) + 1
 
     # -- reads ---------------------------------------------------------------
     def counter_value(self, name: str, **labels) -> int:

@@ -143,6 +143,33 @@ class TestFifoBuffer:
         buf.add_all(["x", "y"])
         assert buf.oldest() == "x"
 
+    def test_snapshot_cached_between_mutations(self):
+        buf = FifoBuffer(5)
+        buf.add_all(["a", "b"])
+        first = buf.snapshot()
+        assert first == ("a", "b")
+        assert buf.snapshot() is first  # no mutation: same cached tuple
+        buf.add("a")  # duplicate, nothing evicted: still a no-op
+        assert buf.snapshot() is first
+
+    def test_snapshot_cache_invalidated_by_insert_and_eviction(self):
+        buf = FifoBuffer(2)
+        buf.add("a")
+        assert buf.snapshot() == ("a",)
+        buf.add("b")
+        assert buf.snapshot() == ("a", "b")
+        buf.add("c")  # evicts "a"
+        assert buf.snapshot() == ("b", "c")
+
+    def test_snapshot_cache_invalidated_by_discard_and_clear(self):
+        buf = FifoBuffer(3)
+        buf.add_all(["a", "b", "c"])
+        assert buf.snapshot() == ("a", "b", "c")
+        buf.discard("b")
+        assert buf.snapshot() == ("a", "c")
+        buf.clear()
+        assert buf.snapshot() == ()
+
     def test_oldest_empty_raises(self):
         with pytest.raises(IndexError):
             FifoBuffer(3).oldest()

@@ -126,6 +126,37 @@ class TestCrashPlan:
         early = plan.crashes_before(5.0)
         assert all(ev.at <= 5.0 for ev in early)
 
+    def test_crashes_before_consumes_each_event_once(self):
+        plan = CrashPlan(range(200), crash_rate=0.1, horizon=10.0,
+                         rng=random.Random(0))
+        total = len(plan)
+        first = plan.crashes_before(5.0)
+        assert first  # seed 0 schedules events in the first half
+        # Asking again for the same horizon re-offers nothing: the cursor
+        # consumed those events, so a runner never re-crashes old victims.
+        assert plan.crashes_before(5.0) == []
+        rest = plan.crashes_before(10.0)
+        assert len(first) + len(rest) == total
+        assert first + rest == plan.events  # handed out in schedule order
+
+    def test_consumption_leaves_plan_description_intact(self):
+        plan = CrashPlan(range(100), crash_rate=0.2, horizon=10.0,
+                         rng=random.Random(1))
+        victims = plan.victims()
+        plan.crashes_before(10.0)
+        assert len(plan) == len(victims)
+        assert plan.victims() == victims
+
+    def test_incremental_horizons_partition_the_schedule(self):
+        plan = CrashPlan(range(300), crash_rate=0.1, horizon=9.0,
+                         rng=random.Random(2))
+        seen = []
+        for now in range(1, 10):
+            batch = plan.crashes_before(float(now))
+            assert all(ev.at <= now for ev in batch)
+            seen.extend(batch)
+        assert seen == plan.events
+
     def test_victims_distinct(self):
         plan = CrashPlan(range(100), crash_rate=0.2, rng=random.Random(0))
         victims = plan.victims()

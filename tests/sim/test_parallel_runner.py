@@ -7,6 +7,7 @@ crashes, churn and mid-run publication.  The remaining tests cover the
 engine surface (proxies, tethering, collect, error modes, the factory).
 """
 
+import pickle
 import random
 
 import pytest
@@ -257,3 +258,55 @@ class TestFactory:
     def test_nonpositive_shards_rejected(self):
         with pytest.raises(ValueError):
             ShardedRoundSimulation(shards=0)
+
+
+class TestFetchDedup:
+    """The cross-shard payload sync serializes each unique message once.
+
+    A gossip fanned out to F destinations is one message object behind F
+    outbox handles; ``do_fetch`` groups unique payloads by their
+    destination-shard signature and every shard in a signature receives the
+    *same* blob bytes — pickled once, forwarded untouched.
+    """
+
+    def _state_with_fanout(self):
+        from repro.sim.parallel_runner import _ShardState
+
+        state = _ShardState(0)
+        gossip = ("gossip", tuple(range(40)))
+        control = ("control",)
+        handles = {
+            "g1": state._stash(1, Outgoing(101, gossip)),
+            "g2": state._stash(1, Outgoing(102, gossip)),
+            "g3": state._stash(1, Outgoing(201, gossip)),
+            "c": state._stash(2, Outgoing(103, control)),
+        }
+        return state, gossip, control, handles
+
+    def test_shared_payload_ships_one_blob_to_both_shards(self):
+        state, gossip, control, h = self._state_with_fanout()
+        served = state.do_fetch({1: [h["g1"], h["g2"], h["c"]],
+                                 2: [h["g3"]]})
+        entries1, blobs1 = served[1]
+        entries2, blobs2 = served[2]
+        shared = set(blobs1) & set(blobs2)
+        assert len(shared) == 1  # the gossip's group spans both shards
+        group = shared.pop()
+        assert blobs1[group] is blobs2[group]  # identical bytes, not a copy
+        # Two unique messages in total -> exactly two pickled groups.
+        assert len({id(b) for b in (*blobs1.values(), *blobs2.values())}) == 2
+        by_handle = {handle: (g, i) for handle, g, i in entries1}
+        assert set(by_handle) == {h["g1"], h["g2"], h["c"]}
+        assert by_handle[h["g1"]] == by_handle[h["g2"]]  # one payload slot
+
+    def test_roundtrip_reconstructs_every_payload(self):
+        state, gossip, control, h = self._state_with_fanout()
+        served = state.do_fetch({1: [h["g1"], h["g2"], h["c"]],
+                                 2: [h["g3"]]})
+        for dst_shard, wanted in ((1, {h["g1"]: gossip, h["g2"]: gossip,
+                                       h["c"]: control}),
+                                  (2, {h["g3"]: gossip})):
+            entries, blobs = served[dst_shard]
+            loaded = {g: pickle.loads(blob) for g, blob in blobs.items()}
+            got = {handle: loaded[g][i] for handle, g, i in entries}
+            assert got == wanted

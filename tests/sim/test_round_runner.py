@@ -231,6 +231,26 @@ class TestRunUntil:
         with pytest.raises(RuntimeError):
             sim.run_until(lambda s: False, max_rounds=3)
 
+    def test_runs_zero_rounds_when_already_satisfied(self):
+        sim = RoundSimulation()
+        assert sim.run_until(lambda s: True, max_rounds=5) == 0
+        assert sim.round == 0
+
+    def test_exact_round_count_and_one_evaluation_per_boundary(self):
+        sim = RoundSimulation()
+        seen = []
+
+        def predicate(s):
+            seen.append(s.round)
+            return s.round >= 3
+
+        # Satisfied exactly when the budget runs out: must return, not raise,
+        # and the predicate is checked once per round boundary — no
+        # re-evaluation after the loop.
+        assert sim.run_until(predicate, max_rounds=3) == 3
+        assert sim.round == 3
+        assert seen == [0, 1, 2, 3]
+
 
 class TestDeterminism:
     def run_once(self, seed):
