@@ -2,13 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-figures bench-hotpath examples check clean
+.PHONY: install test test-slow coverage fuzz bench bench-figures bench-hotpath examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow
+
+# Line-coverage report over src/repro.  Requires pytest-cov (the `cov`
+# extra); prints a pointer instead of failing when it isn't installed.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
+	    && $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+	    || echo "pytest-cov not installed; run: pip install -e .[test,cov]"
+
+fuzz:
+	$(PYTHON) -m repro fuzz --self-test --quiet
+	$(PYTHON) -m repro fuzz --count 25 --seed 2026 --quiet
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

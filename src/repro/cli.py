@@ -19,6 +19,12 @@ Commands
     and print the counter/profile/trace summary; ``--jsonl``/``--prom``
     export the registry, ``--validate`` checks the exports against the
     documented schema (the CI telemetry-smoke job runs exactly this).
+``fuzz``
+    Deterministic-simulation fuzzing: generate seeded scenarios, judge each
+    with the invariant + differential-engine oracle, shrink failures and
+    write JSON repro artifacts.  ``--replay case.json`` re-executes an
+    artifact and requires bit-identical reproduction; ``--self-test``
+    plants known bugs and asserts the fuzzer finds and shrinks them.
 """
 
 from __future__ import annotations
@@ -295,6 +301,58 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .dst import (
+        format_self_test_report,
+        load_artifact,
+        replay_artifact,
+        run_campaign,
+        run_self_test,
+    )
+
+    say = print if not args.quiet else (lambda line: None)
+
+    if args.replay is not None:
+        data = load_artifact(args.replay)
+        result = replay_artifact(data)
+        say(f"replaying {args.replay}")
+        say(f"  spec: {result.spec.describe()}")
+        say(f"  expected failure: {result.expected_signature}")
+        if result.ok:
+            say("  reproduced bit-identically (signature and per-engine "
+                "fingerprints all match)")
+            return 0
+        for line in result.mismatches:
+            say(f"  MISMATCH: {line}")
+        return 1
+
+    if args.self_test:
+        outcomes = run_self_test(
+            args.seed,
+            artifact_dir=args.artifact_dir,
+            progress=say,
+        )
+        print(format_self_test_report(outcomes))
+        return 0 if all(outcome.ok for outcome in outcomes) else 1
+
+    result = run_campaign(
+        args.seed,
+        args.count,
+        max_n=args.max_n,
+        max_rounds=args.max_rounds,
+        mutation=args.mutation,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+        progress=say,
+    )
+    print(result.summary())
+    for case in result.cases:
+        print(f"  {case.signature}  seed={case.shrunk.spec.seed}"
+              + (f"  artifact={case.artifact_path}"
+                 if case.artifact_path else ""))
+    return 0 if result.ok else 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -423,6 +481,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="validate both exports against the documented "
                             "schema")
     trace.set_defaults(fn=_cmd_trace)
+
+    from .dst.mutations import MUTATIONS
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="deterministic-simulation fuzzing with a differential engine "
+             "oracle and automatic scenario shrinking (exit 1 on failure)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="root seed; scenario i derives its own seed from "
+                           "it, so any failure replays standalone")
+    fuzz.add_argument("--count", type=_positive_int, default=25,
+                      help="scenarios to generate and check")
+    fuzz.add_argument("--max-n", type=int, default=60,
+                      help="largest system size the generator samples")
+    fuzz.add_argument("--max-rounds", type=int, default=40,
+                      help="longest run the generator samples")
+    fuzz.add_argument("--artifact-dir", metavar="DIR", default=None,
+                      help="write a JSON repro artifact per failing case")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimising them")
+    fuzz.add_argument("--mutation", default=None,
+                      choices=sorted(MUTATIONS),
+                      help="plant a known bug into every scenario "
+                           "(debugging the fuzzer itself)")
+    fuzz.add_argument("--replay", metavar="CASE.json", default=None,
+                      help="re-execute a repro artifact and require "
+                           "bit-identical reproduction")
+    fuzz.add_argument("--self-test", action="store_true",
+                      help="plant each known bug, assert the fuzzer finds, "
+                           "shrinks and replays it")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="print only the final summary")
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,76 @@
+"""Deterministic simulation testing (DST) for the lpbcast reproduction.
+
+A FoundationDB/VOPR-style fuzzing harness: a seeded generator samples whole
+simulation scenarios (protocol config, workload, churn, fault plan), an
+oracle judges each run with protocol invariants plus a serial/sharded
+differential engine check, and a greedy shrinker minimises failures into
+small JSON repro artifacts that replay bit-identically in a fresh process.
+
+Entry points:
+
+- :func:`generate_spec` / :class:`ScenarioSpec` — seeds to scenarios.
+- :func:`apply_scenario` — one spec, one engine, one judged run.
+- :func:`check_scenario` — the oracle verdict across engines.
+- :func:`shrink_spec` — failure minimisation by signature.
+- :func:`run_campaign` / :func:`run_self_test` — what ``repro fuzz`` does.
+"""
+
+from .fuzz import (
+    ARTIFACT_FORMAT,
+    CampaignResult,
+    FuzzCase,
+    ReplayResult,
+    SelfTestOutcome,
+    build_artifact,
+    format_self_test_report,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    run_self_test,
+    write_artifact,
+)
+from .harness import RunOutcome, apply_scenario
+from .mutations import MUTATIONS, Mutation, get_mutation
+from .oracle import FuzzFailure, OracleReport, check_scenario
+from .shrink import ShrinkResult, shrink_spec
+from .spec import (
+    MIN_N,
+    MIN_ROUNDS,
+    SPEC_FORMAT,
+    ScenarioSpec,
+    generate_spec,
+    restrict_plan,
+    spec_seeds,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "MIN_N",
+    "MIN_ROUNDS",
+    "MUTATIONS",
+    "SPEC_FORMAT",
+    "CampaignResult",
+    "FuzzCase",
+    "FuzzFailure",
+    "Mutation",
+    "OracleReport",
+    "ReplayResult",
+    "RunOutcome",
+    "ScenarioSpec",
+    "SelfTestOutcome",
+    "ShrinkResult",
+    "apply_scenario",
+    "build_artifact",
+    "check_scenario",
+    "format_self_test_report",
+    "generate_spec",
+    "get_mutation",
+    "load_artifact",
+    "replay_artifact",
+    "restrict_plan",
+    "run_campaign",
+    "run_self_test",
+    "shrink_spec",
+    "spec_seeds",
+    "write_artifact",
+]

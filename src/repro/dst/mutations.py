@@ -1,0 +1,123 @@
+"""Planted bugs for fuzzer self-testing.
+
+A fuzzer you have never seen fail is untested test infrastructure.  Each
+:class:`Mutation` here plants one *known* bug into a scenario run — modelled
+on real defect classes this repo has actually had — and ``repro fuzz
+--self-test`` asserts the pipeline catches it end-to-end: the oracle flags
+it, the shrinker minimises it, and the emitted artifact replays to the same
+failure bit-identically.
+
+Mutations are addressed by name from :attr:`ScenarioSpec.mutation`, so a
+repro artifact for a planted bug replays the *same* planted bug in a fresh
+process.  They are deterministic by construction (no randomness of their
+own) and must perturb exactly one engine or accounting path so the expected
+failure kind is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+class _DoubleFireListeners(list):
+    """A listener list whose iteration yields every listener twice.
+
+    Swapped in for a node's ``_listeners``, it makes each LPB-DELIVER
+    notify the application (and therefore the invariant monitor) twice —
+    the observable behaviour of broken duplicate suppression at the
+    delivery boundary, without touching counters or randomness.
+    """
+
+    def __iter__(self):
+        for listener in list.__iter__(self):
+            yield listener
+            yield listener
+
+
+def _double_delivery_post_build(sim, spec, engine) -> None:
+    """Break duplicate suppression on one node of the *serial* engine.
+
+    The victim is the lowest pid, so the bug's location is a pure function
+    of the spec.  Only the serial engine is mutated: the planted defect is
+    an engine-local regression, the class of bug the invariant oracle (not
+    the differential one) must catch.
+    """
+    if engine != "serial":
+        return
+    victim = sim.nodes[min(sim.nodes)]
+    victim._listeners = _DoubleFireListeners(victim._listeners)
+
+
+def _sharded_undercount_post_run(sim, spec, engine) -> None:
+    """Re-introduce a sharded accounting undercount (the PR 3 bug class).
+
+    After a sharded run, one first-round gossip send vanishes from the
+    merged counters — exactly what happened when pickling dropped
+    monkey-patched instruments.  The differential oracle must flag the
+    serial/sharded record mismatch.
+    """
+    if engine != "sharded":
+        return
+    sim.telemetry.inc("sim.sends", -1, round=1, kind="GossipMessage")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One registered planted bug.
+
+    ``post_build`` runs after the system is wired but before the first
+    round; ``post_run`` runs after the last round but before the oracle
+    reads the telemetry.  Either may be ``None``.
+    """
+
+    name: str
+    description: str
+    #: The failure kind the oracle is expected to report: "invariant" or
+    #: "parity" — the self-test asserts the *right* detector fired.
+    expected_kind: str
+    post_build: Optional[Callable] = None
+    post_run: Optional[Callable] = None
+
+    def apply_post_build(self, sim, spec, engine: str) -> None:
+        if self.post_build is not None:
+            self.post_build(sim, spec, engine)
+
+    def apply_post_run(self, sim, spec, engine: str) -> None:
+        if self.post_run is not None:
+            self.post_run(sim, spec, engine)
+
+
+MUTATIONS: Dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation(
+            name="double-delivery",
+            description="serial engine delivers every notification twice "
+                        "(broken duplicate suppression at the delivery "
+                        "boundary)",
+            expected_kind="invariant",
+            post_build=_double_delivery_post_build,
+        ),
+        Mutation(
+            name="sharded-undercount",
+            description="sharded engine loses one first-round gossip from "
+                        "the merged counter records (the classic pickling "
+                        "undercount)",
+            expected_kind="parity",
+            post_run=_sharded_undercount_post_run,
+        ),
+    )
+}
+
+
+def get_mutation(name: Optional[str]) -> Optional[Mutation]:
+    """Resolve a spec's mutation name (``None`` passes through)."""
+    if name is None:
+        return None
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; registered: {sorted(MUTATIONS)}"
+        ) from None

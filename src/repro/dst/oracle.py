@@ -1,0 +1,137 @@
+"""The DST oracle: invariants plus a serial/sharded differential check.
+
+lpbcast's guarantees are probabilistic — low reliability under a harsh
+fault plan is *data*, not a bug — so the oracle only judges properties that
+must hold under **every** schedule:
+
+1. **Invariants** (:class:`~repro.faults.invariants.InvariantMonitor`):
+   duplicate-delivery inside the ``|eventIds|m`` window, buffer bounds,
+   view-excludes-owner, unsubscription TTL expiry, crashed-process silence.
+2. **Differential engine identity**: the serial and sharded engines must
+   produce byte-identical canonical counter records for the same spec —
+   the PR 4 bit-identity contract extended from one golden seed to every
+   generated scenario.
+
+Every failure carries a stable ``signature`` — the shrinker uses it to
+verify a smaller scenario still reproduces the *same* bug rather than a
+different one it stumbled into while shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..telemetry import diff_counter_records
+from .harness import RunOutcome, apply_scenario
+from .spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One oracle finding."""
+
+    kind: str  # "invariant" or "parity"
+    signature: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.signature}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """The verdict on one spec across the engines it ran on."""
+
+    spec: ScenarioSpec
+    failures: List[FuzzFailure] = field(default_factory=list)
+    #: Engine name -> canonical counter fingerprint of its run.
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    engines_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def signatures(self) -> List[str]:
+        return [failure.signature for failure in self.failures]
+
+    def summary(self) -> str:
+        verdict = ("OK" if self.ok
+                   else "; ".join(str(f) for f in self.failures[:3]))
+        return f"{self.spec.describe()} -> {verdict}"
+
+
+def _invariant_failures(outcome: RunOutcome) -> List[FuzzFailure]:
+    """Collapse a run's violations into one failure per invariant name —
+    a broken invariant usually fires every round, and the shrinker only
+    needs the stable identity plus one concrete example."""
+    failures: List[FuzzFailure] = []
+    seen: Dict[str, int] = {}
+    first: Dict[str, str] = {}
+    for violation in outcome.violations:
+        seen[violation.invariant] = seen.get(violation.invariant, 0) + 1
+        first.setdefault(violation.invariant, str(violation))
+    for invariant, count in sorted(seen.items()):
+        failures.append(FuzzFailure(
+            kind="invariant",
+            signature=f"invariant:{invariant}",
+            detail=(f"{count} violation(s) on the {outcome.engine} engine; "
+                    f"first: {first[invariant]}"),
+        ))
+    return failures
+
+
+def _parity_failure(serial: RunOutcome, sharded: RunOutcome
+                    ) -> Optional[FuzzFailure]:
+    if serial.fingerprint == sharded.fingerprint:
+        return None
+    diff = diff_counter_records(serial.records, sharded.records, limit=5)
+    # The signature pins the first differing metric name: stable under
+    # shrinking (the same bug keeps corrupting the same series) without
+    # over-pinning exact counts, which legitimately change as the scenario
+    # shrinks.
+    first_metric = diff[0].split("{")[0].split(":")[0] if diff else "unknown"
+    return FuzzFailure(
+        kind="parity",
+        signature=f"parity:{first_metric}",
+        detail=("serial and sharded counter records diverge: "
+                + "; ".join(diff)),
+    )
+
+
+def check_scenario(
+    spec: ScenarioSpec,
+    *,
+    require_signature: Optional[str] = None,
+) -> OracleReport:
+    """Run the oracle on one spec.
+
+    ``require_signature`` is the shrinker's fast path: when the caller only
+    needs to know whether one specific *invariant* failure reproduces, the
+    serial run alone can answer and the (much more expensive) sharded run
+    is skipped.  Parity signatures always need both engines.
+    """
+    report = OracleReport(spec=spec)
+    serial = apply_scenario(spec, "serial")
+    report.engines_run.append("serial")
+    report.fingerprints["serial"] = serial.fingerprint
+    report.failures.extend(_invariant_failures(serial))
+    if (require_signature is not None
+            and require_signature.startswith("invariant:")
+            and require_signature in report.signatures()):
+        return report
+
+    sharded = apply_scenario(spec, "sharded")
+    report.engines_run.append("sharded")
+    report.fingerprints["sharded"] = sharded.fingerprint
+    # Sharded delivery-path violations are deduped against the serial ones:
+    # the same protocol bug observed twice is one finding.
+    serial_signatures = set(report.signatures())
+    for failure in _invariant_failures(sharded):
+        if failure.signature not in serial_signatures:
+            report.failures.append(failure)
+    parity = _parity_failure(serial, sharded)
+    if parity is not None:
+        report.failures.append(parity)
+    return report

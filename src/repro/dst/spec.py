@@ -1,0 +1,276 @@
+"""Scenario specifications: everything one DST run needs, as pure data.
+
+A :class:`ScenarioSpec` fully determines a simulation run — protocol
+configuration, system size, workload, fault plan and the root seed every
+random stream derives from.  The spec is the fuzzer's unit of work: the
+generator samples one from a single seed, the oracle executes it on several
+engines, the shrinker transforms it, and the JSON repro artifact embeds it
+so a failure replays bit-for-bit on a fresh process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..core.config import LpbcastConfig
+from ..faults.plan import FaultPlan
+from ..sim.rng import derive_rng
+
+#: Bump when the spec's JSON shape changes; artifacts carry it.
+SPEC_FORMAT = "repro-dst-spec/1"
+
+#: The smallest system the harness runs (shrinking stops here: with fewer
+#: than four processes a fanout-3 gossip mesh degenerates).
+MIN_N = 4
+
+#: The shortest run: one round to publish, one to gossip.
+MIN_ROUNDS = 2
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-determined simulation scenario.
+
+    ``seed`` roots every stream (node RNGs, network loss, fault injector,
+    publisher choice), so two executions of the same spec — in the same or
+    different processes — replay bit-for-bit on the round engines.
+    """
+
+    seed: int
+    n: int
+    rounds: int
+    fanout: int = 3
+    view_max: int = 10
+    events_max: int = 30
+    event_ids_max: int = 60
+    subs_max: int = 15
+    unsubs_max: int = 15
+    retransmissions: bool = False
+    loss_rate: float = 0.0
+    publishes: int = 1
+    shards: int = 2
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Name of a planted bug from :mod:`repro.dst.mutations` (self-test
+    #: campaigns only); ``None`` runs the real code.
+    mutation: Optional[str] = None
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Raise ``ValueError`` on any inconsistency; returns ``self``.
+
+        Config bounds are re-checked by building the config; the fault plan
+        re-validated its windows when constructed.  What remains is the
+        coupling between the parts: plan targets must exist, the workload
+        must fit the horizon.
+        """
+        if self.n < MIN_N:
+            raise ValueError(f"n must be >= {MIN_N}, got {self.n}")
+        if self.rounds < MIN_ROUNDS:
+            raise ValueError(
+                f"rounds must be >= {MIN_ROUNDS}, got {self.rounds}")
+        if not 0 <= self.publishes <= self.rounds:
+            raise ValueError("publishes must be within [0, rounds]")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.config()  # LpbcastConfig.__post_init__ re-checks its bounds
+        pids = set(range(self.n))
+        for fault in self.plan.crashes:
+            if fault.pid not in pids:
+                raise ValueError(f"crash fault targets unknown pid {fault.pid}")
+        for fault in self.plan.pauses:
+            if fault.pid not in pids:
+                raise ValueError(f"pause fault targets unknown pid {fault.pid}")
+        for fault in self.plan.partitions:
+            strays = (set(fault.side_a) | set(fault.side_b)) - pids
+            if strays:
+                raise ValueError(f"partition references unknown pids {strays}")
+        return self
+
+    # -- derived -------------------------------------------------------------
+    def config(self) -> LpbcastConfig:
+        """The protocol configuration this spec describes."""
+        return LpbcastConfig(
+            fanout=self.fanout,
+            view_max=self.view_max,
+            events_max=self.events_max,
+            event_ids_max=self.event_ids_max,
+            subs_max=self.subs_max,
+            unsubs_max=self.unsubs_max,
+            retransmissions=self.retransmissions,
+            digest_implies_delivery=not self.retransmissions,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for reports and progress lines."""
+        return (f"seed={self.seed} n={self.n} rounds={self.rounds} "
+                f"F={self.fanout} l={self.view_max} loss={self.loss_rate} "
+                f"publishes={self.publishes} shards={self.shards} "
+                f"plan=[{self.plan.describe()}]"
+                + (f" mutation={self.mutation}" if self.mutation else ""))
+
+    def size(self) -> int:
+        """Rough scenario magnitude — the shrinker's progress metric."""
+        return (self.n + self.rounds + self.publishes
+                + self.plan.fault_count()
+                + (1 if self.loss_rate > 0 else 0)
+                + (1 if self.retransmissions else 0))
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": SPEC_FORMAT,
+            "seed": self.seed,
+            "n": self.n,
+            "rounds": self.rounds,
+            "fanout": self.fanout,
+            "view_max": self.view_max,
+            "events_max": self.events_max,
+            "event_ids_max": self.event_ids_max,
+            "subs_max": self.subs_max,
+            "unsubs_max": self.unsubs_max,
+            "retransmissions": self.retransmissions,
+            "loss_rate": self.loss_rate,
+            "publishes": self.publishes,
+            "shards": self.shards,
+            "plan": self.plan.to_dict(),
+            "mutation": self.mutation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        fmt = data.get("format", SPEC_FORMAT)
+        if fmt != SPEC_FORMAT:
+            raise ValueError(f"unsupported spec format {fmt!r} "
+                             f"(this build reads {SPEC_FORMAT})")
+        spec = cls(
+            seed=data["seed"],
+            n=data["n"],
+            rounds=data["rounds"],
+            fanout=data["fanout"],
+            view_max=data["view_max"],
+            events_max=data["events_max"],
+            event_ids_max=data["event_ids_max"],
+            subs_max=data["subs_max"],
+            unsubs_max=data["unsubs_max"],
+            retransmissions=data["retransmissions"],
+            loss_rate=data["loss_rate"],
+            publishes=data["publishes"],
+            shards=data["shards"],
+            plan=FaultPlan.from_dict(data.get("plan", {})),
+            mutation=data.get("mutation"),
+        )
+        return spec.validate()
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- transformation ------------------------------------------------------
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """Copy with fields replaced — the shrinker's edit primitive.
+
+        Shrinking ``n`` silently drops plan entries that now target removed
+        processes (a crash of pid 50 is meaningless at n=10); everything
+        else must stay valid, enforced by :meth:`validate`.
+        """
+        spec = replace(self, **changes)
+        if spec.n < self.n:
+            spec = replace(spec, plan=restrict_plan(spec.plan, spec.n))
+        return spec.validate()
+
+
+def restrict_plan(plan: FaultPlan, n: int) -> FaultPlan:
+    """A copy of ``plan`` valid for a system of ``n`` processes.
+
+    Crash/pause faults aimed at pids >= ``n`` are dropped; partition sides
+    are intersected with the surviving pids and the partition is dropped
+    when either side empties.  Rate faults (drop/duplicate/delay) are kept
+    unless they were scoped to a removed endpoint.
+    """
+    pids = set(range(n))
+    restricted = FaultPlan()
+    for d in plan.drops:
+        if d.src is not None and d.src not in pids:
+            continue
+        if d.dst is not None and d.dst not in pids:
+            continue
+        restricted.drops.append(d)
+    restricted.duplicates.extend(plan.duplicates)
+    restricted.delays.extend(plan.delays)
+    for p in plan.partitions:
+        side_a = tuple(pid for pid in p.side_a if pid in pids)
+        side_b = tuple(pid for pid in p.side_b if pid in pids)
+        if side_a and side_b:
+            restricted.partition(side_a, side_b, start=p.start, heal=p.heal,
+                                 direction=p.direction)
+    for c in plan.crashes:
+        if c.pid in pids:
+            contact = c.contact if c.contact in pids else None
+            restricted.crash(c.pid, at=c.at, recover_at=c.recover_at,
+                             contact=contact)
+    for p in plan.pauses:
+        if p.pid in pids:
+            restricted.pause(p.pid, at=p.at, duration=p.duration)
+    return restricted
+
+
+def generate_spec(
+    seed: int,
+    max_n: int = 60,
+    max_rounds: int = 40,
+    mutation: Optional[str] = None,
+) -> ScenarioSpec:
+    """Sample one scenario from a single seed — the fuzzer's generator.
+
+    Every choice (sizes, protocol parameters, workload, whether and which
+    faults) draws from one stream derived from ``seed``, so the same seed
+    always yields the same spec, independent of interpreter hash seeds or
+    platform.  Ranges stay modest on purpose: DST wants many small hostile
+    scenarios, not few big ones.
+    """
+    if max_n < 8:
+        raise ValueError("max_n must be >= 8")
+    if max_rounds < 10:
+        raise ValueError("max_rounds must be >= 10")
+    rng = derive_rng(seed, "dst-spec")
+    n = rng.randrange(8, max_n + 1)
+    rounds = rng.randrange(10, max_rounds + 1)
+    fanout = rng.randrange(1, 5)
+    view_max = rng.randrange(max(fanout, 3), 16)
+    events_max = rng.randrange(5, 41)
+    event_ids_max = rng.randrange(10, 81)
+    subs_max = rng.randrange(3, 21)
+    unsubs_max = rng.randrange(3, 21)
+    retransmissions = rng.random() < 0.25
+    loss_rate = round(rng.uniform(0.01, 0.3), 3) if rng.random() < 0.7 else 0.0
+    publishes = rng.randrange(1, min(rounds, 8) + 1)
+    shards = rng.choice((2, 3))
+    if rng.random() < 0.85:
+        plan = FaultPlan.random(
+            list(range(n)), horizon=rounds,
+            rng=derive_rng(seed, "dst-plan"),
+            intensity=round(rng.uniform(0.3, 1.5), 3),
+        )
+    else:
+        plan = FaultPlan()
+    return ScenarioSpec(
+        seed=seed, n=n, rounds=rounds, fanout=fanout, view_max=view_max,
+        events_max=events_max, event_ids_max=event_ids_max,
+        subs_max=subs_max, unsubs_max=unsubs_max,
+        retransmissions=retransmissions, loss_rate=loss_rate,
+        publishes=publishes, shards=shards, plan=plan, mutation=mutation,
+    ).validate()
+
+
+def spec_seeds(root_seed: int, count: int) -> List[int]:
+    """The derived per-case seeds of a ``count``-scenario campaign."""
+    from ..sim.rng import derive_seed
+
+    return [derive_seed(root_seed, "dst-case", i) for i in range(count)]

@@ -107,15 +107,34 @@ class InvariantMonitor:
     # -- wiring --------------------------------------------------------------
     def attach(self, sim) -> "InvariantMonitor":
         """Register on every current node and on the round loop of ``sim``
-        (a :class:`~repro.sim.round_runner.RoundSimulation` or subclass)."""
+        (a :class:`~repro.sim.round_runner.RoundSimulation` or subclass).
+
+        Engines without a round loop (``AsyncGossipRuntime`` exposes no
+        ``add_observer``) get the delivery-path checks only — duplicate
+        delivery and crashed-silence still fire on every LPB-DELIVER, while
+        the per-round node-state sweep needs a caller-driven
+        :meth:`check_now`."""
         self._sim = sim
         if self.seed is None:
             seeds = getattr(sim, "seeds", None)
             self.seed = getattr(seeds, "root_seed", None)
         for pid, node in sim.nodes.items():
             self.watch_node(pid, node)
-        sim.add_observer(self._on_round)
+        add_observer = getattr(sim, "add_observer", None)
+        if add_observer is not None:
+            add_observer(self._on_round)
         return self
+
+    def check_now(self, round_no: Optional[int] = None) -> None:
+        """Run the per-round node-state sweep on demand — the entry point
+        for engines that drive no round observers (the async runtime, where
+        the caller maps time to a round number)."""
+        if self._sim is None:
+            raise RuntimeError("attach() the monitor before check_now()")
+        if round_no is None:
+            round_no = int(getattr(self._sim, "round",
+                                   getattr(self._sim, "now", 0)))
+        self._on_round(round_no, self._sim)
 
     def watch_node(self, pid: ProcessId, node) -> None:
         """Hook one node's delivery stream (call for nodes added later)."""
@@ -220,7 +239,10 @@ class InvariantMonitor:
     # -- reporting -----------------------------------------------------------
     def _flag(self, invariant: str, pid: Optional[ProcessId],
               detail: str) -> None:
-        round_no = getattr(self._sim, "round", 0) if self._sim else 0
+        round_no = getattr(self._sim, "round", None) if self._sim else 0
+        if round_no is None:
+            # Round-less engine (async runtime): bucket by simulated time.
+            round_no = int(getattr(self._sim, "now", 0))
         violation = Violation(invariant, pid, round_no, self.seed, detail)
         self.violations.append(violation)
         telemetry = getattr(self._sim, "telemetry", None)

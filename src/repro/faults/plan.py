@@ -297,6 +297,49 @@ class FaultPlan:
             parts.append(f"pause p{p.pid}@[{p.at},{p.at + p.duration})")
         return "; ".join(parts) if parts else "no faults"
 
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form of the plan (the DST repro artifacts embed it).
+
+        Everything is lists/ints/floats/strings; :meth:`from_dict` is the
+        exact inverse (re-running every constructor validation), so a plan
+        survives a JSON round-trip bit-identically.
+        """
+        return {
+            "drops": [[d.rate, d.start, d.stop, d.src, d.dst]
+                      for d in self.drops],
+            "duplicates": [[d.rate, d.start, d.stop]
+                           for d in self.duplicates],
+            "delays": [[d.rate, d.delay, d.start, d.stop]
+                       for d in self.delays],
+            "partitions": [[list(p.side_a), list(p.side_b), p.start, p.heal,
+                            p.direction] for p in self.partitions],
+            "crashes": [[c.pid, c.at, c.recover_at, c.contact]
+                        for c in self.crashes],
+            "pauses": [[p.pid, p.at, p.duration] for p in self.pauses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict` (validating every
+        window again, so hand-edited artifacts fail loudly)."""
+        plan = cls()
+        for rate, start, stop, src, dst in data.get("drops", ()):
+            plan.drop(rate, start=start, stop=stop, src=src, dst=dst)
+        for rate, start, stop in data.get("duplicates", ()):
+            plan.duplicate(rate, start=start, stop=stop)
+        for rate, delay, start, stop in data.get("delays", ()):
+            plan.delay(rate, delay=delay, start=start, stop=stop)
+        for side_a, side_b, start, heal, direction in data.get(
+                "partitions", ()):
+            plan.partition(side_a, side_b, start=start, heal=heal,
+                           direction=direction)
+        for pid, at, recover_at, contact in data.get("crashes", ()):
+            plan.crash(pid, at=at, recover_at=recover_at, contact=contact)
+        for pid, at, duration in data.get("pauses", ()):
+            plan.pause(pid, at=at, duration=duration)
+        return plan
+
     # -- randomized composition ----------------------------------------------
     @classmethod
     def random(cls, pids: Sequence[ProcessId], horizon: int,

@@ -209,6 +209,24 @@ class AsyncGossipRuntime:
             self.sim.run_until(deadline)
         self._sync_engine_counters()
 
+    def run_rounds(self, rounds: int,
+                   round_duration: Optional[float] = None) -> None:
+        """Advance simulated time by ``rounds`` gossip periods.
+
+        The uniform scenario-application entry point shared with the round
+        engines: one "round" spans ``round_duration`` of simulated time
+        (default: the fault layer's round duration, i.e. the default gossip
+        period), so driving every engine by a round count runs comparable
+        workloads.  Resumable — each call continues from ``self.now``.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        period = (round_duration if round_duration is not None
+                  else self._fault_round_duration)
+        if period <= 0:
+            raise ValueError("round_duration must be positive")
+        self.run_until(self.sim.now + rounds * period)
+
     @property
     def now(self) -> float:
         return self.sim.now

@@ -957,7 +957,7 @@ class ShardedRoundSimulation(RoundSimulation):
 # Engine selection
 # ---------------------------------------------------------------------------
 
-ENGINES = ("serial", "sharded")
+ENGINES = ("serial", "sharded", "async")
 
 
 def create_simulation(
@@ -968,14 +968,18 @@ def create_simulation(
     on_node_error: str = "raise",
     shards: Optional[int] = None,
     start_method: Optional[str] = None,
-) -> RoundSimulation:
-    """Build a round engine by name — the single ``engine=`` knob.
+):
+    """Build an engine by name — the single ``engine=`` knob.
 
     ``"serial"`` is the paper's single-process Sec. 5.1 runner;
     ``"sharded"`` partitions the nodes over ``shards`` worker processes and
     produces bit-identical runs for the same root seed (see
-    :mod:`repro.sim.parallel_runner`).  ``shards``/``start_method`` are
-    ignored by the serial engine.
+    :mod:`repro.sim.parallel_runner`); ``"async"`` is the
+    non-synchronized-timer testbed substitute
+    (:class:`~repro.sim.async_runner.AsyncGossipRuntime`), driven by
+    ``run_rounds`` instead of ``run`` and *not* part of the bit-identity
+    contract.  ``shards``/``start_method`` apply to the sharded engine only;
+    ``max_reply_generations``/``on_node_error`` to the round engines only.
     """
     if engine == "serial":
         return RoundSimulation(network=network, seed=seed,
@@ -988,4 +992,8 @@ def create_simulation(
             on_node_error=on_node_error, shards=shards,
             start_method=start_method,
         )
+    if engine == "async":
+        from .async_runner import AsyncGossipRuntime
+
+        return AsyncGossipRuntime(network=network, seed=seed)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

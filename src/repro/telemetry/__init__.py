@@ -36,6 +36,12 @@ from .events import (
     TraceBuffer,
     TraceEvent,
 )
+from .fingerprint import (
+    CounterRecord,
+    counter_fingerprint,
+    counter_records,
+    diff_counter_records,
+)
 from .exporters import (
     format_counters,
     format_profile,
@@ -55,8 +61,12 @@ from .schema import (
 )
 
 __all__ = [
+    "counter_fingerprint",
+    "counter_records",
+    "CounterRecord",
     "CRASH",
     "DELIVER",
+    "diff_counter_records",
     "EVICTION",
     "FAULT_DELAY",
     "FAULT_DROP",

@@ -1,0 +1,75 @@
+"""Canonical fingerprints of a registry's deterministic state.
+
+Counters are the unit of the serial/sharded bit-identity contract
+(:mod:`repro.telemetry.registry`): for the same root seed both engines must
+record *identical* counter series.  This module gives that contract a stable
+identity — a canonical sorted record list, a SHA-256 fingerprint over it, and
+a structural diff — so the engine-parity tests, the hot-path bench harness
+and the DST fuzzer's differential oracle (:mod:`repro.dst`) all compare the
+same bytes.
+
+Gauges and histograms are deliberately excluded: gauges are last-writer
+state and histograms contain wall-clock timings, neither of which is
+deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple
+
+#: One canonical counter record: (name, ((label, repr(value)), ...), count).
+CounterRecord = Tuple[str, Tuple[Tuple[str, str], ...], int]
+
+
+def counter_records(telemetry) -> List[CounterRecord]:
+    """The registry's counters as a sorted list of canonical records.
+
+    Label values go through ``repr`` so records are insensitive to dict
+    ordering but sensitive to any count, label or metric-name change —
+    including type changes such as ``1`` vs ``1.0``.
+    """
+    records: List[CounterRecord] = []
+    for (name, key), value in telemetry.snapshot()["counters"].items():
+        records.append(
+            (name, tuple((str(k), repr(v)) for k, v in key), value)
+        )
+    records.sort()
+    return records
+
+
+def counter_fingerprint(telemetry) -> str:
+    """SHA-256 hex digest of the canonical counter records."""
+    return hashlib.sha256(repr(counter_records(telemetry)).encode()).hexdigest()
+
+
+def diff_counter_records(
+    a: List[CounterRecord], b: List[CounterRecord], limit: int = 10
+) -> List[str]:
+    """Human-readable lines for every series where ``a`` and ``b`` differ.
+
+    Missing series count as 0, so a record present on one side only shows up
+    as ``5 != 0`` rather than being silently skipped.  At most ``limit``
+    lines are returned (with a trailing ellipsis line when truncated);
+    ``limit <= 0`` means unlimited.
+    """
+    index_a: Dict[Tuple[str, Tuple], int] = {
+        (name, key): value for name, key, value in a
+    }
+    index_b: Dict[Tuple[str, Tuple], int] = {
+        (name, key): value for name, key, value in b
+    }
+    lines: List[str] = []
+    for series in sorted(set(index_a) | set(index_b)):
+        left = index_a.get(series, 0)
+        right = index_b.get(series, 0)
+        if left == right:
+            continue
+        name, key = series
+        labels = ", ".join(f"{k}={v}" for k, v in key)
+        label_text = f"{{{labels}}}" if labels else ""
+        lines.append(f"{name}{label_text}: {left} != {right}")
+    if limit > 0 and len(lines) > limit:
+        dropped = len(lines) - limit
+        lines = lines[:limit] + [f"... and {dropped} more differing series"]
+    return lines

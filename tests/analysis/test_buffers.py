@@ -71,6 +71,7 @@ class TestRequiredBufferSize:
         fast = required_buffer_size(125, 6, publish_rate=10.0)
         assert fast <= slow
 
+    @pytest.mark.slow
     def test_unreachable_target(self):
         # F=1 at 49% loss crawls: 99.9% coverage is beyond the analysis
         # horizon, so no finite buffer recommendation is possible.

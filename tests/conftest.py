@@ -1,0 +1,37 @@
+"""Shared test configuration.
+
+Pins Hypothesis behaviour so property tests are reproducible across
+machines and CI runs:
+
+- ``dev`` (default): standard randomized exploration with a local example
+  database, good for finding new counterexamples while hacking.
+- ``ci``: fully derandomized — the same examples every run and no deadline
+  flakiness on loaded runners (derandomize implies no example database;
+  Hypothesis rejects the combination).
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest`` (the CI workflow exports it).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+from hypothesis.database import DirectoryBasedExampleDatabase
+
+_EXAMPLE_DB = os.path.join(os.path.dirname(__file__), ".hypothesis-examples")
+
+settings.register_profile(
+    "dev",
+    database=DirectoryBasedExampleDatabase(_EXAMPLE_DB),
+    deadline=None,
+)
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

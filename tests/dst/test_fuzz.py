@@ -1,0 +1,107 @@
+"""Campaigns, artifacts, replay (in-process and fresh-process), self-test."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.dst import (
+    build_artifact,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    run_self_test,
+)
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src")
+
+
+def failing_campaign(tmp_path):
+    return run_campaign(1, 3, max_n=16, max_rounds=12,
+                        mutation="double-delivery", stop_after=1,
+                        artifact_dir=str(tmp_path))
+
+
+class TestCampaign:
+    def test_clean_campaign_passes(self):
+        result = run_campaign(2026, 3, max_n=16, max_rounds=12)
+        assert result.ok
+        assert result.checked == 3
+
+    def test_campaign_is_deterministic(self):
+        a = run_campaign(2026, 3, max_n=16, max_rounds=12)
+        b = run_campaign(2026, 3, max_n=16, max_rounds=12)
+        assert a.ok == b.ok and a.checked == b.checked
+
+    def test_failing_campaign_reports_and_writes_artifacts(self, tmp_path):
+        result = failing_campaign(tmp_path)
+        assert not result.ok
+        case = result.cases[0]
+        assert case.signature.startswith("invariant:")
+        assert case.artifact_path is not None
+        assert os.path.exists(case.artifact_path)
+
+    def test_no_shrink_keeps_original(self):
+        result = run_campaign(1, 3, max_n=16, max_rounds=12,
+                              mutation="double-delivery", shrink=False,
+                              stop_after=1)
+        case = result.cases[0]
+        assert case.shrunk.spec == case.original
+
+
+class TestArtifacts:
+    def test_artifact_round_trips_through_disk(self, tmp_path):
+        case = failing_campaign(tmp_path).cases[0]
+        data = load_artifact(case.artifact_path)
+        assert data == build_artifact(case)
+        assert data["failure"]["signature"] == case.signature
+        assert set(data["fingerprints"]) == {"serial", "sharded"}
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else/1"}))
+        with pytest.raises(ValueError, match="format"):
+            load_artifact(str(path))
+
+    def test_replay_reproduces_bit_identically(self, tmp_path):
+        case = failing_campaign(tmp_path).cases[0]
+        result = replay_artifact(load_artifact(case.artifact_path))
+        assert result.ok, result.mismatches
+
+    def test_replay_flags_stale_fingerprints(self, tmp_path):
+        case = failing_campaign(tmp_path).cases[0]
+        data = load_artifact(case.artifact_path)
+        data["fingerprints"]["serial"] = "0" * 64
+        result = replay_artifact(data)
+        assert not result.ok
+        assert any("fingerprint" in line for line in result.mismatches)
+
+
+class TestFreshProcessReplay:
+    @pytest.mark.slow
+    def test_cli_replay_in_a_new_interpreter(self, tmp_path):
+        """The acceptance criterion: an artifact written here replays
+        bit-identically in a process with no shared state."""
+        case = failing_campaign(tmp_path).cases[0]
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz",
+             "--replay", case.artifact_path],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bit-identically" in proc.stdout
+
+
+class TestSelfTest:
+    @pytest.mark.slow
+    def test_self_test_catches_every_planted_bug(self, tmp_path):
+        outcomes = run_self_test(0, artifact_dir=str(tmp_path))
+        assert outcomes, "no mutations registered"
+        for outcome in outcomes:
+            assert outcome.ok, f"{outcome.mutation}: {outcome.detail}"
+        kinds = {o.expected_kind for o in outcomes}
+        assert kinds == {"invariant", "parity"}

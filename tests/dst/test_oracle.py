@@ -1,0 +1,68 @@
+"""The DST oracle: clean scenarios pass, planted bugs are detected."""
+
+import pytest
+
+from repro.dst import (
+    MUTATIONS,
+    ScenarioSpec,
+    apply_scenario,
+    check_scenario,
+    generate_spec,
+)
+
+CLEAN = ScenarioSpec(seed=5, n=10, rounds=8, publishes=3)
+
+
+class TestApplyScenario:
+    def test_serial_run_is_deterministic(self):
+        a = apply_scenario(CLEAN, "serial")
+        b = apply_scenario(CLEAN, "serial")
+        assert a.fingerprint == b.fingerprint
+        assert a.deliveries == b.deliveries > 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            apply_scenario(CLEAN, "quantum")
+
+    def test_async_engine_runs_the_same_spec(self):
+        outcome = apply_scenario(CLEAN, "async")
+        assert outcome.engine == "async"
+        assert outcome.deliveries > 0
+        assert not outcome.violations
+
+
+class TestCheckScenario:
+    def test_clean_scenario_passes_both_engines(self):
+        report = check_scenario(CLEAN)
+        assert report.ok
+        assert report.engines_run == ["serial", "sharded"]
+        assert report.fingerprints["serial"] == report.fingerprints["sharded"]
+
+    def test_generated_scenarios_pass(self):
+        for seed in range(3):
+            spec = generate_spec(seed, max_n=16, max_rounds=12)
+            report = check_scenario(spec)
+            assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_planted_bugs_detected_with_expected_kind(self, name):
+        expected_kind = MUTATIONS[name].expected_kind
+        for seed in range(4):
+            spec = generate_spec(seed, max_n=16, max_rounds=12,
+                                 mutation=name)
+            report = check_scenario(spec)
+            if not report.ok:
+                kinds = {f.kind for f in report.failures}
+                assert expected_kind in kinds, report.summary()
+                return
+        pytest.fail(f"mutation {name!r} went undetected across 4 scenarios")
+
+    def test_invariant_fast_path_skips_sharded_run(self):
+        spec = ScenarioSpec(seed=5, n=10, rounds=8, publishes=3,
+                            mutation="double-delivery")
+        full = check_scenario(spec)
+        assert "invariant:no-duplicate-delivery" in full.signatures()
+        fast = check_scenario(
+            spec, require_signature="invariant:no-duplicate-delivery")
+        assert fast.engines_run == ["serial"]
+        assert "invariant:no-duplicate-delivery" in fast.signatures()

@@ -1,0 +1,121 @@
+"""Scenario specs: generation determinism, serialization, validation."""
+
+import pytest
+
+from repro.dst import (
+    MIN_N,
+    ScenarioSpec,
+    generate_spec,
+    restrict_plan,
+    spec_seeds,
+)
+from repro.faults import FaultPlan
+
+
+class TestGenerateSpec:
+    def test_same_seed_same_spec(self):
+        assert generate_spec(7) == generate_spec(7)
+
+    def test_different_seeds_differ(self):
+        specs = {generate_spec(seed).describe() for seed in range(10)}
+        assert len(specs) > 1
+
+    def test_generated_specs_validate(self):
+        for seed in range(30):
+            generate_spec(seed).validate()
+
+    def test_bounds_respected(self):
+        for seed in range(30):
+            spec = generate_spec(seed, max_n=20, max_rounds=12)
+            assert 8 <= spec.n <= 20
+            assert 10 <= spec.rounds <= 12
+            assert 1 <= spec.publishes <= spec.rounds
+
+    def test_generator_explores_fault_plans(self):
+        plans = [generate_spec(seed).plan.is_empty() for seed in range(30)]
+        assert any(plans) and not all(plans)
+
+    def test_mutation_passes_through(self):
+        spec = generate_spec(1, mutation="double-delivery")
+        assert spec.mutation == "double-delivery"
+
+    def test_tiny_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            generate_spec(0, max_n=4)
+        with pytest.raises(ValueError):
+            generate_spec(0, max_rounds=5)
+
+    def test_spec_seeds_deterministic_and_distinct(self):
+        seeds = spec_seeds(0, 10)
+        assert seeds == spec_seeds(0, 10)
+        assert len(set(seeds)) == 10
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        for seed in range(10):
+            spec = generate_spec(seed)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_format_rejected(self):
+        data = generate_spec(0).to_dict()
+        data["format"] = "repro-dst-spec/999"
+        with pytest.raises(ValueError, match="format"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_validates(self):
+        data = generate_spec(0).to_dict()
+        data["n"] = 1
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_dict(data)
+
+
+class TestValidation:
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(seed=0, n=MIN_N - 1, rounds=5).validate()
+        with pytest.raises(ValueError):
+            ScenarioSpec(seed=0, n=8, rounds=1).validate()
+
+    def test_publishes_beyond_horizon(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(seed=0, n=8, rounds=5, publishes=6).validate()
+
+    def test_plan_targets_must_exist(self):
+        plan = FaultPlan().crash(99, at=2)
+        with pytest.raises(ValueError, match="unknown pid"):
+            ScenarioSpec(seed=0, n=8, rounds=5, plan=plan).validate()
+
+    def test_config_derivation_consistent(self):
+        spec = ScenarioSpec(seed=0, n=8, rounds=5, retransmissions=True)
+        cfg = spec.config()
+        assert cfg.retransmissions and not cfg.digest_implies_delivery
+        cfg = ScenarioSpec(seed=0, n=8, rounds=5).config()
+        assert not cfg.retransmissions and cfg.digest_implies_delivery
+
+
+class TestRestrictPlan:
+    def test_drops_faults_targeting_removed_pids(self):
+        plan = (FaultPlan().crash(2, at=1).crash(9, at=1)
+                .pause(8, at=1, duration=2))
+        restricted = restrict_plan(plan, 5)
+        assert [c.pid for c in restricted.crashes] == [2]
+        assert not restricted.pauses
+
+    def test_partitions_intersected(self):
+        plan = FaultPlan().partition((0, 1, 8), (2, 9), start=1, heal=4)
+        restricted = restrict_plan(plan, 5)
+        assert len(restricted.partitions) == 1
+        assert restricted.partitions[0].side_a == (0, 1)
+        assert restricted.partitions[0].side_b == (2,)
+
+    def test_partition_dropped_when_side_empties(self):
+        plan = FaultPlan().partition((0, 1), (8, 9), start=1, heal=4)
+        assert restrict_plan(plan, 5).is_empty()
+
+    def test_shrinking_n_applies_restriction(self):
+        plan = FaultPlan().crash(9, at=1)
+        spec = ScenarioSpec(seed=0, n=12, rounds=5, plan=plan)
+        smaller = spec.with_overrides(n=6)
+        assert smaller.plan.is_empty()
+        smaller.validate()

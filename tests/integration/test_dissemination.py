@@ -43,6 +43,7 @@ class TestFullInfection:
 
 
 class TestAnalysisCorrelation:
+    @pytest.mark.slow
     @pytest.mark.parametrize("n", [125, 250])
     def test_simulation_tracks_markov_expectation(self, n):
         # Fig. 5(a): "a very good correlation" between analysis and sim.
@@ -57,6 +58,7 @@ class TestAnalysisCorrelation:
         for r in range(3, 9):
             assert mean[r] == pytest.approx(expected[r], rel=0.35, abs=8)
 
+    @pytest.mark.slow
     def test_view_size_has_weak_impact(self):
         # Fig. 5(b): l affects latency only slightly.  Compare rounds to
         # infect 99% (the paper's measure; rounds-to-100% is a noisy

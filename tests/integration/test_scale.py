@@ -7,9 +7,13 @@ latency claim empirically.
 
 import random
 
+import pytest
+
 from repro.core import LpbcastConfig
 from repro.metrics import DeliveryLog, InfectionObserver, in_degree_stats
 from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
+
+pytestmark = pytest.mark.slow
 
 
 def run_large(n, rounds=12, seed=1):

@@ -3,6 +3,8 @@ assumption (Sec. 4.1 uniform views) as the protocol churns the views."""
 
 import random
 
+import pytest
+
 from repro.core import LpbcastConfig
 from repro.metrics import in_degree_stats, view_uniformity_chi2
 from repro.sim import NetworkModel, RoundSimulation, build_lpbcast_nodes
@@ -58,6 +60,7 @@ class TestUniformityOverTime:
         )
         assert changed > 60
 
+    @pytest.mark.slow
     def test_membership_boost_tightens_in_degree_spread(self):
         plain_stds = []
         boosted_stds = []

@@ -99,10 +99,58 @@ class TestCorrelatedCrashes:
             correlated_crashes(crash_fraction=0.0)
 
 
+class TestScenarioDeterminism:
+    def test_same_seed_same_outcome(self):
+        counts = []
+        for _ in range(2):
+            scenario = steady_state(n=30, seed=11)
+            event = scenario.nodes[0].lpb_cast("x", now=0.0)
+            scenario.run(8)
+            counts.append(scenario.log.delivery_count(event.event_id))
+        assert counts[0] == counts[1]
+
+    def test_different_seed_different_topology(self):
+        a = steady_state(n=30, seed=1)
+        b = steady_state(n=30, seed=2)
+        assert any(
+            set(x.view.snapshot()) != set(y.view.snapshot())
+            for x, y in zip(a.nodes, b.nodes)
+        )
+
+
+class TestScenarioEdgeCases:
+    def test_flash_crowd_joiner_pids_disjoint_from_members(self):
+        scenario = flash_crowd(n=30, joiners=5, seed=1)
+        members = {node.pid for node in scenario.nodes}
+        assert not members & set(scenario.extras["joiner_pids"])
+
+    def test_mass_departure_accepts_all_but_one(self):
+        scenario = mass_departure(n=10, leavers=9, seed=1).run(5)
+        assert len(scenario.extras["leaver_pids"]) == 9
+
+    def test_correlated_crashes_rejects_full_fraction(self):
+        with pytest.raises(ValueError):
+            correlated_crashes(crash_fraction=1.0)
+
+    def test_alive_nodes_shrinks_after_crashes(self):
+        scenario = correlated_crashes(n=40, crash_fraction=0.25, seed=7)
+        assert len(scenario.alive_nodes()) == 40
+        scenario.run(6)
+        assert len(scenario.alive_nodes()) == 30
+
+    def test_churn_script_exposed(self):
+        assert "churn" in flash_crowd(n=20, joiners=2, seed=1).extras
+        assert "churn" in mass_departure(n=20, leavers=2, seed=1).extras
+
+
 class TestFlakyWan:
     def test_crash_plan_attached(self):
         scenario = flaky_wan(n=40, seed=9)
         assert len(scenario.extras["crash_plan"]) == 2  # 5% of 40
+
+    def test_zero_crash_rate_yields_empty_plan(self):
+        scenario = flaky_wan(n=40, crash_rate=0.0, seed=9)
+        assert len(scenario.extras["crash_plan"]) == 0
 
     def test_broadcast_survives_heavy_loss(self):
         scenario = flaky_wan(n=40, loss_rate=0.3, seed=10)

@@ -31,6 +31,28 @@ class TestUniformRandomViews:
         assert max(in_degree.values()) < 30
 
 
+class TestUniformRandomViewsEdgeCases:
+    def test_single_process_gets_empty_view(self):
+        views = uniform_random_views([0], 5, random.Random(0))
+        assert views == {0: []}
+
+    def test_zero_view_size(self):
+        views = uniform_random_views(range(10), 0, random.Random(0))
+        assert all(view == [] for view in views.values())
+
+    def test_same_rng_seed_reproduces_views(self):
+        a = uniform_random_views(range(50), 8, random.Random(42))
+        b = uniform_random_views(range(50), 8, random.Random(42))
+        assert a == b
+
+    def test_views_stay_within_population(self):
+        pids = [3, 7, 11, 20, 99]
+        views = uniform_random_views(pids, 3, random.Random(1))
+        population = set(pids)
+        for pid, view in views.items():
+            assert set(view) <= population - {pid}
+
+
 class TestBuildLpbcastNodes:
     def test_count_and_pids(self):
         nodes = build_lpbcast_nodes(10, seed=0)
@@ -76,3 +98,25 @@ class TestBuildLpbcastNodes:
 
         build_lpbcast_nodes(3, seed=0, node_factory=factory)
         assert captured == [0, 1, 2]
+
+    def test_single_node_has_empty_view(self):
+        (node,) = build_lpbcast_nodes(1, seed=0)
+        assert len(node.view) == 0
+
+    def test_views_reference_only_built_pids(self):
+        nodes = build_lpbcast_nodes(12, seed=0, first_pid=50)
+        pids = {n.pid for n in nodes}
+        for node in nodes:
+            assert set(node.view.snapshot()) <= pids - {node.pid}
+
+    def test_node_rng_streams_differ(self):
+        # Each node draws from its own derived stream: identical first
+        # draws across all nodes would mean the streams collapsed.
+        nodes = build_lpbcast_nodes(20, seed=0)
+        first_draws = {node.rng.random() for node in nodes}
+        assert len(first_draws) > 1
+
+    def test_default_config_applied(self):
+        nodes = build_lpbcast_nodes(5, seed=0)
+        default = LpbcastConfig()
+        assert all(n.config.view_max == default.view_max for n in nodes)
