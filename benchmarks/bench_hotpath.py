@@ -12,11 +12,15 @@ so successive runs (and future PRs) are comparable:
 * ``serial_round_loop`` — the end-to-end serial engine at n=5000, the
   scenario behind the "≥1.5x rounds/s" acceptance bar;
 * ``shard_sync`` — the sharded engine's cross-shard payload exchange,
-  read straight from the ``time.shard.sync`` phase timer.
+  read straight from the ``time.shard.sync`` phase timer;
+* ``codec`` — wire-codec encode/decode throughput and encoded size over a
+  captured corpus of real gossip traffic, for both the JSON and binary
+  formats, plus the golden byte-vector check.
 
 ``--check`` runs the same code at toy sizes and asserts only *correctness*
-properties — the emitted document validates against the schema and the
-serial/sharded engines produce identical counter fingerprints — never
+properties — the emitted document validates against the schema, the
+serial/sharded engines produce identical counter fingerprints, the golden
+byte vectors hold and the binary codec stays ≥2x smaller than JSON — never
 wall-clock thresholds, so it is safe on noisy shared CI runners.
 """
 
@@ -43,7 +47,7 @@ from repro.sim import (  # noqa: E402
     create_simulation,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The document contract, checked by :func:`validate`: each leaf is the
 #: required type (a tuple means "any of these types").  Kept dependency-free
@@ -84,6 +88,18 @@ SCHEMA = {
             "serial_sha256": str,
             "sharded_sha256": str,
             "agree": bool,
+        },
+        "codec": {
+            "corpus_n": int,
+            "corpus_gossips": int,
+            "json_bytes_per_gossip": float,
+            "binary_bytes_per_gossip": float,
+            "compression_ratio": float,
+            "json_encode_per_sec": float,
+            "json_decode_per_sec": float,
+            "binary_encode_per_sec": float,
+            "binary_decode_per_sec": float,
+            "golden_vectors_ok": bool,
         },
     },
 }
@@ -220,14 +236,74 @@ def bench_parity(n, rounds, seed=20260806, shards=2):
             "agree": digests["serial"] == digests["sharded"]}
 
 
+def bench_codec(n, rounds, seed=2026):
+    """Encode/decode throughput and size over real gossip traffic.
+
+    The corpus is every gossip emitted during a fixed-seed serial run,
+    captured at the engine's own accounting point, so the numbers reflect
+    genuine digest/view/event mixes rather than synthetic shapes.
+    """
+    from repro.core.codec import from_json, to_json
+    from repro.telemetry import Telemetry
+    from repro.wire import check_golden_vectors, decode_binary, encode_binary
+    from repro.wire.golden import GOLDEN_VECTORS
+
+    class _Capture(Telemetry):
+        def __init__(self):
+            super().__init__()
+            self.messages = []
+
+        def record_sends(self, round_no, src, outgoings):
+            self.messages.extend(out.message for out in outgoings)
+            super().record_sends(round_no, src, outgoings)
+
+    cfg = LpbcastConfig(fanout=4, view_max=12)
+    nodes = build_lpbcast_nodes(n, cfg, seed=seed)
+    sim = create_simulation("serial", seed=seed)
+    sim.telemetry = _Capture()
+    sim.add_nodes(nodes)
+    for i in range(1, 4):
+        sim.nodes[i].lpb_cast(f"event-{i}", float(i))
+    sim.run(rounds)
+    gossips = [m for m in sim.telemetry.messages
+               if isinstance(m, GossipMessage)]
+
+    json_blobs = [to_json(m).encode("utf-8") for m in gossips]
+    binary_blobs = [encode_binary(m) for m in gossips]
+
+    def timed(fn, items):
+        begin = time.perf_counter()
+        for item in items:
+            fn(item)
+        return len(items) / (time.perf_counter() - begin)
+
+    json_bytes = sum(len(b) for b in json_blobs)
+    binary_bytes = sum(len(b) for b in binary_blobs)
+    return {
+        "corpus_n": n,
+        "corpus_gossips": len(gossips),
+        "json_bytes_per_gossip": json_bytes / len(gossips),
+        "binary_bytes_per_gossip": binary_bytes / len(gossips),
+        "compression_ratio": json_bytes / binary_bytes,
+        "json_encode_per_sec": timed(to_json, gossips),
+        "json_decode_per_sec": timed(
+            from_json, [b.decode("utf-8") for b in json_blobs]),
+        "binary_encode_per_sec": timed(encode_binary, gossips),
+        "binary_decode_per_sec": timed(decode_binary, binary_blobs),
+        "golden_vectors_ok": check_golden_vectors() == len(GOLDEN_VECTORS),
+    }
+
+
 # -- driver ------------------------------------------------------------------
 
 FULL_PARAMS = dict(tick_iters=2000, recv_iters=20000, loop_n=5000,
                    loop_rounds=8, sync_n=2000, sync_rounds=5, sync_shards=4,
-                   parity_n=200, parity_rounds=8)
+                   parity_n=200, parity_rounds=8,
+                   codec_n=500, codec_rounds=6)
 CHECK_PARAMS = dict(tick_iters=200, recv_iters=1000, loop_n=200,
                     loop_rounds=3, sync_n=120, sync_rounds=3, sync_shards=2,
-                    parity_n=96, parity_rounds=6)
+                    parity_n=96, parity_rounds=6,
+                    codec_n=150, codec_rounds=4)
 
 
 def run(params, mode):
@@ -239,6 +315,7 @@ def run(params, mode):
         "shard_sync": bench_shard_sync(
             params["sync_n"], params["sync_rounds"], params["sync_shards"]),
         "parity": bench_parity(params["parity_n"], params["parity_rounds"]),
+        "codec": bench_codec(params["codec_n"], params["codec_rounds"]),
     }
     return {
         "schema_version": SCHEMA_VERSION,
@@ -266,6 +343,15 @@ def main(argv=None):
               file=sys.stderr)
         print(json.dumps(doc["results"]["parity"], indent=2), file=sys.stderr)
         return 1
+    codec = doc["results"]["codec"]
+    if not codec["golden_vectors_ok"]:
+        print("FAIL: golden byte vectors no longer hold — the binary wire "
+              "format changed", file=sys.stderr)
+        return 1
+    if codec["compression_ratio"] < 2.0:
+        print(f"FAIL: binary codec only {codec['compression_ratio']:.2f}x "
+              f"smaller than JSON (floor is 2x)", file=sys.stderr)
+        return 1
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -280,6 +366,11 @@ def main(argv=None):
           f"(shards={r['shard_sync']['shards']})")
     print(f"  parity           : engines agree "
           f"({r['parity']['serial_sha256'][:12]}…)")
+    print(f"  codec            : {r['codec']['compression_ratio']:>12.2f}x smaller "
+          f"({r['codec']['binary_bytes_per_gossip']:.1f}B vs "
+          f"{r['codec']['json_bytes_per_gossip']:.1f}B/gossip, "
+          f"{r['codec']['binary_encode_per_sec']:.0f} enc/s, "
+          f"{r['codec']['binary_decode_per_sec']:.0f} dec/s)")
     return 0
 
 

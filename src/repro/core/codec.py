@@ -8,6 +8,11 @@ to a compact tagged dictionary and back, with full round-trip fidelity.
 Payloads must themselves be JSON-serializable; the codec never inspects
 them.  Unknown tags and malformed structures raise :class:`CodecError`
 rather than letting a corrupted message crash a node.
+
+This is the *debug/text* encoding.  The default wire format is the compact
+binary codec of :mod:`repro.wire`, which shares :class:`CodecError` and the
+message-type coverage of this module; the UDP frame layer keeps both
+reachable behind a version byte.
 """
 
 from __future__ import annotations
@@ -197,6 +202,11 @@ def encode_message(message: object) -> dict:
         # package cycle (pubsub imports core).
         from ..pubsub.peer import TopicEnvelope
         if isinstance(message, TopicEnvelope):
+            if not isinstance(message.topic, str):
+                raise CodecError(
+                    f"envelope topic must be a string, "
+                    f"got {type(message.topic).__name__}"
+                )
             return {"@": "te", "topic": message.topic,
                     "inner": encode_message(message.inner)}
         raise CodecError(f"cannot encode {type(message).__name__}")
@@ -218,9 +228,18 @@ def decode_message(data: dict) -> object:
     if tag == "te":
         from ..pubsub.peer import TopicEnvelope
         try:
-            return TopicEnvelope(data["topic"], decode_message(data["inner"]))
+            topic = data["topic"]
+            inner = data["inner"]
         except KeyError as exc:
             raise CodecError(f"malformed envelope: {data!r}") from exc
+        if not isinstance(topic, str):
+            # A non-string topic (e.g. a dict, or None) would build an
+            # envelope no peer's topic table can match and no re-encode
+            # could round-trip — reject it at the boundary instead.
+            raise CodecError(
+                f"envelope topic must be a string, got {topic!r}"
+            )
+        return TopicEnvelope(topic, decode_message(inner))
     decoder = _DECODERS.get(tag)
     if decoder is None:
         raise CodecError(f"unknown message tag {tag!r}")
@@ -246,7 +265,17 @@ def from_json(text: str) -> object:
     return decode_message(data)
 
 
-def wire_size(message: object) -> int:
+def wire_size(message: object, fmt: str = "json") -> int:
     """Serialized size in bytes — a concrete alternative to the element
-    counts of :meth:`GossipMessage.size_estimate`."""
-    return len(to_json(message).encode("utf-8"))
+    counts of :meth:`GossipMessage.size_estimate`.
+
+    ``fmt="json"`` sizes this codec's text encoding; ``fmt="binary"`` the
+    compact codec of :mod:`repro.wire` (the default datagram and
+    cross-shard format).
+    """
+    if fmt == "json":
+        return len(to_json(message).encode("utf-8"))
+    if fmt == "binary":
+        from ..wire import encode_binary
+        return len(encode_binary(message))
+    raise ValueError(f"unknown wire format {fmt!r}")

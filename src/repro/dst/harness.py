@@ -67,8 +67,11 @@ def _run_round_engine(spec: ScenarioSpec, engine: str) -> RunOutcome:
     nodes = build_lpbcast_nodes(spec.n, cfg, seed=spec.seed)
     network = NetworkModel(loss_rate=spec.loss_rate,
                            rng=derive_rng(spec.seed, "dst-network"))
+    # Explicit binary cross-shard format: the differential oracle runs with
+    # the compact wire codec on the sharded side, so serial-vs-sharded
+    # bit-identity also certifies the codec round trip under fuzzing.
     sim = create_simulation(engine, network=network, seed=spec.seed,
-                            shards=spec.shards)
+                            shards=spec.shards, wire_format="binary")
     sim.add_nodes(nodes)
     log = DeliveryLog().attach(sim.nodes.values())
     monitor = InvariantMonitor(mode="collect", seed=spec.seed).attach(sim)

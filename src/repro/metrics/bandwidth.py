@@ -4,10 +4,19 @@ Sec. 3.3: "The network thus experiences little fluctuations in terms of
 overall load due to gossip messages, as long as the number of processes
 inside Π and also T remain unchanged" — every process sends exactly F
 protocol messages per period, regardless of application traffic.  This
-module measures that: per-round message counts and element-size estimates
-(via each message's ``size_estimate``), split by message kind, so benches
+module measures that: per-round message counts, element-size estimates
+(via each message's ``size_estimate``) and — when byte accounting is
+enabled — exact encoded byte volumes, split by message kind, so benches
 can compare lpbcast's single-phase overhead against pbcast's
 digest+solicit+data traffic.
+
+*Elements are not bytes.*  ``size_estimate`` counts carried elements
+(event ids, subscriptions, …), a unit-less proxy that was historically the
+only "bandwidth" number this repo reported.  Byte-accurate accounting sizes
+every emission with the binary wire codec of :mod:`repro.wire` into
+``sim.send_bytes``; it is opt-in (``meter.attach(sim, count_bytes=True)``
+or setting ``telemetry.count_wire_bytes`` before the run) because the extra
+counter series would otherwise shift pinned run fingerprints.
 
 The meter is a *reader* over the engine-native telemetry layer
 (:mod:`repro.telemetry`): every round engine counts its own emissions into
@@ -39,6 +48,10 @@ class RoundTraffic:
     #: inflated element volume with control messages that carry no payload
     #: elements at all.
     unsized: int = 0
+    #: Exact encoded bytes (binary wire codec) — 0 unless byte accounting
+    #: was enabled for the run; kept separate from ``elements``, which is a
+    #: unit-less element count, not a byte figure.
+    wire_bytes: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, message: object) -> None:
@@ -50,6 +63,10 @@ class RoundTraffic:
             self.elements += size()
         else:
             self.unsized += 1
+        from ..wire import wire_bytes_of
+        encoded = wire_bytes_of(message)
+        if encoded > 0:
+            self.wire_bytes += encoded
 
 
 class BandwidthMeter:
@@ -71,14 +88,22 @@ class BandwidthMeter:
         if self._telemetry is None:
             self.attach(sim)
 
-    def attach(self, sim_or_telemetry) -> "BandwidthMeter":
+    def attach(self, sim_or_telemetry,
+               count_bytes: bool = False) -> "BandwidthMeter":
         """Bind to an engine (anything with a ``telemetry`` attribute) or
-        directly to a :class:`~repro.telemetry.Telemetry` registry."""
+        directly to a :class:`~repro.telemetry.Telemetry` registry.
+
+        ``count_bytes=True`` switches the registry's byte-accurate
+        accounting on (see module docstring) — do this *before* the run;
+        emissions recorded while it was off are not retro-sized.
+        """
         telemetry = getattr(sim_or_telemetry, "telemetry", sim_or_telemetry)
         if not isinstance(telemetry, Telemetry):
             raise TypeError(f"cannot attach to {sim_or_telemetry!r}: "
                             f"no telemetry registry found")
         self._telemetry = telemetry
+        if count_bytes:
+            telemetry.count_wire_bytes = True
         return self
 
     def instrument(self, node):
@@ -106,6 +131,9 @@ class BandwidthMeter:
         traffic.unsized = telemetry.counter_value(
             "sim.sends_unsized", round=round_number
         )
+        traffic.wire_bytes = telemetry.counter_value(
+            "sim.send_bytes", round=round_number
+        )
         return traffic
 
     def rounds(self) -> List[int]:
@@ -127,6 +155,13 @@ class BandwidthMeter:
         if self._telemetry is None:
             return 0
         return self._telemetry.counter_total("sim.sends_unsized")
+
+    def total_wire_bytes(self) -> int:
+        """Exact encoded bytes across the run — 0 unless byte accounting
+        was enabled (``attach(..., count_bytes=True)``) before running."""
+        if self._telemetry is None:
+            return 0
+        return self._telemetry.counter_total("sim.send_bytes")
 
     def messages_by_kind(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}

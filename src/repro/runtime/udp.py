@@ -13,6 +13,15 @@ send boundary to recreate the paper's ε — via the unified fault layer: a
 ``loss_rate`` is sugar for a one-fault :class:`~repro.faults.plan.FaultPlan`,
 and any richer plan (duplication, delay spikes, partitions) can be supplied
 through a :class:`~repro.faults.wire.DatagramFaultInjector`.
+
+The datagram format is the versioned frame layer of :mod:`repro.wire`:
+messages to the same destination batch into one compact binary frame
+(``wire_format="binary"``, the default), with the JSON codec available
+behind its own version byte for debugging (``wire_format="json"``) and the
+legacy ``pid|json`` text datagrams still accepted on receive.  A gossip
+whose single-message frame would exceed the datagram cap is *split* across
+several datagrams instead of silently destroyed; whatever still cannot fit
+is counted **and** traced with its kind and wire size.
 """
 
 from __future__ import annotations
@@ -27,11 +36,25 @@ from ..core.codec import CodecError, from_json, to_json
 from ..core.ids import ProcessId
 from ..core.message import Outgoing
 from ..telemetry import Telemetry
+from ..wire import (
+    FRAME_BINARY,
+    FRAME_JSON,
+    decode_frame,
+    pack_datagrams,
+    split_oversize,
+)
 
 Address = Tuple[str, int]
 
 _MAX_DATAGRAM = 65_000
+#: Receive buffer, deliberately one byte *past* the send cap: a legal-size
+#: datagram can never be silently truncated by ``recvfrom``, and anything
+#: longer than the cap is detected (and counted) instead of being parsed
+#: as if it were complete.
+_RECV_BUFSIZE = _MAX_DATAGRAM + 1
 _RECV_TIMEOUT = 0.05
+
+_WIRE_FORMATS = ("binary", "json", "text")
 
 
 class UdpProcessHost:
@@ -51,12 +74,16 @@ class UdpProcessHost:
         rng: Optional[random.Random] = None,
         fault_injector=None,
         telemetry: Optional[Telemetry] = None,
+        wire_format: str = "binary",
     ) -> None:
         if gossip_period <= 0:
             raise ValueError("gossip_period must be positive")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if wire_format not in _WIRE_FORMATS:
+            raise ValueError(f"wire_format must be one of {_WIRE_FORMATS}")
         self.node = node
+        self.wire_format = wire_format
         self.directory = directory
         self.gossip_period = gossip_period
         self.loss_rate = loss_rate
@@ -94,8 +121,8 @@ class UdpProcessHost:
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry(thread_safe=True))
 
-    def _count(self, name: str) -> None:
-        self.telemetry.inc(name, 1, pid=self.node.pid)
+    def _count(self, name: str, value: int = 1) -> None:
+        self.telemetry.inc(name, value, pid=self.node.pid)
 
     def _counter(self, name: str) -> int:
         return self.telemetry.counter_value(name, pid=self.node.pid)
@@ -120,11 +147,34 @@ class UdpProcessHost:
 
     @property
     def datagrams_oversize(self) -> int:
+        """Messages destroyed because no datagram could carry them even
+        after splitting — each one also leaves a ``wire.oversize`` trace
+        event naming its kind and wire size."""
         return self._counter("udp.datagrams_oversize")
+
+    @property
+    def gossips_split(self) -> int:
+        """Oversize gossips split across several datagrams instead of
+        dropped (the pre-wire-layer behaviour was to destroy them whole)."""
+        return self._counter("udp.gossips_split")
+
+    @property
+    def datagrams_truncated(self) -> int:
+        """Datagrams longer than the send cap seen by ``recvfrom`` —
+        possibly cut short by the receive buffer, so never parsed."""
+        return self._counter("udp.datagrams_truncated")
 
     @property
     def datagrams_send_errors(self) -> int:
         return self._counter("udp.datagrams_send_errors")
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._counter("udp.bytes_sent")
+
+    @property
+    def bytes_received(self) -> int:
+        return self._counter("udp.bytes_received")
 
     @property
     def decode_errors(self) -> int:
@@ -169,26 +219,39 @@ class UdpProcessHost:
     def _receive_loop(self) -> None:
         while not self._stop.is_set():
             try:
-                data, _addr = self._sock.recvfrom(_MAX_DATAGRAM)
+                data, _addr = self._sock.recvfrom(_RECV_BUFSIZE)
             except socket.timeout:
                 continue
             except OSError:
                 return
+            if len(data) > _MAX_DATAGRAM:
+                # Over the cap our senders honour — the tail may already be
+                # gone, so never parse it as if it were complete.
+                self._count("udp.datagrams_truncated")
+                continue
             try:
-                payload = data.decode("utf-8")
-                sender_part, message_part = payload.split("|", 1)
-                sender = int(sender_part)
-                with self.telemetry.time("time.codec", op="decode"):
-                    message = from_json(message_part)
+                if data[:1] and data[0] in (FRAME_JSON, FRAME_BINARY):
+                    with self.telemetry.time("time.codec", op="decode"):
+                        sender, messages = decode_frame(data)
+                else:
+                    # Legacy pid|json text datagram (starts with an ASCII
+                    # digit, which no frame version byte collides with).
+                    payload = data.decode("utf-8")
+                    sender_part, message_part = payload.split("|", 1)
+                    sender = int(sender_part)
+                    with self.telemetry.time("time.codec", op="decode"):
+                        messages = [from_json(message_part)]
             except (CodecError, ValueError, UnicodeDecodeError):
                 self._count("udp.decode_errors")
                 continue
             self._count("udp.datagrams_received")
-            with self._lock:
-                replies = self.node.handle_message(
-                    sender, message, time.monotonic()
-                )
-            self._send_all(replies)
+            self._count("udp.bytes_received", len(data))
+            for message in messages:
+                with self._lock:
+                    replies = self.node.handle_message(
+                        sender, message, time.monotonic()
+                    )
+                self._send_all(replies)
 
     def _timer_loop(self) -> None:
         # Random initial phase: gossips are not synchronized across hosts.
@@ -202,6 +265,12 @@ class UdpProcessHost:
                 return
 
     def _send_all(self, outgoings: Sequence[Outgoing]) -> None:
+        if not outgoings:
+            return
+        # Fault verdicts are taken per outgoing message, in iteration order:
+        # the injector's seeded stream must consume the same sequence of
+        # decisions regardless of how survivors later batch into frames.
+        groups: Dict[Tuple[Address, int, float], List[object]] = {}
         for out in outgoings:
             address = self.directory.get(out.destination)
             if address is None:
@@ -215,26 +284,84 @@ class UdpProcessHost:
                     self._count("udp.datagrams_lost_injected")
                     continue
                 copies = verdict.copies
+            groups.setdefault((address, copies, delay_s), []).append(
+                out.message
+            )
+        for (address, copies, delay_s), messages in groups.items():
+            for datagram in self._encode_datagrams(messages):
+                for _ in range(copies):
+                    if delay_s > 0:
+                        timer = threading.Timer(
+                            delay_s, self._transmit, (datagram, address)
+                        )
+                        timer.daemon = True
+                        timer.start()
+                    else:
+                        self._transmit(datagram, address)
+
+    def _encode_datagrams(self, messages: List[object]) -> List[bytes]:
+        """Encode one destination's messages into capped datagrams,
+        counting and tracing splits and undeliverable oversize messages."""
+        if self.wire_format == "text":
+            return self._encode_text_datagrams(messages)
+        with self.telemetry.time("time.codec", op="encode"):
+            plan = pack_datagrams(self.node.pid, messages,
+                                  fmt=self.wire_format,
+                                  max_bytes=_MAX_DATAGRAM)
+        for message, size in plan.oversize:
+            self._note_oversize(message, size)
+        for message, size, parts in plan.splits:
+            self._note_split(message, size, parts)
+        return plan.datagrams
+
+    def _encode_text_datagrams(self, messages: List[object]) -> List[bytes]:
+        """Legacy ``pid|json`` datagrams, one message each — still splits
+        oversize gossips rather than destroying them."""
+        prefix = f"{self.node.pid}|"
+
+        def encode_text(message: object) -> bytes:
             with self.telemetry.time("time.codec", op="encode"):
-                encoded = to_json(out.message)
-            datagram = f"{self.node.pid}|{encoded}".encode("utf-8")
-            if len(datagram) > _MAX_DATAGRAM:
-                self._count("udp.datagrams_oversize")
+                return (prefix + to_json(message)).encode("utf-8")
+
+        def fits(message: object):
+            blob = encode_text(message)
+            return (0, blob) if len(blob) <= _MAX_DATAGRAM else None
+
+        datagrams: List[bytes] = []
+        for message in messages:
+            datagram = encode_text(message)
+            if len(datagram) <= _MAX_DATAGRAM:
+                datagrams.append(datagram)
                 continue
-            for _ in range(copies):
-                if delay_s > 0:
-                    timer = threading.Timer(
-                        delay_s, self._transmit, (datagram, address)
-                    )
-                    timer.daemon = True
-                    timer.start()
-                else:
-                    self._transmit(datagram, address)
+            parts = split_oversize(message, fits)
+            if parts is None:
+                self._note_oversize(message, len(datagram))
+                continue
+            self._note_split(message, len(datagram), len(parts))
+            datagrams.extend(blob for _part, _version, blob in parts)
+        return datagrams
+
+    def _note_oversize(self, message: object, size: int) -> None:
+        self._count("udp.datagrams_oversize")
+        # Forced past the tracing gate: a destroyed message must never be
+        # invisible — this event is the only record of what was lost.
+        self.telemetry.emit(
+            "wire.oversize", time.monotonic(), pid=self.node.pid,
+            force=True, message_kind=type(message).__name__, wire_size=size,
+        )
+
+    def _note_split(self, message: object, size: int, parts: int) -> None:
+        self._count("udp.gossips_split")
+        self.telemetry.emit(
+            "wire.split", time.monotonic(), pid=self.node.pid,
+            message_kind=type(message).__name__, wire_size=size, parts=parts,
+        )
 
     def _transmit(self, datagram: bytes, address: Address) -> None:
         try:
             self._sock.sendto(datagram, address)
             self._count("udp.datagrams_sent")
+            self._count("udp.bytes_sent", len(datagram))
         except OSError:
             self._count("udp.datagrams_send_errors")
 
@@ -258,6 +385,7 @@ class LocalDeployment:
         loss_rate: float = 0.0,
         seed: int = 0,
         fault_plan=None,
+        wire_format: str = "binary",
     ) -> None:
         self.directory: Dict[ProcessId, Address] = {}
         #: One thread-safe registry for the whole cluster; every host's
@@ -284,6 +412,7 @@ class LocalDeployment:
                 rng=random.Random(root.getrandbits(64)),
                 fault_injector=self.fault_injector,
                 telemetry=self.telemetry,
+                wire_format=wire_format,
             )
             for node in nodes
         ]
@@ -341,7 +470,11 @@ class LocalDeployment:
             "received": sum(h.datagrams_received for h in self.hosts),
             "lost_injected": sum(h.datagrams_lost_injected for h in self.hosts),
             "oversize": sum(h.datagrams_oversize for h in self.hosts),
+            "split": sum(h.gossips_split for h in self.hosts),
+            "truncated": sum(h.datagrams_truncated for h in self.hosts),
             "send_errors": sum(h.datagrams_send_errors for h in self.hosts),
             "dropped": sum(h.datagrams_dropped for h in self.hosts),
             "decode_errors": sum(h.decode_errors for h in self.hosts),
+            "bytes_sent": sum(h.bytes_sent for h in self.hosts),
+            "bytes_received": sum(h.bytes_received for h in self.hosts),
         }

@@ -26,12 +26,16 @@ consumes, in exactly the same order:
 Message payloads never pass through the coordinator: workers keep produced
 messages in a per-round outbox keyed by handle, the coordinator routes only
 ``(src, dst, handle)`` metadata, and surviving cross-shard payloads move as
-pre-pickled blobs the coordinator forwards untouched.  Within a sync the
+pre-encoded blobs the coordinator forwards untouched.  Within a sync the
 source shard dedups payloads by object identity and groups the unique
-messages by their destination-shard signature, pickling each group exactly
+messages by their destination-shard signature, encoding each group exactly
 once — so a gossip fanned out to targets on every other shard crosses the
-pickle layer once total, not once per destination mailbox (the win shows up
-in the ``time.shard.sync`` timer).
+serialization layer once total, not once per destination mailbox (the win
+shows up in the ``time.shard.sync`` timer).  Batches travel in the compact
+binary wire format of :mod:`repro.wire.shard` by default
+(``wire_format="binary"``), with an automatic whole-batch pickle fallback
+for messages the binary codec cannot carry faithfully and a
+``wire_format="pickle"`` knob forcing the legacy path.
 
 Surface
 -------
@@ -84,15 +88,28 @@ def _dumps(obj) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
+def _wire_codecs():
+    """Late import of the cross-shard blob codec: :mod:`repro.wire` pulls in
+    the whole message-type surface (``core.codec`` → ``pbcast`` → this
+    package), so a top-level import here would close an import cycle."""
+    from ..wire import pack_messages, unpack_messages
+    return pack_messages, unpack_messages
+
+
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
+#: Valid cross-shard batch encodings (see :mod:`repro.wire.shard`).
+SHARD_WIRE_FORMATS = ("binary", "pickle")
+
+
 class _ShardState:
     """Node storage and command execution inside one shard process."""
 
-    def __init__(self, shard: int) -> None:
+    def __init__(self, shard: int, wire_format: str = "binary") -> None:
         self.shard = shard
+        self.wire_format = wire_format
         self.nodes: Dict[ProcessId, object] = {}
         self.gidx: Dict[ProcessId, int] = {}     # global insertion index
         self.recording: set = set()              # pids with main-side listeners
@@ -164,9 +181,11 @@ class _ShardState:
         return errors, self.records
 
     def do_tick(self, now: float, crashed: frozenset, retain: Sequence[int],
-                ops: Sequence[tuple], tracing: bool):
+                ops: Sequence[tuple], tracing: bool,
+                count_bytes: bool = False):
         self.records = []
         self.telemetry.tracing = tracing
+        self.telemetry.count_wire_bytes = count_bytes
         keep = set(retain)
         self.outbox = {h: m for h, m in self.outbox.items() if h in keep}
         errors = self.apply_ops(ops)
@@ -199,7 +218,9 @@ class _ShardState:
         group is pickled exactly once and the same blob bytes ship to every
         shard in the signature.  Each destination receives
         ``(entries, blobs)`` where ``entries`` is ``[(handle, group, idx)]``
-        and ``blobs`` maps group id to the pickled message list.
+        and ``blobs`` maps group id to the encoded message list
+        (:func:`~repro.wire.pack_messages` — compact binary with a pickle
+        fallback, or forced pickle via ``wire_format="pickle"``).
         """
         outbox = self.outbox
         msg_obj: Dict[int, object] = {}
@@ -219,8 +240,10 @@ class _ShardState:
             groups.setdefault(signature, []).append(mid)
         entries: Dict[int, List[tuple]] = {d: [] for d in wants}
         blobs: Dict[int, Dict[int, bytes]] = {d: {} for d in wants}
+        pack_messages, _ = _wire_codecs()
         for group, (signature, mids) in enumerate(groups.items()):
-            blob = _dumps([msg_obj[mid] for mid in mids])
+            blob = pack_messages([msg_obj[mid] for mid in mids],
+                                 self.wire_format)
             for dst_shard in signature:
                 blobs[dst_shard][group] = blob
             for idx, mid in enumerate(mids):
@@ -230,12 +253,14 @@ class _ShardState:
 
     def do_deliver(self, now: float, generation: int, sequence: Sequence[tuple],
                    imports: Dict, inline: Dict[int, object],
-                   tracing: bool):
+                   tracing: bool, count_bytes: bool = False):
         self.records = []
         self.telemetry.tracing = tracing
+        self.telemetry.count_wire_bytes = count_bytes
         imported: Dict[Tuple[int, int], object] = {}
+        _, unpack_messages = _wire_codecs()
         for src_shard, (entries, blobs) in imports.items():
-            loaded = {group: pickle.loads(blob)
+            loaded = {group: unpack_messages(blob)
                       for group, blob in blobs.items()}
             for handle, group, idx in entries:
                 imported[(src_shard, handle)] = loaded[group][idx]
@@ -322,17 +347,18 @@ def _picklable(exc: Exception) -> Exception:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _shard_main(conn, shard: int) -> None:
+def _shard_main(conn, shard: int, wire_format: str = "binary") -> None:
     """Command loop of one shard process (top-level for spawn support)."""
-    state = _ShardState(shard)
+    state = _ShardState(shard, wire_format=wire_format)
     dispatch = {
         "add": lambda cmd: state.do_add(cmd[1]),
         "ops": lambda cmd: state.do_ops(cmd[1]),
         "tick": lambda cmd: state.do_tick(cmd[1], cmd[2], cmd[3], cmd[4],
-                                          cmd[5]),
+                                          cmd[5], cmd[6]),
         "fetch": lambda cmd: state.do_fetch(cmd[1]),
         "deliver": lambda cmd: state.do_deliver(cmd[1], cmd[2], cmd[3],
-                                                cmd[4], cmd[5], cmd[6]),
+                                                cmd[4], cmd[5], cmd[6],
+                                                cmd[7]),
         "call": lambda cmd: state.do_call(cmd[1], cmd[2], cmd[3], cmd[4],
                                           cmd[5]),
         "pull": lambda cmd: state.do_pull(cmd[1]),
@@ -441,6 +467,7 @@ class ShardedRoundSimulation(RoundSimulation):
         on_node_error: str = "raise",
         shards: Optional[int] = None,
         start_method: Optional[str] = None,
+        wire_format: str = "binary",
     ) -> None:
         super().__init__(network=network, seed=seed,
                          max_reply_generations=max_reply_generations,
@@ -448,7 +475,12 @@ class ShardedRoundSimulation(RoundSimulation):
         shards = DEFAULT_SHARDS if shards is None else shards
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if wire_format not in SHARD_WIRE_FORMATS:
+            raise ValueError(
+                f"wire_format must be one of {SHARD_WIRE_FORMATS}"
+            )
         self.shards = shards
+        self.wire_format = wire_format
         self._start_method = start_method
         self._started = False
         self._closed = False
@@ -486,7 +518,8 @@ class ShardedRoundSimulation(RoundSimulation):
         ctx = multiprocessing.get_context(method)
         for shard in range(self.shards):
             parent, child = ctx.Pipe()
-            proc = ctx.Process(target=_shard_main, args=(child, shard),
+            proc = ctx.Process(target=_shard_main,
+                               args=(child, shard, self.wire_format),
                                daemon=True,
                                name=f"repro-shard-{shard}")
             proc.start()
@@ -788,9 +821,10 @@ class ShardedRoundSimulation(RoundSimulation):
                        self._pending_ops.pop(s, [])]
                    for s in range(self.shards)}
         tracing = self.telemetry.tracing
+        count_bytes = self.telemetry.count_wire_bytes
         for shard, conn in enumerate(self._conns):
             conn.send(("tick", now, crashed, retain[shard], pending[shard],
-                       tracing))
+                       tracing, count_bytes))
         tick_meta: List[tuple] = []
         errors: List[tuple] = []
         for shard in range(self.shards):
@@ -850,10 +884,11 @@ class ShardedRoundSimulation(RoundSimulation):
 
         active = [s for s in range(self.shards) if deliveries[s]]
         tracing = self.telemetry.tracing
+        count_bytes = self.telemetry.count_wire_bytes
         for shard in active:
             self._conns[shard].send(("deliver", now, generation,
                                      deliveries[shard], mailboxes[shard],
-                                     inline[shard], tracing))
+                                     inline[shard], tracing, count_bytes))
         replies_meta: List[tuple] = []
         errors: List[tuple] = []
         for shard in active:
@@ -968,6 +1003,7 @@ def create_simulation(
     on_node_error: str = "raise",
     shards: Optional[int] = None,
     start_method: Optional[str] = None,
+    wire_format: str = "binary",
 ):
     """Build an engine by name — the single ``engine=`` knob.
 
@@ -979,7 +1015,10 @@ def create_simulation(
     (:class:`~repro.sim.async_runner.AsyncGossipRuntime`), driven by
     ``run_rounds`` instead of ``run`` and *not* part of the bit-identity
     contract.  ``shards``/``start_method`` apply to the sharded engine only;
-    ``max_reply_generations``/``on_node_error`` to the round engines only.
+    ``max_reply_generations``/``on_node_error`` to the round engines only;
+    ``wire_format`` picks the sharded engine's cross-shard batch encoding
+    (``"binary"`` — the compact wire codec with automatic pickle fallback —
+    or ``"pickle"`` to force the legacy path).
     """
     if engine == "serial":
         return RoundSimulation(network=network, seed=seed,
@@ -990,7 +1029,7 @@ def create_simulation(
             network=network, seed=seed,
             max_reply_generations=max_reply_generations,
             on_node_error=on_node_error, shards=shards,
-            start_method=start_method,
+            start_method=start_method, wire_format=wire_format,
         )
     if engine == "async":
         from .async_runner import AsyncGossipRuntime

@@ -36,6 +36,10 @@ from .events import TraceBuffer, TraceEvent, TraceTag
 #: Canonical label identity: sorted ``(key, value)`` pairs.
 LabelKey = Tuple[Tuple[str, object], ...]
 
+#: Lazily bound :func:`repro.wire.wire_bytes_of` (the wire package imports
+#: core modules, so binding at import time here would risk a cycle).
+_wire_bytes_of = None
+
 
 def _label_key(labels: Dict) -> LabelKey:
     return tuple(sorted(labels.items()))
@@ -97,6 +101,15 @@ class Telemetry:
         self.trace = TraceBuffer(capacity=trace_capacity)
         #: Per-message trace events are recorded only while this is True.
         self.tracing = False
+        #: Opt-in byte-accurate bandwidth accounting: when True,
+        #: :meth:`record_send` also sizes each message with the binary wire
+        #: codec into ``sim.send_bytes``.  Off by default — the extra
+        #: counters would otherwise enter every fingerprint
+        #: (:func:`~repro.telemetry.fingerprint.counter_records` covers all
+        #: counters), perturbing pinned goldens.  The sharded coordinator
+        #: ships this flag to its workers with every tick/deliver command,
+        #: so both engines always account symmetrically.
+        self.count_wire_bytes = False
         #: Ordering tag attached to emitted events (shard workers set it to
         #: the engine's (phase, index) replay coordinates).
         self.trace_tag: Optional[TraceTag] = None
@@ -168,7 +181,10 @@ class Telemetry:
         Updates the ``sim.sends`` family (per round and kind), the element
         volume (``size_estimate`` when the message offers one, with a
         separate ``sim.sends_unsized`` count otherwise — control messages
-        must not inflate element totals), and the per-sender ledger.
+        must not inflate element totals), and the per-sender ledger.  With
+        :attr:`count_wire_bytes` on, each message is additionally sized with
+        the binary wire codec into ``sim.send_bytes`` (messages without a
+        binary form count into ``sim.send_bytes_unsized`` instead).
         """
         message = out.message
         kind = type(message).__name__
@@ -179,6 +195,16 @@ class Telemetry:
         else:
             self.inc("sim.sends_unsized", 1, round=round_no)
         self.inc("sim.sends_by_sender", 1, src=src)
+        if self.count_wire_bytes:
+            global _wire_bytes_of
+            if _wire_bytes_of is None:
+                from ..wire import wire_bytes_of as _wb
+                _wire_bytes_of = _wb
+            wire_size = _wire_bytes_of(message)
+            if wire_size < 0:
+                self.inc("sim.send_bytes_unsized", 1, round=round_no)
+            else:
+                self.inc("sim.send_bytes", wire_size, round=round_no)
         if self.tracing:
             # The message class goes under the ``message`` data key — the
             # event's own ``kind`` field is the trace-event kind ("send").
@@ -189,15 +215,16 @@ class Telemetry:
         """Batch form of :meth:`record_send`, called once per tick/handler.
 
         This is the engine's per-message accounting entry point, so when the
-        expensive features are off (no tracing, no lock) it takes a fast
-        path: counter keys for the round are prebuilt once and the dict
-        updates are inlined.  The keys match :func:`_label_key`'s canonical
-        sorted form exactly, so the recorded counter state is byte-identical
-        to the plain path — the engine-parity golden test pins this.
+        expensive features are off (no tracing, no lock, no byte accounting)
+        it takes a fast path: counter keys for the round are prebuilt once
+        and the dict updates are inlined.  The keys match
+        :func:`_label_key`'s canonical sorted form exactly, so the recorded
+        counter state is byte-identical to the plain path — the
+        engine-parity golden test pins this.
         """
         if not outgoings:
             return
-        if self.tracing or self._lock is not None:
+        if self.tracing or self._lock is not None or self.count_wire_bytes:
             for out in outgoings:
                 self.record_send(round_no, src, out)
             return

@@ -1,0 +1,497 @@
+"""The compact binary message codec.
+
+One tagged binary record per protocol message type — the same set of
+types :mod:`repro.core.codec` maps to JSON — built from varints
+(:mod:`repro.wire.varint`), 8-byte IEEE doubles for timestamps, and
+length-prefixed UTF-8 for strings.  Event-id digests use the Sec. 3.2
+per-sender structure: the id list is encoded as *runs* of consecutive ids
+sharing an origin, each run carrying a zigzag origin delta, a length, and
+zigzag sequence-number deltas — so both the grouped compact digest
+(:class:`~repro.core.buffers.CompactEventIdDigest` frontiers) and plain
+FIFO snapshots shrink to a few bytes per id, while any ordering round-trips
+exactly.
+
+Notification payloads are opaque to the protocol and travel as embedded
+compact JSON, exactly as lossy or faithful as the JSON wire format itself.
+``strict_payloads=True`` (the cross-shard setting) additionally demands the
+payload survive the JSON round trip *unchanged* — tuples, non-string dict
+keys and NaN are refused with :class:`WireEncodeError` so the sharded
+engine can fall back to pickle instead of silently altering a payload the
+serial engine would have passed by reference.
+
+Decoding is total: unknown tags, truncated records, oversized varints and
+trailing bytes all raise :class:`~repro.core.codec.CodecError`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Callable, Dict, List, Tuple
+
+from ..core.codec import CodecError
+from ..core.events import Notification, Unsubscription
+from ..core.ids import EventId
+from ..core.message import (
+    GossipMessage,
+    RetransmitRequest,
+    RetransmitResponse,
+    SubscriptionAck,
+    SubscriptionRequest,
+)
+from ..loggers.messages import (
+    LogUpload,
+    LogUploadAck,
+    RecoveryRequest,
+    RecoveryResponse,
+)
+from ..pbcast.messages import PbcastData, PbcastDigest, PbcastSolicit
+from .varint import (
+    VarintRangeError,
+    read_svarint,
+    read_uvarint,
+    write_svarint,
+    write_uvarint,
+)
+
+
+class WireEncodeError(CodecError):
+    """A message has no faithful binary form (unsupported type, out-of-range
+    integer, non-string topic, or — under ``strict_payloads`` — a payload
+    that would not survive the JSON round trip unchanged)."""
+
+
+# -- message tags -------------------------------------------------------------
+
+TAG_GOSSIP = 0x01
+TAG_SUB_REQUEST = 0x02
+TAG_SUB_ACK = 0x03
+TAG_RETR_REQUEST = 0x04
+TAG_RETR_RESPONSE = 0x05
+TAG_PBCAST_DATA = 0x06
+TAG_PBCAST_DIGEST = 0x07
+TAG_PBCAST_SOLICIT = 0x08
+TAG_LOG_UPLOAD = 0x09
+TAG_LOG_ACK = 0x0A
+TAG_RECOVERY_REQUEST = 0x0B
+TAG_RECOVERY_RESPONSE = 0x0C
+TAG_TOPIC_ENVELOPE = 0x0D
+
+_F64 = struct.Struct("<d")
+
+
+# -- field primitives ---------------------------------------------------------
+
+def _w_f64(buf: bytearray, value: float) -> None:
+    buf += _F64.pack(value)
+
+
+def _r_f64(data, pos: int) -> Tuple[float, int]:
+    end = pos + 8
+    if end > len(data):
+        raise CodecError("truncated float64")
+    return _F64.unpack_from(data, pos)[0], end
+
+
+def _w_str(buf: bytearray, value: str) -> None:
+    if not isinstance(value, str):
+        raise WireEncodeError(f"expected str, got {type(value).__name__}")
+    raw = value.encode("utf-8")
+    write_uvarint(buf, len(raw))
+    buf += raw
+
+
+def _r_str(data, pos: int) -> Tuple[str, int]:
+    length, pos = read_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise CodecError("truncated string")
+    try:
+        return bytes(data[pos:end]).decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"invalid UTF-8 string: {exc}") from exc
+
+
+def _payload_is_stable(payload) -> bool:
+    """True when ``payload`` survives a JSON round trip as an equal object."""
+    if payload is None or payload is True or payload is False:
+        return True
+    kind = type(payload)
+    if kind is int or kind is str:
+        return True
+    if kind is float:
+        return not math.isnan(payload)
+    if kind is list:
+        return all(_payload_is_stable(item) for item in payload)
+    if kind is dict:
+        return all(type(key) is str and _payload_is_stable(value)
+                   for key, value in payload.items())
+    return False
+
+
+def _w_payload(buf: bytearray, payload, strict: bool) -> None:
+    """Opaque payload: length-prefixed compact JSON; length 0 means None
+    (valid JSON is never empty, so the encoding is unambiguous)."""
+    if payload is None:
+        write_uvarint(buf, 0)
+        return
+    if strict and not _payload_is_stable(payload):
+        raise WireEncodeError(
+            f"payload {payload!r} does not survive the JSON round trip"
+        )
+    try:
+        raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireEncodeError(f"unencodable payload: {exc}") from exc
+    write_uvarint(buf, len(raw))
+    buf += raw
+
+
+def _r_payload(data, pos: int):
+    length, pos = read_uvarint(data, pos)
+    if length == 0:
+        return None, pos
+    end = pos + length
+    if end > len(data):
+        raise CodecError("truncated payload")
+    try:
+        return json.loads(bytes(data[pos:end]).decode("utf-8")), end
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"invalid payload JSON: {exc}") from exc
+
+
+def _w_pid_list(buf: bytearray, pids) -> None:
+    """Process-id list as zigzag deltas from the previous entry."""
+    write_uvarint(buf, len(pids))
+    previous = 0
+    for pid in pids:
+        write_svarint(buf, pid - previous)
+        previous = pid
+
+
+def _r_pid_list(data, pos: int, limit: int) -> Tuple[Tuple[int, ...], int]:
+    count, pos = read_uvarint(data, pos)
+    if count > limit:
+        raise CodecError(f"pid list length {count} exceeds input size")
+    out: List[int] = []
+    previous = 0
+    for _ in range(count):
+        delta, pos = read_svarint(data, pos)
+        previous += delta
+        out.append(previous)
+    return tuple(out), pos
+
+
+def _w_event_ids(buf: bytearray, event_ids) -> None:
+    """Digest encoding: runs of consecutive ids sharing an origin.
+
+    Each run is ``(zigzag origin delta, length, zigzag seq deltas)``; the
+    first seq of a run is a delta from 0, later seqs are deltas from their
+    predecessor, so the in-sequence digests the paper's per-sender buffers
+    maintain cost about one byte per id.
+    """
+    write_uvarint(buf, len(event_ids))
+    previous_origin = 0
+    index, total = 0, len(event_ids)
+    while index < total:
+        origin = event_ids[index].origin
+        run_end = index + 1
+        while run_end < total and event_ids[run_end].origin == origin:
+            run_end += 1
+        write_svarint(buf, origin - previous_origin)
+        write_uvarint(buf, run_end - index)
+        previous_seq = 0
+        for position in range(index, run_end):
+            seq = event_ids[position].seq
+            write_svarint(buf, seq - previous_seq)
+            previous_seq = seq
+        previous_origin = origin
+        index = run_end
+
+
+def _r_event_ids(data, pos: int, limit: int) -> Tuple[Tuple[EventId, ...], int]:
+    count, pos = read_uvarint(data, pos)
+    if count > limit:
+        raise CodecError(f"event-id list length {count} exceeds input size")
+    out: List[EventId] = []
+    previous_origin = 0
+    while len(out) < count:
+        delta, pos = read_svarint(data, pos)
+        origin = previous_origin + delta
+        run_length, pos = read_uvarint(data, pos)
+        if run_length < 1 or len(out) + run_length > count:
+            raise CodecError(f"malformed event-id run of length {run_length}")
+        previous_seq = 0
+        for _ in range(run_length):
+            seq_delta, pos = read_svarint(data, pos)
+            previous_seq += seq_delta
+            out.append(EventId(origin, previous_seq))
+        previous_origin = origin
+    return tuple(out), pos
+
+
+def _w_notification(buf: bytearray, n: Notification, strict: bool) -> None:
+    write_svarint(buf, n.event_id.origin)
+    write_svarint(buf, n.event_id.seq)
+    _w_f64(buf, n.created_at)
+    _w_payload(buf, n.payload, strict)
+
+
+def _r_notification(data, pos: int) -> Tuple[Notification, int]:
+    origin, pos = read_svarint(data, pos)
+    seq, pos = read_svarint(data, pos)
+    created_at, pos = _r_f64(data, pos)
+    payload, pos = _r_payload(data, pos)
+    return Notification(EventId(origin, seq), payload, created_at), pos
+
+
+def _w_notifications(buf: bytearray, events, strict: bool) -> None:
+    write_uvarint(buf, len(events))
+    for n in events:
+        _w_notification(buf, n, strict)
+
+
+def _r_notifications(data, pos: int,
+                     limit: int) -> Tuple[Tuple[Notification, ...], int]:
+    count, pos = read_uvarint(data, pos)
+    if count > limit:
+        raise CodecError(f"notification list length {count} exceeds input")
+    out = []
+    for _ in range(count):
+        n, pos = _r_notification(data, pos)
+        out.append(n)
+    return tuple(out), pos
+
+
+def _w_unsubs(buf: bytearray, unsubs) -> None:
+    write_uvarint(buf, len(unsubs))
+    for u in unsubs:
+        write_svarint(buf, u.pid)
+        _w_f64(buf, u.timestamp)
+
+
+def _r_unsubs(data, pos: int,
+              limit: int) -> Tuple[Tuple[Unsubscription, ...], int]:
+    count, pos = read_uvarint(data, pos)
+    if count > limit:
+        raise CodecError(f"unsubscription list length {count} exceeds input")
+    out = []
+    for _ in range(count):
+        pid, pos = read_svarint(data, pos)
+        ts, pos = _r_f64(data, pos)
+        out.append(Unsubscription(pid, ts))
+    return tuple(out), pos
+
+
+def _w_heartbeats(buf: bytearray, heartbeats) -> None:
+    write_uvarint(buf, len(heartbeats))
+    for pid, counter in heartbeats:
+        write_svarint(buf, pid)
+        write_svarint(buf, counter)
+
+
+def _r_heartbeats(data, pos: int, limit: int) -> Tuple[tuple, int]:
+    count, pos = read_uvarint(data, pos)
+    if count > limit:
+        raise CodecError(f"heartbeat list length {count} exceeds input size")
+    out = []
+    for _ in range(count):
+        pid, pos = read_svarint(data, pos)
+        counter, pos = read_svarint(data, pos)
+        out.append((pid, counter))
+    return tuple(out), pos
+
+
+# -- per-type bodies ----------------------------------------------------------
+
+def _enc_gossip(buf: bytearray, m: GossipMessage, strict: bool) -> None:
+    write_svarint(buf, m.sender)
+    _w_pid_list(buf, m.subs)
+    _w_unsubs(buf, m.unsubs)
+    _w_notifications(buf, m.events, strict)
+    _w_event_ids(buf, m.event_ids)
+    _w_heartbeats(buf, m.heartbeats)
+
+
+def _dec_gossip(data, pos: int, limit: int) -> Tuple[GossipMessage, int]:
+    sender, pos = read_svarint(data, pos)
+    subs, pos = _r_pid_list(data, pos, limit)
+    unsubs, pos = _r_unsubs(data, pos, limit)
+    events, pos = _r_notifications(data, pos, limit)
+    event_ids, pos = _r_event_ids(data, pos, limit)
+    heartbeats, pos = _r_heartbeats(data, pos, limit)
+    return GossipMessage(sender=sender, subs=subs, unsubs=unsubs,
+                         events=events, event_ids=event_ids,
+                         heartbeats=heartbeats), pos
+
+
+def _encode_body(buf: bytearray, message, strict: bool) -> None:
+    kind = type(message)
+    if kind is GossipMessage:
+        buf.append(TAG_GOSSIP)
+        _enc_gossip(buf, message, strict)
+    elif kind is SubscriptionRequest:
+        buf.append(TAG_SUB_REQUEST)
+        write_svarint(buf, message.subscriber)
+    elif kind is SubscriptionAck:
+        buf.append(TAG_SUB_ACK)
+        write_svarint(buf, message.contact)
+        _w_pid_list(buf, message.view_sample)
+    elif kind is RetransmitRequest:
+        buf.append(TAG_RETR_REQUEST)
+        write_svarint(buf, message.requester)
+        _w_event_ids(buf, message.event_ids)
+    elif kind is RetransmitResponse:
+        buf.append(TAG_RETR_RESPONSE)
+        write_svarint(buf, message.responder)
+        _w_notifications(buf, message.events, strict)
+    elif kind is PbcastData:
+        buf.append(TAG_PBCAST_DATA)
+        write_svarint(buf, message.sender)
+        _w_notification(buf, message.notification, strict)
+        write_svarint(buf, message.hops)
+    elif kind is PbcastDigest:
+        buf.append(TAG_PBCAST_DIGEST)
+        write_svarint(buf, message.sender)
+        _w_event_ids(buf, message.ids)
+        _w_pid_list(buf, message.subs)
+        _w_unsubs(buf, message.unsubs)
+    elif kind is PbcastSolicit:
+        buf.append(TAG_PBCAST_SOLICIT)
+        write_svarint(buf, message.requester)
+        _w_event_ids(buf, message.ids)
+    elif kind is LogUpload:
+        buf.append(TAG_LOG_UPLOAD)
+        write_svarint(buf, message.sender)
+        _w_notification(buf, message.notification, strict)
+    elif kind is LogUploadAck:
+        buf.append(TAG_LOG_ACK)
+        write_svarint(buf, message.logger)
+        write_svarint(buf, message.event_id.origin)
+        write_svarint(buf, message.event_id.seq)
+    elif kind is RecoveryRequest:
+        buf.append(TAG_RECOVERY_REQUEST)
+        write_svarint(buf, message.requester)
+        _w_event_ids(buf, message.frontier)
+    elif kind is RecoveryResponse:
+        buf.append(TAG_RECOVERY_RESPONSE)
+        write_svarint(buf, message.logger)
+        _w_notifications(buf, message.events, strict)
+        buf.append(1 if message.complete else 0)
+    else:
+        # Pub/sub envelopes nest another message; import lazily to avoid a
+        # package cycle (pubsub imports core), mirroring the JSON codec.
+        from ..pubsub.peer import TopicEnvelope
+        if isinstance(message, TopicEnvelope):
+            buf.append(TAG_TOPIC_ENVELOPE)
+            _w_str(buf, message.topic)
+            _encode_body(buf, message.inner, strict)
+        else:
+            raise WireEncodeError(
+                f"cannot binary-encode {type(message).__name__}"
+            )
+
+
+def _decode_body(data, pos: int) -> Tuple[object, int]:
+    if pos >= len(data):
+        raise CodecError("truncated message: missing tag byte")
+    tag = data[pos]
+    pos += 1
+    limit = len(data)  # every list element costs >= 1 byte on the wire
+    if tag == TAG_GOSSIP:
+        return _dec_gossip(data, pos, limit)
+    if tag == TAG_SUB_REQUEST:
+        pid, pos = read_svarint(data, pos)
+        return SubscriptionRequest(pid), pos
+    if tag == TAG_SUB_ACK:
+        contact, pos = read_svarint(data, pos)
+        sample, pos = _r_pid_list(data, pos, limit)
+        return SubscriptionAck(contact, sample), pos
+    if tag == TAG_RETR_REQUEST:
+        pid, pos = read_svarint(data, pos)
+        ids, pos = _r_event_ids(data, pos, limit)
+        return RetransmitRequest(pid, ids), pos
+    if tag == TAG_RETR_RESPONSE:
+        pid, pos = read_svarint(data, pos)
+        events, pos = _r_notifications(data, pos, limit)
+        return RetransmitResponse(pid, events), pos
+    if tag == TAG_PBCAST_DATA:
+        sender, pos = read_svarint(data, pos)
+        n, pos = _r_notification(data, pos)
+        hops, pos = read_svarint(data, pos)
+        return PbcastData(sender, n, hops), pos
+    if tag == TAG_PBCAST_DIGEST:
+        sender, pos = read_svarint(data, pos)
+        ids, pos = _r_event_ids(data, pos, limit)
+        subs, pos = _r_pid_list(data, pos, limit)
+        unsubs, pos = _r_unsubs(data, pos, limit)
+        return PbcastDigest(sender, ids, subs, unsubs), pos
+    if tag == TAG_PBCAST_SOLICIT:
+        pid, pos = read_svarint(data, pos)
+        ids, pos = _r_event_ids(data, pos, limit)
+        return PbcastSolicit(pid, ids), pos
+    if tag == TAG_LOG_UPLOAD:
+        sender, pos = read_svarint(data, pos)
+        n, pos = _r_notification(data, pos)
+        return LogUpload(sender, n), pos
+    if tag == TAG_LOG_ACK:
+        logger, pos = read_svarint(data, pos)
+        origin, pos = read_svarint(data, pos)
+        seq, pos = read_svarint(data, pos)
+        return LogUploadAck(logger, EventId(origin, seq)), pos
+    if tag == TAG_RECOVERY_REQUEST:
+        pid, pos = read_svarint(data, pos)
+        frontier, pos = _r_event_ids(data, pos, limit)
+        return RecoveryRequest(pid, frontier), pos
+    if tag == TAG_RECOVERY_RESPONSE:
+        logger, pos = read_svarint(data, pos)
+        events, pos = _r_notifications(data, pos, limit)
+        if pos >= len(data):
+            raise CodecError("truncated message: missing complete flag")
+        complete = data[pos] != 0
+        return RecoveryResponse(logger, events, complete), pos + 1
+    if tag == TAG_TOPIC_ENVELOPE:
+        from ..pubsub.peer import TopicEnvelope
+        topic, pos = _r_str(data, pos)
+        inner, pos = _decode_body(data, pos)
+        return TopicEnvelope(topic, inner), pos
+    raise CodecError(f"unknown binary message tag {tag:#04x}")
+
+
+# -- public surface -----------------------------------------------------------
+
+def encode_binary(message: object, strict_payloads: bool = False) -> bytes:
+    """Message object → compact binary record.
+
+    ``strict_payloads=True`` refuses (with :class:`WireEncodeError`) any
+    notification payload that would not survive the embedded-JSON round
+    trip as an equal object — the setting the cross-shard path uses to
+    decide between the binary format and its pickle fallback.
+    """
+    buf = bytearray()
+    try:
+        _encode_body(buf, message, strict_payloads)
+    except VarintRangeError as exc:
+        raise WireEncodeError(str(exc)) from exc
+    return bytes(buf)
+
+
+def decode_binary(data) -> object:
+    """Binary record → message object; the whole input must be consumed."""
+    message, pos = _decode_body(data, 0)
+    if pos != len(data):
+        raise CodecError(
+            f"{len(data) - pos} trailing bytes after binary message"
+        )
+    return message
+
+
+def wire_bytes_of(message: object) -> int:
+    """Exact binary wire size of ``message`` in bytes, or ``-1`` when the
+    message has no binary form (byte-accounting callers label those
+    separately instead of guessing)."""
+    try:
+        return len(encode_binary(message))
+    except CodecError:
+        return -1

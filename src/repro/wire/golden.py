@@ -1,0 +1,84 @@
+"""Golden byte vectors pinning the binary wire format.
+
+Each entry pairs a message object with the exact bytes
+:func:`~repro.wire.binary.encode_binary` must produce for it.  These
+fixtures are the format's compatibility contract: an encoder change that
+alters any vector is a wire-format break and must bump the frame version
+byte rather than silently change what peers and shards exchange.
+:func:`check_golden_vectors` is asserted by the unit tests *and* by
+``bench_hotpath.py --check`` (the CI perf-smoke job), so a drift fails
+fast in both places.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.events import Notification, Unsubscription
+from ..core.ids import EventId
+from ..core.message import (
+    GossipMessage,
+    RetransmitRequest,
+    SubscriptionAck,
+)
+from ..pbcast.messages import PbcastDigest
+from .binary import decode_binary, encode_binary
+
+
+def _vectors() -> List[Tuple[object, str]]:
+    from ..pubsub.peer import TopicEnvelope
+
+    return [
+        (GossipMessage(sender=0), "01000000000000"),
+        (
+            GossipMessage(
+                sender=3,
+                subs=(1, 2),
+                unsubs=(Unsubscription(9, 4.5),),
+                events=(Notification(EventId(3, 1), "text", 2.0),),
+                event_ids=(EventId(3, 1), EventId(3, 2), EventId(7, 12)),
+            ),
+            "010602020201120000000000001240010602000000000000004006227465"
+            "787422030602020208011800",
+        ),
+        (
+            GossipMessage(sender=2, heartbeats=((2, 17), (5, 3))),
+            "0104000000000204220a06",
+        ),
+        (SubscriptionAck(1, (2, 3, 4)), "030203040202"),
+        (RetransmitRequest(9, (EventId(1, 1),)), "041201020102"),
+        (
+            PbcastDigest(4, (EventId(2, 5),), (1,),
+                         (Unsubscription(8, 1.0),)),
+            "07080104010a01020110000000000000f03f",
+        ),
+        (
+            TopicEnvelope("t", GossipMessage(sender=1,
+                                             event_ids=(EventId(1, 1),
+                                                        EventId(1, 2)))),
+            "0d01740102000000020202020200",
+        ),
+    ]
+
+
+#: ``(message, hex)`` pairs — the pinned format.
+GOLDEN_VECTORS: List[Tuple[object, str]] = _vectors()
+
+
+def check_golden_vectors() -> int:
+    """Assert every vector encodes and decodes exactly; returns the number
+    of vectors checked, raises :class:`AssertionError` on any drift."""
+    for message, expected_hex in GOLDEN_VECTORS:
+        encoded = encode_binary(message)
+        if encoded.hex() != expected_hex:
+            raise AssertionError(
+                f"golden vector drift for {type(message).__name__}: "
+                f"expected {expected_hex}, got {encoded.hex()}"
+            )
+        decoded = decode_binary(bytes.fromhex(expected_hex))
+        if decoded != message:
+            raise AssertionError(
+                f"golden vector for {type(message).__name__} no longer "
+                f"decodes to an equal message: got {decoded!r}"
+            )
+    return len(GOLDEN_VECTORS)

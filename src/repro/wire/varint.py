@@ -1,0 +1,90 @@
+"""LEB128 varints and zigzag signed integers.
+
+The integer primitives of the binary wire format: unsigned values go on
+the wire base-128 with a continuation bit (small values — the common case
+for counts, lengths and digest deltas — cost one byte), signed values are
+zigzag-folded first so ids and deltas near zero stay short regardless of
+sign.
+
+Decoding is defensive: a truncated varint or one longer than
+:data:`MAX_VARINT_BYTES` (an adversarial unbounded-continuation stream)
+raises :class:`~repro.core.codec.CodecError`, never an unbounded loop or a
+foreign exception.  Encoding enforces the same cap so every value written
+is guaranteed decodable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.codec import CodecError
+
+#: Hard cap on one varint's wire length: 10 bytes carry 70 payload bits,
+#: comfortably above any id, count or length the protocol produces while
+#: bounding what a hostile datagram can make the decoder chew on.
+MAX_VARINT_BYTES = 10
+
+_MAX_UVARINT = (1 << (7 * MAX_VARINT_BYTES)) - 1
+
+
+class VarintRangeError(ValueError):
+    """An integer too large for the wire's varint cap (encode side)."""
+
+
+def uvarint_len(value: int) -> int:
+    """Encoded length in bytes of ``value`` as an unsigned varint."""
+    if value < 0:
+        raise VarintRangeError(f"uvarint cannot encode negative {value}")
+    length = 1
+    while value > 0x7F:
+        value >>= 7
+        length += 1
+    return length
+
+
+def write_uvarint(buf: bytearray, value: int) -> None:
+    """Append ``value`` to ``buf`` as an unsigned LEB128 varint."""
+    if value < 0 or value > _MAX_UVARINT:
+        raise VarintRangeError(f"{value} outside uvarint range")
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def read_uvarint(data, pos: int) -> Tuple[int, int]:
+    """Read an unsigned varint at ``pos``; returns ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    end = len(data)
+    for count in range(MAX_VARINT_BYTES):
+        if pos >= end:
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+    raise CodecError(f"varint longer than {MAX_VARINT_BYTES} bytes")
+
+
+def zigzag(value: int) -> int:
+    """Fold a signed integer into an unsigned one (0, -1, 1, -2 → 0..3)."""
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def write_svarint(buf: bytearray, value: int) -> None:
+    """Append a signed integer as a zigzag varint."""
+    write_uvarint(buf, zigzag(value))
+
+
+def read_svarint(data, pos: int) -> Tuple[int, int]:
+    """Read a zigzag varint at ``pos``; returns ``(value, new_pos)``."""
+    raw, pos = read_uvarint(data, pos)
+    return unzigzag(raw), pos

@@ -107,3 +107,24 @@ class TestWireSize:
 
     def test_roughly_compact(self):
         assert wire_size(GossipMessage(sender=1)) < 80
+
+
+class TestTopicValidation:
+    """Regression: a TopicEnvelope with a non-string topic used to encode
+    (and decode) silently, producing an envelope no peer's topic table
+    could match and no re-encode could round-trip."""
+
+    def test_encode_rejects_non_string_topic(self):
+        for bad in (42, None, ("a",), b"bytes"):
+            with pytest.raises(CodecError, match="topic must be a string"):
+                encode_message(TopicEnvelope(bad, SubscriptionRequest(1)))
+
+    def test_decode_rejects_non_string_topic(self):
+        inner = encode_message(SubscriptionRequest(1))
+        for bad in (42, None, ["a"], {"t": 1}):
+            with pytest.raises(CodecError, match="topic must be a string"):
+                decode_message({"@": "te", "topic": bad, "inner": inner})
+
+    def test_string_topics_still_round_trip(self):
+        message = TopicEnvelope("topic/with/slashes", SubscriptionRequest(2))
+        assert from_json(to_json(message)) == message

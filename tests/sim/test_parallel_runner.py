@@ -15,6 +15,7 @@ import pytest
 from repro.core import LpbcastConfig, LpbcastNode
 from repro.core.message import Outgoing
 from repro.metrics import DeliveryLog
+from repro.wire import unpack_messages
 from repro.sim import (
     BroadcastWorkload,
     CrashPlan,
@@ -266,7 +267,7 @@ class TestFetchDedup:
     A gossip fanned out to F destinations is one message object behind F
     outbox handles; ``do_fetch`` groups unique payloads by their
     destination-shard signature and every shard in a signature receives the
-    *same* blob bytes — pickled once, forwarded untouched.
+    *same* blob bytes — encoded once, forwarded untouched.
     """
 
     def _state_with_fanout(self):
@@ -293,7 +294,7 @@ class TestFetchDedup:
         assert len(shared) == 1  # the gossip's group spans both shards
         group = shared.pop()
         assert blobs1[group] is blobs2[group]  # identical bytes, not a copy
-        # Two unique messages in total -> exactly two pickled groups.
+        # Two unique messages in total -> exactly two encoded groups.
         assert len({id(b) for b in (*blobs1.values(), *blobs2.values())}) == 2
         by_handle = {handle: (g, i) for handle, g, i in entries1}
         assert set(by_handle) == {h["g1"], h["g2"], h["c"]}
@@ -307,6 +308,81 @@ class TestFetchDedup:
                                        h["c"]: control}),
                                   (2, {h["g3"]: gossip})):
             entries, blobs = served[dst_shard]
-            loaded = {g: pickle.loads(blob) for g, blob in blobs.items()}
+            loaded = {g: unpack_messages(blob) for g, blob in blobs.items()}
             got = {handle: loaded[g][i] for handle, g, i in entries}
             assert got == wanted
+
+
+class TestCrossShardWireFormat:
+    """The cross-shard batch format: compact binary with a pickle fallback
+    that preserves the engine's bit-identity contract."""
+
+    def _fetch_blob(self, message, wire_format="binary"):
+        from repro.sim.parallel_runner import _ShardState
+
+        state = _ShardState(0, wire_format=wire_format)
+        handle = state._stash(1, Outgoing(2, message))
+        served = state.do_fetch({1: [handle]})
+        _entries, blobs = served[1]
+        return next(iter(blobs.values()))
+
+    def test_protocol_messages_travel_binary(self):
+        from repro.core.message import GossipMessage
+        from repro.wire import unpack_messages
+        from repro.wire.shard import BLOB_BINARY
+
+        message = GossipMessage(sender=1, subs=(2, 3))
+        blob = self._fetch_blob(message)
+        assert blob[0] == BLOB_BINARY
+        assert unpack_messages(blob) == [message]
+
+    def test_unstable_payload_falls_back_to_pickle(self):
+        from repro.core.events import Notification
+        from repro.core.ids import EventId
+        from repro.core.message import GossipMessage
+        from repro.wire import unpack_messages
+        from repro.wire.shard import BLOB_PICKLE
+
+        # A tuple payload would come back as a list from the JSON
+        # embedding; the strict binary path must refuse it and the whole
+        # batch must ship as pickle so the decoded object stays equal.
+        message = GossipMessage(
+            sender=1,
+            events=(Notification(EventId(1, 1), ("tu", "ple"), 0.0),),
+        )
+        blob = self._fetch_blob(message)
+        assert blob[0] == BLOB_PICKLE
+        decoded = unpack_messages(blob)
+        assert decoded == [message]
+        assert decoded[0].events[0].payload == ("tu", "ple")
+
+    def test_pickle_format_forced_by_knob(self):
+        from repro.core.message import GossipMessage
+        from repro.wire.shard import BLOB_PICKLE
+
+        blob = self._fetch_blob(GossipMessage(sender=1),
+                                wire_format="pickle")
+        assert blob[0] == BLOB_PICKLE
+
+    def test_unknown_wire_format_rejected(self):
+        with pytest.raises(ValueError, match="wire_format"):
+            ShardedRoundSimulation(shards=2, wire_format="xml")
+
+    def test_sharded_run_with_tuple_payloads_matches_serial(self):
+        # End-to-end: a workload whose payloads defeat the binary codec
+        # still produces bit-identical counter records via the fallback.
+        from repro.telemetry import counter_records
+
+        outcomes = {}
+        for engine, kwargs in (("serial", {}),
+                               ("sharded", {"shards": 3})):
+            nodes = build_lpbcast_nodes(12, CFG, seed=31)
+            sim = create_simulation(engine, seed=31, **kwargs)
+            sim.add_nodes(nodes)
+            sim.nodes[nodes[0].pid].lpb_cast(("tuple", "payload"), 0.0)
+            sim.nodes[nodes[1].pid].lpb_cast("plain string", 0.0)
+            sim.run(8)
+            outcomes[engine] = counter_records(sim.telemetry)
+            if hasattr(sim, "close"):
+                sim.close()
+        assert outcomes["serial"] == outcomes["sharded"]

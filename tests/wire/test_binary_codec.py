@@ -1,0 +1,172 @@
+"""Unit tests for the compact binary message codec."""
+
+import math
+
+import pytest
+
+from repro.core.codec import CodecError, wire_size
+from repro.core.events import Notification, Unsubscription
+from repro.core.ids import EventId
+from repro.core.message import (
+    GossipMessage,
+    RetransmitRequest,
+    RetransmitResponse,
+    SubscriptionAck,
+    SubscriptionRequest,
+)
+from repro.loggers.messages import (
+    LogUpload,
+    LogUploadAck,
+    RecoveryRequest,
+    RecoveryResponse,
+)
+from repro.pbcast import PbcastData, PbcastDigest, PbcastSolicit
+from repro.pubsub.peer import TopicEnvelope
+from repro.wire import (
+    WireEncodeError,
+    decode_binary,
+    encode_binary,
+    wire_bytes_of,
+)
+
+NOTE = Notification(EventId(3, 7), "payload", 12.5)
+
+SAMPLES = [
+    GossipMessage(sender=0),
+    GossipMessage(
+        sender=41,
+        subs=(3, 1, 9),
+        unsubs=(Unsubscription(2, 0.25),),
+        events=(NOTE, Notification(EventId(8, 1), None, 0.0)),
+        event_ids=(EventId(1, 5), EventId(1, 6), EventId(1, 7),
+                   EventId(2, 1)),
+        heartbeats=((4, 100), (5, 3)),
+    ),
+    SubscriptionRequest(12),
+    SubscriptionAck(7, (9, 2, 15)),
+    RetransmitRequest(3, (EventId(4, 2), EventId(4, 3))),
+    RetransmitResponse(5, (NOTE,)),
+    PbcastData(6, NOTE, 2),
+    PbcastDigest(8, (EventId(1, 1),), (2, 3), (Unsubscription(9, 1.5),)),
+    PbcastSolicit(10, (EventId(2, 2), EventId(5, 1))),
+    LogUpload(11, NOTE),
+    LogUploadAck(12, EventId(6, 9)),
+    RecoveryRequest(13, (EventId(1, 4), EventId(2, 8))),
+    RecoveryResponse(14, (NOTE,), False),
+    TopicEnvelope("alerts", GossipMessage(sender=2, subs=(1,))),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=[type(m).__name__ for m in SAMPLES]
+    )
+    def test_every_message_type(self, message):
+        assert decode_binary(encode_binary(message)) == message
+
+    def test_unordered_event_ids_preserve_order(self):
+        # The run-length digest encoding must not canonicalize ordering:
+        # a shuffled id list decodes in exactly the order it was encoded.
+        ids = (EventId(5, 3), EventId(1, 9), EventId(5, 2), EventId(1, 1))
+        message = RetransmitRequest(0, ids)
+        assert decode_binary(encode_binary(message)).event_ids == ids
+
+    def test_negative_and_large_integers(self):
+        message = GossipMessage(sender=2**40,
+                                event_ids=(EventId(-5, 2**33),))
+        assert decode_binary(encode_binary(message)) == message
+
+    def test_float_timestamps_exact(self):
+        created = 0.1 + 0.2  # not exactly representable in decimal
+        message = LogUpload(1, Notification(EventId(1, 1), None, created))
+        decoded = decode_binary(encode_binary(message))
+        assert decoded.notification.created_at == created
+
+    def test_nested_envelope(self):
+        message = TopicEnvelope("t", TopicEnvelope("u", NOTE and
+                                                   SubscriptionRequest(1)))
+        assert decode_binary(encode_binary(message)) == message
+
+
+class TestEncodeErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireEncodeError):
+            encode_binary(("not", "a", "message"))
+
+    def test_non_string_topic_rejected(self):
+        with pytest.raises(CodecError):
+            encode_binary(TopicEnvelope(42, GossipMessage(sender=1)))
+
+    def test_wire_encode_error_is_codec_error(self):
+        assert issubclass(WireEncodeError, CodecError)
+
+    def test_strict_rejects_tuple_payload(self):
+        message = LogUpload(1, Notification(EventId(1, 1), (1, 2), 0.0))
+        with pytest.raises(WireEncodeError):
+            encode_binary(message, strict_payloads=True)
+        # Non-strict mode ships it as JSON (the tuple becomes a list, the
+        # same lossy embedding the JSON wire format applies).
+        decoded = decode_binary(encode_binary(message))
+        assert decoded.notification.payload == [1, 2]
+
+    def test_strict_rejects_nan_payload(self):
+        message = LogUpload(1, Notification(EventId(1, 1), float("nan"), 0.0))
+        with pytest.raises(WireEncodeError):
+            encode_binary(message, strict_payloads=True)
+
+    def test_strict_rejects_non_string_dict_keys(self):
+        message = LogUpload(1, Notification(EventId(1, 1), {1: "x"}, 0.0))
+        with pytest.raises(WireEncodeError):
+            encode_binary(message, strict_payloads=True)
+
+    def test_strict_accepts_stable_payloads(self):
+        payload = {"k": [1, 2.5, "s", None, True]}
+        message = LogUpload(1, Notification(EventId(1, 1), payload, 0.0))
+        decoded = decode_binary(encode_binary(message, strict_payloads=True))
+        assert decoded.notification.payload == payload
+
+
+class TestDecodeErrors:
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode_binary(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode_binary(b"\xff\x00")
+
+    def test_trailing_bytes(self):
+        blob = encode_binary(SubscriptionRequest(1)) + b"\x00"
+        with pytest.raises(CodecError):
+            decode_binary(blob)
+
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=[type(m).__name__ for m in SAMPLES]
+    )
+    def test_every_truncation_raises_codec_error(self, message):
+        blob = encode_binary(message)
+        for cut in range(len(blob)):
+            with pytest.raises(CodecError):
+                decode_binary(blob[:cut])
+
+
+class TestSizing:
+    def test_wire_bytes_of_matches_encoding(self):
+        for message in SAMPLES:
+            assert wire_bytes_of(message) == len(encode_binary(message))
+
+    def test_wire_bytes_of_unencodable_is_minus_one(self):
+        assert wire_bytes_of(object()) == -1
+
+    def test_codec_wire_size_supports_both_formats(self):
+        message = SAMPLES[1]
+        assert wire_size(message, fmt="binary") == wire_bytes_of(message)
+        assert wire_size(message, fmt="json") > wire_size(message,
+                                                          fmt="binary")
+        with pytest.raises(ValueError):
+            wire_size(message, fmt="morse")
+
+    def test_grouped_digest_is_about_one_byte_per_id(self):
+        ids = tuple(EventId(7, seq) for seq in range(1, 101))
+        blob = encode_binary(RetransmitRequest(0, ids))
+        assert len(blob) < 2 * len(ids)  # ~1 byte/id plus a small header

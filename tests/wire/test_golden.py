@@ -1,0 +1,23 @@
+"""Golden byte-vector fixtures: the binary format's compatibility contract.
+
+A failure here means the wire format changed.  That is a compatibility
+break for any peer or shard speaking the old format — bump the frame
+version byte and add new vectors rather than editing the pinned hex.
+"""
+
+from repro.wire import GOLDEN_VECTORS, check_golden_vectors
+from repro.wire.binary import decode_binary, encode_binary
+
+
+class TestGoldenVectors:
+    def test_all_vectors_hold(self):
+        assert check_golden_vectors() == len(GOLDEN_VECTORS)
+
+    def test_vectors_cover_encode_and_decode(self):
+        for message, expected_hex in GOLDEN_VECTORS:
+            assert encode_binary(message).hex() == expected_hex
+            assert decode_binary(bytes.fromhex(expected_hex)) == message
+
+    def test_vector_set_is_nontrivial(self):
+        kinds = {type(m).__name__ for m, _ in GOLDEN_VECTORS}
+        assert {"GossipMessage", "PbcastDigest", "TopicEnvelope"} <= kinds
