@@ -210,9 +210,20 @@ def _cmd_validate_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from .faults import PRESET_NAMES, format_soak_report, run_chaos_soak
+    from .faults import (
+        PRESET_NAMES,
+        agreement_violations,
+        format_soak_report,
+        run_chaos_soak,
+    )
 
+    if args.byzantine_rate and not args.byzantine_nodes:
+        print("--byzantine-rate needs --byzantine-nodes >= 1")
+        return 2
     presets = args.preset if args.preset else list(PRESET_NAMES)
+    byzantine_rate = args.byzantine_rate
+    if args.byzantine_nodes and not byzantine_rate:
+        byzantine_rate = 0.5
     results = run_chaos_soak(
         scenarios=args.scenarios,
         n=args.n,
@@ -220,12 +231,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         intensity=args.intensity,
         presets=presets,
+        byzantine_rate=byzantine_rate,
+        byzantine_nodes=args.byzantine_nodes,
     )
     print(f"chaos soak: {args.scenarios} scenario(s), n={args.n}, "
           f"rounds={args.rounds}, seed={args.seed}, "
-          f"intensity={args.intensity}")
+          f"intensity={args.intensity}"
+          + (f", byzantine={args.byzantine_nodes}@{byzantine_rate}"
+             if args.byzantine_nodes else ""))
     print(format_soak_report(results))
-    return 0 if all(result.ok for result in results) else 1
+    exit_code = 0 if all(result.ok for result in results) else 1
+    if args.byzantine_nodes:
+        # End-of-soak SLO: the double-echo variant ran with liars active,
+        # so the agreement invariant must have held in every scenario.
+        broken = agreement_violations(results)
+        if broken:
+            print(f"AGREEMENT SLO FAILED: {len(broken)} agreement "
+                  f"violation(s) under the Byzantine soak")
+            for violation in broken:
+                print(f"  {violation}")
+            exit_code = 1
+        else:
+            print("agreement SLO: no agreement violations across "
+                  f"{len(results)} Byzantine scenario(s)")
+    return exit_code
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -341,6 +370,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_n=args.max_n,
         max_rounds=args.max_rounds,
         mutation=args.mutation,
+        byzantine=args.byzantine,
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         progress=say,
@@ -452,6 +482,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to specific scenario presets (repeatable; "
              "default: cycle through all)",
     )
+    chaos.add_argument("--byzantine-nodes", type=int, default=0,
+                       help="turn this many processes into liars per run "
+                            "(equivocate/forge/replay/poison) and run the "
+                            "double-echo protocol variant; the soak then "
+                            "asserts the agreement-invariant SLO")
+    chaos.add_argument("--byzantine-rate", type=float, default=0.0,
+                       help="per-message probability a liar's behavior "
+                            "strikes (default 0.5 when --byzantine-nodes "
+                            "is set)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     trace = sub.add_parser(
@@ -506,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=sorted(MUTATIONS),
                       help="plant a known bug into every scenario "
                            "(debugging the fuzzer itself)")
+    fuzz.add_argument("--byzantine", action="store_true",
+                      help="draw every scenario from the adversarial family "
+                           "(double-echo systems with Byzantine liars in "
+                           "the fault plan)")
     fuzz.add_argument("--replay", metavar="CASE.json", default=None,
                       help="re-execute a repro artifact and require "
                            "bit-identical reproduction")

@@ -25,12 +25,15 @@ from .delivery import FifoDeliveryGate
 from .events import Notification, Unsubscription, make_notification
 from .ids import EventId, ProcessId, ProcessNamespace
 from .message import (
+    EchoMessage,
     GossipMessage,
     Outgoing,
+    ReadyMessage,
     RetransmitRequest,
     RetransmitResponse,
     SubscriptionAck,
     SubscriptionRequest,
+    payload_digest,
 )
 from .node import DeliveryListener, LpbcastNode, NodeStats
 from .retransmit import NotificationArchive, RetransmissionEngine
@@ -40,6 +43,7 @@ from .view import PartialView, WeightedPartialView
 __all__ = [
     "CompactEventIdDigest",
     "DeliveryListener",
+    "EchoMessage",
     "EventId",
     "FifoBuffer",
     "FifoDeliveryGate",
@@ -57,9 +61,11 @@ __all__ = [
     "PAPER_MEASUREMENT_CONFIG",
     "PAPER_SIMULATION_CONFIG",
     "PartialView",
+    "payload_digest",
     "ProcessId",
     "ProcessNamespace",
     "RandomDropBuffer",
+    "ReadyMessage",
     "RetransmissionEngine",
     "RetransmitRequest",
     "RetransmitResponse",

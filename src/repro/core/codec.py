@@ -30,7 +30,9 @@ from ..pbcast.messages import PbcastData, PbcastDigest, PbcastSolicit
 from .events import Notification, Unsubscription
 from .ids import EventId
 from .message import (
+    EchoMessage,
     GossipMessage,
+    ReadyMessage,
     RetransmitRequest,
     RetransmitResponse,
     SubscriptionAck,
@@ -126,6 +128,14 @@ _ENCODERS: Dict[type, tuple] = {
         "rr", lambda m: {"p": m.responder,
                          "ev": [_enc_notification(n) for n in m.events]}
     ),
+    EchoMessage: (
+        "ec", lambda m: {"s": m.sender, "id": _enc_event_id(m.event_id),
+                         "d": m.digest}
+    ),
+    ReadyMessage: (
+        "rd", lambda m: {"s": m.sender, "id": _enc_event_id(m.event_id),
+                         "d": m.digest}
+    ),
     PbcastData: (
         "pd", lambda m: {"s": m.sender, "n": _enc_notification(m.notification),
                          "h": m.hops}
@@ -168,6 +178,12 @@ _DECODERS: Dict[str, Callable[[dict], Any]] = {
     ),
     "rr": lambda d: RetransmitResponse(
         int(d["p"]), tuple(_dec_notification(n) for n in d.get("ev", ()))
+    ),
+    "ec": lambda d: EchoMessage(
+        int(d["s"]), _dec_event_id(d["id"]), int(d["d"])
+    ),
+    "rd": lambda d: ReadyMessage(
+        int(d["s"]), _dec_event_id(d["id"]), int(d["d"])
     ),
     "pd": lambda d: PbcastData(
         int(d["s"]), _dec_notification(d["n"]), int(d.get("h", 0))

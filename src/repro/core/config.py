@@ -79,6 +79,21 @@ class LpbcastConfig:
     retransmit_request_max: int = 20
     compact_event_ids: bool = False
     join_timeout: float = 5.0
+    #: Byzantine-tolerant delivery variant: hold payloads until a sampled
+    #: Echo quorum and then a Ready quorum confirm a single digest per event
+    #: id (Bracha-style double echo over the partial view, cf. "Scalable
+    #: Byzantine Reliable Broadcast").  Requires actual payload transfer, so
+    #: it is incompatible with ``digest_implies_delivery`` and with the
+    #: repair schemes that assume immediate delivery.
+    double_echo: bool = False
+    #: Echo/Ready sample size (targets drawn from the partial view).
+    echo_fanout: int = 3
+    #: Distinct echo senders required before emitting Ready.
+    echo_threshold: int = 2
+    #: Distinct ready senders required before delivering.
+    ready_threshold: int = 2
+    #: Bound on payloads held pending quorum (oldest evicted first).
+    echo_pending_max: int = 60
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
@@ -119,6 +134,26 @@ class LpbcastConfig:
                 "been received', Sec. 5.2), the former actually fetches the "
                 "payload; enable at most one"
             )
+
+        if self.echo_fanout < 1:
+            raise ValueError("echo_fanout must be at least 1")
+        if self.echo_threshold < 1 or self.ready_threshold < 1:
+            raise ValueError("echo/ready thresholds must be at least 1")
+        if self.echo_pending_max < 1:
+            raise ValueError("echo_pending_max must be at least 1")
+        if self.double_echo:
+            if self.digest_implies_delivery:
+                raise ValueError(
+                    "double_echo holds payloads until quorum; the "
+                    "digest_implies_delivery shortcut (deliver on id alone) "
+                    "defeats it — set digest_implies_delivery=False"
+                )
+            if self.retransmissions or self.push_back:
+                raise ValueError(
+                    "double_echo is incompatible with retransmissions/"
+                    "push_back: both repair schemes hand payloads straight "
+                    "to delivery, bypassing the echo quorum"
+                )
 
     def with_overrides(self, **changes) -> "LpbcastConfig":
         """Return a copy with the given fields replaced (validated again)."""

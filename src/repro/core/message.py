@@ -14,11 +14,29 @@ buffer, which is only required to satisfy retransmission requests", Sec. 3.2).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Tuple
 
 from .events import Notification, Unsubscription
 from .ids import EventId, ProcessId
+
+
+def payload_digest(payload) -> int:
+    """Canonical 64-bit payload digest used by the double-echo variant.
+
+    Two correct nodes that received the same payload must compute the same
+    digest, so the digest is taken over sorted-key compact JSON (the wire
+    codec's payload encoding); payloads outside the JSON universe fall back
+    to ``repr``, which is stable for the simulators' in-process objects.
+    """
+    try:
+        canonical = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    except (TypeError, ValueError):
+        canonical = repr(payload)
+    raw = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return int.from_bytes(raw[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -85,6 +103,33 @@ class RetransmitResponse:
 
     responder: ProcessId
     events: Tuple[Notification, ...] = ()
+
+
+@dataclass(frozen=True)
+class EchoMessage:
+    """First phase of the double-echo delivery variant (Byzantine defense).
+
+    ``sender`` vouches that it received a payload for ``event_id`` whose
+    canonical digest is ``digest``.  Receivers count distinct echo senders
+    per ``(event_id, digest)`` pair; an equivocating source splits its echo
+    weight across digests and cannot reach quorum for two of them.
+    """
+
+    sender: ProcessId
+    event_id: EventId
+    digest: int
+
+
+@dataclass(frozen=True)
+class ReadyMessage:
+    """Second phase of the double-echo variant: ``sender`` saw an echo (or
+    ready) quorum for ``(event_id, digest)`` and commits to delivering that
+    digest and no other.  Ready amplification lets late nodes reach the
+    delivery quorum without having sampled enough echoes themselves."""
+
+    sender: ProcessId
+    event_id: EventId
+    digest: int
 
 
 @dataclass(frozen=True)

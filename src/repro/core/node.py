@@ -51,12 +51,15 @@ from .config import LpbcastConfig
 from .events import Notification
 from .ids import EventId, ProcessId
 from .message import (
+    EchoMessage,
     GossipMessage,
     Outgoing,
+    ReadyMessage,
     RetransmitRequest,
     RetransmitResponse,
     SubscriptionAck,
     SubscriptionRequest,
+    payload_digest,
 )
 from .retransmit import NotificationArchive, RetransmissionEngine
 from .subscription import JoinState
@@ -89,6 +92,11 @@ class NodeStats:
     retransmits_delivered: int = 0
     join_requests_sent: int = 0
     join_requests_served: int = 0
+    echoes_sent: int = 0
+    echoes_received: int = 0
+    readies_sent: int = 0
+    readies_received: int = 0
+    echo_pending_evicted: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -156,6 +164,12 @@ class LpbcastNode:
         self._compact_ids = cfg.compact_event_ids
         self._weighted_events = cfg.weighted_events
         self._archiving = cfg.retransmissions or cfg.push_back
+        self._double_echo = cfg.double_echo
+        # Double-echo quorum state, keyed by event id; each entry tracks the
+        # held payload (if any), its digest, whether this node has echoed /
+        # gone ready, and per-digest echo/ready sender sets.  Insertion order
+        # doubles as the eviction order (oldest pending event first).
+        self._echo_pending: dict = {}
 
         self.stats = NodeStats()
         self._listeners: List[DeliveryListener] = []
@@ -221,6 +235,10 @@ class LpbcastNode:
             return self.on_retransmit_request(message, now)
         if isinstance(message, RetransmitResponse):
             return self.on_retransmit_response(message, now)
+        if isinstance(message, EchoMessage):
+            return self.on_echo(message, now)
+        if isinstance(message, ReadyMessage):
+            return self.on_ready(message, now)
         raise TypeError(f"unknown message type: {type(message).__name__}")
 
     # ------------------------------------------------------------------
@@ -236,9 +254,12 @@ class LpbcastNode:
 
         # Phases I and II (membership layer), then phase III (events).
         self.membership.apply_membership(gossip.subs, gossip.unsubs, now)
-        self._phase3_notifications(gossip, now)
-
         out: List[Outgoing] = []
+        if self._double_echo:
+            self._phase3_double_echo(gossip, now, out)
+        else:
+            self._phase3_notifications(gossip, now)
+
         if self.config.retransmissions and gossip.event_ids:
             missing = self.retransmitter.select_missing(
                 gossip.event_ids, self.event_ids, now
@@ -347,6 +368,129 @@ class LpbcastNode:
         self.events.add(notification)
         dropped = self.events.truncate()
         self.stats.events_dropped += len(dropped)
+
+    # ------------------------------------------------------------------
+    # Double-echo delivery — Byzantine-tolerant variant
+    # ------------------------------------------------------------------
+    def _phase3_double_echo(self, gossip: GossipMessage, now: float,
+                            out: List[Outgoing]) -> None:
+        """Phase III under ``double_echo``: payloads are held back until a
+        sampled Echo quorum and then a Ready quorum certify a single digest
+        per event id (Bracha's double echo, sample-based as in "Scalable
+        Byzantine Reliable Broadcast").  The payload still rides the normal
+        gossip stream — it is staged for forwarding on first receipt — so
+        dissemination keeps its epidemic shape; only *delivery* waits.  An
+        equivocating source splits its victims' echoes across digests, so at
+        most one digest can reach quorum and no two correct nodes deliver
+        different payloads for one event id."""
+        for notification in gossip.events:
+            if notification.event_id in self.event_ids:
+                self.stats.duplicates += 1
+                continue
+            self._echo_note_payload(notification, now, out)
+
+    def _echo_entry(self, event_id: EventId) -> dict:
+        entry = self._echo_pending.get(event_id)
+        if entry is None:
+            if len(self._echo_pending) >= self.config.echo_pending_max:
+                oldest = next(iter(self._echo_pending))
+                del self._echo_pending[oldest]
+                self.stats.echo_pending_evicted += 1
+            entry = {"payload": None, "digest": None, "echoed": False,
+                     "ready": None, "echoes": {}, "readies": {}}
+            self._echo_pending[event_id] = entry
+        return entry
+
+    def _echo_note_payload(self, notification: Notification, now: float,
+                           out: List[Outgoing]) -> None:
+        entry = self._echo_entry(notification.event_id)
+        if entry["payload"] is None:
+            entry["payload"] = notification
+            entry["digest"] = payload_digest(notification.payload)
+            self._stage_for_forwarding(notification)
+        if not entry["echoed"]:
+            # Echo exactly once per event id — the digest of the *first*
+            # copy received.  Echoing later variants too would let an
+            # equivocating source drive two digests to quorum.
+            entry["echoed"] = True
+            digest = entry["digest"]
+            echo = EchoMessage(self.pid, notification.event_id, digest)
+            targets = self.membership.gossip_targets(self.config.echo_fanout)
+            for target in targets:
+                out.append(Outgoing(target, echo))
+            if targets:
+                self.stats.echoes_sent += 1
+            self._echo_register(self.pid, notification.event_id, digest,
+                                now, out)
+        self._maybe_echo_deliver(notification.event_id, now)
+
+    def on_echo(self, echo: EchoMessage, now: float) -> List[Outgoing]:
+        """Count one echo vote; a quorum for a digest triggers Ready."""
+        if not self._double_echo or echo.event_id in self.event_ids:
+            return []
+        self.stats.echoes_received += 1
+        out: List[Outgoing] = []
+        self._echo_register(echo.sender, echo.event_id, echo.digest, now, out)
+        return out
+
+    def on_ready(self, ready: ReadyMessage, now: float) -> List[Outgoing]:
+        """Count one ready vote; quorum amplifies and eventually delivers."""
+        if not self._double_echo or ready.event_id in self.event_ids:
+            return []
+        self.stats.readies_received += 1
+        out: List[Outgoing] = []
+        self._ready_register(ready.sender, ready.event_id, ready.digest,
+                             now, out)
+        return out
+
+    def _echo_register(self, sender: ProcessId, event_id: EventId,
+                       digest: int, now: float, out: List[Outgoing]) -> None:
+        entry = self._echo_entry(event_id)
+        senders = entry["echoes"].setdefault(digest, set())
+        if sender in senders:
+            return
+        senders.add(sender)
+        if entry["ready"] is None \
+                and len(senders) >= self.config.echo_threshold:
+            self._go_ready(entry, event_id, digest, now, out)
+
+    def _ready_register(self, sender: ProcessId, event_id: EventId,
+                        digest: int, now: float, out: List[Outgoing]) -> None:
+        entry = self._echo_entry(event_id)
+        senders = entry["readies"].setdefault(digest, set())
+        if sender in senders:
+            return
+        senders.add(sender)
+        if entry["ready"] is None \
+                and len(senders) >= self.config.ready_threshold:
+            # Ready amplification: a ready quorum is as convincing as an
+            # echo quorum and lets under-sampled nodes catch up.
+            self._go_ready(entry, event_id, digest, now, out)
+        self._maybe_echo_deliver(event_id, now)
+
+    def _go_ready(self, entry: dict, event_id: EventId, digest: int,
+                  now: float, out: List[Outgoing]) -> None:
+        entry["ready"] = digest
+        ready = ReadyMessage(self.pid, event_id, digest)
+        targets = self.membership.gossip_targets(self.config.echo_fanout)
+        for target in targets:
+            out.append(Outgoing(target, ready))
+        if targets:
+            self.stats.readies_sent += 1
+        self._ready_register(self.pid, event_id, digest, now, out)
+
+    def _maybe_echo_deliver(self, event_id: EventId, now: float) -> None:
+        """Deliver once the held payload's digest has a ready quorum."""
+        entry = self._echo_pending.get(event_id)
+        if entry is None or entry["payload"] is None:
+            return
+        senders = entry["readies"].get(entry["digest"], ())
+        if len(senders) < self.config.ready_threshold:
+            return
+        notification = entry["payload"]
+        del self._echo_pending[event_id]
+        self._deliver(notification, now)
+        self.retransmitter.on_received(event_id)
 
     # ------------------------------------------------------------------
     # Periodic gossip emission — Figure 1(b)

@@ -162,6 +162,7 @@ def run_campaign(
     max_n: int = 60,
     max_rounds: int = 40,
     mutation: Optional[str] = None,
+    byzantine: bool = False,
     shrink: bool = True,
     max_shrink_attempts: int = 150,
     artifact_dir: Optional[str] = None,
@@ -173,14 +174,16 @@ def run_campaign(
     Scenario ``i`` uses seed ``derive_seed(root_seed, "dst-case", i)``, so
     any failing case replays in isolation from its own seed.  ``stop_after``
     ends the campaign early once that many failures were found (the
-    self-test uses 1 — it only needs proof of detection).
+    self-test uses 1 — it only needs proof of detection).  ``byzantine``
+    draws every scenario from the adversarial family (double-echo systems
+    with liars in the plan) instead of the plain one.
     """
     say = progress if progress is not None else (lambda line: None)
     result = CampaignResult(root_seed=root_seed, count=count)
     for index in range(count):
         case_seed = derive_seed(root_seed, "dst-case", index)
         spec = generate_spec(case_seed, max_n=max_n, max_rounds=max_rounds,
-                             mutation=mutation)
+                             mutation=mutation, byzantine=byzantine)
         report = check_scenario(spec)
         result.checked += 1
         if report.ok:

@@ -16,8 +16,10 @@ failure kind is known.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional
+
+from ..core.message import GossipMessage, Outgoing
 
 
 class _DoubleFireListeners(list):
@@ -47,6 +49,46 @@ def _double_delivery_post_build(sim, spec, engine) -> None:
         return
     victim = sim.nodes[min(sim.nodes)]
     victim._listeners = _DoubleFireListeners(victim._listeners)
+
+
+def _equivocation_post_build(sim, spec, engine) -> None:
+    """Make one node of the *serial* engine equivocate on every gossip.
+
+    The victim (lowest pid, a pure function of the spec) rewrites the
+    payload of every notification it forwards, choosing the lie by
+    destination parity — different receivers observe conflicting payloads
+    for the same event id.  This is the defect class the agreement
+    invariant exists to catch: the oracle must report
+    ``invariant:agreement`` (plain lpbcast trusts the first payload it
+    hears).  Serial-only, like every engine-local planted bug: wrapping a
+    bound method would not survive pickling into shard workers, and one
+    perturbed engine is enough for the invariant oracle.
+    """
+    if engine != "serial":
+        return
+    victim = sim.nodes[min(sim.nodes)]
+    original_tick = victim.on_tick
+
+    def lying_tick(now):
+        rewritten = []
+        for outgoing in original_tick(now):
+            message = outgoing.message
+            if isinstance(message, GossipMessage) and message.events:
+                variant = outgoing.destination % 2
+                events = tuple(
+                    n._replace(payload=f"equiv:{variant}")
+                    if n.payload is not None else n
+                    for n in message.events
+                )
+                rewritten.append(
+                    Outgoing(outgoing.destination,
+                             replace(message, events=events))
+                )
+            else:
+                rewritten.append(outgoing)
+        return rewritten
+
+    victim.on_tick = lying_tick
 
 
 def _sharded_undercount_post_run(sim, spec, engine) -> None:
@@ -98,6 +140,14 @@ MUTATIONS: Dict[str, Mutation] = {
                         "boundary)",
             expected_kind="invariant",
             post_build=_double_delivery_post_build,
+        ),
+        Mutation(
+            name="equivocation",
+            description="one serial-engine node rewrites forwarded payloads "
+                        "by destination parity (an equivocating sender; "
+                        "plain lpbcast delivers conflicting payloads)",
+            expected_kind="invariant",
+            post_build=_equivocation_post_build,
         ),
         Mutation(
             name="sharded-undercount",

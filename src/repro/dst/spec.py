@@ -51,6 +51,10 @@ class ScenarioSpec:
     loss_rate: float = 0.0
     publishes: int = 1
     shards: int = 2
+    #: Run the Byzantine-tolerant double-echo delivery variant (majority
+    #: echo/ready thresholds derived from ``n``; implies the payload-only
+    #: delivery mode and no retransmissions).
+    double_echo: bool = False
     plan: FaultPlan = field(default_factory=FaultPlan)
     #: Name of a planted bug from :mod:`repro.dst.mutations` (self-test
     #: campaigns only); ``None`` runs the real code.
@@ -76,6 +80,9 @@ class ScenarioSpec:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.double_echo and self.retransmissions:
+            raise ValueError("double_echo is incompatible with "
+                             "retransmissions (delivery is quorum-gated)")
         self.config()  # LpbcastConfig.__post_init__ re-checks its bounds
         pids = set(range(self.n))
         for fault in self.plan.crashes:
@@ -88,11 +95,43 @@ class ScenarioSpec:
             strays = (set(fault.side_a) | set(fault.side_b)) - pids
             if strays:
                 raise ValueError(f"partition references unknown pids {strays}")
+        for label, faults in (("equivocate", self.plan.equivocations),
+                              ("replay", self.plan.replays),
+                              ("poison", self.plan.poisons)):
+            for fault in faults:
+                if fault.pid not in pids:
+                    raise ValueError(
+                        f"{label} fault targets unknown pid {fault.pid}")
+        for fault in self.plan.forges:
+            if fault.pid not in pids:
+                raise ValueError(f"forge fault targets unknown pid {fault.pid}")
+            if fault.victim not in pids:
+                raise ValueError(
+                    f"forge fault names unknown victim {fault.victim}")
         return self
 
     # -- derived -------------------------------------------------------------
     def config(self) -> LpbcastConfig:
         """The protocol configuration this spec describes."""
+        if self.double_echo:
+            # Majority thresholds over n: each correct node echoes at most
+            # once per event id, so no two digests can both muster
+            # ``n // 2 + 1`` echo senders — agreement holds under
+            # equivocation by counting, independent of sampling luck.
+            return LpbcastConfig(
+                fanout=self.fanout,
+                view_max=self.view_max,
+                events_max=self.events_max,
+                event_ids_max=self.event_ids_max,
+                subs_max=self.subs_max,
+                unsubs_max=self.unsubs_max,
+                retransmissions=False,
+                digest_implies_delivery=False,
+                double_echo=True,
+                echo_fanout=max(1, self.view_max),
+                echo_threshold=self.n // 2 + 1,
+                ready_threshold=self.n // 2 + 1,
+            )
         return LpbcastConfig(
             fanout=self.fanout,
             view_max=self.view_max,
@@ -110,6 +149,7 @@ class ScenarioSpec:
                 f"F={self.fanout} l={self.view_max} loss={self.loss_rate} "
                 f"publishes={self.publishes} shards={self.shards} "
                 f"plan=[{self.plan.describe()}]"
+                + (" double-echo" if self.double_echo else "")
                 + (f" mutation={self.mutation}" if self.mutation else ""))
 
     def size(self) -> int:
@@ -136,6 +176,7 @@ class ScenarioSpec:
             "loss_rate": self.loss_rate,
             "publishes": self.publishes,
             "shards": self.shards,
+            "double_echo": self.double_echo,
             "plan": self.plan.to_dict(),
             "mutation": self.mutation,
         }
@@ -160,6 +201,7 @@ class ScenarioSpec:
             loss_rate=data["loss_rate"],
             publishes=data["publishes"],
             shards=data["shards"],
+            double_echo=data.get("double_echo", False),
             plan=FaultPlan.from_dict(data.get("plan", {})),
             mutation=data.get("mutation"),
         )
@@ -218,6 +260,22 @@ def restrict_plan(plan: FaultPlan, n: int) -> FaultPlan:
     for p in plan.pauses:
         if p.pid in pids:
             restricted.pause(p.pid, at=p.at, duration=p.duration)
+    for e in plan.equivocations:
+        if e.pid in pids:
+            restricted.equivocate(e.pid, rate=e.rate, start=e.start,
+                                  stop=e.stop, variants=e.variants)
+    for f in plan.forges:
+        if f.pid in pids and f.victim in pids:
+            restricted.forge_digest(f.pid, victim=f.victim, rate=f.rate,
+                                    start=f.start, stop=f.stop)
+    for r in plan.replays:
+        if r.pid in pids:
+            restricted.replay_stale(r.pid, rate=r.rate, lag=r.lag,
+                                    start=r.start, stop=r.stop)
+    for p in plan.poisons:
+        if p.pid in pids:
+            restricted.poison_view(p.pid, rate=p.rate, count=p.count,
+                                   start=p.start, stop=p.stop)
     return restricted
 
 
@@ -226,6 +284,7 @@ def generate_spec(
     max_n: int = 60,
     max_rounds: int = 40,
     mutation: Optional[str] = None,
+    byzantine: bool = False,
 ) -> ScenarioSpec:
     """Sample one scenario from a single seed — the fuzzer's generator.
 
@@ -234,11 +293,21 @@ def generate_spec(
     always yields the same spec, independent of interpreter hash seeds or
     platform.  Ranges stay modest on purpose: DST wants many small hostile
     scenarios, not few big ones.
+
+    ``byzantine=True`` samples from the adversarial family instead (its own
+    derivation stream, so the plain family's seeds are untouched): small
+    double-echo systems with liars in the fault plan.  The family pairs
+    active liars with the double-echo variant on purpose — the campaign
+    asserts the *defended* protocol holds its invariants; the undefended
+    plain-vs-double-echo separation is pinned by a dedicated regression
+    test, not fuzzed.
     """
     if max_n < 8:
         raise ValueError("max_n must be >= 8")
     if max_rounds < 10:
         raise ValueError("max_rounds must be >= 10")
+    if byzantine:
+        return _generate_byzantine_spec(seed, max_n, max_rounds, mutation)
     rng = derive_rng(seed, "dst-spec")
     n = rng.randrange(8, max_n + 1)
     rounds = rng.randrange(10, max_rounds + 1)
@@ -266,6 +335,44 @@ def generate_spec(
         subs_max=subs_max, unsubs_max=unsubs_max,
         retransmissions=retransmissions, loss_rate=loss_rate,
         publishes=publishes, shards=shards, plan=plan, mutation=mutation,
+    ).validate()
+
+
+def _generate_byzantine_spec(
+    seed: int,
+    max_n: int,
+    max_rounds: int,
+    mutation: Optional[str],
+) -> ScenarioSpec:
+    """The adversarial scenario family: small double-echo systems, wide
+    views (echo quorums need to form), and one or two liars layered on top
+    of the usual crash-stop chaos."""
+    rng = derive_rng(seed, "dst-byz-spec")
+    n = rng.randrange(8, min(max_n, 16) + 1)
+    rounds = rng.randrange(12, min(max_rounds, 24) + 1)
+    fanout = rng.randrange(3, 5)
+    view_max = n - 1  # everyone can know everyone: quorum counting is exact
+    events_max = rng.randrange(15, 41)
+    event_ids_max = rng.randrange(30, 81)
+    subs_max = rng.randrange(5, 21)
+    unsubs_max = rng.randrange(5, 21)
+    loss_rate = round(rng.uniform(0.01, 0.1), 3) if rng.random() < 0.5 else 0.0
+    publishes = rng.randrange(1, 5)
+    shards = rng.choice((2, 3))
+    plan = FaultPlan.random(
+        list(range(n)), horizon=rounds,
+        rng=derive_rng(seed, "dst-byz-plan"),
+        intensity=round(rng.uniform(0.2, 0.8), 3),
+        byzantine_rate=round(rng.uniform(0.3, 0.9), 3),
+        byzantine_nodes=rng.randrange(1, 3),
+    )
+    return ScenarioSpec(
+        seed=seed, n=n, rounds=rounds, fanout=fanout, view_max=view_max,
+        events_max=events_max, event_ids_max=event_ids_max,
+        subs_max=subs_max, unsubs_max=unsubs_max,
+        retransmissions=False, loss_rate=loss_rate,
+        publishes=publishes, shards=shards, double_echo=True,
+        plan=plan, mutation=mutation,
     ).validate()
 
 

@@ -10,9 +10,11 @@ and sharded round engines (bit-identical runs for the same root seed),
 the chaos plays out, and :mod:`repro.faults.chaos` soaks seeded scenarios.
 """
 
+from .byzantine import equivocated_payload, mutate_message
 from .chaos import (
     PRESET_NAMES,
     ChaosResult,
+    agreement_violations,
     format_soak_report,
     run_chaos_scenario,
     run_chaos_soak,
@@ -20,17 +22,26 @@ from .chaos import (
 from .injector import FaultInjector, FaultVerdict, InjectorStats, RoundActions
 from .invariants import InvariantMonitor, InvariantViolation, Violation
 from .plan import (
+    FORGE_SEQ_BASE,
+    POISON_BASE,
     CrashFault,
     DelayFault,
     DropFault,
     DuplicateFault,
+    EquivocateFault,
     FaultPlan,
+    ForgeDigestFault,
     PartitionFault,
     PauseFault,
+    PlanCodecError,
+    PoisonViewFault,
+    ReplayStaleFault,
 )
 from .wire import DatagramFaultInjector
 
 __all__ = [
+    "FORGE_SEQ_BASE",
+    "POISON_BASE",
     "PRESET_NAMES",
     "ChaosResult",
     "CrashFault",
@@ -38,17 +49,25 @@ __all__ = [
     "DelayFault",
     "DropFault",
     "DuplicateFault",
+    "EquivocateFault",
     "FaultInjector",
     "FaultPlan",
     "FaultVerdict",
+    "ForgeDigestFault",
     "InjectorStats",
     "InvariantMonitor",
     "InvariantViolation",
     "PartitionFault",
     "PauseFault",
+    "PlanCodecError",
+    "PoisonViewFault",
+    "ReplayStaleFault",
     "RoundActions",
     "Violation",
+    "agreement_violations",
+    "equivocated_payload",
     "format_soak_report",
+    "mutate_message",
     "run_chaos_scenario",
     "run_chaos_soak",
 ]

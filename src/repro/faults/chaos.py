@@ -91,6 +91,8 @@ def run_chaos_scenario(
     publishes: int = 5,
     plan: Optional[FaultPlan] = None,
     tracing: bool = False,
+    byzantine_rate: float = 0.0,
+    byzantine_nodes: int = 0,
 ) -> ChaosResult:
     """Run one preset under one (random or given) fault plan with live
     invariant monitoring; fully determined by the arguments.
@@ -99,12 +101,28 @@ def run_chaos_scenario(
     (sends, receives, fault verdicts) into the sim's telemetry registry —
     telemetry is engine-native and consumes no randomness, so the run is
     bit-identical with tracing on or off.
+
+    ``byzantine_nodes`` > 0 turns that many processes into liars (see
+    :meth:`FaultPlan.random`) *and* builds the preset on the double-echo
+    protocol variant with majority thresholds, so the soak exercises the
+    defended configuration — the agreement invariant must then hold, which
+    ``repro chaos`` asserts as its end-of-soak SLO.
     """
     builders = _presets()
     if preset not in builders:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")
-    scenario = builders[preset](n=n, seed=seed)
+    config = None
+    if byzantine_nodes > 0:
+        from ..core.config import LpbcastConfig
+
+        config = LpbcastConfig(
+            fanout=3, view_max=n - 1,
+            double_echo=True, digest_implies_delivery=False,
+            echo_fanout=n - 1,
+            echo_threshold=n // 2 + 1, ready_threshold=n // 2 + 1,
+        )
+    scenario = builders[preset](n=n, seed=seed, config=config)
     sim = scenario.sim
     sim.telemetry.tracing = tracing
     pids = [node.pid for node in scenario.nodes]
@@ -112,7 +130,9 @@ def run_chaos_scenario(
     if plan is None:
         plan = FaultPlan.random(pids, horizon=rounds,
                                 rng=derive_rng(seed, "chaos-plan"),
-                                intensity=intensity)
+                                intensity=intensity,
+                                byzantine_rate=byzantine_rate,
+                                byzantine_nodes=byzantine_nodes)
     injector = sim.use_fault_plan(plan)
     monitor = InvariantMonitor(mode="collect").attach(sim)
 
@@ -168,6 +188,8 @@ def run_chaos_soak(
     seed: int = 0,
     intensity: float = 1.0,
     presets: Optional[Sequence[str]] = None,
+    byzantine_rate: float = 0.0,
+    byzantine_nodes: int = 0,
 ) -> List[ChaosResult]:
     """Run ``scenarios`` seeded chaos runs, cycling through ``presets``
     (default: all of them).  Each run's seed derives from ``seed`` and its
@@ -179,9 +201,20 @@ def run_chaos_soak(
         run_seed = derive_seed(seed, "chaos-soak", i)
         results.append(
             run_chaos_scenario(preset=preset, n=n, rounds=rounds,
-                               seed=run_seed, intensity=intensity)
+                               seed=run_seed, intensity=intensity,
+                               byzantine_rate=byzantine_rate,
+                               byzantine_nodes=byzantine_nodes)
         )
     return results
+
+
+def agreement_violations(results: Sequence[ChaosResult]) -> List[Violation]:
+    """Every agreement-invariant violation across a soak — the ``repro
+    chaos --byzantine-nodes`` SLO is that this list is empty."""
+    return [violation
+            for result in results
+            for violation in result.violations
+            if violation.invariant == "agreement"]
 
 
 def format_soak_report(results: Sequence[ChaosResult]) -> str:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.ids import ProcessId
-from .plan import CrashFault, FaultPlan
+from .plan import FORGE_SEQ_BASE, CrashFault, FaultPlan
 
 
 class FaultVerdict:
@@ -33,19 +33,26 @@ class FaultVerdict:
 
     ``action`` is ``"deliver"``, ``"drop"`` or ``"delay"``; ``copies`` is the
     total delivery count (2+ when duplication struck); ``delay`` is the
-    hold-back in rounds for ``"delay"``.
+    hold-back in rounds for ``"delay"``.  ``mutation`` is a Byzantine
+    payload-mutation spec (applied by :func:`repro.faults.byzantine.mutate_message`
+    at delivery time) or ``None``; ``replay`` > 0 schedules a stale copy of
+    the message that many rounds later.
     """
 
-    __slots__ = ("action", "copies", "delay")
+    __slots__ = ("action", "copies", "delay", "mutation", "replay")
 
-    def __init__(self, action: str, copies: int = 1, delay: int = 0) -> None:
+    def __init__(self, action: str, copies: int = 1, delay: int = 0,
+                 mutation: Optional[tuple] = None, replay: int = 0) -> None:
         self.action = action
         self.copies = copies
         self.delay = delay
+        self.mutation = mutation
+        self.replay = replay
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FaultVerdict({self.action!r}, copies={self.copies}, "
-                f"delay={self.delay})")
+                f"delay={self.delay}, mutation={self.mutation}, "
+                f"replay={self.replay})")
 
 
 # Shared immutable verdicts for the two overwhelmingly common outcomes.
@@ -74,6 +81,10 @@ class InjectorStats:
     crashes_applied: int = 0
     recoveries_applied: int = 0
     pause_rounds: int = 0
+    equivocated: int = 0
+    forged: int = 0
+    replayed: int = 0
+    poisoned: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -113,7 +124,8 @@ class FaultInjector:
                round_no: Optional[int] = None) -> FaultVerdict:
         """One verdict for one src→dst message; consumes the fault stream.
 
-        Check order is fixed (partition, drop, delay, duplicate) with
+        Check order is fixed (partition, drop, delay, Byzantine —
+        equivocate, forge, poison, replay — then duplicate) with
         short-circuit on a decisive outcome — the order is part of the
         determinism contract, never reorder it.
         """
@@ -136,13 +148,46 @@ class FaultInjector:
                 self.stats.delayed += 1
                 return FaultVerdict("delay", delay=d.delay)
 
+        # Byzantine behaviors of the *sender*: the verdict carries a
+        # mutation spec the engine applies to the in-flight copy at delivery
+        # time (coordinator-drawn here so both round engines see identical
+        # stream consumption; the payload itself may live on a shard).
+        # First strike wins per category.
+        mutation: Optional[tuple] = None
+        replay = 0
+        for e in self.plan.equivocations:
+            if (e.pid == src and e.start <= r < e.stop
+                    and self.rng.random() < e.rate and mutation is None):
+                self.stats.equivocated += 1
+                mutation = ("equivocate", e.variants)
+        for f in self.plan.forges:
+            if (f.pid == src and f.start <= r < f.stop
+                    and self.rng.random() < f.rate and mutation is None):
+                self.stats.forged += 1
+                mutation = ("forge", f.victim,
+                            FORGE_SEQ_BASE + self.rng.randrange(1 << 16))
+        for p in self.plan.poisons:
+            if (p.pid == src and p.start <= r < p.stop
+                    and self.rng.random() < p.rate and mutation is None):
+                self.stats.poisoned += 1
+                fabricated = p.fabricated
+                mutation = ("poison",
+                            fabricated[self.rng.randrange(len(fabricated))])
+        for rp in self.plan.replays:
+            if (rp.pid == src and rp.start <= r < rp.stop
+                    and self.rng.random() < rp.rate and replay == 0):
+                self.stats.replayed += 1
+                replay = rp.lag
+
         copies = 1
         for d in self.plan.duplicates:
             if d.start <= r < d.stop and self.rng.random() < d.rate:
                 copies += 1
-        if copies > 1:
-            self.stats.duplicated += copies - 1
-            return FaultVerdict("deliver", copies=copies)
+        if copies > 1 or mutation is not None or replay:
+            if copies > 1:
+                self.stats.duplicated += copies - 1
+            return FaultVerdict("deliver", copies=copies, mutation=mutation,
+                                replay=replay)
         return _DELIVER
 
     # -- recovery support ----------------------------------------------------
@@ -171,4 +216,12 @@ class FaultInjector:
                    if p.start <= r < p.heal]
         active += [f"pause(p{p.pid})" for p in self.plan.pauses
                    if p.at <= r < p.at + p.duration]
+        active += [f"equivocate(p{e.pid})" for e in self.plan.equivocations
+                   if e.start <= r < e.stop]
+        active += [f"forge(p{f.pid})" for f in self.plan.forges
+                   if f.start <= r < f.stop]
+        active += [f"replay(p{p.pid})" for p in self.plan.replays
+                   if p.start <= r < p.stop]
+        active += [f"poison(p{p.pid})" for p in self.plan.poisons
+                   if p.start <= r < p.stop]
         return active

@@ -27,6 +27,32 @@ attaches to a running round simulation and checks, as the run progresses:
     A fail-stopped process emits no gossip and delivers nothing (Sec. 4.1's
     crash model).
 
+Under a Byzantine :class:`~repro.faults.plan.FaultPlan` three *protocol*
+invariants join the sweep.  They are scoped to **correct** processes — pids
+outside ``plan.byzantine_pids()`` — because a liar's own deliveries prove
+nothing:
+
+``agreement``
+    No two correct processes deliver *different* payloads for the same
+    event id.  Plain lpbcast violates this under equivocation (it trusts
+    the first payload it hears); the double-echo variant
+    (``LpbcastConfig(double_echo=True)``) restores it.  Synthetic
+    digest-shortcut deliveries (payload ``None``) carry no payload claim
+    and are exempt.
+``validity``
+    A correct process only delivers payloads its (correct, watched) origin
+    actually published, and never delivers an event id such an origin never
+    issued — forged digests must not materialize ghost events.
+``view-hygiene``
+    A fabricated pid (``>= POISON_BASE``) outside the plan's
+    ``poisoned_pids()`` scope never appears in any correct view or subs
+    buffer (that would be an injector bug, flagged immediately).  Planned
+    ghosts are tolerated on plain lpbcast nodes (the paper's crash-stop
+    model trusts subscriptions) but a failure-detecting node
+    (``FdLpbcastNode``, anything with a ``detector``) must age them out:
+    a ghost continuously resident for ``poison_grace`` rounds after its
+    fault window closed is a violation.
+
 Violations carry the run's root seed and round, so every report is
 replayable: rebuild the same scenario with the same seed and the violation
 reappears at the same round.
@@ -45,6 +71,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.ids import EventId, ProcessId
+from .plan import POISON_BASE
 
 
 @dataclass(frozen=True)
@@ -92,10 +119,16 @@ class InvariantMonitor:
     seed: Optional[int] = None
     violations: List[Violation] = field(default_factory=list)
     checks_run: int = 0
+    #: Rounds a planned ghost pid may linger on a failure-detecting node
+    #: after its poison window closes (covers the detector's suspect
+    #: timeout plus gossip-propagation slack) before view-hygiene fires.
+    poison_grace: int = 10
 
     def __post_init__(self) -> None:
         if self.mode not in ("raise", "collect"):
             raise ValueError("mode must be 'raise' or 'collect'")
+        if self.poison_grace < 1:
+            raise ValueError("poison_grace must be >= 1")
         self._sim = None
         # (pid, event id) -> per-pid delivery counter at last delivery.
         self._last_seen: Dict[Tuple[ProcessId, EventId], int] = {}
@@ -103,6 +136,18 @@ class InvariantMonitor:
         self._id_window: Dict[ProcessId, int] = {}
         # pid -> gossips_sent observed when the crash was first seen.
         self._gossip_baseline: Dict[ProcessId, int] = {}
+        # -- protocol-invariant state (agreement / validity / hygiene) -----
+        self._watched: set = set()
+        # event id -> (first correct deliverer, its non-None payload).
+        self._payload_of: Dict[EventId, Tuple[ProcessId, object]] = {}
+        # event id -> payload its origin actually published (recorded from
+        # the publisher's own delivery, which always precedes any remote
+        # delivery of the same event).
+        self._published: Dict[EventId, object] = {}
+        # (pid, ghost) -> consecutive post-window rounds the ghost was seen
+        # resident on a failure-detecting node ("" once flagged).
+        self._ghost_streak: Dict[Tuple[ProcessId, ProcessId], object] = {}
+        self._poison_scope: Optional[tuple] = None
 
     # -- wiring --------------------------------------------------------------
     def attach(self, sim) -> "InvariantMonitor":
@@ -140,9 +185,35 @@ class InvariantMonitor:
         """Hook one node's delivery stream (call for nodes added later)."""
         if hasattr(node, "add_delivery_listener"):
             node.add_delivery_listener(self._on_delivery)
+        self._watched.add(pid)
         window = getattr(getattr(node, "config", None), "event_ids_max", None)
         if window is not None:
             self._id_window[pid] = window
+
+    # -- plan scope ----------------------------------------------------------
+    def _plan(self):
+        injector = getattr(self._sim, "_fault_injector", None)
+        return None if injector is None else injector.plan
+
+    def _byzantine(self) -> frozenset:
+        plan = self._plan()
+        return frozenset() if plan is None else plan.byzantine_pids()
+
+    def _poison_windows(self) -> Tuple[frozenset, Dict[ProcessId, int]]:
+        """(planned ghost pids, ghost -> latest fault-window stop), cached —
+        plans are immutable once installed."""
+        if self._poison_scope is None:
+            plan = self._plan()
+            planned: set = set()
+            stop_of: Dict[ProcessId, int] = {}
+            if plan is not None:
+                for fault in plan.poisons:
+                    for ghost in fault.fabricated:
+                        planned.add(ghost)
+                        stop_of[ghost] = max(stop_of.get(ghost, 0),
+                                             fault.stop)
+            self._poison_scope = (frozenset(planned), stop_of)
+        return self._poison_scope
 
     # -- delivery-path checks ------------------------------------------------
     def _on_delivery(self, pid: ProcessId, notification, now: float) -> None:
@@ -170,11 +241,58 @@ class InvariantMonitor:
                     f"{window} window, so it cannot have been evicted",
                 )
         self._last_seen[key] = count
+        self._check_protocol_delivery(pid, notification)
+
+    def _check_protocol_delivery(self, pid: ProcessId, notification) -> None:
+        """Agreement and validity (scoped to correct processes)."""
+        event_id = notification.event_id
+        # Test doubles sometimes deliver payload-less notification stubs;
+        # treat those like synthetic digest deliveries (payload None).
+        payload = getattr(notification, "payload", None)
+        byzantine = self._byzantine()
+
+        # Record what the origin actually published: lpb_cast always
+        # self-delivers before gossiping, so the publisher's own delivery is
+        # the ground truth every later remote delivery is held against.
+        if pid == event_id.origin and payload is not None:
+            self._published.setdefault(event_id, payload)
+
+        if pid in byzantine:
+            return  # a liar's deliveries prove nothing
+
+        if payload is not None:
+            first = self._payload_of.get(event_id)
+            if first is None:
+                self._payload_of[event_id] = (pid, payload)
+            elif payload != first[1]:
+                self._flag(
+                    "agreement", pid,
+                    f"delivered {payload!r} for {event_id} but correct "
+                    f"process {first[0]} delivered {first[1]!r}",
+                )
+
+        origin = event_id.origin
+        if (origin != pid and origin in self._watched
+                and origin not in byzantine):
+            published = self._published.get(event_id)
+            if published is None:
+                self._flag(
+                    "validity", pid,
+                    f"delivered {event_id}, which its correct origin "
+                    f"{origin} never published (ghost event)",
+                )
+            elif payload is not None and payload != published:
+                self._flag(
+                    "validity", pid,
+                    f"delivered {payload!r} for {event_id} but its origin "
+                    f"{origin} published {published!r}",
+                )
 
     # -- round-path checks ---------------------------------------------------
     def _on_round(self, round_no: int, sim) -> None:
         self.checks_run += 1
         paused = getattr(sim, "_fault_paused", frozenset())
+        byzantine = self._byzantine()
         for pid, node in sim.nodes.items():
             if pid in sim.crashed:
                 self._check_crashed_silent(pid, node)
@@ -183,6 +301,8 @@ class InvariantMonitor:
             try:
                 self._check_node_state(pid, node, round_no,
                                        skip_purge_checks=pid in paused)
+                if pid not in byzantine:
+                    self._check_view_hygiene(pid, node, round_no)
             except AttributeError:
                 # Sharded proxy without a fresh replica (or a non-lpbcast
                 # node type): state is unreadable here, not wrong.
@@ -235,6 +355,53 @@ class InvariantMonitor:
                         f"unsubscription of {unsub.pid} (t={unsub.timestamp})"
                         f" outlived its TTL {ttl} at round {round_no}",
                     )
+
+    def _check_view_hygiene(self, pid: ProcessId, node,
+                            round_no: int) -> None:
+        """Fabricated (poison) pids in membership state, scoped to plan."""
+        planned, stop_of = self._poison_windows()
+        membership: List[ProcessId] = []
+        try:
+            membership.extend(node.view)
+            membership.extend(node.subs)
+        except TypeError:
+            return
+        ghosts = {p for p in membership
+                  if isinstance(p, int) and p >= POISON_BASE}
+        for ghost in sorted(ghosts - planned):
+            self._flag(
+                "view-hygiene", pid,
+                f"fabricated pid {ghost} resides in view/subs but is "
+                f"outside the plan's poison scope",
+            )
+        if getattr(node, "detector", None) is None:
+            # Plain lpbcast trusts subscriptions (the paper's crash-stop
+            # model) — planned ghosts may circulate; only failure-detecting
+            # nodes are required to age them out.
+            return
+        for ghost in sorted(ghosts & planned):
+            key = (pid, ghost)
+            if round_no < stop_of.get(ghost, 0):
+                self._ghost_streak.pop(key, None)  # window still open
+                continue
+            streak = self._ghost_streak.get(key, 0)
+            if streak == "flagged":
+                continue
+            streak += 1
+            if streak >= self.poison_grace:
+                self._ghost_streak[key] = "flagged"
+                self._flag(
+                    "view-hygiene", pid,
+                    f"failure-detecting node retained poisoned pid {ghost} "
+                    f"for {streak} consecutive rounds after the poison "
+                    f"window closed (grace={self.poison_grace})",
+                )
+            else:
+                self._ghost_streak[key] = streak
+        # A ghost that aged out resets its residency streak.
+        for key in [k for k, v in self._ghost_streak.items()
+                    if k[0] == pid and k[1] not in ghosts and v != "flagged"]:
+            del self._ghost_streak[key]
 
     # -- reporting -----------------------------------------------------------
     def _flag(self, invariant: str, pid: Optional[ProcessId],

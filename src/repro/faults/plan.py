@@ -35,9 +35,25 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.codec import CodecError
 from ..core.ids import ProcessId
+
+#: Fabricated process ids injected by :class:`PoisonViewFault` start here —
+#: far above any real pid the builders produce, so a poisoned id is
+#: recognizable on sight and can never collide with a real process.
+POISON_BASE = 1_000_000
+
+#: Forged digest sequence numbers start here (far above any sequence a real
+#: publisher reaches in a bounded run), so a forged event id never collides
+#: with an id the victim actually published.
+FORGE_SEQ_BASE = 1_000_000
+
+
+class PlanCodecError(CodecError):
+    """A serialized fault plan names a fault kind this build does not know
+    (or is otherwise structurally unreadable)."""
 
 
 def _check_window(start: int, stop: int) -> None:
@@ -202,6 +218,106 @@ class PauseFault:
             raise ValueError("pause duration must be >= 1 round")
 
 
+@dataclass(frozen=True)
+class EquivocateFault:
+    """``pid`` lies: with probability ``rate`` it rewrites the payloads of
+    its *own* events differently per destination (``variants`` distinct
+    payload versions), in ``[start, stop)``.
+
+    This is the canonical Byzantine broadcast attack — plain lpbcast
+    delivers whichever variant arrives first at each process and violates
+    *agreement*; the double-echo variant splits the liar's echo weight
+    across digests and keeps agreement.
+    """
+
+    pid: ProcessId
+    rate: float
+    start: int = 1
+    stop: int = 2 ** 31
+    variants: int = 2
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+        if self.variants < 2:
+            raise ValueError("equivocation needs at least 2 payload variants")
+
+
+@dataclass(frozen=True)
+class ForgeDigestFault:
+    """``pid`` advertises event ids ``victim`` never published: with
+    probability ``rate`` an outgoing gossip gains a fabricated
+    ``EventId(victim, FORGE_SEQ_BASE + k)`` digest entry in ``[start, stop)``.
+
+    Under ``digest_implies_delivery`` the forged id becomes a ghost
+    delivery attributed to the victim — a *validity* violation.
+    """
+
+    pid: ProcessId
+    victim: ProcessId
+    rate: float
+    start: int = 1
+    stop: int = 2 ** 31
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+        if self.victim == self.pid:
+            raise ValueError(
+                "forge victim must differ from the forging process"
+            )
+
+
+@dataclass(frozen=True)
+class ReplayStaleFault:
+    """``pid`` replays its gossips: with probability ``rate`` a copy of an
+    outgoing message re-enters the network ``lag`` rounds later, in
+    ``[start, stop)``.  Duplicate suppression must absorb the stale copy."""
+
+    pid: ProcessId
+    rate: float
+    lag: int = 2
+    start: int = 1
+    stop: int = 2 ** 31
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+        if self.lag < 1:
+            raise ValueError("replay lag must be at least one round")
+
+
+@dataclass(frozen=True)
+class PoisonViewFault:
+    """``pid`` gossips subscriptions for ``count`` fabricated processes
+    (ids ``POISON_BASE + pid*100 + k``) with probability ``rate`` in
+    ``[start, stop)``.
+
+    Plain lpbcast has no defense — fabricated pids circulate through
+    views and subs indefinitely (the paper's crash-stop model trusts
+    subscriptions); a failure-detecting node ages them out since they never
+    gossip.  The view-hygiene invariant polices both scopes.
+    """
+
+    pid: ProcessId
+    rate: float
+    count: int = 1
+    start: int = 1
+    stop: int = 2 ** 31
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        _check_rate(self.rate)
+        if not 1 <= self.count <= 100:
+            raise ValueError("poison count must be in 1..100")
+
+    @property
+    def fabricated(self) -> Tuple[ProcessId, ...]:
+        """The fabricated pids this fault is allowed to inject."""
+        return tuple(POISON_BASE + self.pid * 100 + k
+                     for k in range(self.count))
+
+
 @dataclass
 class FaultPlan:
     """A composable schedule of fault windows.
@@ -226,6 +342,10 @@ class FaultPlan:
     partitions: List[PartitionFault] = field(default_factory=list)
     crashes: List[CrashFault] = field(default_factory=list)
     pauses: List[PauseFault] = field(default_factory=list)
+    equivocations: List[EquivocateFault] = field(default_factory=list)
+    forges: List[ForgeDigestFault] = field(default_factory=list)
+    replays: List[ReplayStaleFault] = field(default_factory=list)
+    poisons: List[PoisonViewFault] = field(default_factory=list)
 
     # -- fluent construction -------------------------------------------------
     def drop(self, rate: float, start: int = 1, stop: int = 2 ** 31,
@@ -265,14 +385,59 @@ class FaultPlan:
         self.pauses.append(PauseFault(pid, at, duration))
         return self
 
+    def equivocate(self, pid: ProcessId, rate: float = 1.0, start: int = 1,
+                   stop: int = 2 ** 31, variants: int = 2) -> "FaultPlan":
+        self.equivocations.append(
+            EquivocateFault(pid, rate, start, stop, variants)
+        )
+        return self
+
+    def forge_digest(self, pid: ProcessId, victim: ProcessId,
+                     rate: float = 1.0, start: int = 1,
+                     stop: int = 2 ** 31) -> "FaultPlan":
+        self.forges.append(ForgeDigestFault(pid, victim, rate, start, stop))
+        return self
+
+    def replay_stale(self, pid: ProcessId, rate: float = 1.0, lag: int = 2,
+                     start: int = 1, stop: int = 2 ** 31) -> "FaultPlan":
+        self.replays.append(ReplayStaleFault(pid, rate, lag, start, stop))
+        return self
+
+    def poison_view(self, pid: ProcessId, rate: float = 1.0, count: int = 1,
+                    start: int = 1, stop: int = 2 ** 31) -> "FaultPlan":
+        self.poisons.append(PoisonViewFault(pid, rate, count, start, stop))
+        return self
+
     # -- queries -------------------------------------------------------------
     def is_empty(self) -> bool:
         return not (self.drops or self.duplicates or self.delays
-                    or self.partitions or self.crashes or self.pauses)
+                    or self.partitions or self.crashes or self.pauses
+                    or self.equivocations or self.forges or self.replays
+                    or self.poisons)
 
     def fault_count(self) -> int:
         return (len(self.drops) + len(self.duplicates) + len(self.delays)
-                + len(self.partitions) + len(self.crashes) + len(self.pauses))
+                + len(self.partitions) + len(self.crashes) + len(self.pauses)
+                + len(self.equivocations) + len(self.forges)
+                + len(self.replays) + len(self.poisons))
+
+    def byzantine_pids(self) -> FrozenSet[ProcessId]:
+        """Processes given any lying behavior by this plan.  The protocol
+        invariants scope *agreement*/*validity* to processes outside this
+        set — a liar's own deliveries prove nothing."""
+        return frozenset(
+            [f.pid for f in self.equivocations]
+            + [f.pid for f in self.forges]
+            + [f.pid for f in self.replays]
+            + [f.pid for f in self.poisons]
+        )
+
+    def poisoned_pids(self) -> FrozenSet[ProcessId]:
+        """Every fabricated pid this plan may inject into views."""
+        out: set = set()
+        for fault in self.poisons:
+            out.update(fault.fabricated)
+        return frozenset(out)
 
     def describe(self) -> str:
         """One-line human summary (chaos reports embed it)."""
@@ -295,6 +460,18 @@ class FaultPlan:
             parts.append(f"crash p{c.pid}@{c.at}{rec}")
         for p in self.pauses:
             parts.append(f"pause p{p.pid}@[{p.at},{p.at + p.duration})")
+        for e in self.equivocations:
+            parts.append(f"equivocate p{e.pid} {e.rate:.0%}x{e.variants} "
+                         f"@[{e.start},{_w(e.stop)})")
+        for f in self.forges:
+            parts.append(f"forge p{f.pid}->v{f.victim} {f.rate:.0%} "
+                         f"@[{f.start},{_w(f.stop)})")
+        for r in self.replays:
+            parts.append(f"replay p{r.pid}+{r.lag} {r.rate:.0%} "
+                         f"@[{r.start},{_w(r.stop)})")
+        for p in self.poisons:
+            parts.append(f"poison p{p.pid}x{p.count} {p.rate:.0%} "
+                         f"@[{p.start},{_w(p.stop)})")
         return "; ".join(parts) if parts else "no faults"
 
     # -- serialization -------------------------------------------------------
@@ -317,12 +494,39 @@ class FaultPlan:
             "crashes": [[c.pid, c.at, c.recover_at, c.contact]
                         for c in self.crashes],
             "pauses": [[p.pid, p.at, p.duration] for p in self.pauses],
+            "equivocations": [[e.pid, e.rate, e.start, e.stop, e.variants]
+                              for e in self.equivocations],
+            "forges": [[f.pid, f.victim, f.rate, f.start, f.stop]
+                       for f in self.forges],
+            "replays": [[r.pid, r.rate, r.lag, r.start, r.stop]
+                        for r in self.replays],
+            "poisons": [[p.pid, p.rate, p.count, p.start, p.stop]
+                        for p in self.poisons],
         }
+
+    #: Every fault kind :meth:`from_dict` understands; anything else in a
+    #: serialized plan is from a newer (or corrupted) build and must be
+    #: rejected, not silently dropped — a replayed artifact that loses
+    #: faults would "pass" for the wrong reason.
+    _KNOWN_KINDS = frozenset((
+        "drops", "duplicates", "delays", "partitions", "crashes", "pauses",
+        "equivocations", "forges", "replays", "poisons",
+    ))
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
         """Rebuild a plan serialized by :meth:`to_dict` (validating every
-        window again, so hand-edited artifacts fail loudly)."""
+        window again, so hand-edited artifacts fail loudly).  Unknown fault
+        kinds raise :class:`PlanCodecError`."""
+        if not isinstance(data, dict):
+            raise PlanCodecError(f"fault plan must be a dict, got "
+                                 f"{type(data).__name__}")
+        unknown = set(data) - cls._KNOWN_KINDS
+        if unknown:
+            raise PlanCodecError(
+                f"unknown fault kind(s) in serialized plan: "
+                f"{', '.join(sorted(unknown))}"
+            )
         plan = cls()
         for rate, start, stop, src, dst in data.get("drops", ()):
             plan.drop(rate, start=start, stop=stop, src=src, dst=dst)
@@ -338,13 +542,25 @@ class FaultPlan:
             plan.crash(pid, at=at, recover_at=recover_at, contact=contact)
         for pid, at, duration in data.get("pauses", ()):
             plan.pause(pid, at=at, duration=duration)
+        for pid, rate, start, stop, variants in data.get("equivocations", ()):
+            plan.equivocate(pid, rate=rate, start=start, stop=stop,
+                            variants=variants)
+        for pid, victim, rate, start, stop in data.get("forges", ()):
+            plan.forge_digest(pid, victim, rate=rate, start=start, stop=stop)
+        for pid, rate, lag, start, stop in data.get("replays", ()):
+            plan.replay_stale(pid, rate=rate, lag=lag, start=start, stop=stop)
+        for pid, rate, count, start, stop in data.get("poisons", ()):
+            plan.poison_view(pid, rate=rate, count=count, start=start,
+                             stop=stop)
         return plan
 
     # -- randomized composition ----------------------------------------------
     @classmethod
     def random(cls, pids: Sequence[ProcessId], horizon: int,
                rng: random.Random,
-               intensity: float = 1.0) -> "FaultPlan":
+               intensity: float = 1.0,
+               byzantine_rate: float = 0.0,
+               byzantine_nodes: int = 0) -> "FaultPlan":
         """Draw a random composed plan over ``pids`` for a ``horizon``-round
         run — the chaos soak's scenario generator.
 
@@ -352,6 +568,12 @@ class FaultPlan:
         with moderate loss, one partition-with-heal, one or two
         crash(-with-recovery) events and a pause.  Every draw comes from
         ``rng``, so (pids, horizon, rng seed) fully determine the plan.
+
+        ``byzantine_nodes`` > 0 additionally turns that many processes into
+        liars, each drawing one Byzantine behavior (equivocate / forge /
+        replay / poison) firing with probability ``byzantine_rate``.  The
+        Byzantine draws happen strictly after the crash-stop draws, so plans
+        with the knobs off are bit-identical to pre-Byzantine builds.
         """
         if horizon < 8:
             raise ValueError("need a horizon of at least 8 rounds")
@@ -400,6 +622,35 @@ class FaultPlan:
                 at = rng.randrange(1, horizon - 2)
                 plan.pause(pid, at=at,
                            duration=rng.randrange(1, max(2, horizon // 5) + 1))
+        # Byzantine processes (liars) — drawn last, see docstring.
+        if byzantine_nodes > 0:
+            if not 0.0 < byzantine_rate <= 1.0:
+                raise ValueError(
+                    "byzantine_rate must be in (0, 1] when byzantine_nodes "
+                    "is set"
+                )
+            honest = [p for p in pids if p not in victims]
+            liars = rng.sample(honest, min(byzantine_nodes, len(honest)))
+            for pid in liars:
+                start = rng.randrange(1, mid + 1)
+                stop = rng.randrange(start + 2, horizon + 2)
+                kind = rng.choice(("equivocate", "forge", "replay", "poison"))
+                if kind == "equivocate":
+                    plan.equivocate(pid, rate=byzantine_rate, start=start,
+                                    stop=stop)
+                elif kind == "forge":
+                    targets = [p for p in pids if p != pid]
+                    plan.forge_digest(pid, victim=rng.choice(targets),
+                                      rate=byzantine_rate, start=start,
+                                      stop=stop)
+                elif kind == "replay":
+                    plan.replay_stale(pid, rate=byzantine_rate,
+                                      lag=rng.randrange(1, 4), start=start,
+                                      stop=stop)
+                else:
+                    plan.poison_view(pid, rate=byzantine_rate,
+                                     count=rng.randrange(1, 4), start=start,
+                                     stop=stop)
         return plan
 
 

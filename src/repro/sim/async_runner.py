@@ -58,6 +58,7 @@ class AsyncGossipRuntime:
         self._tick_listeners: List[Callable[[ProcessId, float], None]] = []
         self._fault_injector = None
         self._fault_round_duration = default_period
+        self._mutate_message = None
 
     # -- construction ------------------------------------------------------
     def add_node(self, node: GossipProcess, period: Optional[float] = None) -> None:
@@ -134,9 +135,11 @@ class AsyncGossipRuntime:
         apply at each send; paused processes skip gossips but keep their
         timers.  Returns the installed injector.
         """
+        from ..faults.byzantine import mutate_message
         from ..faults.injector import FaultInjector
 
         self._fault_injector = FaultInjector(plan, self.seeds.rng("faults"))
+        self._mutate_message = mutate_message
         if round_duration is not None:
             if round_duration <= 0:
                 raise ValueError("round_duration must be positive")
@@ -184,7 +187,8 @@ class AsyncGossipRuntime:
     def send(self, src: ProcessId, outgoings: Sequence[Outgoing]) -> None:
         """Put messages on the wire with loss and latency applied."""
         for out in outgoings:
-            copies, extra_delay = 1, 0.0
+            copies, extra_delay, replay_delay = 1, 0.0, None
+            delivery = out
             if self._fault_injector is not None:
                 verdict = self._fault_injector.decide(
                     src, out.destination, self._fault_round(self.sim.now)
@@ -195,10 +199,27 @@ class AsyncGossipRuntime:
                 if verdict.action == "delay":
                     extra_delay = verdict.delay * self._fault_round_duration
                 copies = verdict.copies
+                if verdict.mutation is not None:
+                    delivery = Outgoing(
+                        out.destination,
+                        self._mutate_message(out.message, verdict.mutation,
+                                             out.destination),
+                    )
+                if verdict.replay:
+                    replay_delay = verdict.replay * self._fault_round_duration
             if not self.network.deliverable(src, out.destination):
                 continue
             for _ in range(copies):
                 latency = self.network.draw_latency() + extra_delay
+                self.sim.schedule(
+                    latency,
+                    lambda s=src, o=delivery: self._deliver(s, o),
+                )
+            if replay_delay is not None:
+                # replay_stale: one extra, *unmutated* copy arrives lag
+                # rounds later — the async analogue of the round engines'
+                # delayed-fault replay.
+                latency = self.network.draw_latency() + replay_delay
                 self.sim.schedule(
                     latency,
                     lambda s=src, o=out: self._deliver(s, o),

@@ -96,6 +96,13 @@ def _wire_codecs():
     return pack_messages, unpack_messages
 
 
+def _byzantine_codec():
+    """Late import of the Byzantine mutation applier (the ``repro.faults``
+    package init pulls in chaos → sim, the same cycle as above)."""
+    from ..faults.byzantine import mutate_message
+    return mutate_message
+
+
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
@@ -270,7 +277,8 @@ class _ShardState:
         skipped: List[int] = []
         phase = _PHASE_GEN0 + generation
         round_no = int(now)
-        for pos, src, dst, tag in sequence:
+        mutate = None
+        for pos, src, dst, tag, mut in sequence:
             if dst in failed:
                 skipped.append(pos)
                 continue
@@ -280,6 +288,10 @@ class _ShardState:
                 message = imported[(tag[1], tag[2])]
             else:  # "M": coordinator-held payload
                 message = inline[pos]
+            if mut is not None:
+                if mutate is None:
+                    mutate = _byzantine_codec()
+                message = mutate(message, mut, dst)
             self._ctx = (phase, pos)
             self.telemetry.trace_tag = self._ctx
             if tracing:
@@ -443,16 +455,22 @@ class NodeProxy:
 
 
 class _Ref:
-    """Coordinator-side reference to a message payload held elsewhere."""
+    """Coordinator-side reference to a message payload held elsewhere.
 
-    __slots__ = ("owner", "handle", "src", "dst")
+    ``mut`` carries a Byzantine mutation spec drawn by the coordinator's
+    fault injector; the owning shard applies it to its copy of the message
+    at delivery time (the coordinator never sees the payload).
+    """
+
+    __slots__ = ("owner", "handle", "src", "dst", "mut")
 
     def __init__(self, owner: int, handle: int, src: ProcessId,
-                 dst: ProcessId) -> None:
+                 dst: ProcessId, mut: Optional[tuple] = None) -> None:
         self.owner = owner
         self.handle = handle
         self.src = src
         self.dst = dst
+        self.mut = mut
 
 
 class ShardedRoundSimulation(RoundSimulation):
@@ -666,6 +684,23 @@ class ShardedRoundSimulation(RoundSimulation):
                     (self.round + verdict.delay, ref)
                 )
                 continue
+            if verdict.replay:
+                # Byzantine replay: an unmutated stale ref re-enters with
+                # the carryover ``replay`` rounds later (fresh handle for
+                # coordinator-held payloads — the inline path pops them).
+                if ref.owner == _MAIN:
+                    handle = self._main_counter
+                    self._main_counter += 1
+                    self._main_messages[handle] = \
+                        self._main_messages[ref.handle]
+                    stale = _Ref(_MAIN, handle, ref.src, ref.dst)
+                else:
+                    stale = _Ref(ref.owner, ref.handle, ref.src, ref.dst)
+                self._delayed_faults.append(
+                    (self.round + verdict.replay, stale)
+                )
+            if verdict.mutation is not None:
+                ref.mut = verdict.mutation
             expanded.append(ref)
             for _ in range(verdict.copies - 1):
                 if ref.owner == _MAIN:
@@ -675,10 +710,12 @@ class ShardedRoundSimulation(RoundSimulation):
                     self._main_counter += 1
                     self._main_messages[handle] = \
                         self._main_messages[ref.handle]
-                    expanded.append(_Ref(_MAIN, handle, ref.src, ref.dst))
+                    expanded.append(_Ref(_MAIN, handle, ref.src, ref.dst,
+                                         verdict.mutation))
                 else:
                     expanded.append(
-                        _Ref(ref.owner, ref.handle, ref.src, ref.dst)
+                        _Ref(ref.owner, ref.handle, ref.src, ref.dst,
+                             verdict.mutation)
                     )
         return expanded
 
@@ -865,7 +902,8 @@ class ShardedRoundSimulation(RoundSimulation):
             else:
                 inline[dst_shard][pos] = self._main_messages.pop(ref.handle)
                 tag = ("M",)
-            deliveries[dst_shard].append((pos, ref.src, ref.dst, tag))
+            deliveries[dst_shard].append((pos, ref.src, ref.dst, tag,
+                                          ref.mut))
 
         # Cross-shard mailboxes: each source shard dedups its wanted
         # payloads by identity, pickles each unique group once (see

@@ -111,6 +111,7 @@ class RoundSimulation:
         self._fault_injector = None
         self._fault_paused: frozenset = frozenset()
         self._delayed_faults: List[tuple] = []
+        self._mutate_message = None
 
     # -- construction ------------------------------------------------------
     def add_node(self, node: GossipProcess) -> None:
@@ -139,9 +140,11 @@ class RoundSimulation:
         seed and plan replay bit-for-bit (on this and the sharded engine).
         Returns the installed :class:`~repro.faults.injector.FaultInjector`
         (its ``stats`` count the faults that actually struck)."""
+        from ..faults.byzantine import mutate_message
         from ..faults.injector import FaultInjector
 
         self._fault_injector = FaultInjector(plan, self.seeds.rng("faults"))
+        self._mutate_message = mutate_message
         return self._fault_injector
 
     # -- runtime control ---------------------------------------------------
@@ -326,7 +329,8 @@ class RoundSimulation:
                       ) -> List[Tuple[ProcessId, Outgoing]]:
         """One injector verdict per queued message, in shuffled order:
         drops vanish, delays move to the hold-back list, duplicates appear
-        immediately after their original."""
+        immediately after their original, Byzantine mutations rewrite the
+        delivered copy, and replays schedule an extra stale copy."""
         expanded: List[Tuple[ProcessId, Outgoing]] = []
         for src, out in queue:
             verdict = self._fault_injector.decide(src, out.destination)
@@ -338,6 +342,18 @@ class RoundSimulation:
                     (self.round + verdict.delay, (src, out))
                 )
                 continue
+            if verdict.replay:
+                # Byzantine replay: a stale, unmutated copy re-enters with
+                # the carryover ``replay`` rounds later and receives its own
+                # verdict then (matching the sharded engine exactly).
+                self._delayed_faults.append(
+                    (self.round + verdict.replay, (src, out))
+                )
+            if verdict.mutation is not None:
+                mutated = self._mutate_message(out.message, verdict.mutation,
+                                               out.destination)
+                if mutated is not out.message:
+                    out = Outgoing(out.destination, mutated)
             for _ in range(verdict.copies):
                 expanded.append((src, out))
         return expanded
@@ -353,9 +369,16 @@ class RoundSimulation:
         elif verdict.action == "delay":
             self.telemetry.emit("fault.delay", at, pid=src, peer=dst,
                                 delay=verdict.delay)
-        elif verdict.copies > 1:
-            self.telemetry.emit("fault.duplicate", at, pid=src, peer=dst,
-                                copies=verdict.copies)
+        else:
+            if verdict.copies > 1:
+                self.telemetry.emit("fault.duplicate", at, pid=src, peer=dst,
+                                    copies=verdict.copies)
+            if verdict.mutation is not None:
+                self.telemetry.emit("fault.byzantine", at, pid=src, peer=dst,
+                                    kind=verdict.mutation[0])
+            if verdict.replay:
+                self.telemetry.emit("fault.replay", at, pid=src, peer=dst,
+                                    lag=verdict.replay)
 
     # -- delivery ----------------------------------------------------------
     def _admit(self, src: ProcessId, dst: ProcessId) -> bool:

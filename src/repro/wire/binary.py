@@ -34,7 +34,9 @@ from ..core.codec import CodecError
 from ..core.events import Notification, Unsubscription
 from ..core.ids import EventId
 from ..core.message import (
+    EchoMessage,
     GossipMessage,
+    ReadyMessage,
     RetransmitRequest,
     RetransmitResponse,
     SubscriptionAck,
@@ -77,6 +79,8 @@ TAG_LOG_ACK = 0x0A
 TAG_RECOVERY_REQUEST = 0x0B
 TAG_RECOVERY_RESPONSE = 0x0C
 TAG_TOPIC_ENVELOPE = 0x0D
+TAG_ECHO = 0x0E
+TAG_READY = 0x0F
 
 _F64 = struct.Struct("<d")
 
@@ -370,6 +374,17 @@ def _encode_body(buf: bytearray, message, strict: bool) -> None:
         write_svarint(buf, message.logger)
         write_svarint(buf, message.event_id.origin)
         write_svarint(buf, message.event_id.seq)
+    elif kind is EchoMessage or kind is ReadyMessage:
+        buf.append(TAG_ECHO if kind is EchoMessage else TAG_READY)
+        write_svarint(buf, message.sender)
+        write_svarint(buf, message.event_id.origin)
+        write_svarint(buf, message.event_id.seq)
+        if not isinstance(message.digest, int) or message.digest < 0:
+            raise WireEncodeError(
+                f"echo/ready digest must be a non-negative int, "
+                f"got {message.digest!r}"
+            )
+        write_uvarint(buf, message.digest)
     elif kind is RecoveryRequest:
         buf.append(TAG_RECOVERY_REQUEST)
         write_svarint(buf, message.requester)
@@ -440,6 +455,13 @@ def _decode_body(data, pos: int) -> Tuple[object, int]:
         origin, pos = read_svarint(data, pos)
         seq, pos = read_svarint(data, pos)
         return LogUploadAck(logger, EventId(origin, seq)), pos
+    if tag == TAG_ECHO or tag == TAG_READY:
+        sender, pos = read_svarint(data, pos)
+        origin, pos = read_svarint(data, pos)
+        seq, pos = read_svarint(data, pos)
+        digest, pos = read_uvarint(data, pos)
+        kind = EchoMessage if tag == TAG_ECHO else ReadyMessage
+        return kind(sender, EventId(origin, seq), digest), pos
     if tag == TAG_RECOVERY_REQUEST:
         pid, pos = read_svarint(data, pos)
         frontier, pos = _r_event_ids(data, pos, limit)

@@ -17,7 +17,9 @@ from typing import List, Tuple
 from ..core.events import Notification, Unsubscription
 from ..core.ids import EventId
 from ..core.message import (
+    EchoMessage,
     GossipMessage,
+    ReadyMessage,
     RetransmitRequest,
     SubscriptionAck,
 )
@@ -57,6 +59,17 @@ def _vectors() -> List[Tuple[object, str]]:
                                              event_ids=(EventId(1, 1),
                                                         EventId(1, 2)))),
             "0d01740102000000020202020200",
+        ),
+        # Double-echo records: digests are payload_digest() values — the
+        # first 8 bytes of the payload's canonical-JSON sha256, so the
+        # vectors also pin the digest derivation itself.
+        (
+            EchoMessage(3, EventId(2, 5), 0x5AA762AE383FBB72),
+            "0e06040af2f6fec1e3d5d8d35a",
+        ),
+        (
+            ReadyMessage(4, EventId(2, 5), 0x015ABD7F5CC57A2D),
+            "0f08040aadf495e6f5afafad01",
         ),
     ]
 

@@ -51,6 +51,55 @@ class TestGenerateSpec:
         assert len(set(seeds)) == 10
 
 
+class TestByzantineFamily:
+    def test_same_seed_same_spec(self):
+        assert generate_spec(7, byzantine=True) == \
+            generate_spec(7, byzantine=True)
+
+    def test_byzantine_specs_pair_liars_with_double_echo(self):
+        for seed in range(15):
+            spec = generate_spec(seed, byzantine=True)
+            spec.validate()
+            assert spec.double_echo
+            assert spec.plan.byzantine_pids(), spec.describe()
+            assert "double-echo" in spec.describe()
+
+    def test_byzantine_family_leaves_plain_seeds_untouched(self):
+        # The adversarial family derives from its own rng streams, so
+        # enabling it cannot shift what plain seeds generate.
+        assert generate_spec(7) == generate_spec(7, byzantine=False)
+        assert generate_spec(7, byzantine=True) != generate_spec(7)
+
+    def test_double_echo_round_trips(self):
+        for seed in range(5):
+            spec = generate_spec(seed, byzantine=True)
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec
+            assert rebuilt.double_echo
+
+    def test_double_echo_config_uses_majority_thresholds(self):
+        spec = generate_spec(3, byzantine=True)
+        cfg = spec.config()
+        assert cfg.double_echo
+        assert not cfg.digest_implies_delivery
+        assert cfg.echo_threshold == spec.n // 2 + 1
+        assert cfg.ready_threshold == spec.n // 2 + 1
+
+    def test_double_echo_conflicts_with_retransmissions(self):
+        spec = ScenarioSpec(seed=0, n=8, rounds=10, double_echo=True,
+                            retransmissions=True)
+        with pytest.raises(ValueError, match="retransmissions"):
+            spec.validate()
+
+    def test_byzantine_plan_targets_validated(self):
+        plan = FaultPlan().equivocate(99, rate=0.5)
+        with pytest.raises(ValueError, match="unknown pid"):
+            ScenarioSpec(seed=0, n=8, rounds=10, plan=plan).validate()
+        plan = FaultPlan().forge_digest(1, victim=99, rate=0.5)
+        with pytest.raises(ValueError, match="unknown victim"):
+            ScenarioSpec(seed=0, n=8, rounds=10, plan=plan).validate()
+
+
 class TestSerialization:
     def test_json_round_trip(self):
         for seed in range(10):
@@ -119,3 +168,16 @@ class TestRestrictPlan:
         smaller = spec.with_overrides(n=6)
         assert smaller.plan.is_empty()
         smaller.validate()
+
+    def test_byzantine_faults_restricted_with_their_targets(self):
+        plan = (FaultPlan()
+                .equivocate(2, rate=0.5)
+                .equivocate(9, rate=0.5)
+                .forge_digest(3, victim=8, rate=0.5)   # victim leaves range
+                .replay_stale(4, rate=0.5)
+                .poison_view(9, rate=0.5))
+        restricted = restrict_plan(plan, 5)
+        assert [f.pid for f in restricted.equivocations] == [2]
+        assert not restricted.forges
+        assert [f.pid for f in restricted.replays] == [4]
+        assert not restricted.poisons

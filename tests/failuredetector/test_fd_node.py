@@ -76,6 +76,54 @@ class TestCrashDetection:
         sim.run(10)
         assert log.delivery_count(event.event_id) == 25
 
+    def test_poisoned_pids_age_out_of_views_and_subs(self):
+        """Under a poison_view plan, fabricated pids enter circulation but
+        never gossip — failure detection must purge them from views *and*
+        subs once they exceed the suspect timeout, within the invariant
+        monitor's grace window."""
+        from repro.faults import FaultPlan, InvariantMonitor
+
+        sim, nodes = build_fd_system(n=16, seed=5, suspect=4.0)
+        liar = nodes[15].pid
+        plan = FaultPlan().poison_view(liar, rate=1.0, count=2,
+                                       start=1, stop=6)
+        sim.use_fault_plan(plan)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        sim.run(5)  # poison window: ghosts circulate
+        ghosts = plan.poisoned_pids()
+        seen = sum(1 for n in nodes for g in ghosts
+                   if g in n.view or g in n.subs.snapshot())
+        assert seen > 0, "the poison fault never landed"
+        sim.run(20)  # window closed at 6; detection ages the ghosts out
+        for node in nodes:
+            for ghost in ghosts:
+                assert ghost not in node.view, (node.pid, ghost)
+                assert ghost not in node.subs.snapshot(), (node.pid, ghost)
+        hygiene = [v for v in monitor.violations
+                   if v.invariant == "view-hygiene"]
+        assert not hygiene, monitor.report()
+
+    def test_poison_does_not_resurrect_crashed_nodes(self):
+        """A crashed-silent process and a fabricated ghost look the same to
+        the detector (no heartbeats); poisoning traffic must not re-plant
+        the crashed pid in anyone's view."""
+        from repro.faults import FaultPlan
+
+        sim, nodes = build_fd_system(n=16, seed=6, suspect=4.0)
+        victim = nodes[3].pid
+        liar = nodes[15].pid
+        sim.use_fault_plan(
+            FaultPlan()
+            .crash(victim, at=2)
+            .poison_view(liar, rate=1.0, count=2, start=1, stop=8))
+        sim.run(25)
+        assert not sim.alive(victim)
+        survivors = [n for n in nodes
+                     if n.pid != victim and sim.alive(n.pid)]
+        assert survivors
+        assert all(victim not in n.view for n in survivors)
+        assert all(victim not in n.subs.snapshot() for n in survivors)
+
     def test_suspected_process_recovers_via_gossip(self):
         # A partition-like silence: node 5 is cut off, suspected, then the
         # cut heals and its own gossiping re-establishes it.

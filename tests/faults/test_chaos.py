@@ -6,6 +6,7 @@ from repro.faults import FaultPlan
 from repro.faults.chaos import (
     PRESET_NAMES,
     ChaosResult,
+    agreement_violations,
     format_soak_report,
     run_chaos_scenario,
     run_chaos_soak,
@@ -62,6 +63,47 @@ class TestSoak:
         results = run_chaos_soak(scenarios=3, n=20, rounds=15, seed=4,
                                  presets=["flash_crowd"])
         assert [r.preset for r in results] == ["flash_crowd"] * 3
+
+
+class TestByzantineSoak:
+    def test_byzantine_knobs_build_double_echo_systems_with_liars(self):
+        result = run_chaos_scenario(preset="steady_state", n=24, rounds=25,
+                                    seed=5, byzantine_rate=0.6,
+                                    byzantine_nodes=2)
+        assert "byzantine" not in result.plan_summary  # plan speaks faults
+        assert any(tag in result.plan_summary
+                   for tag in ("equivocate", "forge", "replay", "poison"))
+        struck = (result.fault_stats["equivocated"]
+                  + result.fault_stats["forged"]
+                  + result.fault_stats["replayed"]
+                  + result.fault_stats["poisoned"])
+        assert struck > 0, result.fault_stats
+
+    def test_byzantine_soak_meets_the_agreement_slo(self):
+        """The ``repro chaos --byzantine-nodes`` SLO: a defended
+        (double-echo) soak under liars shows zero agreement violations."""
+        results = run_chaos_soak(scenarios=3, n=24, rounds=25, seed=5,
+                                 presets=["steady_state", "flaky_wan"],
+                                 byzantine_rate=0.6, byzantine_nodes=2)
+        assert agreement_violations(results) == [], \
+            format_soak_report(results)
+
+    def test_agreement_violations_filters_by_invariant(self):
+        from repro.faults.invariants import Violation
+
+        agree = Violation("agreement", 4, 6, 13, "conflict")
+        other = Violation("buffer-bounds", 2, 3, 13, "overflow")
+        results = [
+            ChaosResult(preset="steady_state", seed=13, n=10, rounds=10,
+                        plan_summary="p", events_published=1,
+                        reliability=None, worst_event_coverage=None,
+                        survivors=9, violations=[agree, other]),
+            ChaosResult(preset="flaky_wan", seed=14, n=10, rounds=10,
+                        plan_summary="p", events_published=1,
+                        reliability=None, worst_event_coverage=None,
+                        survivors=9, violations=[]),
+        ]
+        assert agreement_violations(results) == [agree]
 
 
 class TestReporting:

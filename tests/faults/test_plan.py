@@ -5,13 +5,19 @@ import random
 import pytest
 
 from repro.faults import (
+    POISON_BASE,
     CrashFault,
     DelayFault,
     DropFault,
     DuplicateFault,
+    EquivocateFault,
     FaultPlan,
+    ForgeDigestFault,
     PartitionFault,
     PauseFault,
+    PlanCodecError,
+    PoisonViewFault,
+    ReplayStaleFault,
 )
 
 
@@ -104,6 +110,110 @@ class TestSemantics:
         assert FaultPlan().describe() == "no faults"
 
 
+class TestByzantineValidation:
+    def test_equivocation_needs_two_variants(self):
+        with pytest.raises(ValueError):
+            EquivocateFault(pid=1, rate=0.5, variants=1)
+        EquivocateFault(pid=1, rate=0.5, variants=2)
+
+    def test_forge_victim_must_differ(self):
+        with pytest.raises(ValueError):
+            ForgeDigestFault(pid=1, victim=1, rate=0.5)
+
+    def test_replay_lag_positive(self):
+        with pytest.raises(ValueError):
+            ReplayStaleFault(pid=1, rate=0.5, lag=0)
+
+    def test_poison_count_bounds(self):
+        with pytest.raises(ValueError):
+            PoisonViewFault(pid=1, rate=0.5, count=0)
+        with pytest.raises(ValueError):
+            PoisonViewFault(pid=1, rate=0.5, count=101)
+
+    def test_byzantine_windows_and_rates_validated(self):
+        with pytest.raises(ValueError):
+            EquivocateFault(pid=1, rate=0.5, start=5, stop=5)
+        with pytest.raises(ValueError):
+            PoisonViewFault(pid=1, rate=1.5)
+
+    def test_fabricated_pids_live_above_poison_base(self):
+        fault = PoisonViewFault(pid=7, rate=0.5, count=3)
+        assert fault.fabricated == (POISON_BASE + 700, POISON_BASE + 701,
+                                    POISON_BASE + 702)
+
+    def test_byzantine_pids_union_all_lying_kinds(self):
+        plan = (FaultPlan()
+                .equivocate(1, rate=0.5)
+                .forge_digest(2, victim=9, rate=0.5)
+                .replay_stale(3, rate=0.5)
+                .poison_view(4, rate=0.5, count=2))
+        assert plan.byzantine_pids() == frozenset({1, 2, 3, 4})
+        assert plan.poisoned_pids() == frozenset(
+            {POISON_BASE + 400, POISON_BASE + 401})
+
+    def test_describe_mentions_byzantine_faults(self):
+        plan = (FaultPlan()
+                .equivocate(1, rate=0.8, variants=3, start=2, stop=9)
+                .forge_digest(2, victim=9, rate=0.5)
+                .replay_stale(3, rate=0.5, lag=2)
+                .poison_view(4, rate=0.5, count=2))
+        text = plan.describe()
+        assert "equivocate p1 80%x3" in text
+        assert "forge p2->v9" in text
+        assert "replay p3+2" in text
+        assert "poison p4x2" in text
+
+
+def _full_plan() -> FaultPlan:
+    """One of every builder — the serialization round-trip fixture."""
+    return (FaultPlan()
+            .drop(0.1, start=2, stop=20, src=1, dst=2)
+            .duplicate(0.05, start=1, stop=15)
+            .delay(0.04, delay=2, start=3, stop=12)
+            .partition([1, 2], [3, 4], start=5, heal=9, direction="a-to-b")
+            .crash(5, at=4, recover_at=11, contact=6)
+            .pause(7, at=6, duration=3)
+            .equivocate(8, rate=0.7, start=2, stop=10, variants=3)
+            .forge_digest(9, victim=1, rate=0.5, start=3, stop=8)
+            .replay_stale(10, rate=0.4, lag=2, start=1, stop=9)
+            .poison_view(11, rate=0.6, count=2, start=2, stop=7))
+
+
+class TestSerialization:
+    def test_round_trip_covers_every_builder(self):
+        plan = _full_plan()
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert rebuilt.describe() == plan.describe()
+        assert rebuilt.fault_count() == plan.fault_count() == 10
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        plan = _full_plan()
+        rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt.to_dict() == plan.to_dict()
+
+    def test_empty_plan_round_trips(self):
+        assert FaultPlan.from_dict(FaultPlan().to_dict()).is_empty()
+
+    def test_unknown_fault_kind_rejected(self):
+        data = _full_plan().to_dict()
+        data["time-travel"] = [[1, 2, 3]]
+        with pytest.raises(PlanCodecError, match="time-travel"):
+            FaultPlan.from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(PlanCodecError, match="dict"):
+            FaultPlan.from_dict([1, 2, 3])
+
+    def test_from_dict_revalidates_windows(self):
+        data = FaultPlan().equivocate(1, rate=0.5).to_dict()
+        data["equivocations"][0][4] = 1  # variants below the minimum
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict(data)
+
+
 class TestRandomComposition:
     def test_same_seed_same_plan(self):
         pids = list(range(20))
@@ -136,3 +246,35 @@ class TestRandomComposition:
             FaultPlan.random([1, 2, 3], horizon=40, rng=random.Random(0))
         with pytest.raises(ValueError):
             FaultPlan.random(list(range(10)), horizon=4, rng=random.Random(0))
+
+    def test_byzantine_knobs_add_liars(self):
+        pids = list(range(20))
+        for s in range(6):
+            plan = FaultPlan.random(pids, horizon=30, rng=random.Random(s),
+                                    byzantine_rate=0.5, byzantine_nodes=2)
+            liars = plan.byzantine_pids()
+            assert 1 <= len(liars) <= 2
+            assert liars <= set(pids)
+            # Liars never overlap the crash victims: a crashed process
+            # cannot lie.
+            assert not liars & {c.pid for c in plan.crashes}
+
+    def test_byzantine_knobs_off_leave_plain_draws_untouched(self):
+        pids = list(range(20))
+        plain = FaultPlan.random(pids, horizon=30, rng=random.Random(3))
+        with_knob = FaultPlan.random(pids, horizon=30, rng=random.Random(3),
+                                     byzantine_rate=0.5, byzantine_nodes=1)
+        assert plain.byzantine_pids() == frozenset()
+        # The Byzantine draws come strictly after the crash-stop draws, so
+        # the crash-stop part of the plan is bit-identical either way.
+        plain_dict = plain.to_dict()
+        knob_dict = with_knob.to_dict()
+        for kind in ("drops", "duplicates", "delays", "partitions",
+                     "crashes", "pauses"):
+            assert plain_dict[kind] == knob_dict[kind]
+
+    def test_byzantine_rate_validated(self):
+        with pytest.raises(ValueError, match="byzantine_rate"):
+            FaultPlan.random(list(range(10)), horizon=20,
+                             rng=random.Random(0), byzantine_nodes=1,
+                             byzantine_rate=0.0)

@@ -7,7 +7,9 @@ from repro.core.codec import CodecError, from_json, to_json
 from repro.core.events import Notification, Unsubscription
 from repro.core.ids import EventId
 from repro.core.message import (
+    EchoMessage,
     GossipMessage,
+    ReadyMessage,
     RetransmitRequest,
     RetransmitResponse,
     SubscriptionAck,
@@ -58,8 +60,14 @@ gossips = st.builds(
     heartbeats=heartbeats,
 )
 
+# payload_digest() values span the full 64-bit range (first 8 bytes of a
+# sha256), so the digest strategy must too.
+digests = st.integers(min_value=0, max_value=2**64 - 1)
+
 any_message = st.one_of(
     gossips,
+    st.builds(EchoMessage, sender=pids, event_id=event_ids, digest=digests),
+    st.builds(ReadyMessage, sender=pids, event_id=event_ids, digest=digests),
     st.builds(SubscriptionRequest, subscriber=pids),
     st.builds(SubscriptionAck, contact=pids,
               view_sample=st.lists(pids, max_size=6).map(tuple)),

@@ -21,3 +21,16 @@ class TestGoldenVectors:
     def test_vector_set_is_nontrivial(self):
         kinds = {type(m).__name__ for m, _ in GOLDEN_VECTORS}
         assert {"GossipMessage", "PbcastDigest", "TopicEnvelope"} <= kinds
+
+    def test_double_echo_records_are_pinned(self):
+        # The Echo/Ready vectors also pin the payload_digest derivation:
+        # the embedded digests are payload_digest("hello") and
+        # payload_digest({"a": 1}).
+        from repro.core.node import payload_digest
+
+        kinds = {type(m).__name__ for m, _ in GOLDEN_VECTORS}
+        assert {"EchoMessage", "ReadyMessage"} <= kinds
+        digests = {m.digest for m, _ in GOLDEN_VECTORS
+                   if type(m).__name__ in ("EchoMessage", "ReadyMessage")}
+        assert payload_digest("hello") in digests
+        assert payload_digest({"a": 1}) in digests
