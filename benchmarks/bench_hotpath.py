@@ -15,13 +15,19 @@ so successive runs (and future PRs) are comparable:
   read straight from the ``time.shard.sync`` phase timer;
 * ``codec`` — wire-codec encode/decode throughput and encoded size over a
   captured corpus of real gossip traffic, for both the JSON and binary
-  formats, plus the golden byte-vector check.
+  formats, plus the golden byte-vector check;
+* ``columnar`` — the mega-scale columnar engine: wall-clock for n=100,000
+  over 20 rounds (acceptance bar: under 60 s), the columnar-vs-serial
+  rounds/s speedup at the serial loop's n (bar: ≥20x), and a fixed-seed
+  honoured-subset parity check against the serial engine.
 
 ``--check`` runs the same code at toy sizes and asserts only *correctness*
 properties — the emitted document validates against the schema, the
-serial/sharded engines produce identical counter fingerprints, the golden
-byte vectors hold and the binary codec stays ≥2x smaller than JSON — never
-wall-clock thresholds, so it is safe on noisy shared CI runners.
+serial/sharded engines produce identical counter fingerprints, the columnar
+honoured subset matches serial, the golden byte vectors hold and the binary
+codec stays ≥2x smaller than JSON — never wall-clock thresholds, so it is
+safe on noisy shared CI runners.  The wall-clock acceptance bars (60 s /
+20x) are enforced in full mode only.
 """
 
 from __future__ import annotations
@@ -47,7 +53,7 @@ from repro.sim import (  # noqa: E402
     create_simulation,
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The document contract, checked by :func:`validate`: each leaf is the
 #: required type (a tuple means "any of these types").  Kept dependency-free
@@ -88,6 +94,19 @@ SCHEMA = {
             "serial_sha256": str,
             "sharded_sha256": str,
             "agree": bool,
+        },
+        "columnar": {
+            "backend": str,
+            "mega_n": int,
+            "mega_rounds": int,
+            "mega_seconds": float,
+            "mega_rounds_per_sec": float,
+            "speedup_n": int,
+            "speedup_rounds": int,
+            "serial_rounds_per_sec": float,
+            "columnar_rounds_per_sec": float,
+            "speedup": float,
+            "honoured_parity": bool,
         },
         "codec": {
             "corpus_n": int,
@@ -219,8 +238,8 @@ def bench_parity(n, rounds, seed=20260806, shards=2):
         cfg = LpbcastConfig(fanout=3, view_max=15)
         nodes = build_lpbcast_nodes(n, cfg, seed=seed)
         network = NetworkModel(loss_rate=0.05, rng=random.Random(seed + 1))
-        sim = create_simulation(engine, network=network, seed=seed,
-                                shards=shards)
+        extra = {"shards": shards} if engine == "sharded" else {}
+        sim = create_simulation(engine, network=network, seed=seed, **extra)
         sim.add_nodes(nodes)
         sim.nodes[nodes[0].pid].lpb_cast("evt", 0.0)
         try:
@@ -234,6 +253,62 @@ def bench_parity(n, rounds, seed=20260806, shards=2):
             "serial_sha256": digests["serial"],
             "sharded_sha256": digests["sharded"],
             "agree": digests["serial"] == digests["sharded"]}
+
+
+def bench_columnar(mega_n, mega_rounds, speedup_rounds, serial_loop,
+                   seed=7):
+    """The mega-scale engine: n=100k wall-clock, speedup vs serial, and a
+    fixed-seed honoured-subset parity check.
+
+    The mega run bootstraps columns directly (:meth:`build` — no per-node
+    objects); the speedup run ingests the same prebuilt nodes the serial
+    loop used so the two engines time the identical scenario shape.
+    """
+    from repro.sim import ColumnarRoundSimulation
+    from repro.sim.columnar_runner import honoured_records
+    from repro.telemetry import counter_records
+
+    cfg = LpbcastConfig(fanout=3, view_max=25)
+    sim = ColumnarRoundSimulation.build(mega_n, cfg, seed=seed)
+    sim.nodes[0].lpb_cast("mega", 0.0)
+    begin = time.perf_counter()
+    sim.run(mega_rounds)
+    mega_seconds = time.perf_counter() - begin
+
+    n = serial_loop["n"]
+    nodes = build_lpbcast_nodes(n, cfg, seed=42)
+    csim = create_simulation("columnar", seed=42)
+    csim.add_nodes(nodes)
+    for i in range(3):
+        csim.nodes[nodes[i].pid].lpb_cast(f"warm-{i}", 0.0)
+    csim.run(2)
+    begin = time.perf_counter()
+    csim.run(speedup_rounds)
+    columnar_rps = speedup_rounds / (time.perf_counter() - begin)
+    serial_rps = serial_loop["rounds_per_sec"]
+
+    honoured = {}
+    for engine in ("serial", "columnar"):
+        pnodes = build_lpbcast_nodes(64, cfg, seed=9)
+        psim = create_simulation(engine, seed=9)
+        psim.add_nodes(pnodes)
+        psim.nodes[pnodes[0].pid].lpb_cast("evt", 0.0)
+        psim.run(6)
+        honoured[engine] = honoured_records(counter_records(psim.telemetry))
+
+    return {
+        "backend": sim.backend,
+        "mega_n": mega_n,
+        "mega_rounds": mega_rounds,
+        "mega_seconds": mega_seconds,
+        "mega_rounds_per_sec": mega_rounds / mega_seconds,
+        "speedup_n": n,
+        "speedup_rounds": speedup_rounds,
+        "serial_rounds_per_sec": serial_rps,
+        "columnar_rounds_per_sec": columnar_rps,
+        "speedup": columnar_rps / serial_rps,
+        "honoured_parity": honoured["serial"] == honoured["columnar"],
+    }
 
 
 def bench_codec(n, rounds, seed=2026):
@@ -299,22 +374,28 @@ def bench_codec(n, rounds, seed=2026):
 FULL_PARAMS = dict(tick_iters=2000, recv_iters=20000, loop_n=5000,
                    loop_rounds=8, sync_n=2000, sync_rounds=5, sync_shards=4,
                    parity_n=200, parity_rounds=8,
-                   codec_n=500, codec_rounds=6)
+                   codec_n=500, codec_rounds=6,
+                   mega_n=100_000, mega_rounds=20, col_rounds=40)
 CHECK_PARAMS = dict(tick_iters=200, recv_iters=1000, loop_n=200,
                     loop_rounds=3, sync_n=120, sync_rounds=3, sync_shards=2,
                     parity_n=96, parity_rounds=6,
-                    codec_n=150, codec_rounds=4)
+                    codec_n=150, codec_rounds=4,
+                    mega_n=1500, mega_rounds=4, col_rounds=3)
 
 
 def run(params, mode):
+    serial_loop = bench_serial_round_loop(
+        params["loop_n"], params["loop_rounds"])
     results = {
         "node_tick": bench_node_tick(params["tick_iters"]),
         "node_receive": bench_node_receive(params["recv_iters"]),
-        "serial_round_loop": bench_serial_round_loop(
-            params["loop_n"], params["loop_rounds"]),
+        "serial_round_loop": serial_loop,
         "shard_sync": bench_shard_sync(
             params["sync_n"], params["sync_rounds"], params["sync_shards"]),
         "parity": bench_parity(params["parity_n"], params["parity_rounds"]),
+        "columnar": bench_columnar(
+            params["mega_n"], params["mega_rounds"], params["col_rounds"],
+            serial_loop),
         "codec": bench_codec(params["codec_n"], params["codec_rounds"]),
     }
     return {
@@ -352,6 +433,25 @@ def main(argv=None):
         print(f"FAIL: binary codec only {codec['compression_ratio']:.2f}x "
               f"smaller than JSON (floor is 2x)", file=sys.stderr)
         return 1
+    columnar = doc["results"]["columnar"]
+    if not columnar["honoured_parity"]:
+        print("FAIL: columnar honoured counter subset diverges from serial",
+              file=sys.stderr)
+        return 1
+    if mode == "full":
+        # Wall-clock acceptance bars, full mode only (CI check runs on
+        # noisy shared runners and asserts correctness, not speed).
+        if columnar["mega_seconds"] >= 60.0:
+            print(f"FAIL: columnar n={columnar['mega_n']} took "
+                  f"{columnar['mega_seconds']:.1f}s for "
+                  f"{columnar['mega_rounds']} rounds (bar: <60s)",
+                  file=sys.stderr)
+            return 1
+        if columnar["speedup"] < 20.0:
+            print(f"FAIL: columnar only {columnar['speedup']:.1f}x faster "
+                  f"than serial at n={columnar['speedup_n']} (bar: ≥20x)",
+                  file=sys.stderr)
+            return 1
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -366,6 +466,12 @@ def main(argv=None):
           f"(shards={r['shard_sync']['shards']})")
     print(f"  parity           : engines agree "
           f"({r['parity']['serial_sha256'][:12]}…)")
+    print(f"  columnar         : n={r['columnar']['mega_n']} x "
+          f"{r['columnar']['mega_rounds']} rounds in "
+          f"{r['columnar']['mega_seconds']:.2f}s "
+          f"({r['columnar']['backend']}); "
+          f"{r['columnar']['speedup']:.1f}x serial at "
+          f"n={r['columnar']['speedup_n']}")
     print(f"  codec            : {r['codec']['compression_ratio']:>12.2f}x smaller "
           f"({r['codec']['binary_bytes_per_gossip']:.1f}B vs "
           f"{r['codec']['json_bytes_per_gossip']:.1f}B/gossip, "

@@ -364,6 +364,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(format_self_test_report(outcomes))
         return 0 if all(outcome.ok for outcome in outcomes) else 1
 
+    engines = (("serial", "columnar") if args.columnar
+               else ("serial", "sharded"))
     result = run_campaign(
         args.seed,
         args.count,
@@ -374,6 +376,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         progress=say,
+        engines=engines,
     )
     print(result.summary())
     for case in result.cases:
@@ -549,6 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="draw every scenario from the adversarial family "
                            "(double-echo systems with Byzantine liars in "
                            "the fault plan)")
+    fuzz.add_argument("--columnar", action="store_true",
+                      help="differential-check the columnar engine against "
+                           "the serial one on the honoured counter subset "
+                           "instead of serial-vs-sharded full records")
     fuzz.add_argument("--replay", metavar="CASE.json", default=None,
                       help="re-execute a repro artifact and require "
                            "bit-identical reproduction")
@@ -570,6 +577,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager that closed early (e.g. `| head`).
         return 0
+    except ValueError as exc:
+        # Bad option *combinations* (e.g. --shards with a non-sharded
+        # engine) are validated past argparse, by the engine registry.
+        parser.error(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -127,11 +127,18 @@ class ReplayResult:
 
 
 def replay_artifact(data: dict) -> ReplayResult:
-    """Re-run an artifact's spec and hold it to the recorded outcome."""
+    """Re-run an artifact's spec and hold it to the recorded outcome.
+
+    The engines to re-run are read off the artifact's recorded
+    fingerprints, so a columnar-differential case replays the columnar
+    engine (and a plain serial/sharded case never pays for it).
+    """
     spec = ScenarioSpec.from_dict(data["spec"])
     expected_signature = data["failure"]["signature"]
     expected_fingerprints = data.get("fingerprints", {})
-    report = check_scenario(spec)
+    engines = tuple(e for e in ("serial", "sharded", "columnar")
+                    if e in expected_fingerprints) or ("serial", "sharded")
+    report = check_scenario(spec, full=True, engines=engines)
     mismatches: List[str] = []
     reproduced = expected_signature in report.signatures()
     if not reproduced:
@@ -168,6 +175,7 @@ def run_campaign(
     artifact_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     stop_after: Optional[int] = None,
+    engines: tuple = ("serial", "sharded"),
 ) -> CampaignResult:
     """Run one fuzz campaign.
 
@@ -176,15 +184,22 @@ def run_campaign(
     ends the campaign early once that many failures were found (the
     self-test uses 1 — it only needs proof of detection).  ``byzantine``
     draws every scenario from the adversarial family (double-echo systems
-    with liars in the plan) instead of the plain one.
+    with liars in the plan) instead of the plain one.  ``engines`` picks
+    the oracle's differential pairs (e.g. ``("serial", "columnar")`` for
+    the honoured-subset campaign); the columnar engine rejects Byzantine
+    plans, so the two options are mutually exclusive.
     """
+    if byzantine and "columnar" in engines:
+        raise ValueError(
+            "the columnar engine does not support Byzantine fault plans; "
+            "run the byzantine family on the serial/sharded pair")
     say = progress if progress is not None else (lambda line: None)
     result = CampaignResult(root_seed=root_seed, count=count)
     for index in range(count):
         case_seed = derive_seed(root_seed, "dst-case", index)
         spec = generate_spec(case_seed, max_n=max_n, max_rounds=max_rounds,
                              mutation=mutation, byzantine=byzantine)
-        report = check_scenario(spec)
+        report = check_scenario(spec, engines=engines)
         result.checked += 1
         if report.ok:
             say(f"[{index + 1}/{count}] OK    {spec.describe()}")
@@ -199,9 +214,11 @@ def run_campaign(
         else:
             shrunk = ShrinkResult(spec=spec, original=spec,
                                   signature=signature, attempts=0, accepted=0)
-        # Re-run the oracle on the minimum with both engines so the artifact
-        # records complete fingerprints even when shrinking short-circuited.
-        final_report = check_scenario(shrunk.spec)
+        # Re-run the oracle on the minimum with every engine and no fast
+        # path, so the artifact records complete fingerprints and *all*
+        # co-occurring failure signatures even when shrinking
+        # short-circuited on the first one.
+        final_report = check_scenario(shrunk.spec, full=True, engines=engines)
         case = FuzzCase(case_seed=case_seed, original=spec, shrunk=shrunk,
                         report=final_report)
         if artifact_dir is not None:
@@ -263,6 +280,7 @@ def run_self_test(
             artifact_dir=artifact_dir,
             progress=progress,
             stop_after=1,
+            engines=mutation.engines,
         )
         if not campaign.cases:
             outcomes.append(SelfTestOutcome(

@@ -104,6 +104,19 @@ def _sharded_undercount_post_run(sim, spec, engine) -> None:
     sim.telemetry.inc("sim.sends", -1, round=1, kind="GossipMessage")
 
 
+def _columnar_undercount_post_run(sim, spec, engine) -> None:
+    """Lose one honoured gossip send from the *columnar* engine's counters.
+
+    ``sim.sends{kind="GossipMessage"}`` is part of the columnar honoured
+    contract, so the honoured-subset differential must flag the mismatch —
+    this is the planted proof that the columnar oracle actually compares
+    something (an oracle honouring an empty subset would pass everything).
+    """
+    if engine != "columnar":
+        return
+    sim.telemetry.inc("sim.sends", -1, round=1, kind="GossipMessage")
+
+
 @dataclass(frozen=True)
 class Mutation:
     """One registered planted bug.
@@ -120,6 +133,9 @@ class Mutation:
     expected_kind: str
     post_build: Optional[Callable] = None
     post_run: Optional[Callable] = None
+    #: Oracle engines the self-test campaign runs for this planted bug —
+    #: a columnar-path defect needs the columnar differential switched on.
+    engines: tuple = ("serial", "sharded")
 
     def apply_post_build(self, sim, spec, engine: str) -> None:
         if self.post_build is not None:
@@ -155,6 +171,25 @@ MUTATIONS: Dict[str, Mutation] = {
                         "the merged counter records (the classic pickling "
                         "undercount)",
             expected_kind="parity",
+            post_run=_sharded_undercount_post_run,
+        ),
+        Mutation(
+            name="columnar-undercount",
+            description="columnar engine loses one first-round gossip from "
+                        "its honoured counter records (a vectorized-pass "
+                        "accounting slip)",
+            expected_kind="parity",
+            post_run=_columnar_undercount_post_run,
+            engines=("serial", "columnar"),
+        ),
+        Mutation(
+            name="double-defect",
+            description="broken duplicate suppression on the serial engine "
+                        "AND a sharded counter undercount in one scenario "
+                        "(two independent defects; the full oracle report "
+                        "must list both signatures)",
+            expected_kind="invariant",
+            post_build=_double_delivery_post_build,
             post_run=_sharded_undercount_post_run,
         ),
     )

@@ -11,6 +11,11 @@ must hold under **every** schedule:
    produce byte-identical canonical counter records for the same spec —
    the PR 4 bit-identity contract extended from one golden seed to every
    generated scenario.
+3. **Columnar honoured parity** (opt-in via ``engines``): the columnar
+   engine must match the serial engine byte-identically on the honoured
+   counter subset (schedule-deterministic series — see
+   :mod:`repro.sim.columnar_runner` for the contract and the declared
+   divergences everything else falls under).
 
 Every failure carries a stable ``signature`` — the shrinker uses it to
 verify a smaller scenario still reproduces the *same* bug rather than a
@@ -20,8 +25,9 @@ different one it stumbled into while shrinking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from ..sim.columnar_runner import honoured_records
 from ..telemetry import diff_counter_records
 from .harness import RunOutcome, apply_scenario
 from .spec import ScenarioSpec
@@ -100,38 +106,88 @@ def _parity_failure(serial: RunOutcome, sharded: RunOutcome
     )
 
 
+def _columnar_parity_failure(serial: RunOutcome, columnar: RunOutcome
+                             ) -> Optional[FuzzFailure]:
+    """Compare only the honoured subset — the rest is declared divergence."""
+    left = honoured_records(serial.records)
+    right = honoured_records(columnar.records)
+    if left == right:
+        return None
+    diff = diff_counter_records(left, right, limit=5)
+    first_metric = diff[0].split("{")[0].split(":")[0] if diff else "unknown"
+    return FuzzFailure(
+        kind="parity",
+        signature=f"parity:columnar:{first_metric}",
+        detail=("serial and columnar honoured counter records diverge: "
+                + "; ".join(diff)),
+    )
+
+
 def check_scenario(
     spec: ScenarioSpec,
     *,
     require_signature: Optional[str] = None,
+    full: bool = False,
+    engines: Sequence[str] = ("serial", "sharded"),
 ) -> OracleReport:
     """Run the oracle on one spec.
 
     ``require_signature`` is the shrinker's fast path: when the caller only
-    needs to know whether one specific *invariant* failure reproduces, the
-    serial run alone can answer and the (much more expensive) sharded run
-    is skipped.  Parity signatures always need both engines.
+    needs to know whether one specific failure reproduces, the cheapest
+    engine subset that can answer is run — the serial run alone for an
+    *invariant* signature, serial + columnar for a ``parity:columnar:*``
+    signature — and the remaining engines are skipped.  ``full=True``
+    disables every fast path so the report lists *all* failures a spec
+    produces (a scenario can break an invariant **and** engine parity at
+    once; replay and artifacts use the full report).
+
+    ``engines`` selects the differential pairs: it must contain
+    ``"serial"``; add ``"sharded"`` for full-record parity and/or
+    ``"columnar"`` for honoured-subset parity.  A ``parity:columnar:*``
+    ``require_signature`` pulls the columnar engine in implicitly, so the
+    shrinker needs no engine plumbing.
     """
+    engines = tuple(engines)
+    if "serial" not in engines:
+        raise ValueError("the oracle always needs the serial reference run")
+    unknown = set(engines) - {"serial", "sharded", "columnar"}
+    if unknown:
+        raise ValueError(f"unknown oracle engine(s): {sorted(unknown)}")
+    wants_columnar_sig = (require_signature is not None
+                          and require_signature.startswith("parity:columnar"))
     report = OracleReport(spec=spec)
     serial = apply_scenario(spec, "serial")
     report.engines_run.append("serial")
     report.fingerprints["serial"] = serial.fingerprint
     report.failures.extend(_invariant_failures(serial))
-    if (require_signature is not None
+    if (not full and require_signature is not None
             and require_signature.startswith("invariant:")
             and require_signature in report.signatures()):
         return report
 
-    sharded = apply_scenario(spec, "sharded")
-    report.engines_run.append("sharded")
-    report.fingerprints["sharded"] = sharded.fingerprint
-    # Sharded delivery-path violations are deduped against the serial ones:
-    # the same protocol bug observed twice is one finding.
-    serial_signatures = set(report.signatures())
-    for failure in _invariant_failures(sharded):
-        if failure.signature not in serial_signatures:
-            report.failures.append(failure)
-    parity = _parity_failure(serial, sharded)
-    if parity is not None:
-        report.failures.append(parity)
+    if "columnar" in engines or wants_columnar_sig:
+        columnar = apply_scenario(spec, "columnar")
+        report.engines_run.append("columnar")
+        report.fingerprints["columnar"] = columnar.fingerprint
+        parity = _columnar_parity_failure(serial, columnar)
+        if parity is not None:
+            report.failures.append(parity)
+        if not full and wants_columnar_sig:
+            # The caller only asked about this columnar signature; the
+            # sharded run cannot produce it, so skip it either way.
+            return report
+
+    if "sharded" in engines:
+        sharded = apply_scenario(spec, "sharded")
+        report.engines_run.append("sharded")
+        report.fingerprints["sharded"] = sharded.fingerprint
+        # Sharded delivery-path violations are deduped against the serial
+        # ones: the same protocol bug observed twice is one finding.
+        serial_signatures = set(report.signatures())
+        for failure in _invariant_failures(sharded):
+            if failure.signature not in serial_signatures:
+                report.failures.append(failure)
+        parity = _parity_failure(serial, sharded)
+        if parity is not None:
+            report.failures.append(parity)
     return report

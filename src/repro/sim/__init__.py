@@ -9,6 +9,9 @@
 * :class:`~repro.sim.async_runner.AsyncGossipRuntime` — non-synchronized
   periodic gossips over a discrete-event kernel, standing in for the
   paper's 125-workstation testbed (Sec. 5.2).
+* :class:`~repro.sim.columnar_runner.ColumnarRoundSimulation` — the same
+  round vocabulary over dense arrays for mega-scale runs (n >= 100k),
+  honouring a schedule-deterministic counter subset bit-identically.
 * :class:`~repro.sim.network.NetworkModel` — i.i.d. loss ε, latency models,
   link filters; :class:`~repro.sim.network.CrashPlan` — fail-stop schedule
   bounded by τ.
@@ -17,6 +20,7 @@
 
 from .async_runner import AsyncGossipRuntime
 from .churn import ChurnScript
+from .columnar_runner import ColumnarRoundSimulation
 from .engine import EventHandle, Simulator
 from .network import (
     CrashEvent,
@@ -54,6 +58,7 @@ __all__ = [
     "BroadcastWorkload",
     "build_lpbcast_nodes",
     "ChurnScript",
+    "ColumnarRoundSimulation",
     "constant_latency",
     "correlated_crashes",
     "CrashEvent",

@@ -1,0 +1,902 @@
+"""Array-backed columnar round engine for mega-scale runs (n >= 100k).
+
+The object-per-node engines walk ``n`` Python objects per round and top out
+around n=5000 (BENCH_hotpath.json).  :class:`ColumnarRoundSimulation` keeps
+the whole system in preallocated dense columns keyed by node *index* —
+views, alive flags, per-event delivery/forwarding bitmaps, per-node stat
+counters — and executes each gossip round as a handful of batched
+vectorized passes (partner selection, loss admission, digest diff /
+delivery, buffer truncation) instead of ``n`` per-node ticks.  With numpy
+available the passes are true array operations; without it a pure-stdlib
+fallback (``array``/``bytearray`` columns, per-sender loops) provides the
+same semantics at reduced speed.
+
+Honoured-metric contract
+------------------------
+The columnar engine is *not* bit-identical to the serial engine — it trades
+per-message fidelity for scale.  It is validated by the DST differential
+oracle on the **honoured metric subset**: counter series that depend only
+on the fault-plan schedule and the protocol's deterministic emission rule,
+never on any random draw.  For the same spec the serial and columnar runs
+must produce byte-identical records for:
+
+* ``sim.rounds`` — one increment per round;
+* ``sim.sends{kind="GossipMessage", round=r}`` — every alive, non-paused
+  process emits ``min(F, |view|) * (1 + membership_boost)`` gossip messages
+  per tick, and views never shrink in the plain scenario family (no
+  unsubscriptions), so the per-round count is schedule-determined;
+* ``faults.crashes_applied`` / ``faults.recoveries_applied`` /
+  ``faults.pause_rounds`` — counted by the shared
+  :class:`~repro.faults.injector.FaultInjector` purely from the plan.
+
+Declared divergences (everything else; pinned by
+``tests/sim/test_columnar_parity.py`` and documented in
+``docs/experiments-guide.md``):
+
+* delivery / receive / duplicate counters, ``net.*`` accounting and
+  per-sender ledgers — partner selection and loss draw from the columnar
+  engine's own (vectorized) stream;
+* message-level fault classes: partitions and drop-rate windows are applied
+  (vectorized, own stream), duplicate/delay windows are ignored (delivery
+  is idempotent and round-granular here), Byzantine plans are rejected;
+* recovery re-join: a recovered process resumes gossiping with its retained
+  view but sends no Sec. 3.4 re-subscription handshake;
+* membership traffic does not reshape views — views are frozen at
+  bootstrap (sizes are constant either way in the plain family);
+* trace events, reply generations, retransmission traffic and subs/unsubs
+  buffer occupancy are not modelled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.config import LpbcastConfig
+from ..core.events import Notification, make_notification
+from ..core.ids import ProcessId
+from ..telemetry import Telemetry
+from .network import NetworkModel
+from .rng import SeedSequence, derive_rng, derive_seed
+
+try:  # optional fast path; the stdlib fallback keeps semantics identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend="python"
+    _np = None
+
+
+# ---------------------------------------------------------------------------
+# Honoured-metric helpers (shared with the DST oracle)
+# ---------------------------------------------------------------------------
+
+#: Counter names honoured bit-identically regardless of labels.
+HONOURED_COUNTERS = frozenset({
+    "sim.rounds",
+    "faults.crashes_applied",
+    "faults.recoveries_applied",
+    "faults.pause_rounds",
+})
+
+#: ``sim.sends`` is honoured for this message kind only (tick gossips);
+#: join/retransmission traffic rides other kinds and is not modelled.
+HONOURED_SEND_KIND = "GossipMessage"
+
+
+def is_honoured_record(record) -> bool:
+    """Whether one canonical counter record is part of the serial-vs-columnar
+    bit-identity contract (see module docstring)."""
+    name, labels, _value = record
+    if name in HONOURED_COUNTERS:
+        return True
+    if name == "sim.sends":
+        return ("kind", repr(HONOURED_SEND_KIND)) in labels
+    return False
+
+
+def honoured_records(records: Sequence) -> List:
+    """The honoured subset of a canonical counter-record list."""
+    return [record for record in records if is_honoured_record(record)]
+
+
+def honoured_fingerprint(records: Sequence) -> str:
+    """SHA-256 over the honoured subset — backend-independent (the honoured
+    series consume no randomness), so repro artifacts replay on machines
+    with or without numpy."""
+    return hashlib.sha256(repr(honoured_records(records)).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Node handles
+# ---------------------------------------------------------------------------
+
+
+class ColumnarNodeHandle:
+    """Lightweight ``sim.nodes[pid]`` stand-in over the columns.
+
+    Exposes the entry points harnesses actually use on a node object —
+    ``lpb_cast`` and ``add_delivery_listener`` — plus the identity/stat
+    reads; full protocol state lives in the owning simulation's arrays.
+    """
+
+    __slots__ = ("pid", "_sim", "_index")
+
+    def __init__(self, sim: "ColumnarRoundSimulation", pid: ProcessId,
+                 index: int) -> None:
+        self.pid = pid
+        self._sim = sim
+        self._index = index
+
+    def lpb_cast(self, payload=None, now: float = 0.0) -> Notification:
+        return self._sim._publish(self._index, payload, now)
+
+    def add_delivery_listener(self, listener) -> None:
+        self._sim._add_delivery_listener(self._index, listener)
+
+    @property
+    def view(self) -> List[ProcessId]:
+        return self._sim._view_of(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnarNodeHandle(pid={self.pid})"
+
+
+class _HandleMap(Mapping):
+    """``sim.nodes``: a pid -> handle mapping that materialises handles
+    lazily — a 1M-node run must not allocate 1M wrapper objects up front."""
+
+    __slots__ = ("_sim", "_cache")
+
+    def __init__(self, sim: "ColumnarRoundSimulation") -> None:
+        self._sim = sim
+        self._cache: Dict[ProcessId, ColumnarNodeHandle] = {}
+
+    def __getitem__(self, pid: ProcessId) -> ColumnarNodeHandle:
+        handle = self._cache.get(pid)
+        if handle is None:
+            index = self._sim._index.get(pid)
+            if index is None:
+                raise KeyError(pid)
+            handle = self._cache[pid] = ColumnarNodeHandle(
+                self._sim, pid, index)
+        return handle
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self._sim._pids)
+
+    def __len__(self) -> int:
+        return len(self._sim._pids)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._sim._index
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class ColumnarRoundSimulation:
+    """Vectorized synchronous-round lpbcast over dense columns.
+
+    Build either by ingesting prebuilt nodes (``add_nodes`` — the DST
+    harness path, bounded n) or directly at scale with :meth:`build`
+    (column-native bootstrap, no per-node objects).  The run surface
+    mirrors :class:`~repro.sim.round_runner.RoundSimulation`: ``run`` /
+    ``run_round`` / ``run_until``, round hooks and observers, ``crash`` /
+    ``recover`` / ``use_fault_plan``, ``node_aggregates`` and engine-native
+    ``telemetry``.
+    """
+
+    def __init__(
+        self,
+        network: Optional[NetworkModel] = None,
+        seed: int = 0,
+        backend: str = "auto",
+    ) -> None:
+        if backend not in ("auto", "numpy", "python"):
+            raise ValueError("backend must be 'auto', 'numpy' or 'python'")
+        if backend == "numpy" and _np is None:
+            raise ValueError("backend='numpy' requested but numpy is not "
+                             "importable; use backend='auto' or 'python'")
+        self.backend = ("numpy" if (_np is not None and backend != "python")
+                        else "python")
+        self.seeds = SeedSequence(seed)
+        self.seed = seed
+        #: The network model contributes only its ``loss_rate`` — admission
+        #: draws come from the columnar engine's own stream (declared
+        #: divergence from the serial ``seeds.rng("network")`` stream).
+        self.network = network if network is not None else NetworkModel(
+            loss_rate=0.0, rng=self.seeds.rng("network"))
+        self.loss_rate = float(getattr(self.network, "loss_rate", 0.0))
+        self.telemetry = Telemetry()
+        self.round = 0
+        self.messages_delivered = 0  # gossip arrivals admitted, cumulative
+        self.nodes: Mapping[ProcessId, ColumnarNodeHandle] = _HandleMap(self)
+        self.config: Optional[LpbcastConfig] = None
+
+        self._pids: List[ProcessId] = []
+        self._index: Dict[ProcessId, int] = {}
+        self._view_rows: List[List[int]] = []   # node index -> peer indices
+        self._started = False
+        self._hooks: List[Callable] = []
+        self._observers: List[Callable] = []
+        self._fault_injector = None
+        self._fault_paused: frozenset = frozenset()
+        self._tele_baseline: Dict[str, int] = {}
+        self._listeners: Dict[int, List[Callable]] = {}
+        self._has_listeners = False
+
+        # Event registry: one row per published notification.
+        self._notifications: List[Notification] = []
+        self._event_seq: Dict[int, int] = {}  # origin index -> last seq
+
+        # Columns are allocated in _start() once membership is final.
+        self._n = 0
+        self._alive = None
+        self._view_mat = None
+        self._view_len = None
+        self._delivered = None   # (E_cap, n) delivery bitmap
+        self._active = None      # (E_cap, n) events-buffer (forwarding) bitmap
+        self._event_cap = 0
+        self._stats: Dict[str, object] = {}
+
+        if self.backend == "numpy":
+            self._rng = _np.random.default_rng(
+                derive_seed(seed, "columnar"))
+        else:
+            self._rng = derive_rng(seed, "columnar")
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        config: Optional[LpbcastConfig] = None,
+        seed: int = 0,
+        network: Optional[NetworkModel] = None,
+        backend: str = "auto",
+    ) -> "ColumnarRoundSimulation":
+        """Column-native bootstrap of ``n`` processes with uniform random
+        initial views of size ``min(view_max, n - 1)`` — the Sec. 4.1
+        assumption, drawn without building per-node objects."""
+        if n < 2:
+            raise ValueError("need at least two processes")
+        sim = cls(network=network, seed=seed, backend=backend)
+        sim.config = config if config is not None else LpbcastConfig()
+        sim._pids = list(range(n))
+        sim._index = {pid: pid for pid in sim._pids}
+        sim._bootstrap_views(n, min(sim.config.view_max, n - 1))
+        return sim
+
+    def _bootstrap_views(self, n: int, k: int) -> None:
+        if self.backend == "numpy":
+            rng = _np.random.default_rng(derive_seed(self.seed,
+                                                     "columnar-views"))
+            # Draw k peers per row from the other n-1 processes: sample in
+            # [0, n-2], shift indices >= own row by one to skip self, then
+            # redraw rows containing duplicates until none remain (expected
+            # duplicate rate ~ k^2/2n per row, so this converges fast).
+            mat = rng.integers(0, n - 1, size=(n, k), dtype=_np.int64)
+            own = _np.arange(n, dtype=_np.int64)[:, None]
+            mat += (mat >= own)
+            while True:
+                ordered = _np.sort(mat, axis=1)
+                bad = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+                if not bad.any():
+                    break
+                rows = _np.nonzero(bad)[0]
+                redraw = rng.integers(0, n - 1, size=(len(rows), k),
+                                      dtype=_np.int64)
+                redraw += (redraw >= rows[:, None])
+                mat[rows] = redraw
+            self._view_rows = [list(map(int, row)) for row in mat]
+        else:
+            rng = derive_rng(self.seed, "columnar-views")
+            rows: List[List[int]] = []
+            for i in range(n):
+                others = list(range(n))
+                others.pop(i)
+                rows.append(rng.sample(others, k))
+            self._view_rows = rows
+
+    def add_node(self, node) -> None:
+        """Ingest one prebuilt protocol node (pid, config, initial view);
+        its state columns replace the object, which is discarded."""
+        if self._started:
+            raise RuntimeError("columnar membership is frozen once the "
+                               "first round has run")
+        pid = node.pid
+        if pid in self._index:
+            raise ValueError(f"duplicate process id {pid}")
+        cfg = getattr(node, "config", None)
+        if self.config is None:
+            self.config = cfg if cfg is not None else LpbcastConfig()
+        self._index[pid] = len(self._pids)
+        self._pids.append(pid)
+        view = getattr(node, "view", None)
+        self._view_rows.append(list(view) if view is not None else [])
+
+    def add_nodes(self, nodes: Sequence) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def _start(self) -> None:
+        """Freeze membership and allocate the dense columns."""
+        n = len(self._pids)
+        if n == 0:
+            self._started = True
+            self._n = 0
+            return
+        if self.config is None:
+            self.config = LpbcastConfig()
+        index = self._index
+        # View rows arrive as pids (ingest path) or as indices (build path,
+        # where pid == index); normalise to indices, dropping references to
+        # processes outside the system.
+        rows = [[index[p] for p in row if p in index]
+                for row in self._view_rows]
+        view_cap = max((len(row) for row in rows), default=0)
+        if self.backend == "numpy":
+            self._alive = _np.ones(n, dtype=bool)
+            self._view_len = _np.array([len(row) for row in rows],
+                                       dtype=_np.int64)
+            mat = _np.zeros((n, max(view_cap, 1)), dtype=_np.int64)
+            for i, row in enumerate(rows):
+                if row:
+                    mat[i, :len(row)] = row
+            self._view_mat = mat
+            self._stats = {
+                name: _np.zeros(n, dtype=_np.int64)
+                for name in ("published", "delivered", "duplicates",
+                             "gossips_sent", "gossips_received",
+                             "events_dropped")
+            }
+            self._delivered = _np.zeros((0, n), dtype=bool)
+            self._active = _np.zeros((0, n), dtype=bool)
+        else:
+            self._alive = bytearray(b"\x01") * n
+            self._view_len = array("q", (len(row) for row in rows))
+            self._view_mat = rows
+            self._stats = {
+                name: array("q", bytes(8 * n))
+                for name in ("published", "delivered", "duplicates",
+                             "gossips_sent", "gossips_received",
+                             "events_dropped")
+            }
+            self._delivered = []  # list of bytearray rows
+            self._active = []
+        self._event_cap = 0
+        self._n = n
+        self._started = True
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self._start()
+
+    # -- event registry ----------------------------------------------------
+    def _grow_events(self) -> None:
+        if self.backend == "numpy":
+            new_cap = max(8, 2 * self._event_cap)
+            grown_d = _np.zeros((new_cap, self._n), dtype=bool)
+            grown_a = _np.zeros((new_cap, self._n), dtype=bool)
+            if self._event_cap:
+                grown_d[:len(self._notifications) - 1] = \
+                    self._delivered[:len(self._notifications) - 1]
+                grown_a[:len(self._notifications) - 1] = \
+                    self._active[:len(self._notifications) - 1]
+            self._delivered = grown_d
+            self._active = grown_a
+            self._event_cap = new_cap
+
+    def _publish(self, index: int, payload, now: float) -> Notification:
+        self._ensure_started()
+        origin = self._pids[index]
+        seq = self._event_seq.get(index, 0) + 1
+        self._event_seq[index] = seq
+        note = make_notification(origin, seq, payload, created_at=now)
+        self._notifications.append(note)
+        event = len(self._notifications) - 1
+        if self.backend == "numpy":
+            if event >= self._event_cap:
+                self._grow_events()
+            self._delivered[event, index] = True
+            self._active[event, index] = True
+        else:
+            self._delivered.append(bytearray(self._n))
+            self._active.append(bytearray(self._n))
+            self._delivered[event][index] = 1
+            self._active[event][index] = 1
+        self._stats["published"][index] += 1
+        self._stats["delivered"][index] += 1
+        self._notify_delivery(index, note, now)
+        return note
+
+    def _add_delivery_listener(self, index: int, listener) -> None:
+        self._listeners.setdefault(index, []).append(listener)
+        self._has_listeners = True
+
+    def _notify_delivery(self, index: int, note: Notification,
+                         now: float) -> None:
+        if not self._has_listeners:
+            return
+        for listener in self._listeners.get(index, ()):
+            listener(self._pids[index], note, now)
+
+    # -- runtime control ---------------------------------------------------
+    def use_fault_plan(self, plan):
+        """Attach a :class:`~repro.faults.plan.FaultPlan`.
+
+        Crash/recovery/pause schedules apply exactly (the shared injector
+        counts them identically to the serial engine — part of the honoured
+        contract).  Partition and drop-rate windows shape delivery through
+        the columnar engine's own stream; duplicate/delay windows are
+        ignored; Byzantine plans are rejected — the vectorized path models
+        no payload mutation.
+        """
+        from ..faults.injector import FaultInjector
+
+        if (plan.equivocations or plan.forges or plan.replays
+                or plan.poisons):
+            raise ValueError(
+                "the columnar engine does not support Byzantine fault "
+                "plans (equivocate/forge/replay/poison); use the serial "
+                "or sharded engine")
+        self._fault_injector = FaultInjector(plan, self.seeds.rng("faults"))
+        return self._fault_injector
+
+    def crash(self, pid: ProcessId) -> None:
+        """Fail-stop ``pid`` immediately (Sec. 4.1)."""
+        self._ensure_started()
+        index = self._index.get(pid)
+        if index is not None and self._alive[index]:
+            self._alive[index] = False
+            self.telemetry.emit("crash", float(self.round), pid=pid)
+
+    def recover(self, pid: ProcessId) -> bool:
+        """Un-crash ``pid`` with its retained state; no re-join handshake
+        (declared divergence from the serial recovery path)."""
+        self._ensure_started()
+        index = self._index.get(pid)
+        if index is None or self._alive[index]:
+            return False
+        self._alive[index] = True
+        return True
+
+    def alive(self, pid: ProcessId) -> bool:
+        self._ensure_started()
+        index = self._index.get(pid)
+        return index is not None and bool(self._alive[index])
+
+    def alive_count(self) -> int:
+        self._ensure_started()
+        if self._n == 0:
+            return 0
+        if self.backend == "numpy":
+            return int(self._alive.sum())
+        return sum(self._alive)
+
+    def add_round_hook(self, hook) -> None:
+        self._hooks.append(hook)
+
+    def add_observer(self, observer) -> None:
+        self._observers.append(observer)
+
+    # -- the round loop ----------------------------------------------------
+    def run_round(self) -> None:
+        with self.telemetry.time("time.round"):
+            self._run_round_body()
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+    def run_until(self, predicate, max_rounds: int = 1000) -> int:
+        remaining = max_rounds
+        while True:
+            if predicate(self):
+                return self.round
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"predicate not satisfied within {max_rounds} rounds")
+            self.run_round()
+            remaining -= 1
+
+    def _run_round_body(self) -> None:
+        self._ensure_started()
+        self.round += 1
+        now = float(self.round)
+        if self._fault_injector is not None:
+            actions = self._fault_injector.round_start(self.round)
+            for fault in actions.crashes:
+                self.crash(fault.pid)
+            for fault in actions.recoveries:
+                self.recover(fault.pid)
+            self._fault_paused = actions.paused
+        for hook in self._hooks:
+            hook(self.round, self)
+        if self._n:
+            with self.telemetry.time("time.tick"):
+                sends = self._gossip_round(now)
+            if sends:
+                # One batched increment; byte-identical to the serial
+                # engine's per-message fast-path increments for this series.
+                self.telemetry.inc("sim.sends", sends, round=self.round,
+                                   kind=HONOURED_SEND_KIND)
+        self._sync_engine_counters()
+        with self.telemetry.time("time.observers"):
+            for observer in self._observers:
+                observer(self.round, self)
+
+    # -- vectorized gossip -------------------------------------------------
+    def _paused_indices(self) -> List[int]:
+        if not self._fault_paused:
+            return []
+        return [self._index[p] for p in self._fault_paused
+                if p in self._index]
+
+    def _active_drop_windows(self):
+        if self._fault_injector is None:
+            return []
+        r = self.round
+        return [d for d in self._fault_injector.plan.drops
+                if d.start <= r < d.stop]
+
+    def _active_partitions(self):
+        if self._fault_injector is None:
+            return []
+        r = self.round
+        return [p for p in self._fault_injector.plan.partitions
+                if p.start <= r < p.heal]
+
+    def _gossip_round(self, now: float) -> int:
+        if self.backend == "numpy":
+            return self._gossip_round_np(now)
+        return self._gossip_round_py(now)
+
+    def _gossip_round_np(self, now: float) -> int:
+        cfg = self.config
+        fanout = cfg.fanout
+        alive = self._alive
+        paused = self._paused_indices()
+        senders_mask = alive.copy()
+        if paused:
+            senders_mask[paused] = False
+        senders_mask &= self._view_len > 0
+        s_idx = _np.nonzero(senders_mask)[0]
+        if s_idx.size == 0:
+            return 0
+        k = _np.minimum(fanout, self._view_len[s_idx])
+        boost = 1 + cfg.membership_boost
+        total_sends = int(k.sum()) * boost
+        self._stats["gossips_sent"][s_idx] += 1
+
+        # Partner selection: top-min(F, |view|) of a uniform matrix over
+        # each sender's valid view slots — distinct targets per sender,
+        # matching gossip_targets' sample-without-replacement semantics.
+        view_cap = self._view_mat.shape[1]
+        scores = self._rng.random((s_idx.size, view_cap))
+        scores[_np.arange(view_cap)[None, :] >= self._view_len[s_idx, None]] \
+            = -1.0
+        take = min(fanout, view_cap)
+        order = _np.argsort(scores, axis=1)[:, ::-1][:, :take]
+        targets = self._view_mat[s_idx[:, None], order]
+        valid = _np.arange(take)[None, :] < k[:, None]
+
+        # Admission: i.i.d. network loss, drop-rate windows, partitions,
+        # crashed receivers.  One vectorized draw per (sender, slot).
+        survive = valid.copy()
+        if self.loss_rate > 0.0:
+            survive &= self._rng.random(targets.shape) >= self.loss_rate
+        for window in self._active_drop_windows():
+            hit = self._rng.random(targets.shape) < window.rate
+            if window.src is not None:
+                src_index = self._index.get(window.src, -1)
+                hit &= (s_idx == src_index)[:, None]
+            if window.dst is not None:
+                hit &= targets == self._index.get(window.dst, -1)
+            survive &= ~hit
+        for part in self._active_partitions():
+            side_a = _np.zeros(self._n, dtype=bool)
+            side_b = _np.zeros(self._n, dtype=bool)
+            for pid in part.side_a:
+                index = self._index.get(pid)
+                if index is not None:
+                    side_a[index] = True
+            for pid in part.side_b:
+                index = self._index.get(pid)
+                if index is not None:
+                    side_b[index] = True
+            src_a = side_a[s_idx][:, None]
+            src_b = side_b[s_idx][:, None]
+            direction = getattr(part, "direction", "both")
+            blocked = _np.zeros(targets.shape, dtype=bool)
+            if direction in ("both", "a-to-b"):
+                blocked |= src_a & side_b[targets]
+            if direction in ("both", "b-to-a"):
+                blocked |= src_b & side_a[targets]
+            survive &= ~blocked
+        survive &= alive[targets]
+
+        arrivals = targets[survive]
+        self.messages_delivered += int(arrivals.size)
+        if arrivals.size:
+            _np.add.at(self._stats["gossips_received"], arrivals, 1)
+
+        # Event spread.  With digest_implies_delivery (the plain-family
+        # default), a gossip infects the receiver with everything in the
+        # sender's eventIds digest — modelled by the delivered bitmap.
+        # Otherwise only the events buffer (forwarded once, then cleared)
+        # carries payloads.
+        events = len(self._notifications)
+        if events:
+            spread = (self._delivered if cfg.digest_implies_delivery
+                      else self._active)
+            sent_any = _np.zeros(self._n, dtype=bool)
+            sent_any[s_idx] = True
+            cleared: List[int] = []
+            for event in range(events):
+                row_d = self._delivered[event]
+                carriers = spread[event][s_idx]
+                if not carriers.any():
+                    continue
+                cleared.append(event)
+                hit_mask = survive & carriers[:, None]
+                tgt = targets[hit_mask]
+                if tgt.size == 0:
+                    continue
+                dup = tgt[row_d[tgt]]
+                if dup.size:
+                    _np.add.at(self._stats["duplicates"], dup, 1)
+                hit = _np.zeros(self._n, dtype=bool)
+                hit[tgt] = True
+                new = hit & ~row_d & alive
+                if not new.any():
+                    continue
+                row_d |= new
+                self._active[event] |= new
+                new_idx = _np.nonzero(new)[0]
+                self._stats["delivered"][new_idx] += 1
+                if self._has_listeners and self._listeners:
+                    note = self._notifications[event]
+                    for index in new_idx:
+                        self._notify_delivery(int(index), note, now)
+            # "events <- empty" after sending (Fig. 1(b)): carriers that
+            # gossiped this round forwarded their buffered payloads once.
+            for event in cleared:
+                self._active[event] &= ~sent_any
+            self._truncate_events_np(events)
+        return total_sends
+
+    def _truncate_events_np(self, events: int) -> None:
+        """Bound per-node events-buffer occupancy by ``events_max``,
+        dropping oldest entries first (serial drops uniformly at random —
+        a declared divergence that keeps the pass branch-free)."""
+        events_max = self.config.events_max
+        active = self._active[:events]
+        counts = active.sum(axis=0)
+        over = counts > events_max
+        if not over.any():
+            return
+        newest_rank = _np.cumsum(active[::-1], axis=0)[::-1]
+        drop = active & (newest_rank > events_max) & over[None, :]
+        dropped_per_node = drop.sum(axis=0)
+        self._stats["events_dropped"] += dropped_per_node
+        self._active[:events] &= ~drop
+
+    def _gossip_round_py(self, now: float) -> int:
+        cfg = self.config
+        fanout = cfg.fanout
+        rng = self._rng
+        alive = self._alive
+        paused = set(self._paused_indices())
+        drops = self._active_drop_windows()
+        partitions = self._active_partitions()
+        events = len(self._notifications)
+        digest_mode = cfg.digest_implies_delivery
+        total_sends = 0
+        arrivals_by_sender: List = []
+        senders: List[int] = []
+        for i in range(self._n):
+            if not alive[i] or i in paused:
+                continue
+            view = self._view_mat[i]
+            if not view:
+                continue
+            senders.append(i)
+            self._stats["gossips_sent"][i] += 1
+            k = min(fanout, len(view))
+            total_sends += k * (1 + cfg.membership_boost)
+            targets = rng.sample(view, k)
+            landed = []
+            for t in targets:
+                if self.loss_rate > 0.0 and rng.random() < self.loss_rate:
+                    continue
+                dropped = False
+                for window in drops:
+                    if (window.src is not None
+                            and self._pids[i] != window.src):
+                        continue
+                    if (window.dst is not None
+                            and self._pids[t] != window.dst):
+                        continue
+                    if rng.random() < window.rate:
+                        dropped = True
+                        break
+                if dropped:
+                    continue
+                if any(p.blocks(self._pids[i], self._pids[t])
+                       for p in partitions):
+                    continue
+                if not alive[t]:
+                    continue
+                landed.append(t)
+                self._stats["gossips_received"][t] += 1
+                self.messages_delivered += 1
+            arrivals_by_sender.append((i, landed))
+        if events:
+            spread = self._delivered if digest_mode else self._active
+            newly: Dict[int, List[int]] = {}
+            for sender, landed in arrivals_by_sender:
+                if not landed:
+                    continue
+                for event in range(events):
+                    if not spread[event][sender]:
+                        continue
+                    row_d = self._delivered[event]
+                    for t in landed:
+                        if row_d[t]:
+                            self._stats["duplicates"][t] += 1
+                        elif alive[t]:
+                            newly.setdefault(event, []).append(t)
+            for event, indices in newly.items():
+                row_d = self._delivered[event]
+                row_a = self._active[event]
+                note = self._notifications[event]
+                for t in indices:
+                    if row_d[t]:
+                        continue
+                    row_d[t] = 1
+                    row_a[t] = 1
+                    self._stats["delivered"][t] += 1
+                    if self._has_listeners:
+                        self._notify_delivery(t, note, now)
+            for event in range(events):
+                row_a = self._active[event]
+                for i in senders:
+                    row_a[i] = 0
+            events_max = cfg.events_max
+            for i in range(self._n):
+                occupancy = sum(self._active[e][i] for e in range(events))
+                if occupancy <= events_max:
+                    continue
+                to_drop = occupancy - events_max
+                for event in range(events):  # oldest first
+                    if to_drop == 0:
+                        break
+                    if self._active[event][i]:
+                        self._active[event][i] = 0
+                        self._stats["events_dropped"][i] += 1
+                        to_drop -= 1
+        return total_sends
+
+    # -- telemetry ---------------------------------------------------------
+    def _sync_engine_counters(self) -> None:
+        """Per-round counter deltas, mirroring the serial engine's emission
+        shape.  The ``faults.*`` schedule counters and ``sim.rounds`` are
+        part of the honoured contract; ``sim.delivered`` is columnar-local
+        accounting (declared divergence)."""
+        updates = {"sim.delivered": self.messages_delivered}
+        if self._fault_injector is not None:
+            for name, value in self._fault_injector.stats.as_dict().items():
+                updates[f"faults.{name}"] = value
+        for name, value in updates.items():
+            last = self._tele_baseline.get(name, 0)
+            if value != last:
+                self.telemetry.inc(name, value - last, round=self.round)
+                self._tele_baseline[name] = value
+        self.telemetry.set_gauge("sim.alive", float(self.alive_count()))
+        self.telemetry.inc("sim.rounds", 1)
+
+    # -- aggregates --------------------------------------------------------
+    def _view_of(self, index: int) -> List[ProcessId]:
+        self._ensure_started()
+        if self.backend == "numpy":
+            row = self._view_mat[index, :self._view_len[index]]
+            return [self._pids[int(i)] for i in row]
+        return [self._pids[i] for i in self._view_mat[index]]
+
+    def node_aggregates(self, pids: Optional[Sequence[ProcessId]] = None):
+        """Summed stats/occupancy/in-degree over the alive processes,
+        computed from the columns — same :class:`NodeAggregates` shape as
+        the object engines.  ``published``/``delivered``-family stats come
+        from the stat columns; subs occupancy is not modelled (0)."""
+        from .aggregates import NodeAggregates
+
+        self._ensure_started()
+        agg = NodeAggregates()
+        if self._n == 0:
+            return agg
+        if pids is None:
+            wanted = None
+        else:
+            wanted = [self._index[p] for p in pids
+                      if p in self._index and self._alive[self._index[p]]]
+        events = len(self._notifications)
+        if self.backend == "numpy":
+            mask = self._alive.copy()
+            if wanted is not None:
+                keep = _np.zeros(self._n, dtype=bool)
+                if wanted:
+                    keep[wanted] = True
+                mask &= keep
+            idx = _np.nonzero(mask)[0]
+            agg.count = int(idx.size)
+            for name, column in self._stats.items():
+                total = int(column[idx].sum())
+                if total:
+                    agg.stat_sums[name] = total
+            if events and idx.size:
+                active = self._active[:events][:, idx]
+                agg.occupancy_sums["events"] = int(active.sum())
+                ids = self._delivered[:events][:, idx].sum(axis=0)
+                agg.occupancy_sums["event_ids"] = int(
+                    _np.minimum(ids, self.config.event_ids_max).sum())
+            else:
+                agg.occupancy_sums["events"] = 0
+                agg.occupancy_sums["event_ids"] = 0
+            agg.occupancy_sums["subs"] = 0
+            for i in idx:
+                i = int(i)
+                agg.graph_nodes.add(self._pids[i])
+                row = self._view_mat[i, :self._view_len[i]]
+                for t in row:
+                    pid = self._pids[int(t)]
+                    agg.graph_nodes.add(pid)
+                    agg.in_degree[pid] = agg.in_degree.get(pid, 0) + 1
+        else:
+            indices = (range(self._n) if wanted is None else wanted)
+            for i in indices:
+                if wanted is None and not self._alive[i]:
+                    continue
+                agg.count += 1
+                for name, column in self._stats.items():
+                    if column[i]:
+                        agg.stat_sums[name] = \
+                            agg.stat_sums.get(name, 0) + column[i]
+                occupancy = sum(self._active[e][i] for e in range(events))
+                ids = sum(self._delivered[e][i] for e in range(events))
+                agg.occupancy_sums["events"] = \
+                    agg.occupancy_sums.get("events", 0) + occupancy
+                agg.occupancy_sums["event_ids"] = \
+                    agg.occupancy_sums.get("event_ids", 0) + min(
+                        ids, self.config.event_ids_max)
+                agg.occupancy_sums.setdefault("subs", 0)
+                agg.graph_nodes.add(self._pids[i])
+                for t in self._view_mat[i]:
+                    pid = self._pids[t]
+                    agg.graph_nodes.add(pid)
+                    agg.in_degree[pid] = agg.in_degree.get(pid, 0) + 1
+        # Drop zero-valued stat sums to match aggregate_nodes' shape.
+        agg.stat_sums = {k: v for k, v in agg.stat_sums.items() if v}
+        return agg
+
+    # -- reliability reads -------------------------------------------------
+    def delivery_ratio(self, event: int = 0) -> float:
+        """Fraction of currently-alive processes that delivered event row
+        ``event`` — the infection-curve read at scale."""
+        self._ensure_started()
+        if event >= len(self._notifications) or self._n == 0:
+            return 0.0
+        if self.backend == "numpy":
+            alive = self._alive
+            total = int(alive.sum())
+            if not total:
+                return 0.0
+            return float((self._delivered[event] & alive).sum() / total)
+        total = sum(self._alive)
+        if not total:
+            return 0.0
+        got = sum(1 for i in range(self._n)
+                  if self._alive[i] and self._delivered[event][i])
+        return got / total

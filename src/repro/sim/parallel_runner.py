@@ -63,6 +63,7 @@ import multiprocessing
 import os
 import pickle
 import traceback
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.ids import ProcessId
@@ -1030,19 +1031,89 @@ class ShardedRoundSimulation(RoundSimulation):
 # Engine selection
 # ---------------------------------------------------------------------------
 
-ENGINES = ("serial", "sharded", "async")
+def _build_serial(**kw):
+    return RoundSimulation(**kw)
 
 
-def create_simulation(
-    engine: str = "serial",
-    network: Optional[NetworkModel] = None,
-    seed: int = 0,
-    max_reply_generations: int = 4,
-    on_node_error: str = "raise",
-    shards: Optional[int] = None,
-    start_method: Optional[str] = None,
-    wire_format: str = "binary",
-):
+def _build_sharded(**kw):
+    return ShardedRoundSimulation(**kw)
+
+
+def _build_async(**kw):
+    from .async_runner import AsyncGossipRuntime
+
+    return AsyncGossipRuntime(**kw)
+
+
+def _build_columnar(**kw):
+    from .columnar_runner import ColumnarRoundSimulation
+
+    return ColumnarRoundSimulation(**kw)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine: how to build it, and which factory kwargs it
+    honours.  ``create_simulation`` validates every call against this table,
+    so a kwarg an engine would silently ignore is rejected instead."""
+
+    name: str
+    summary: str
+    factory: Callable[..., object]
+    accepts: frozenset
+
+
+#: Factory-kwarg defaults.  A kwarg explicitly set to a *non-default* value
+#: for an engine that does not accept it is an error; passing the default is
+#: always legal (it cannot change behaviour).
+FACTORY_DEFAULTS = {
+    "network": None,
+    "seed": 0,
+    "max_reply_generations": 4,
+    "on_node_error": "raise",
+    "shards": None,
+    "start_method": None,
+    "wire_format": "binary",
+}
+
+_ROUND_KWARGS = frozenset(
+    {"network", "seed", "max_reply_generations", "on_node_error"})
+
+ENGINE_REGISTRY: Dict[str, EngineSpec] = {
+    spec.name: spec
+    for spec in (
+        EngineSpec(
+            name="serial",
+            summary="single-process synchronous rounds (paper Sec. 5.1)",
+            factory=_build_serial,
+            accepts=_ROUND_KWARGS,
+        ),
+        EngineSpec(
+            name="sharded",
+            summary="multi-process rounds, bit-identical to serial",
+            factory=_build_sharded,
+            accepts=_ROUND_KWARGS
+            | frozenset({"shards", "start_method", "wire_format"}),
+        ),
+        EngineSpec(
+            name="async",
+            summary="non-synchronized periodic gossip (testbed substitute)",
+            factory=_build_async,
+            accepts=frozenset({"network", "seed"}),
+        ),
+        EngineSpec(
+            name="columnar",
+            summary="array-backed vectorized rounds for mega-scale n",
+            factory=_build_columnar,
+            accepts=frozenset({"network", "seed"}),
+        ),
+    )
+}
+
+ENGINES = tuple(ENGINE_REGISTRY)
+
+
+def create_simulation(engine: str = "serial", **kwargs):
     """Build an engine by name — the single ``engine=`` knob.
 
     ``"serial"`` is the paper's single-process Sec. 5.1 runner;
@@ -1052,25 +1123,41 @@ def create_simulation(
     non-synchronized-timer testbed substitute
     (:class:`~repro.sim.async_runner.AsyncGossipRuntime`), driven by
     ``run_rounds`` instead of ``run`` and *not* part of the bit-identity
-    contract.  ``shards``/``start_method`` apply to the sharded engine only;
-    ``max_reply_generations``/``on_node_error`` to the round engines only;
-    ``wire_format`` picks the sharded engine's cross-shard batch encoding
-    (``"binary"`` — the compact wire codec with automatic pickle fallback —
-    or ``"pickle"`` to force the legacy path).
-    """
-    if engine == "serial":
-        return RoundSimulation(network=network, seed=seed,
-                               max_reply_generations=max_reply_generations,
-                               on_node_error=on_node_error)
-    if engine == "sharded":
-        return ShardedRoundSimulation(
-            network=network, seed=seed,
-            max_reply_generations=max_reply_generations,
-            on_node_error=on_node_error, shards=shards,
-            start_method=start_method, wire_format=wire_format,
-        )
-    if engine == "async":
-        from .async_runner import AsyncGossipRuntime
+    contract; ``"columnar"`` is the array-backed vectorized engine for
+    n >= 100k (:class:`~repro.sim.columnar_runner.ColumnarRoundSimulation`),
+    validated against serial on the honoured-metric subset only.
 
-        return AsyncGossipRuntime(network=network, seed=seed)
-    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    Accepted kwargs are validated against the :data:`ENGINE_REGISTRY` entry
+    of the chosen engine: ``shards``/``start_method``/``wire_format`` apply
+    to the sharded engine only, ``max_reply_generations``/``on_node_error``
+    to the round engines only, ``network``/``seed`` everywhere.  A kwarg set
+    to a non-default value for an engine that cannot honour it raises
+    ``ValueError`` naming the engines that can — a ``shards=8`` request must
+    not silently run single-process.
+    """
+    spec = ENGINE_REGISTRY.get(engine)
+    if spec is None:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    unknown = sorted(set(kwargs) - set(FACTORY_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown create_simulation kwarg(s) {unknown}; "
+            f"accepted: {sorted(FACTORY_DEFAULTS)}")
+    rejected = sorted(
+        name for name, value in kwargs.items()
+        if name not in spec.accepts and value != FACTORY_DEFAULTS[name]
+    )
+    if rejected:
+        honouring = {
+            name: sorted(s.name for s in ENGINE_REGISTRY.values()
+                         if name in s.accepts)
+            for name in rejected
+        }
+        detail = "; ".join(f"{name!r} applies to {engines}"
+                           for name, engines in honouring.items())
+        raise ValueError(
+            f"engine {engine!r} does not accept {rejected}: {detail}")
+    final = {name: kwargs.get(name, FACTORY_DEFAULTS[name])
+             for name in spec.accepts}
+    return spec.factory(**final)

@@ -58,6 +58,85 @@ RoundObserver = Callable[[int, "RoundSimulation"], None]
 """Invoked at the end of a round: ``observer(round_number, sim)``."""
 
 
+class _CrashedSet(set):
+    """``sim.crashed`` with alive-cache invalidation on every mutation.
+
+    ``sim.crashed`` is a documented public attribute, and hooks and tests
+    mutate it directly (historically the only way to revive a process was
+    ``sim.crashed.discard(pid)``).  A direct mutation used to leave
+    ``_alive_cache`` stale — ``alive_count()`` and ``alive_nodes()`` then
+    disagreed for the rest of the run and a revived node silently skipped
+    its ticks.  Tying invalidation to the set itself closes every such
+    path, including ones no engine method mediates.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "RoundSimulation") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def _invalidate(self) -> None:
+        self._owner._alive_cache = None
+
+    def add(self, pid) -> None:
+        set.add(self, pid)
+        self._invalidate()
+
+    def discard(self, pid) -> None:
+        set.discard(self, pid)
+        self._invalidate()
+
+    def remove(self, pid) -> None:
+        set.remove(self, pid)
+        self._invalidate()
+
+    def pop(self):
+        value = set.pop(self)
+        self._invalidate()
+        return value
+
+    def clear(self) -> None:
+        set.clear(self)
+        self._invalidate()
+
+    def update(self, *others) -> None:
+        set.update(self, *others)
+        self._invalidate()
+
+    def difference_update(self, *others) -> None:
+        set.difference_update(self, *others)
+        self._invalidate()
+
+    def intersection_update(self, *others) -> None:
+        set.intersection_update(self, *others)
+        self._invalidate()
+
+    def symmetric_difference_update(self, other) -> None:
+        set.symmetric_difference_update(self, other)
+        self._invalidate()
+
+    def __ior__(self, other):
+        set.__ior__(self, other)
+        self._invalidate()
+        return self
+
+    def __isub__(self, other):
+        set.__isub__(self, other)
+        self._invalidate()
+        return self
+
+    def __iand__(self, other):
+        set.__iand__(self, other)
+        self._invalidate()
+        return self
+
+    def __ixor__(self, other):
+        set.__ixor__(self, other)
+        self._invalidate()
+        return self
+
+
 class RoundSimulation:
     """Drives a set of gossip processes through synchronous rounds."""
 
@@ -87,7 +166,7 @@ class RoundSimulation:
         self._tele_baseline: Dict[str, int] = {}
         self._shuffle_rng: random.Random = self.seeds.rng("delivery-order")
         self.nodes: Dict[ProcessId, GossipProcess] = {}
-        self.crashed: set = set()
+        self.crashed: set = _CrashedSet(self)
         #: Incrementally maintained alive-node list: rebuilt lazily after a
         #: membership change (``add_node``/``crash``/fault recovery) instead
         #: of once per use — the round loop used to rescan all nodes several
@@ -154,6 +233,20 @@ class RoundSimulation:
             self.crashed.add(pid)
             self._alive_cache = None
             self.telemetry.emit("crash", float(self.round), pid=pid)
+
+    def recover(self, pid: ProcessId) -> bool:
+        """Un-crash ``pid``; returns whether a revival happened.
+
+        The symmetric counterpart of :meth:`crash` — revival keeps the
+        node's retained state but performs no membership re-join (the fault
+        injector's recovery path layers the Sec. 3.4 re-subscription on
+        top).  Safe to call from round hooks: the alive list is invalidated
+        immediately, so the revived node ticks in the same round.
+        """
+        if pid not in self.crashed or pid not in self.nodes:
+            return False
+        self.crashed.discard(pid)
+        return True
 
     def alive(self, pid: ProcessId) -> bool:
         return pid in self.nodes and pid not in self.crashed
@@ -310,10 +403,8 @@ class RoundSimulation:
         """Un-crash ``fault.pid`` and re-subscribe it through a contact —
         crash-with-recovery exercises the Sec. 3.3/3.4 membership path."""
         pid = fault.pid
-        if pid not in self.crashed or pid not in self.nodes:
+        if not self.recover(pid):
             return
-        self.crashed.discard(pid)
-        self._alive_cache = None
         contact = fault.contact
         if contact is None or not self.alive(contact):
             candidates = [p for p in self.nodes

@@ -46,14 +46,14 @@ class TestCheckScenario:
 
     @pytest.mark.parametrize("name", sorted(MUTATIONS))
     def test_planted_bugs_detected_with_expected_kind(self, name):
-        expected_kind = MUTATIONS[name].expected_kind
+        mutation = MUTATIONS[name]
         for seed in range(4):
             spec = generate_spec(seed, max_n=16, max_rounds=12,
                                  mutation=name)
-            report = check_scenario(spec)
+            report = check_scenario(spec, engines=mutation.engines)
             if not report.ok:
                 kinds = {f.kind for f in report.failures}
-                assert expected_kind in kinds, report.summary()
+                assert mutation.expected_kind in kinds, report.summary()
                 return
         pytest.fail(f"mutation {name!r} went undetected across 4 scenarios")
 
@@ -66,3 +66,64 @@ class TestCheckScenario:
             spec, require_signature="invariant:no-duplicate-delivery")
         assert fast.engines_run == ["serial"]
         assert "invariant:no-duplicate-delivery" in fast.signatures()
+
+    def test_serial_reference_engine_is_mandatory(self):
+        with pytest.raises(ValueError, match="serial reference"):
+            check_scenario(CLEAN, engines=("sharded",))
+        with pytest.raises(ValueError, match="unknown oracle engine"):
+            check_scenario(CLEAN, engines=("serial", "quantum"))
+
+
+class TestColumnarOracle:
+    def test_clean_scenario_passes_columnar_pair(self):
+        report = check_scenario(CLEAN, engines=("serial", "columnar"))
+        assert report.ok
+        assert report.engines_run == ["serial", "columnar"]
+        assert "columnar" in report.fingerprints
+
+    def test_columnar_fingerprint_is_deterministic(self):
+        a = check_scenario(CLEAN, engines=("serial", "columnar"))
+        b = check_scenario(CLEAN, engines=("serial", "columnar"))
+        assert a.fingerprints["columnar"] == b.fingerprints["columnar"]
+
+    def test_columnar_undercount_flagged_on_honoured_subset(self):
+        spec = ScenarioSpec(seed=5, n=10, rounds=8, publishes=3,
+                            mutation="columnar-undercount")
+        report = check_scenario(spec, engines=("serial", "columnar"))
+        assert "parity:columnar:sim.sends" in report.signatures()
+
+    def test_columnar_signature_pulls_engine_in_implicitly(self):
+        # The shrinker passes only require_signature; a parity:columnar:*
+        # signature must run the columnar engine without engine plumbing,
+        # and must skip the sharded run entirely (it cannot produce it).
+        spec = ScenarioSpec(seed=5, n=10, rounds=8, publishes=3,
+                            mutation="columnar-undercount")
+        report = check_scenario(
+            spec, require_signature="parity:columnar:sim.sends")
+        assert report.engines_run == ["serial", "columnar"]
+        assert "parity:columnar:sim.sends" in report.signatures()
+
+
+class TestFullReport:
+    def test_double_defect_reports_both_signatures(self):
+        # One scenario carrying an invariant break AND a parity break: the
+        # default fast path may stop at the first, but full=True must list
+        # both detector families' signatures.
+        spec = ScenarioSpec(seed=5, n=10, rounds=8, publishes=3,
+                            mutation="double-defect")
+        report = check_scenario(spec, full=True)
+        signatures = report.signatures()
+        assert "invariant:no-duplicate-delivery" in signatures
+        assert any(s.startswith("parity:") for s in signatures), signatures
+
+    def test_full_disables_invariant_fast_path(self):
+        spec = ScenarioSpec(seed=5, n=10, rounds=8, publishes=3,
+                            mutation="double-defect")
+        fast = check_scenario(
+            spec, require_signature="invariant:no-duplicate-delivery")
+        assert fast.engines_run == ["serial"]
+        full = check_scenario(
+            spec, require_signature="invariant:no-duplicate-delivery",
+            full=True)
+        assert full.engines_run == ["serial", "sharded"]
+        assert len(full.signatures()) > len(fast.signatures())

@@ -170,8 +170,8 @@ def _byz_plan():
 def _byz_run(engine, cfg, n=24, rounds=12, seed=11, wire="binary"):
     nodes = build_lpbcast_nodes(n, cfg, seed=seed)
     network = NetworkModel(loss_rate=0.05, rng=random.Random(seed + 1))
-    sim = create_simulation(engine, network=network, seed=seed, shards=2,
-                            wire_format=wire)
+    extra = {"shards": 2, "wire_format": wire} if engine == "sharded" else {}
+    sim = create_simulation(engine, network=network, seed=seed, **extra)
     sim.add_nodes(nodes)
     sim.use_fault_plan(_byz_plan())
 
@@ -216,10 +216,14 @@ class TestEngineParityUnderByzantinePlans:
         assert tele.counter_total("sim.delivered") > 0
 
     def test_wire_format_does_not_perturb_byzantine_runs(self):
+        # Binary vs forced-pickle cross-shard encoding on the *sharded*
+        # engine (where wire_format actually applies — the old version of
+        # this test compared two serial runs, which only agreed because the
+        # factory silently ignored the kwarg).
         cfg = LpbcastConfig(fanout=3, view_max=8)
-        binary = _byz_run("serial", cfg, wire="binary")
-        as_json = _byz_run("serial", cfg, wire="json")
-        assert _counters(binary) == _counters(as_json)
+        binary = _byz_run("sharded", cfg, wire="binary")
+        as_pickle = _byz_run("sharded", cfg, wire="pickle")
+        assert _counters(binary) == _counters(as_pickle)
 
 
 def _separation_run(seed, double_echo, engine="serial"):
@@ -235,7 +239,8 @@ def _separation_run(seed, double_echo, engine="serial"):
         cfg = LpbcastConfig(fanout=4, view_max=15,
                             digest_implies_delivery=False)
     nodes = build_lpbcast_nodes(n, cfg, seed=seed)
-    sim = create_simulation(engine, seed=seed, shards=2)
+    extra = {"shards": 2} if engine == "sharded" else {}
+    sim = create_simulation(engine, seed=seed, **extra)
     sim.add_nodes(nodes)
     liar = nodes[1].pid
     sim.use_fault_plan(

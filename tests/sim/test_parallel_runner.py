@@ -260,6 +260,42 @@ class TestFactory:
         with pytest.raises(ValueError):
             ShardedRoundSimulation(shards=0)
 
+    def test_columnar_engine_registered(self):
+        from repro.sim.columnar_runner import ColumnarRoundSimulation
+        from repro.sim.parallel_runner import ENGINES
+
+        assert "columnar" in ENGINES
+        sim = create_simulation("columnar", seed=3)
+        assert isinstance(sim, ColumnarRoundSimulation)
+
+    def test_unknown_kwarg_rejected_for_every_engine(self):
+        from repro.sim.parallel_runner import ENGINES
+
+        for engine in ENGINES:
+            with pytest.raises(ValueError,
+                               match="unknown create_simulation kwarg"):
+                create_simulation(engine, fanout=3)
+
+    def test_non_default_kwarg_names_the_engines_that_accept_it(self):
+        # shards=4 on the serial engine must fail loudly, not silently run
+        # single-process — and the message must point at the sharded engine.
+        with pytest.raises(ValueError, match=r"does not accept.*sharded"):
+            create_simulation("serial", shards=4)
+        with pytest.raises(ValueError, match="does not accept"):
+            create_simulation("columnar", on_node_error="crash")
+
+    def test_default_values_are_legal_everywhere(self):
+        # Passing a default cannot change behaviour, so generic call sites
+        # may forward the full kwarg set without per-engine plumbing.
+        sim = create_simulation("serial", shards=None, wire_format="binary")
+        assert type(sim) is RoundSimulation
+
+    def test_registry_accepts_only_known_kwargs(self):
+        from repro.sim.parallel_runner import ENGINE_REGISTRY, FACTORY_DEFAULTS
+
+        for spec in ENGINE_REGISTRY.values():
+            assert spec.accepts <= set(FACTORY_DEFAULTS), spec.name
+
 
 class TestFetchDedup:
     """The cross-shard payload sync serializes each unique message once.

@@ -29,7 +29,8 @@ def engine_run(engine, rounds=6, n=16, seed=31, shards=2):
     cfg = LpbcastConfig(fanout=3, view_max=8)
     nodes = build_lpbcast_nodes(n, cfg, seed=seed)
     network = NetworkModel(loss_rate=0.05, rng=random.Random(seed + 1))
-    sim = create_simulation(engine, network=network, seed=seed, shards=shards)
+    extra = {"shards": shards} if engine == "sharded" else {}
+    sim = create_simulation(engine, network=network, seed=seed, **extra)
     sim.add_nodes(nodes)
     recorder = RunRecorder(nodes)
     sim.add_observer(recorder.on_round)
@@ -155,7 +156,8 @@ class TestAllEngines:
         for engine in ("serial", "sharded"):
             cfg = LpbcastConfig(fanout=3, view_max=8)
             nodes = build_lpbcast_nodes(12, cfg, seed=33)
-            sim = create_simulation(engine, seed=33, shards=2)
+            extra = {"shards": 2} if engine == "sharded" else {}
+            sim = create_simulation(engine, seed=33, **extra)
             sim.add_nodes(nodes)
             recorder = RunRecorder(nodes)
             sim.add_observer(recorder.on_round)
@@ -202,7 +204,8 @@ class TestAllEngines:
 
             cfg = LpbcastConfig(fanout=3, view_max=8)
             nodes = build_lpbcast_nodes(8, cfg, seed=35)
-            sim = create_simulation(engine, seed=35, shards=2)
+            extra = {"shards": 2} if engine == "sharded" else {}
+            sim = create_simulation(engine, seed=35, **extra)
             sim.add_nodes(nodes)
             recorder = RunRecorder(nodes)
             sim.add_observer(recorder.on_round)

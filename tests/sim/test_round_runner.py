@@ -270,3 +270,96 @@ class TestDeterminism:
     def test_different_seed_different_outcome(self):
         outcomes = {self.run_once(seed) for seed in range(5)}
         assert len(outcomes) > 1
+
+
+class TestAliveCountInvalidation:
+    """Regressions for stale alive-list invalidation across
+    crash -> recover -> add_node interleavings (the ``alive_count()`` /
+    ``alive_nodes()`` split observed when ``sim.crashed`` was mutated
+    directly)."""
+
+    def build(self, n=6, seed=11):
+        sim = RoundSimulation(seed=seed)
+        sim.add_nodes(build_lpbcast_nodes(n, seed=seed))
+        return sim
+
+    def test_direct_crashed_discard_invalidates_cache(self):
+        sim = self.build()
+        sim.crash(0)
+        assert len(sim.alive_nodes()) == 5  # materialise the cache
+        sim.crashed.discard(0)  # historical revival path: raw set mutation
+        assert sim.alive_count() == 6
+        assert len(sim.alive_nodes()) == 6
+
+    def test_direct_crashed_add_invalidates_cache(self):
+        sim = self.build()
+        assert len(sim.alive_nodes()) == 6
+        sim.crashed.add(3)
+        assert sim.alive_count() == 5
+        assert len(sim.alive_nodes()) == 5
+
+    def test_bulk_set_operations_invalidate_cache(self):
+        sim = self.build()
+        sim.alive_nodes()
+        sim.crashed.update({0, 1})
+        assert sim.alive_count() == len(sim.alive_nodes()) == 4
+        sim.crashed |= {2}
+        assert sim.alive_count() == len(sim.alive_nodes()) == 3
+        sim.crashed.difference_update({0})
+        assert sim.alive_count() == len(sim.alive_nodes()) == 4
+        sim.crashed.clear()
+        assert sim.alive_count() == len(sim.alive_nodes()) == 6
+
+    def test_public_recover(self):
+        sim = self.build()
+        sim.crash(2)
+        sim.alive_nodes()
+        assert sim.recover(2) is True
+        assert sim.recover(2) is False      # already alive
+        assert sim.recover(99) is False     # unknown pid
+        assert sim.alive_count() == len(sim.alive_nodes()) == 6
+
+    def test_in_round_hook_revival_ticks_same_round(self):
+        sim = self.build()
+        sim.crash(3)
+
+        def revive(round_no, s):
+            s.recover(3)
+
+        sim.add_round_hook(revive)
+        sim.run(1)
+        agg = sim.node_aggregates()
+        assert sim.alive_count() == agg.count == 6
+        # The revived node ticked this round: every alive node gossiped.
+        assert sim.nodes[3].stats.gossips_sent == 1
+
+    def test_crash_recover_add_node_within_one_round(self):
+        sim = self.build()
+        extra = build_lpbcast_nodes(1, seed=77, first_pid=100)[0]
+
+        def churn(round_no, s):
+            if round_no == 1:
+                s.crash(0)
+                s.crash(1)
+                s.recover(1)
+                s.add_node(extra)
+
+        sim.add_round_hook(churn)
+        sim.run(1)
+        assert sim.alive_count() == 6  # 6 - crashed(0) - crashed(1) + rec(1) + added
+        assert len(sim.alive_nodes()) == 6
+        assert sim.node_aggregates().count == 6
+        sim.run(1)
+        assert sim.alive_count() == len(sim.alive_nodes()) == 6
+
+    def test_plan_recovery_of_manually_crashed_node_stays_consistent(self):
+        from repro.faults.plan import FaultPlan
+
+        sim = self.build()
+        plan = FaultPlan()
+        plan.crash(2, at=1, recover_at=3)
+        sim.use_fault_plan(plan)
+        sim.run(1)
+        assert sim.alive_count() == len(sim.alive_nodes()) == 5
+        sim.run(2)  # recovery applies at round 3
+        assert sim.alive_count() == len(sim.alive_nodes()) == 6

@@ -38,7 +38,8 @@ def run_engine(engine, *, tracing=False, faults=False, with_meter=False,
     network = None
     if loss:
         network = NetworkModel(loss_rate=loss, rng=random.Random(SEED + 1))
-    sim = create_simulation(engine, network=network, seed=SEED, shards=shards)
+    extra = {"shards": shards} if engine == "sharded" else {}
+    sim = create_simulation(engine, network=network, seed=SEED, **extra)
     sim.add_nodes(nodes)
     sim.telemetry.tracing = tracing
     meter = None
@@ -161,7 +162,8 @@ class TestAsyncRunnerComparability:
     def _run(self, engine):
         cfg = LpbcastConfig(fanout=3, view_max=8)
         nodes = build_lpbcast_nodes(N, cfg, seed=SEED)
-        sim = create_simulation(engine, seed=SEED, shards=2)
+        extra = {"shards": 2} if engine == "sharded" else {}
+        sim = create_simulation(engine, seed=SEED, **extra)
         sim.add_nodes(nodes)
         log = DeliveryLog().attach(nodes)
         if engine == "async":
@@ -229,8 +231,9 @@ def golden_run(engine, shards=2):
                         digest_implies_delivery=False)
     nodes = build_lpbcast_nodes(GOLDEN_N, cfg, seed=GOLDEN_SEED)
     network = NetworkModel(loss_rate=0.05, rng=random.Random(GOLDEN_SEED + 1))
+    extra = {"shards": shards} if engine == "sharded" else {}
     sim = create_simulation(engine, network=network, seed=GOLDEN_SEED,
-                            shards=shards)
+                            **extra)
     sim.add_nodes(nodes)
     sim.use_fault_plan(
         FaultPlan().drop(0.05).duplicate(0.05).delay(0.03, delay=2)

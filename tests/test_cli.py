@@ -106,6 +106,13 @@ class TestTraceCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--engine", "quantum"])
 
+    def test_trace_rejects_shards_on_serial_engine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "-n", "12", "--rounds", "4",
+                  "--engine", "serial", "--shards", "2"])
+        assert excinfo.value.code == 2
+        assert "does not accept" in capsys.readouterr().err
+
     def test_trace_prints_counters_profile_and_events(self, capsys):
         assert main(["trace", "-n", "12", "--rounds", "4", "--seed", "3"]) == 0
         out = capsys.readouterr().out
@@ -128,8 +135,11 @@ class TestTraceCommand:
     def test_trace_sharded_matches_serial_output_counters(self, capsys):
         outputs = {}
         for engine in ("serial", "sharded"):
+            # --shards only rides along with the sharded engine: the strict
+            # factory rejects it elsewhere instead of silently ignoring it.
+            extra = ["--shards", "2"] if engine == "sharded" else []
             assert main(["trace", "-n", "12", "--rounds", "4", "--seed", "3",
-                         "--engine", engine, "--shards", "2"]) == 0
+                         "--engine", engine, *extra]) == 0
             out = capsys.readouterr().out
             start = out.index("-- counter totals --")
             end = out.index("-- timing profile --")
