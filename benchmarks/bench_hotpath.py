@@ -15,19 +15,31 @@ so successive runs (and future PRs) are comparable:
   read straight from the ``time.shard.sync`` phase timer;
 * ``codec`` — wire-codec encode/decode throughput and encoded size over a
   captured corpus of real gossip traffic, for both the JSON and binary
-  formats, plus the golden byte-vector check;
+  formats, plus the golden byte-vector check and the decode fast-path
+  speedup against the recorded pre-cursor baseline;
 * ``columnar`` — the mega-scale columnar engine: wall-clock for n=100,000
   over 20 rounds (acceptance bar: under 60 s), the columnar-vs-serial
   rounds/s speedup at the serial loop's n (bar: ≥20x), and a fixed-seed
-  honoured-subset parity check against the serial engine.
+  honoured-subset parity check against the serial engine;
+* ``mega_1m`` — the bit-packed engine at n=1,000,000 (full mode; the
+  ``--check`` smoke runs n=200,000 over ``workers=2``): build and round
+  wall-clock, peak RSS via ``resource.getrusage``, resident state
+  bytes-per-node, and a workers=1 vs workers=N honoured-fingerprint
+  cross-check (bars, full mode: build + 10 rounds ≤ 120 s, ≤ 8 GB RSS);
+* ``multicore`` — shared-memory speedup at n=100,000: the same scenario
+  timed at workers=1 and workers=N with byte-identical honoured
+  fingerprints required (speed bar ≥2x, enforced in full mode only when
+  the host has ≥4 cores — worker count is always explicit, never derived
+  from the machine).
 
-``--check`` runs the same code at toy sizes and asserts only *correctness*
-properties — the emitted document validates against the schema, the
-serial/sharded engines produce identical counter fingerprints, the columnar
-honoured subset matches serial, the golden byte vectors hold and the binary
+``--check`` runs the same code at reduced sizes and asserts only
+*correctness* properties — the emitted document validates against the
+schema, the serial/sharded engines produce identical counter fingerprints,
+the columnar honoured subset matches serial, both mega sections'
+worker-count parity holds, the golden byte vectors hold and the binary
 codec stays ≥2x smaller than JSON — never wall-clock thresholds, so it is
 safe on noisy shared CI runners.  The wall-clock acceptance bars (60 s /
-20x) are enforced in full mode only.
+20x / 120 s / 8 GB / 2x-on-4-cores) are enforced in full mode only.
 """
 
 from __future__ import annotations
@@ -53,7 +65,12 @@ from repro.sim import (  # noqa: E402
     create_simulation,
 )
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: Binary decode throughput recorded before the varint local-offset-cursor
+#: fast path landed (same corpus, same machine class) — the denominator of
+#: the codec section's ``decode_speedup_vs_baseline``.
+DECODE_BASELINE_PER_SEC = 73_933.3
 
 #: The document contract, checked by :func:`validate`: each leaf is the
 #: required type (a tuple means "any of these types").  Kept dependency-free
@@ -108,6 +125,32 @@ SCHEMA = {
             "speedup": float,
             "honoured_parity": bool,
         },
+        "mega_1m": {
+            "n": int,
+            "rounds": int,
+            "workers": int,
+            "build_seconds": float,
+            "run_seconds": float,
+            "seconds_total": float,
+            "rounds_per_sec": float,
+            "peak_rss_bytes": int,
+            "workers_peak_rss_bytes": int,
+            "state_bytes": int,
+            "bytes_per_node": float,
+            "parity_n": int,
+            "parity_workers": int,
+            "honoured_parity": bool,
+        },
+        "multicore": {
+            "n": int,
+            "rounds": int,
+            "workers": int,
+            "cores": int,
+            "single_rounds_per_sec": float,
+            "multi_rounds_per_sec": float,
+            "speedup": float,
+            "honoured_parity": bool,
+        },
         "codec": {
             "corpus_n": int,
             "corpus_gossips": int,
@@ -118,6 +161,8 @@ SCHEMA = {
             "json_decode_per_sec": float,
             "binary_encode_per_sec": float,
             "binary_decode_per_sec": float,
+            "decode_baseline_per_sec": float,
+            "decode_speedup_vs_baseline": float,
             "golden_vectors_ok": bool,
         },
     },
@@ -311,6 +356,114 @@ def bench_columnar(mega_n, mega_rounds, speedup_rounds, serial_loop,
     }
 
 
+def _rss_bytes():
+    """Peak resident set of this process and of its reaped children, in
+    bytes (``ru_maxrss`` is KB on Linux, bytes on macOS)."""
+    import resource
+    scale = 1 if sys.platform == "darwin" else 1024
+    return (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale,
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * scale)
+
+
+def bench_mega_1m(n, rounds, workers, parity_n, parity_rounds,
+                  parity_workers, seed=13):
+    """Million-node scale on the bit-packed columnar engine.
+
+    Times the direct columnar bootstrap (no per-node objects) and the
+    round loop, records peak RSS and resident engine-state bytes per node,
+    then cross-checks a smaller fixed-seed scenario at workers=1 vs
+    workers=``parity_workers``: the honoured fingerprints must be
+    byte-identical (the multi-core mode's determinism contract).
+    """
+    from repro.sim.columnar_runner import (
+        ColumnarRoundSimulation,
+        honoured_fingerprint,
+    )
+    from repro.telemetry import counter_records
+
+    cfg = LpbcastConfig(fanout=3, view_max=25)
+    begin = time.perf_counter()
+    sim = ColumnarRoundSimulation.build(n, cfg, seed=seed, workers=workers)
+    build_seconds = time.perf_counter() - begin
+    try:
+        for i in range(3):
+            sim.nodes[i].lpb_cast(f"mega-{i}", 0.0)
+        begin = time.perf_counter()
+        sim.run(rounds)
+        run_seconds = time.perf_counter() - begin
+        state_bytes = sim.memory_bytes()
+    finally:
+        sim.close()
+    rss_self, rss_children = _rss_bytes()
+
+    fingerprints = {}
+    for w in (1, parity_workers):
+        psim = ColumnarRoundSimulation.build(parity_n, cfg, seed=seed + 1,
+                                             workers=w)
+        try:
+            for i in range(3):
+                psim.nodes[i].lpb_cast(f"parity-{i}", 0.0)
+            psim.run(parity_rounds)
+            fingerprints[w] = honoured_fingerprint(
+                counter_records(psim.telemetry))
+        finally:
+            psim.close()
+
+    return {
+        "n": n,
+        "rounds": rounds,
+        "workers": workers,
+        "build_seconds": build_seconds,
+        "run_seconds": run_seconds,
+        "seconds_total": build_seconds + run_seconds,
+        "rounds_per_sec": rounds / run_seconds,
+        "peak_rss_bytes": rss_self,
+        "workers_peak_rss_bytes": rss_children,
+        "state_bytes": state_bytes,
+        "bytes_per_node": state_bytes / n,
+        "parity_n": parity_n,
+        "parity_workers": parity_workers,
+        "honoured_parity": fingerprints[1] == fingerprints[parity_workers],
+    }
+
+
+def bench_multicore(n, rounds, workers, seed=17):
+    """Shared-memory speedup: the identical scenario timed at workers=1
+    and workers=``workers``, with byte-identical honoured fingerprints
+    required — a speedup that changed the output would be a bug, not a
+    result."""
+    from repro.sim.columnar_runner import (
+        ColumnarRoundSimulation,
+        honoured_fingerprint,
+    )
+    from repro.telemetry import counter_records
+
+    cfg = LpbcastConfig(fanout=3, view_max=25)
+    rps, fps = {}, {}
+    for w in (1, workers):
+        sim = ColumnarRoundSimulation.build(n, cfg, seed=seed, workers=w)
+        try:
+            for i in range(3):
+                sim.nodes[i].lpb_cast(f"mc-{i}", 0.0)
+            sim.run(2)  # warm: infect enough state that rounds do real work
+            begin = time.perf_counter()
+            sim.run(rounds)
+            rps[w] = rounds / (time.perf_counter() - begin)
+            fps[w] = honoured_fingerprint(counter_records(sim.telemetry))
+        finally:
+            sim.close()
+    return {
+        "n": n,
+        "rounds": rounds,
+        "workers": workers,
+        "cores": os.cpu_count() or 1,
+        "single_rounds_per_sec": rps[1],
+        "multi_rounds_per_sec": rps[workers],
+        "speedup": rps[workers] / rps[1],
+        "honoured_parity": fps[1] == fps[workers],
+    }
+
+
 def bench_codec(n, rounds, seed=2026):
     """Encode/decode throughput and size over real gossip traffic.
 
@@ -354,6 +507,7 @@ def bench_codec(n, rounds, seed=2026):
 
     json_bytes = sum(len(b) for b in json_blobs)
     binary_bytes = sum(len(b) for b in binary_blobs)
+    decode_per_sec = timed(decode_binary, binary_blobs)
     return {
         "corpus_n": n,
         "corpus_gossips": len(gossips),
@@ -364,7 +518,9 @@ def bench_codec(n, rounds, seed=2026):
         "json_decode_per_sec": timed(
             from_json, [b.decode("utf-8") for b in json_blobs]),
         "binary_encode_per_sec": timed(encode_binary, gossips),
-        "binary_decode_per_sec": timed(decode_binary, binary_blobs),
+        "binary_decode_per_sec": decode_per_sec,
+        "decode_baseline_per_sec": DECODE_BASELINE_PER_SEC,
+        "decode_speedup_vs_baseline": decode_per_sec / DECODE_BASELINE_PER_SEC,
         "golden_vectors_ok": check_golden_vectors() == len(GOLDEN_VECTORS),
     }
 
@@ -375,12 +531,22 @@ FULL_PARAMS = dict(tick_iters=2000, recv_iters=20000, loop_n=5000,
                    loop_rounds=8, sync_n=2000, sync_rounds=5, sync_shards=4,
                    parity_n=200, parity_rounds=8,
                    codec_n=500, codec_rounds=6,
-                   mega_n=100_000, mega_rounds=20, col_rounds=40)
+                   mega_n=100_000, mega_rounds=20, col_rounds=40,
+                   mega1m_n=1_000_000, mega1m_rounds=10, mega1m_workers=1,
+                   mega1m_parity_n=100_000, mega1m_parity_rounds=5,
+                   mega1m_parity_workers=2,
+                   mc_n=100_000, mc_rounds=10, mc_workers=4)
 CHECK_PARAMS = dict(tick_iters=200, recv_iters=1000, loop_n=200,
                     loop_rounds=3, sync_n=120, sync_rounds=3, sync_shards=2,
                     parity_n=96, parity_rounds=6,
                     codec_n=150, codec_rounds=4,
-                    mega_n=1500, mega_rounds=4, col_rounds=3)
+                    mega_n=1500, mega_rounds=4, col_rounds=3,
+                    # The CI smoke's reduced mega run: n=200k over two
+                    # shared-memory workers, parity cross-checked.
+                    mega1m_n=200_000, mega1m_rounds=10, mega1m_workers=2,
+                    mega1m_parity_n=50_000, mega1m_parity_rounds=4,
+                    mega1m_parity_workers=2,
+                    mc_n=5_000, mc_rounds=4, mc_workers=2)
 
 
 def run(params, mode):
@@ -393,10 +559,18 @@ def run(params, mode):
         "shard_sync": bench_shard_sync(
             params["sync_n"], params["sync_rounds"], params["sync_shards"]),
         "parity": bench_parity(params["parity_n"], params["parity_rounds"]),
+        # Codec before the mega sections: the 1M run's allocation churn
+        # depresses interpreter-bound throughput numbers measured after it.
+        "codec": bench_codec(params["codec_n"], params["codec_rounds"]),
         "columnar": bench_columnar(
             params["mega_n"], params["mega_rounds"], params["col_rounds"],
             serial_loop),
-        "codec": bench_codec(params["codec_n"], params["codec_rounds"]),
+        "mega_1m": bench_mega_1m(
+            params["mega1m_n"], params["mega1m_rounds"],
+            params["mega1m_workers"], params["mega1m_parity_n"],
+            params["mega1m_parity_rounds"], params["mega1m_parity_workers"]),
+        "multicore": bench_multicore(
+            params["mc_n"], params["mc_rounds"], params["mc_workers"]),
     }
     return {
         "schema_version": SCHEMA_VERSION,
@@ -438,6 +612,18 @@ def main(argv=None):
         print("FAIL: columnar honoured counter subset diverges from serial",
               file=sys.stderr)
         return 1
+    mega = doc["results"]["mega_1m"]
+    if not mega["honoured_parity"]:
+        print(f"FAIL: mega_1m honoured fingerprint differs between "
+              f"workers=1 and workers={mega['parity_workers']} at "
+              f"n={mega['parity_n']}", file=sys.stderr)
+        return 1
+    multicore = doc["results"]["multicore"]
+    if not multicore["honoured_parity"]:
+        print(f"FAIL: multicore honoured fingerprint differs between "
+              f"workers=1 and workers={multicore['workers']} at "
+              f"n={multicore['n']}", file=sys.stderr)
+        return 1
     if mode == "full":
         # Wall-clock acceptance bars, full mode only (CI check runs on
         # noisy shared runners and asserts correctness, not speed).
@@ -451,6 +637,24 @@ def main(argv=None):
             print(f"FAIL: columnar only {columnar['speedup']:.1f}x faster "
                   f"than serial at n={columnar['speedup_n']} (bar: ≥20x)",
                   file=sys.stderr)
+            return 1
+        if mega["seconds_total"] > 120.0:
+            print(f"FAIL: mega_1m n={mega['n']} build + {mega['rounds']} "
+                  f"rounds took {mega['seconds_total']:.1f}s (bar: ≤120s)",
+                  file=sys.stderr)
+            return 1
+        if mega["peak_rss_bytes"] > 8 * 1024**3:
+            print(f"FAIL: mega_1m peak RSS "
+                  f"{mega['peak_rss_bytes'] / 1024**3:.2f} GB (bar: ≤8 GB)",
+                  file=sys.stderr)
+            return 1
+        # The multi-core speed bar only means something with real cores
+        # under the workers; parity above is asserted unconditionally.
+        if multicore["cores"] >= 4 and multicore["speedup"] < 2.0:
+            print(f"FAIL: multicore only {multicore['speedup']:.2f}x at "
+                  f"n={multicore['n']} with workers="
+                  f"{multicore['workers']} on {multicore['cores']} cores "
+                  f"(bar: ≥2x)", file=sys.stderr)
             return 1
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -472,11 +676,23 @@ def main(argv=None):
           f"({r['columnar']['backend']}); "
           f"{r['columnar']['speedup']:.1f}x serial at "
           f"n={r['columnar']['speedup_n']}")
+    print(f"  mega_1m          : n={r['mega_1m']['n']} x "
+          f"{r['mega_1m']['rounds']} rounds in "
+          f"{r['mega_1m']['seconds_total']:.1f}s total "
+          f"(workers={r['mega_1m']['workers']}, "
+          f"{r['mega_1m']['peak_rss_bytes'] / 1024**3:.2f} GB peak, "
+          f"{r['mega_1m']['bytes_per_node']:.1f} B/node)")
+    print(f"  multicore        : {r['multicore']['speedup']:.2f}x at "
+          f"n={r['multicore']['n']} "
+          f"(workers={r['multicore']['workers']}, "
+          f"{r['multicore']['cores']} core(s), parity "
+          f"{'ok' if r['multicore']['honoured_parity'] else 'BROKEN'})")
     print(f"  codec            : {r['codec']['compression_ratio']:>12.2f}x smaller "
           f"({r['codec']['binary_bytes_per_gossip']:.1f}B vs "
           f"{r['codec']['json_bytes_per_gossip']:.1f}B/gossip, "
           f"{r['codec']['binary_encode_per_sec']:.0f} enc/s, "
-          f"{r['codec']['binary_decode_per_sec']:.0f} dec/s)")
+          f"{r['codec']['binary_decode_per_sec']:.0f} dec/s, "
+          f"{r['codec']['decode_speedup_vs_baseline']:.2f}x decode baseline)")
     return 0
 
 

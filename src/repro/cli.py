@@ -366,6 +366,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     engines = (("serial", "columnar") if args.columnar
                else ("serial", "sharded"))
+    if args.workers != 1 and not args.columnar:
+        raise ValueError(
+            f"--workers {args.workers} requires --columnar: the worker "
+            f"count tunes the columnar engine's shared-memory mode and no "
+            f"other engine accepts it (the sharded engine's knob is "
+            f"--shards on the demo/trace commands)")
     result = run_campaign(
         args.seed,
         args.count,
@@ -377,6 +383,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         artifact_dir=args.artifact_dir,
         progress=say,
         engines=engines,
+        workers=args.workers,
     )
     print(result.summary())
     for case in result.cases:
@@ -555,7 +562,16 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--columnar", action="store_true",
                       help="differential-check the columnar engine against "
                            "the serial one on the honoured counter subset "
-                           "instead of serial-vs-sharded full records")
+                           "instead of serial-vs-sharded full records; "
+                           "single-core (workers=1) unless --workers says "
+                           "otherwise")
+    fuzz.add_argument("--workers", type=_positive_int, default=1,
+                      metavar="N",
+                      help="run the columnar side of the differential over "
+                           "N shared-memory worker processes (requires "
+                           "--columnar; default 1 = single-core, never "
+                           "auto-detected from the host's core count — the "
+                           "honoured verdict is identical for every N)")
     fuzz.add_argument("--replay", metavar="CASE.json", default=None,
                       help="re-execute a repro artifact and require "
                            "bit-identical reproduction")

@@ -176,6 +176,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     stop_after: Optional[int] = None,
     engines: tuple = ("serial", "sharded"),
+    workers: int = 1,
 ) -> CampaignResult:
     """Run one fuzz campaign.
 
@@ -187,7 +188,11 @@ def run_campaign(
     with liars in the plan) instead of the plain one.  ``engines`` picks
     the oracle's differential pairs (e.g. ``("serial", "columnar")`` for
     the honoured-subset campaign); the columnar engine rejects Byzantine
-    plans, so the two options are mutually exclusive.
+    plans, so the two options are mutually exclusive.  ``workers`` runs the
+    columnar side of the differential over that many shared-memory
+    processes — an explicit choice, never derived from the host's cores, so
+    campaigns are machine-independent; it requires ``"columnar"`` in
+    ``engines`` (the oracle rejects it otherwise).
     """
     if byzantine and "columnar" in engines:
         raise ValueError(
@@ -199,7 +204,7 @@ def run_campaign(
         case_seed = derive_seed(root_seed, "dst-case", index)
         spec = generate_spec(case_seed, max_n=max_n, max_rounds=max_rounds,
                              mutation=mutation, byzantine=byzantine)
-        report = check_scenario(spec, engines=engines)
+        report = check_scenario(spec, engines=engines, workers=workers)
         result.checked += 1
         if report.ok:
             say(f"[{index + 1}/{count}] OK    {spec.describe()}")
@@ -218,7 +223,8 @@ def run_campaign(
         # path, so the artifact records complete fingerprints and *all*
         # co-occurring failure signatures even when shrinking
         # short-circuited on the first one.
-        final_report = check_scenario(shrunk.spec, full=True, engines=engines)
+        final_report = check_scenario(shrunk.spec, full=True, engines=engines,
+                                      workers=workers)
         case = FuzzCase(case_seed=case_seed, original=spec, shrunk=shrunk,
                         report=final_report)
         if artifact_dir is not None:

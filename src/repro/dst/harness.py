@@ -108,38 +108,48 @@ def _run_round_engine(spec: ScenarioSpec, engine: str) -> RunOutcome:
             close()
 
 
-def _run_columnar_engine(spec: ScenarioSpec) -> RunOutcome:
+def _run_columnar_engine(spec: ScenarioSpec, workers: int = 1) -> RunOutcome:
     """The columnar run: same nodes, same publish draws, honoured-subset
     fingerprint (the full columnar counter set legitimately diverges — see
-    the declared-divergence contract in :mod:`repro.sim.columnar_runner`)."""
+    the declared-divergence contract in :mod:`repro.sim.columnar_runner`).
+
+    ``workers > 1`` exercises the shared-memory multi-core path — the
+    honoured fingerprint is worker-count-independent, so the oracle's
+    ``parity:columnar`` verdicts cover every worker count with the same
+    expected value.
+    """
     from ..sim.columnar_runner import honoured_fingerprint
 
     cfg = spec.config()
     nodes = build_lpbcast_nodes(spec.n, cfg, seed=spec.seed)
     network = NetworkModel(loss_rate=spec.loss_rate,
                            rng=derive_rng(spec.seed, "dst-network"))
-    sim = create_simulation("columnar", network=network, seed=spec.seed)
-    sim.add_nodes(nodes)
-    log = DeliveryLog().attach(sim.nodes.values())
-    if not spec.plan.is_empty():
-        sim.use_fault_plan(spec.plan)
-    sim.add_round_hook(_publish_hook(spec, [node.pid for node in nodes]))
-    mutation = get_mutation(spec.mutation)
-    if mutation is not None:
-        mutation.apply_post_build(sim, spec, "columnar")
-    sim.run(spec.rounds)
-    if mutation is not None:
-        mutation.apply_post_run(sim, spec, "columnar")
-    records = counter_records(sim.telemetry)
-    return RunOutcome(
-        engine="columnar",
-        spec=spec,
-        fingerprint=honoured_fingerprint(records),
-        records=records,
-        violations=[],
-        deliveries=log.total_deliveries,
-        alive=sim.alive_count(),
-    )
+    sim = create_simulation("columnar", network=network, seed=spec.seed,
+                            workers=workers)
+    try:
+        sim.add_nodes(nodes)
+        log = DeliveryLog().attach(sim.nodes.values())
+        if not spec.plan.is_empty():
+            sim.use_fault_plan(spec.plan)
+        sim.add_round_hook(_publish_hook(spec, [node.pid for node in nodes]))
+        mutation = get_mutation(spec.mutation)
+        if mutation is not None:
+            mutation.apply_post_build(sim, spec, "columnar")
+        sim.run(spec.rounds)
+        if mutation is not None:
+            mutation.apply_post_run(sim, spec, "columnar")
+        records = counter_records(sim.telemetry)
+        return RunOutcome(
+            engine="columnar",
+            spec=spec,
+            fingerprint=honoured_fingerprint(records),
+            records=records,
+            violations=[],
+            deliveries=log.total_deliveries,
+            alive=sim.alive_count(),
+        )
+    finally:
+        sim.close()
 
 
 def _run_async_engine(spec: ScenarioSpec) -> RunOutcome:
@@ -200,18 +210,27 @@ def _run_async_engine(spec: ScenarioSpec) -> RunOutcome:
     )
 
 
-def apply_scenario(spec: ScenarioSpec, engine: str = "serial") -> RunOutcome:
+def apply_scenario(spec: ScenarioSpec, engine: str = "serial",
+                   workers: int = 1) -> RunOutcome:
     """Execute ``spec`` on ``engine`` and return the run's evidence.
 
     The single entry point every DST layer goes through — oracle, shrinker,
     replay and self-test — so there is exactly one way a spec maps to a
-    run.
+    run.  ``workers`` selects the columnar engine's multi-core mode
+    (explicitly: it is never inferred from the host's core count) and is
+    rejected for every other engine, matching the ``create_simulation``
+    kwargs contract.
     """
     spec.validate()
+    if workers != 1 and engine != "columnar":
+        raise ValueError(
+            f"workers={workers} applies to the 'columnar' engine only "
+            f"(got engine {engine!r}); the object engines take no "
+            f"worker-count knob — use shards= for 'sharded'")
     if engine in ("serial", "sharded"):
         return _run_round_engine(spec, engine)
     if engine == "columnar":
-        return _run_columnar_engine(spec)
+        return _run_columnar_engine(spec, workers=workers)
     if engine == "async":
         return _run_async_engine(spec)
     raise ValueError(f"unknown engine {engine!r}")

@@ -129,6 +129,7 @@ def check_scenario(
     require_signature: Optional[str] = None,
     full: bool = False,
     engines: Sequence[str] = ("serial", "sharded"),
+    workers: int = 1,
 ) -> OracleReport:
     """Run the oracle on one spec.
 
@@ -146,15 +147,31 @@ def check_scenario(
     ``"columnar"`` for honoured-subset parity.  A ``parity:columnar:*``
     ``require_signature`` pulls the columnar engine in implicitly, so the
     shrinker needs no engine plumbing.
+
+    ``workers`` is the columnar engine's worker-process count — always an
+    explicit caller choice (never inferred from the host's core count, so
+    a report is reproducible on any machine).  ``workers=N`` runs the
+    columnar side of the differential over N shared-memory processes; the
+    honoured fingerprint is worker-count-independent, so the expected
+    verdict is the same for every N.  Setting ``workers != 1`` without a
+    columnar run to apply it to is rejected, matching the
+    ``create_simulation`` kwargs contract.
     """
     engines = tuple(engines)
     if "serial" not in engines:
         raise ValueError("the oracle always needs the serial reference run")
     unknown = set(engines) - {"serial", "sharded", "columnar"}
     if unknown:
-        raise ValueError(f"unknown oracle engine(s): {sorted(unknown)}")
+        raise ValueError(f"unknown oracle engine(s): {sorted(unknown)}; "
+                         f"workers= tunes the columnar engine and shards= "
+                         f"the sharded engine, neither is an engine name")
     wants_columnar_sig = (require_signature is not None
                           and require_signature.startswith("parity:columnar"))
+    if workers != 1 and not ("columnar" in engines or wants_columnar_sig):
+        raise ValueError(
+            f"workers={workers} applies to the 'columnar' engine only, "
+            f"which is not part of this oracle run (engines={engines}); "
+            f"add 'columnar' to engines= or drop workers=")
     report = OracleReport(spec=spec)
     serial = apply_scenario(spec, "serial")
     report.engines_run.append("serial")
@@ -166,7 +183,7 @@ def check_scenario(
         return report
 
     if "columnar" in engines or wants_columnar_sig:
-        columnar = apply_scenario(spec, "columnar")
+        columnar = apply_scenario(spec, "columnar", workers=workers)
         report.engines_run.append("columnar")
         report.fingerprints["columnar"] = columnar.fingerprint
         parity = _columnar_parity_failure(serial, columnar)

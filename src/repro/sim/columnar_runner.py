@@ -8,8 +8,35 @@ counters — and executes each gossip round as a handful of batched
 vectorized passes (partner selection, loss admission, digest diff /
 delivery, buffer truncation) instead of ``n`` per-node ticks.  With numpy
 available the passes are true array operations; without it a pure-stdlib
-fallback (``array``/``bytearray`` columns, per-sender loops) provides the
-same semantics at reduced speed.
+fallback provides the same semantics at reduced speed.
+
+Bit-packed state (n = 1,000,000)
+--------------------------------
+All boolean per-node columns — the alive flags and the per-event
+delivery/forwarding bitmaps — are stored bit-packed, 64 nodes per word
+(:mod:`repro.sim.bitset`): ``uint64`` word arrays on the numpy backend,
+arbitrary-precision ``int`` bitsets on the pure-python backend.  An event
+row costs ``n/8`` bytes instead of ``n``, and the round passes operate on
+words (masked OR-propagation for infection spread, popcount for curve
+reads) so a million-node system fits comfortably in memory: the dominant
+remaining columns are the ``int32`` view matrix (``4 * n * view_cap``
+bytes) and the six ``int64`` stat columns.  :meth:`memory_bytes` reports
+the resident column footprint for the bench harness.
+
+Multi-core rounds (``workers=N``)
+---------------------------------
+With ``workers > 1`` (numpy backend only) the node axis is partitioned
+across long-lived worker processes over ``multiprocessing.shared_memory``
+views — see :mod:`repro.sim.columnar_shm`.  Partition boundaries are fixed
+by ``(n, workers)`` alone and the honoured counter series (below) are
+computed by the coordinator from schedule-deterministic state, so the
+honoured fingerprint is byte-identical for *any* worker count, including
+``workers=1`` and the serial engine.  Per-target randomness draws from
+per-worker streams (``derive_seed(seed, "columnar-shm", w)``), so the
+non-honoured counters vary with the worker count — the same declared
+divergence already accepted between serial and columnar.  Call
+:meth:`close` (or use the engine as a context manager) to reap workers and
+shared-memory segments.
 
 Honoured-metric contract
 ------------------------
@@ -57,6 +84,7 @@ from ..core.config import LpbcastConfig
 from ..core.events import Notification, make_notification
 from ..core.ids import ProcessId
 from ..telemetry import Telemetry
+from . import bitset
 from .network import NetworkModel
 from .rng import SeedSequence, derive_rng, derive_seed
 
@@ -177,7 +205,7 @@ class _HandleMap(Mapping):
 
 
 class ColumnarRoundSimulation:
-    """Vectorized synchronous-round lpbcast over dense columns.
+    """Vectorized synchronous-round lpbcast over dense bit-packed columns.
 
     Build either by ingesting prebuilt nodes (``add_nodes`` — the DST
     harness path, bounded n) or directly at scale with :meth:`build`
@@ -185,7 +213,9 @@ class ColumnarRoundSimulation:
     mirrors :class:`~repro.sim.round_runner.RoundSimulation`: ``run`` /
     ``run_round`` / ``run_until``, round hooks and observers, ``crash`` /
     ``recover`` / ``use_fault_plan``, ``node_aggregates`` and engine-native
-    ``telemetry``.
+    ``telemetry``.  ``workers > 1`` runs the round passes across that many
+    shared-memory worker processes (numpy backend only; see module
+    docstring) — call :meth:`close` when done, or use ``with``.
     """
 
     def __init__(
@@ -193,6 +223,7 @@ class ColumnarRoundSimulation:
         network: Optional[NetworkModel] = None,
         seed: int = 0,
         backend: str = "auto",
+        workers: int = 1,
     ) -> None:
         if backend not in ("auto", "numpy", "python"):
             raise ValueError("backend must be 'auto', 'numpy' or 'python'")
@@ -201,6 +232,19 @@ class ColumnarRoundSimulation:
                              "importable; use backend='auto' or 'python'")
         self.backend = ("numpy" if (_np is not None and backend != "python")
                         else "python")
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise ValueError(f"workers must be a positive int, got "
+                             f"{workers!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and self.backend != "python" and _np is None:
+            raise ValueError("workers > 1 requires numpy")  # pragma: no cover
+        if workers > 1 and self.backend == "python":
+            raise ValueError(
+                "workers > 1 requires the numpy backend (the multi-core "
+                "mode partitions shared-memory array views); use "
+                "backend='auto' or 'numpy', or workers=1")
+        self.workers = workers
         self.seeds = SeedSequence(seed)
         self.seed = seed
         #: The network model contributes only its ``loss_rate`` — admission
@@ -232,14 +276,18 @@ class ColumnarRoundSimulation:
         self._event_seq: Dict[int, int] = {}  # origin index -> last seq
 
         # Columns are allocated in _start() once membership is final.
+        # Boolean per-node state is bit-packed (repro.sim.bitset): numpy
+        # backend holds uint64 word arrays, python backend int bitsets.
         self._n = 0
-        self._alive = None
-        self._view_mat = None
+        self._words = 0          # words_for(n), numpy backend
+        self._alive = None       # uint64[words] | python int bitset
+        self._view_mat = None    # int32 (n, view_cap) | list of index lists
         self._view_len = None
-        self._delivered = None   # (E_cap, n) delivery bitmap
-        self._active = None      # (E_cap, n) events-buffer (forwarding) bitmap
+        self._delivered = None   # (E_cap, words) uint64 | list of int bitsets
+        self._active = None      # (E_cap, words) events-buffer bitmap
         self._event_cap = 0
         self._stats: Dict[str, object] = {}
+        self._shm = None         # ShmRoundExecutor when workers > 1
 
         if self.backend == "numpy":
             self._rng = _np.random.default_rng(
@@ -256,13 +304,15 @@ class ColumnarRoundSimulation:
         seed: int = 0,
         network: Optional[NetworkModel] = None,
         backend: str = "auto",
+        workers: int = 1,
     ) -> "ColumnarRoundSimulation":
         """Column-native bootstrap of ``n`` processes with uniform random
         initial views of size ``min(view_max, n - 1)`` — the Sec. 4.1
         assumption, drawn without building per-node objects."""
         if n < 2:
             raise ValueError("need at least two processes")
-        sim = cls(network=network, seed=seed, backend=backend)
+        sim = cls(network=network, seed=seed, backend=backend,
+                  workers=workers)
         sim.config = config if config is not None else LpbcastConfig()
         sim._pids = list(range(n))
         sim._index = {pid: pid for pid in sim._pids}
@@ -290,7 +340,10 @@ class ColumnarRoundSimulation:
                                       dtype=_np.int64)
                 redraw += (redraw >= rows[:, None])
                 mat[rows] = redraw
-            self._view_rows = [list(map(int, row)) for row in mat]
+            # Keep the matrix, not python lists: at n=1M materialising
+            # per-row lists would cost more than every packed column
+            # combined.  _start() consumes either form.
+            self._view_rows = mat.astype(_np.int32)
         else:
             rng = derive_rng(self.seed, "columnar-views")
             rows: List[List[int]] = []
@@ -331,31 +384,46 @@ class ColumnarRoundSimulation:
         if self.config is None:
             self.config = LpbcastConfig()
         index = self._index
-        # View rows arrive as pids (ingest path) or as indices (build path,
-        # where pid == index); normalise to indices, dropping references to
-        # processes outside the system.
-        rows = [[index[p] for p in row if p in index]
-                for row in self._view_rows]
-        view_cap = max((len(row) for row in rows), default=0)
+        prebuilt = _np is not None and isinstance(self._view_rows, _np.ndarray)
+        if prebuilt:
+            # build() path: rows are already an index matrix of uniform
+            # width with no out-of-system references.
+            rows = None
+            view_cap = int(self._view_rows.shape[1])
+        else:
+            # Ingest path: view rows arrive as pids; normalise to indices,
+            # dropping references to processes outside the system.
+            rows = [[index[p] for p in row if p in index]
+                    for row in self._view_rows]
+            view_cap = max((len(row) for row in rows), default=0)
         if self.backend == "numpy":
-            self._alive = _np.ones(n, dtype=bool)
-            self._view_len = _np.array([len(row) for row in rows],
-                                       dtype=_np.int64)
-            mat = _np.zeros((n, max(view_cap, 1)), dtype=_np.int64)
-            for i, row in enumerate(rows):
-                if row:
-                    mat[i, :len(row)] = row
-            self._view_mat = mat
+            self._words = bitset.words_for(n)
+            self._alive = _np.full(self._words, _np.uint64(0xFFFFFFFFFFFFFFFF),
+                                   dtype=_np.uint64)
+            tail = n & 63
+            if tail:  # clear the pad bits past node n-1
+                self._alive[-1] = _np.uint64((1 << tail) - 1)
+            if prebuilt:
+                self._view_mat = self._view_rows
+                self._view_len = _np.full(n, view_cap, dtype=_np.int64)
+            else:
+                self._view_len = _np.array([len(row) for row in rows],
+                                           dtype=_np.int64)
+                mat = _np.zeros((n, max(view_cap, 1)), dtype=_np.int32)
+                for i, row in enumerate(rows):
+                    if row:
+                        mat[i, :len(row)] = row
+                self._view_mat = mat
             self._stats = {
                 name: _np.zeros(n, dtype=_np.int64)
                 for name in ("published", "delivered", "duplicates",
                              "gossips_sent", "gossips_received",
                              "events_dropped")
             }
-            self._delivered = _np.zeros((0, n), dtype=bool)
-            self._active = _np.zeros((0, n), dtype=bool)
+            self._delivered = _np.zeros((0, self._words), dtype=_np.uint64)
+            self._active = _np.zeros((0, self._words), dtype=_np.uint64)
         else:
-            self._alive = bytearray(b"\x01") * n
+            self._alive = bitset.int_full_mask(n)
             self._view_len = array("q", (len(row) for row in rows))
             self._view_mat = rows
             self._stats = {
@@ -364,29 +432,50 @@ class ColumnarRoundSimulation:
                              "gossips_sent", "gossips_received",
                              "events_dropped")
             }
-            self._delivered = []  # list of bytearray rows
+            self._delivered = []  # list of int bitsets, one per event
             self._active = []
+        self._view_rows = []  # consumed
         self._event_cap = 0
         self._n = n
         self._started = True
+        if self.workers > 1:
+            from .columnar_shm import ShmRoundExecutor
+            self._shm = ShmRoundExecutor(self, self.workers)
 
     def _ensure_started(self) -> None:
         if not self._started:
             self._start()
 
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Reap worker processes and shared-memory segments (no-op for
+        ``workers=1``).  The engine remains readable but cannot run further
+        rounds in multi-core mode."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def __enter__(self) -> "ColumnarRoundSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- event registry ----------------------------------------------------
     def _grow_events(self) -> None:
         if self.backend == "numpy":
             new_cap = max(8, 2 * self._event_cap)
-            grown_d = _np.zeros((new_cap, self._n), dtype=bool)
-            grown_a = _np.zeros((new_cap, self._n), dtype=bool)
-            if self._event_cap:
-                grown_d[:len(self._notifications) - 1] = \
-                    self._delivered[:len(self._notifications) - 1]
-                grown_a[:len(self._notifications) - 1] = \
-                    self._active[:len(self._notifications) - 1]
-            self._delivered = grown_d
-            self._active = grown_a
+            if self._shm is not None:
+                self._shm.grow_events(new_cap)
+            else:
+                grown_d = _np.zeros((new_cap, self._words), dtype=_np.uint64)
+                grown_a = _np.zeros((new_cap, self._words), dtype=_np.uint64)
+                if self._event_cap:
+                    used = len(self._notifications) - 1
+                    grown_d[:used] = self._delivered[:used]
+                    grown_a[:used] = self._active[:used]
+                self._delivered = grown_d
+                self._active = grown_a
             self._event_cap = new_cap
 
     def _publish(self, index: int, payload, now: float) -> Notification:
@@ -400,13 +489,13 @@ class ColumnarRoundSimulation:
         if self.backend == "numpy":
             if event >= self._event_cap:
                 self._grow_events()
-            self._delivered[event, index] = True
-            self._active[event, index] = True
+            bit = _np.uint64(1) << _np.uint64(index & 63)
+            self._delivered[event, index >> 6] |= bit
+            self._active[event, index >> 6] |= bit
         else:
-            self._delivered.append(bytearray(self._n))
-            self._active.append(bytearray(self._n))
-            self._delivered[event][index] = 1
-            self._active[event][index] = 1
+            bit = 1 << index
+            self._delivered.append(bit)
+            self._active.append(bit)
         self._stats["published"][index] += 1
         self._stats["delivered"][index] += 1
         self._notify_delivery(index, note, now)
@@ -445,12 +534,31 @@ class ColumnarRoundSimulation:
         self._fault_injector = FaultInjector(plan, self.seeds.rng("faults"))
         return self._fault_injector
 
+    def _is_alive(self, index: int) -> bool:
+        if self.backend == "numpy":
+            word = self._alive[index >> 6]
+            return bool((word >> _np.uint64(index & 63)) & _np.uint64(1))
+        return bool((self._alive >> index) & 1)
+
+    def _set_alive(self, index: int, flag: bool) -> None:
+        if self.backend == "numpy":
+            bit = _np.uint64(1) << _np.uint64(index & 63)
+            if flag:
+                self._alive[index >> 6] |= bit
+            else:
+                self._alive[index >> 6] &= ~bit
+        else:
+            if flag:
+                self._alive |= 1 << index
+            else:
+                self._alive &= ~(1 << index)
+
     def crash(self, pid: ProcessId) -> None:
         """Fail-stop ``pid`` immediately (Sec. 4.1)."""
         self._ensure_started()
         index = self._index.get(pid)
-        if index is not None and self._alive[index]:
-            self._alive[index] = False
+        if index is not None and self._is_alive(index):
+            self._set_alive(index, False)
             self.telemetry.emit("crash", float(self.round), pid=pid)
 
     def recover(self, pid: ProcessId) -> bool:
@@ -458,23 +566,23 @@ class ColumnarRoundSimulation:
         (declared divergence from the serial recovery path)."""
         self._ensure_started()
         index = self._index.get(pid)
-        if index is None or self._alive[index]:
+        if index is None or self._is_alive(index):
             return False
-        self._alive[index] = True
+        self._set_alive(index, True)
         return True
 
     def alive(self, pid: ProcessId) -> bool:
         self._ensure_started()
         index = self._index.get(pid)
-        return index is not None and bool(self._alive[index])
+        return index is not None and self._is_alive(index)
 
     def alive_count(self) -> int:
         self._ensure_started()
         if self._n == 0:
             return 0
         if self.backend == "numpy":
-            return int(self._alive.sum())
-        return sum(self._alive)
+            return bitset.popcount_words(self._alive)
+        return bitset.int_popcount(self._alive)
 
     def add_round_hook(self, hook) -> None:
         self._hooks.append(hook)
@@ -550,25 +658,38 @@ class ColumnarRoundSimulation:
                 if p.start <= r < p.heal]
 
     def _gossip_round(self, now: float) -> int:
+        if self._shm is not None:
+            return self._shm.gossip_round(now)
         if self.backend == "numpy":
             return self._gossip_round_np(now)
         return self._gossip_round_py(now)
 
-    def _gossip_round_np(self, now: float) -> int:
+    def _honoured_sends_np(self, alive_bool):
+        """Senders mask and the schedule-determined send total — shared by
+        the single-core and multi-core numpy paths so the honoured
+        ``sim.sends`` series cannot depend on the worker count."""
         cfg = self.config
-        fanout = cfg.fanout
-        alive = self._alive
+        senders_mask = alive_bool.copy()
         paused = self._paused_indices()
-        senders_mask = alive.copy()
         if paused:
             senders_mask[paused] = False
         senders_mask &= self._view_len > 0
         s_idx = _np.nonzero(senders_mask)[0]
         if s_idx.size == 0:
+            return s_idx, 0
+        k = _np.minimum(cfg.fanout, self._view_len[s_idx])
+        total_sends = int(k.sum()) * (1 + cfg.membership_boost)
+        return s_idx, total_sends
+
+    def _gossip_round_np(self, now: float) -> int:
+        cfg = self.config
+        fanout = cfg.fanout
+        alive_words = self._alive
+        alive = bitset.unpack_bools(alive_words, self._n)
+        s_idx, total_sends = self._honoured_sends_np(alive)
+        if s_idx.size == 0:
             return 0
         k = _np.minimum(fanout, self._view_len[s_idx])
-        boost = 1 + cfg.membership_boost
-        total_sends = int(k.sum()) * boost
         self._stats["gossips_sent"][s_idx] += 1
 
         # Partner selection: top-min(F, |view|) of a uniform matrix over
@@ -580,7 +701,8 @@ class ColumnarRoundSimulation:
             = -1.0
         take = min(fanout, view_cap)
         order = _np.argsort(scores, axis=1)[:, ::-1][:, :take]
-        targets = self._view_mat[s_idx[:, None], order]
+        targets = self._view_mat[s_idx[:, None], order].astype(
+            _np.int64, copy=False)
         valid = _np.arange(take)[None, :] < k[:, None]
 
         # Admission: i.i.d. network loss, drop-rate windows, partitions,
@@ -621,23 +743,23 @@ class ColumnarRoundSimulation:
         arrivals = targets[survive]
         self.messages_delivered += int(arrivals.size)
         if arrivals.size:
-            _np.add.at(self._stats["gossips_received"], arrivals, 1)
+            self._stats["gossips_received"] += _np.bincount(
+                arrivals, minlength=self._n)
 
         # Event spread.  With digest_implies_delivery (the plain-family
         # default), a gossip infects the receiver with everything in the
         # sender's eventIds digest — modelled by the delivered bitmap.
         # Otherwise only the events buffer (forwarded once, then cleared)
-        # carries payloads.
+        # carries payloads.  All row updates are word-level masked ORs.
         events = len(self._notifications)
         if events:
             spread = (self._delivered if cfg.digest_implies_delivery
                       else self._active)
-            sent_any = _np.zeros(self._n, dtype=bool)
-            sent_any[s_idx] = True
+            sent_words = bitset.mask_from_indices(s_idx, self._n)
             cleared: List[int] = []
             for event in range(events):
                 row_d = self._delivered[event]
-                carriers = spread[event][s_idx]
+                carriers = bitset.gather_bits(spread[event], s_idx)
                 if not carriers.any():
                     continue
                 cleared.append(event)
@@ -645,17 +767,18 @@ class ColumnarRoundSimulation:
                 tgt = targets[hit_mask]
                 if tgt.size == 0:
                     continue
-                dup = tgt[row_d[tgt]]
+                already = bitset.gather_bits(row_d, tgt)
+                dup = tgt[already]
                 if dup.size:
-                    _np.add.at(self._stats["duplicates"], dup, 1)
-                hit = _np.zeros(self._n, dtype=bool)
-                hit[tgt] = True
-                new = hit & ~row_d & alive
+                    self._stats["duplicates"] += _np.bincount(
+                        dup, minlength=self._n)
+                new = (bitset.mask_from_indices(tgt[~already], self._n)
+                       & ~row_d & alive_words)
                 if not new.any():
                     continue
                 row_d |= new
                 self._active[event] |= new
-                new_idx = _np.nonzero(new)[0]
+                new_idx = bitset.bit_indices(new, self._n)
                 self._stats["delivered"][new_idx] += 1
                 if self._has_listeners and self._listeners:
                     note = self._notifications[event]
@@ -664,31 +787,43 @@ class ColumnarRoundSimulation:
             # "events <- empty" after sending (Fig. 1(b)): carriers that
             # gossiped this round forwarded their buffered payloads once.
             for event in cleared:
-                self._active[event] &= ~sent_any
+                self._active[event] &= ~sent_words
             self._truncate_events_np(events)
         return total_sends
 
     def _truncate_events_np(self, events: int) -> None:
         """Bound per-node events-buffer occupancy by ``events_max``,
         dropping oldest entries first (serial drops uniformly at random —
-        a declared divergence that keeps the pass branch-free)."""
+        a declared divergence that keeps the pass branch-free).
+
+        With ``events <= events_max`` no node can be over budget — the
+        mega-scale steady state — so the pass exits before touching any
+        column.  The overflow path needs per-node counts *across* event
+        rows, which word-packed columns cannot give without a transpose, so
+        it unpacks the active window to booleans, reuses the dense
+        algorithm, and repacks."""
         events_max = self.config.events_max
-        active = self._active[:events]
+        if events <= events_max:
+            return
+        active = _np.vstack([bitset.unpack_bools(self._active[e], self._n)
+                             for e in range(events)])
         counts = active.sum(axis=0)
         over = counts > events_max
         if not over.any():
             return
         newest_rank = _np.cumsum(active[::-1], axis=0)[::-1]
         drop = active & (newest_rank > events_max) & over[None, :]
-        dropped_per_node = drop.sum(axis=0)
+        dropped_per_node = drop.sum(axis=0, dtype=_np.int64)
         self._stats["events_dropped"] += dropped_per_node
-        self._active[:events] &= ~drop
+        active &= ~drop
+        for event in range(events):
+            self._active[event] = bitset.pack_bools(active[event])
 
     def _gossip_round_py(self, now: float) -> int:
         cfg = self.config
         fanout = cfg.fanout
         rng = self._rng
-        alive = self._alive
+        alive_bits = self._alive
         paused = set(self._paused_indices())
         drops = self._active_drop_windows()
         partitions = self._active_partitions()
@@ -698,7 +833,7 @@ class ColumnarRoundSimulation:
         arrivals_by_sender: List = []
         senders: List[int] = []
         for i in range(self._n):
-            if not alive[i] or i in paused:
+            if not (alive_bits >> i) & 1 or i in paused:
                 continue
             view = self._view_mat[i]
             if not view:
@@ -728,7 +863,7 @@ class ColumnarRoundSimulation:
                 if any(p.blocks(self._pids[i], self._pids[t])
                        for p in partitions):
                     continue
-                if not alive[t]:
+                if not (alive_bits >> t) & 1:
                     continue
                 landed.append(t)
                 self._stats["gossips_received"][t] += 1
@@ -741,43 +876,47 @@ class ColumnarRoundSimulation:
                 if not landed:
                     continue
                 for event in range(events):
-                    if not spread[event][sender]:
+                    if not (spread[event] >> sender) & 1:
                         continue
                     row_d = self._delivered[event]
                     for t in landed:
-                        if row_d[t]:
+                        if (row_d >> t) & 1:
                             self._stats["duplicates"][t] += 1
-                        elif alive[t]:
+                        elif (alive_bits >> t) & 1:
                             newly.setdefault(event, []).append(t)
             for event, indices in newly.items():
-                row_d = self._delivered[event]
-                row_a = self._active[event]
                 note = self._notifications[event]
                 for t in indices:
-                    if row_d[t]:
+                    if (self._delivered[event] >> t) & 1:
                         continue
-                    row_d[t] = 1
-                    row_a[t] = 1
+                    bit = 1 << t
+                    self._delivered[event] |= bit
+                    self._active[event] |= bit
                     self._stats["delivered"][t] += 1
                     if self._has_listeners:
                         self._notify_delivery(t, note, now)
-            for event in range(events):
-                row_a = self._active[event]
+            if senders:
+                sent_mask = 0
                 for i in senders:
-                    row_a[i] = 0
+                    sent_mask |= 1 << i
+                keep = ~sent_mask
+                for event in range(events):
+                    self._active[event] &= keep
             events_max = cfg.events_max
-            for i in range(self._n):
-                occupancy = sum(self._active[e][i] for e in range(events))
-                if occupancy <= events_max:
-                    continue
-                to_drop = occupancy - events_max
-                for event in range(events):  # oldest first
-                    if to_drop == 0:
-                        break
-                    if self._active[event][i]:
-                        self._active[event][i] = 0
-                        self._stats["events_dropped"][i] += 1
-                        to_drop -= 1
+            if events > events_max:
+                for i in range(self._n):
+                    occupancy = sum((self._active[e] >> i) & 1
+                                    for e in range(events))
+                    if occupancy <= events_max:
+                        continue
+                    to_drop = occupancy - events_max
+                    for event in range(events):  # oldest first
+                        if to_drop == 0:
+                            break
+                        if (self._active[event] >> i) & 1:
+                            self._active[event] &= ~(1 << i)
+                            self._stats["events_dropped"][i] += 1
+                            to_drop -= 1
         return total_sends
 
     # -- telemetry ---------------------------------------------------------
@@ -806,6 +945,32 @@ class ColumnarRoundSimulation:
             return [self._pids[int(i)] for i in row]
         return [self._pids[i] for i in self._view_mat[index]]
 
+    def memory_bytes(self) -> int:
+        """Resident footprint of the dense columns (views, alive words,
+        event bitmaps, stat counters) — the bench harness's bytes-per-node
+        read.  Shared-memory segments are counted once (the coordinator's
+        views; worker mappings alias the same pages)."""
+        self._ensure_started()
+        if self._n == 0:
+            return 0
+        if self.backend == "numpy":
+            total = (self._alive.nbytes + self._view_mat.nbytes
+                     + self._view_len.nbytes
+                     + self._delivered.nbytes + self._active.nbytes)
+            total += sum(col.nbytes for col in self._stats.values())
+            if self._shm is not None:
+                total += self._shm.scratch_bytes()
+            return int(total)
+        import sys
+        total = sys.getsizeof(self._alive)
+        total += sum(sys.getsizeof(row) + 8 * len(row)
+                     for row in self._view_mat)
+        total += sum(sys.getsizeof(row)
+                     for row in self._delivered + self._active)
+        total += sum(sys.getsizeof(col) for col in self._stats.values())
+        total += sys.getsizeof(self._view_len)
+        return total
+
     def node_aggregates(self, pids: Optional[Sequence[ProcessId]] = None):
         """Summed stats/occupancy/in-degree over the alive processes,
         computed from the columns — same :class:`NodeAggregates` shape as
@@ -821,10 +986,10 @@ class ColumnarRoundSimulation:
             wanted = None
         else:
             wanted = [self._index[p] for p in pids
-                      if p in self._index and self._alive[self._index[p]]]
+                      if p in self._index and self._is_alive(self._index[p])]
         events = len(self._notifications)
         if self.backend == "numpy":
-            mask = self._alive.copy()
+            mask = bitset.unpack_bools(self._alive, self._n)
             if wanted is not None:
                 keep = _np.zeros(self._n, dtype=bool)
                 if wanted:
@@ -837,11 +1002,16 @@ class ColumnarRoundSimulation:
                 if total:
                     agg.stat_sums[name] = total
             if events and idx.size:
-                active = self._active[:events][:, idx]
-                agg.occupancy_sums["events"] = int(active.sum())
-                ids = self._delivered[:events][:, idx].sum(axis=0)
+                mask_words = bitset.pack_bools(mask)
+                occupancy = sum(
+                    bitset.popcount_words(self._active[e] & mask_words)
+                    for e in range(events))
+                agg.occupancy_sums["events"] = int(occupancy)
+                ids = _np.zeros(self._n, dtype=_np.int64)
+                for e in range(events):
+                    ids += bitset.unpack_bools(self._delivered[e], self._n)
                 agg.occupancy_sums["event_ids"] = int(
-                    _np.minimum(ids, self.config.event_ids_max).sum())
+                    _np.minimum(ids[idx], self.config.event_ids_max).sum())
             else:
                 agg.occupancy_sums["events"] = 0
                 agg.occupancy_sums["event_ids"] = 0
@@ -857,15 +1027,17 @@ class ColumnarRoundSimulation:
         else:
             indices = (range(self._n) if wanted is None else wanted)
             for i in indices:
-                if wanted is None and not self._alive[i]:
+                if wanted is None and not (self._alive >> i) & 1:
                     continue
                 agg.count += 1
                 for name, column in self._stats.items():
                     if column[i]:
                         agg.stat_sums[name] = \
                             agg.stat_sums.get(name, 0) + column[i]
-                occupancy = sum(self._active[e][i] for e in range(events))
-                ids = sum(self._delivered[e][i] for e in range(events))
+                occupancy = sum((self._active[e] >> i) & 1
+                                for e in range(events))
+                ids = sum((self._delivered[e] >> i) & 1
+                          for e in range(events))
                 agg.occupancy_sums["events"] = \
                     agg.occupancy_sums.get("events", 0) + occupancy
                 agg.occupancy_sums["event_ids"] = \
@@ -889,14 +1061,13 @@ class ColumnarRoundSimulation:
         if event >= len(self._notifications) or self._n == 0:
             return 0.0
         if self.backend == "numpy":
-            alive = self._alive
-            total = int(alive.sum())
+            total = bitset.popcount_words(self._alive)
             if not total:
                 return 0.0
-            return float((self._delivered[event] & alive).sum() / total)
-        total = sum(self._alive)
+            got = bitset.popcount_words(self._delivered[event] & self._alive)
+            return got / total
+        total = bitset.int_popcount(self._alive)
         if not total:
             return 0.0
-        got = sum(1 for i in range(self._n)
-                  if self._alive[i] and self._delivered[event][i])
+        got = bitset.int_popcount(self._delivered[event] & self._alive)
         return got / total

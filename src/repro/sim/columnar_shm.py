@@ -1,0 +1,473 @@
+"""Shared-memory multi-core round execution for the columnar engine.
+
+``ColumnarRoundSimulation(workers=N)`` partitions the *sender* axis across
+``N`` long-lived worker processes.  The packed columns (alive words, view
+matrix/lengths, per-event delivered/active bitmaps) live in
+``multiprocessing.shared_memory`` segments mapped by every process; each
+round the coordinator broadcasts one command over a pipe, every worker
+runs the partner-selection/admission/spread passes for its contiguous
+sender slab ``[w*n//workers, (w+1)*n//workers)``, and the coordinator
+merges the results behind a deterministic barrier.
+
+Determinism contract
+--------------------
+* **Honoured counters are worker-count-independent.**  The coordinator —
+  never a worker — computes the senders mask and the schedule-determined
+  ``sim.sends`` total (via the engine's ``_honoured_sends_np``), applies
+  the fault schedule, and owns ``sim.rounds``/``faults.*``.  The honoured
+  fingerprint is therefore byte-identical for any ``workers`` value and
+  matches the serial engine.
+* **Non-honoured output is deterministic per worker count.**  Worker ``w``
+  draws from its own ``derive_seed(seed, "columnar-shm", w)`` stream and
+  slab boundaries depend only on ``(n, workers)``, so two runs with the
+  same seed and worker count are identical; runs with different worker
+  counts diverge on exactly the counters already declared divergent
+  between the serial and columnar engines.
+* **The merge barrier is ordered.**  Per-worker results land in disjoint
+  scratch rows (arrival/duplicate counts, per-event new-infection word
+  masks); the coordinator folds them in fixed ``(event, worker)`` order,
+  fires delivery listeners in ascending node order, and applies
+  buffer-clearing and truncation exactly as the single-core pass does.
+
+Workers hold no protocol state of their own: everything they read is a
+shared view, everything they write is their private scratch row, so the
+only per-round traffic on the pipe is the command dict and a one-word
+acknowledgement.  Event-capacity growth allocates fresh segments (names
+are broadcast with the next command; workers re-attach lazily), keeping
+round-time allocation out of the steady state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import bitset
+from .rng import derive_seed
+
+#: Roles whose segments are replaced when event capacity grows.
+_DYNAMIC_ROLES = ("delivered", "active", "newmask")
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.  The coordinator created it (and owns
+    the resource-tracker registration plus unlinking); attaching does not
+    re-register, so workers add no tracker state of their own."""
+    return shared_memory.SharedMemory(name=name)
+
+
+def _view(seg: shared_memory.SharedMemory, shape, dtype) -> np.ndarray:
+    return np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _refresh_segments(cache: Dict, segs: Dict) -> Dict[str, np.ndarray]:
+    """(Re-)attach any segment whose name changed since the last round;
+    returns role -> ndarray view (absent roles map to None)."""
+    views = cache.setdefault("views", {})
+    held = cache.setdefault("segs", {})
+    for role, descriptor in segs.items():
+        if descriptor is None:
+            views[role] = None
+            continue
+        name, shape, dtype = descriptor
+        old = held.get(role)
+        if old is not None and old[0] == name:
+            continue
+        if old is not None:
+            old[1].close()
+        seg = _attach(name)
+        held[role] = (name, seg)
+        views[role] = _view(seg, shape, dtype)
+    return views
+
+
+def _slab_round(views: Dict[str, np.ndarray], cmd: Dict, static: Dict,
+                rng) -> None:
+    """One worker's share of a gossip round: partner selection, admission
+    and event spread for senders in ``[lo, hi)``.  Mirrors the engine's
+    single-core pass; writes land only in this worker's scratch rows."""
+    n = static["n"]
+    lo, hi = static["lo"], static["hi"]
+    wid = static["worker"]
+    fanout = static["fanout"]
+    view_len = views["viewlen"]
+    view_mat = views["viewmat"]
+    alive = bitset.unpack_bools(views["alive"], n)
+
+    senders_mask = alive[lo:hi].copy()
+    paused_local = [i - lo for i in cmd["paused"] if lo <= i < hi]
+    if paused_local:
+        senders_mask[paused_local] = False
+    senders_mask &= view_len[lo:hi] > 0
+    s_idx = np.nonzero(senders_mask)[0] + lo
+    if s_idx.size == 0:
+        return
+    k = np.minimum(fanout, view_len[s_idx])
+
+    view_cap = view_mat.shape[1]
+    scores = rng.random((s_idx.size, view_cap))
+    scores[np.arange(view_cap)[None, :] >= view_len[s_idx, None]] = -1.0
+    take = min(fanout, view_cap)
+    order = np.argsort(scores, axis=1)[:, ::-1][:, :take]
+    targets = view_mat[s_idx[:, None], order].astype(np.int64, copy=False)
+    valid = np.arange(take)[None, :] < k[:, None]
+
+    survive = valid.copy()
+    loss = static["loss"]
+    if loss > 0.0:
+        survive &= rng.random(targets.shape) >= loss
+    for rate, src_index, dst_index in cmd["drops"]:
+        hit = rng.random(targets.shape) < rate
+        if src_index is not None:
+            hit &= (s_idx == src_index)[:, None]
+        if dst_index is not None:
+            hit &= targets == dst_index
+        survive &= ~hit
+    for a_indices, b_indices, direction in cmd["partitions"]:
+        side_a = np.zeros(n, dtype=bool)
+        side_b = np.zeros(n, dtype=bool)
+        side_a[a_indices] = True
+        side_b[b_indices] = True
+        src_a = side_a[s_idx][:, None]
+        src_b = side_b[s_idx][:, None]
+        blocked = np.zeros(targets.shape, dtype=bool)
+        if direction in ("both", "a-to-b"):
+            blocked |= src_a & side_b[targets]
+        if direction in ("both", "b-to-a"):
+            blocked |= src_b & side_a[targets]
+        survive &= ~blocked
+    survive &= alive[targets]
+
+    arrivals = targets[survive]
+    if arrivals.size:
+        views["arrivals"][wid] += np.bincount(arrivals, minlength=n)
+
+    events = cmd["events"]
+    if not events:
+        return
+    delivered = views["delivered"]
+    spread = delivered if static["digest"] else views["active"]
+    dups_row = views["dups"][wid]
+    newmask = views["newmask"]
+    for event in range(events):
+        carriers = bitset.gather_bits(spread[event], s_idx)
+        if not carriers.any():
+            continue
+        hit_mask = survive & carriers[:, None]
+        tgt = targets[hit_mask]
+        if tgt.size == 0:
+            continue
+        already = bitset.gather_bits(delivered[event], tgt)
+        dup = tgt[already]
+        if dup.size:
+            dups_row += np.bincount(dup, minlength=n)
+        fresh = tgt[~already]
+        if fresh.size:
+            newmask[wid, event] |= bitset.mask_from_indices(fresh, n)
+
+
+def _worker_main(conn, static: Dict) -> None:
+    """Worker loop: receive a round command, run the slab pass, ack."""
+    rng = np.random.default_rng(
+        derive_seed(static["seed"], "columnar-shm", static["worker"]))
+    cache: Dict = {}
+    try:
+        while True:
+            try:
+                cmd = conn.recv()
+            except EOFError:
+                break
+            if cmd is None or cmd.get("op") == "stop":
+                break
+            try:
+                views = _refresh_segments(cache, cmd["segs"])
+                _slab_round(views, cmd, static, rng)
+                conn.send("ok")
+            except Exception as exc:  # pragma: no cover - crash relay
+                try:
+                    conn.send(("err", repr(exc)))
+                except Exception:
+                    pass
+                break
+    finally:
+        views = cache.get("views", {})
+        views.clear()
+        for _name, seg in cache.get("segs", {}).values():
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover
+                pass
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class ShmRoundExecutor:
+    """Owns the shared segments and the worker pool for one engine.
+
+    Created by ``ColumnarRoundSimulation._start()`` when ``workers > 1``;
+    the engine's column attributes are re-pointed at shared views so the
+    coordinator-side code (publish, crash/recover, truncation, aggregates)
+    is unchanged.  ``close()`` copies the columns back into private arrays,
+    reaps the workers and unlinks every segment.
+    """
+
+    def __init__(self, sim, workers: int) -> None:
+        self._sim = sim
+        self.workers = workers
+        self._n = sim._n
+        self._words = sim._words
+        self._closed = False
+        self._blocks: Dict[str, Tuple[shared_memory.SharedMemory,
+                                      np.ndarray]] = {}
+
+        sim._alive = self._adopt("alive", sim._alive)
+        sim._view_len = self._adopt("viewlen", sim._view_len)
+        sim._view_mat = self._adopt("viewmat", sim._view_mat)
+        # delivered/active stay engine-local until the first publish grows
+        # event capacity (grow_events allocates their first segments).
+        self._arrivals = self._alloc_block(
+            "arrivals", (workers, self._n), np.int64)
+        self._dups = self._alloc_block("dups", (workers, self._n), np.int64)
+        self._newmask: Optional[np.ndarray] = None
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        cfg = sim.config
+        self._conns: List = []
+        self._procs: List = []
+        try:
+            for w in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                static = {
+                    "worker": w,
+                    "workers": workers,
+                    "lo": w * self._n // workers,
+                    "hi": (w + 1) * self._n // workers,
+                    "n": self._n,
+                    "seed": sim.seed,
+                    "fanout": cfg.fanout,
+                    "loss": sim.loss_rate,
+                    "digest": cfg.digest_implies_delivery,
+                }
+                proc = ctx.Process(target=_worker_main,
+                                   args=(child_conn, static), daemon=True)
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    # -- segment management --------------------------------------------------
+    def _alloc(self, shape, dtype):
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 8))
+        arr = _view(seg, shape, dtype)
+        arr.fill(0)
+        return seg, arr
+
+    def _alloc_block(self, role: str, shape, dtype) -> np.ndarray:
+        seg, arr = self._alloc(shape, dtype)
+        self._blocks[role] = (seg, arr)
+        return arr
+
+    def _adopt(self, role: str, source: np.ndarray) -> np.ndarray:
+        """Copy an engine column into a fresh segment; the shared view
+        replaces the engine's attribute."""
+        seg, arr = self._alloc(source.shape, source.dtype)
+        arr[...] = source
+        self._blocks[role] = (seg, arr)
+        return arr
+
+    def _descriptor(self) -> Dict[str, Optional[tuple]]:
+        segs: Dict[str, Optional[tuple]] = {}
+        for role in ("alive", "viewlen", "viewmat", "arrivals", "dups",
+                     "delivered", "active", "newmask"):
+            block = self._blocks.get(role)
+            if block is None:
+                segs[role] = None
+            else:
+                seg, arr = block
+                segs[role] = (seg.name, arr.shape, arr.dtype.str)
+        return segs
+
+    def grow_events(self, new_cap: int) -> None:
+        """Replace the event-bitmap segments with larger ones (called from
+        the engine's ``_grow_events`` under the doubling policy)."""
+        sim = self._sim
+        seg_d, new_d = self._alloc((new_cap, self._words), np.uint64)
+        seg_a, new_a = self._alloc((new_cap, self._words), np.uint64)
+        seg_m, new_m = self._alloc((self.workers, new_cap, self._words),
+                                   np.uint64)
+        if sim._event_cap:
+            used = len(sim._notifications) - 1
+            new_d[:used] = sim._delivered[:used]
+            new_a[:used] = sim._active[:used]
+        sim._delivered = new_d
+        sim._active = new_a
+        self._newmask = new_m
+        old = [self._blocks.pop(role) for role in _DYNAMIC_ROLES
+               if role in self._blocks]
+        self._blocks["delivered"] = (seg_d, new_d)
+        self._blocks["active"] = (seg_a, new_a)
+        self._blocks["newmask"] = (seg_m, new_m)
+        for seg, _arr in old:
+            seg.close()
+            seg.unlink()
+
+    def scratch_bytes(self) -> int:
+        """Scratch-segment footprint (for ``memory_bytes``): the per-worker
+        arrival/duplicate counters and new-infection masks."""
+        total = self._arrivals.nbytes + self._dups.nbytes
+        if self._newmask is not None:
+            total += self._newmask.nbytes
+        return int(total)
+
+    # -- the round -----------------------------------------------------------
+    def gossip_round(self, now: float) -> int:
+        if self._closed:
+            raise RuntimeError("columnar multi-core engine is closed")
+        sim = self._sim
+        n = self._n
+        alive_bool = bitset.unpack_bools(sim._alive, n)
+        s_idx, total_sends = sim._honoured_sends_np(alive_bool)
+        if s_idx.size == 0:
+            return 0
+        sim._stats["gossips_sent"][s_idx] += 1
+        events = len(sim._notifications)
+
+        self._arrivals[:] = 0
+        self._dups[:] = 0
+        if events:
+            self._newmask[:, :events, :] = 0
+        index = sim._index
+        drops = [
+            (window.rate,
+             index.get(window.src, -1) if window.src is not None else None,
+             index.get(window.dst, -1) if window.dst is not None else None)
+            for window in sim._active_drop_windows()
+        ]
+        partitions = [
+            ([index[p] for p in part.side_a if p in index],
+             [index[p] for p in part.side_b if p in index],
+             getattr(part, "direction", "both"))
+            for part in sim._active_partitions()
+        ]
+        cmd = {
+            "op": "round",
+            "events": events,
+            "paused": sim._paused_indices(),
+            "drops": drops,
+            "partitions": partitions,
+            "segs": self._descriptor(),
+        }
+        for conn in self._conns:
+            conn.send(cmd)
+        for w, conn in enumerate(self._conns):
+            reply = conn.recv()
+            if reply != "ok":
+                detail = reply[1] if isinstance(reply, tuple) else reply
+                raise RuntimeError(
+                    f"columnar shm worker {w} failed: {detail}")
+
+        arrivals = self._arrivals.sum(axis=0)
+        total_arrivals = int(arrivals.sum())
+        if total_arrivals:
+            sim.messages_delivered += total_arrivals
+            sim._stats["gossips_received"] += arrivals
+        dups = self._dups.sum(axis=0)
+        if dups.any():
+            sim._stats["duplicates"] += dups
+
+        if events:
+            sent_words = bitset.mask_from_indices(s_idx, n)
+            spread = (sim._delivered if sim.config.digest_implies_delivery
+                      else sim._active)
+            cleared: List[int] = []
+            for event in range(events):
+                if not (spread[event] & sent_words).any():
+                    continue
+                cleared.append(event)
+                new = np.bitwise_or.reduce(self._newmask[:, event, :],
+                                           axis=0)
+                new &= ~sim._delivered[event]
+                new &= sim._alive
+                if not new.any():
+                    continue
+                sim._delivered[event] |= new
+                sim._active[event] |= new
+                new_idx = bitset.bit_indices(new, n)
+                sim._stats["delivered"][new_idx] += 1
+                if sim._has_listeners and sim._listeners:
+                    note = sim._notifications[event]
+                    for node_index in new_idx:
+                        sim._notify_delivery(int(node_index), note, now)
+            for event in cleared:
+                sim._active[event] &= ~sent_words
+            sim._truncate_events_np(events)
+        return total_sends
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.send({"op": "stop"})
+            except Exception:
+                pass
+        for proc in getattr(self, "_procs", []):
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover
+                pass
+        self._conns = []
+        self._procs = []
+        # Re-point the engine at private copies, then drop every shared
+        # view before closing the segments (close() refuses while buffer
+        # exports exist).
+        sim = self._sim
+        for role, attr in (("alive", "_alive"), ("viewlen", "_view_len"),
+                           ("viewmat", "_view_mat"),
+                           ("delivered", "_delivered"),
+                           ("active", "_active")):
+            if role in self._blocks:
+                setattr(sim, attr, np.array(getattr(sim, attr), copy=True))
+        self._arrivals = None
+        self._dups = None
+        self._newmask = None
+        blocks, self._blocks = self._blocks, {}
+        segs = [seg for seg, _arr in blocks.values()]
+        blocks.clear()  # the tuples hold the last array references
+        for seg in segs:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

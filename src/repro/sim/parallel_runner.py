@@ -1074,6 +1074,8 @@ FACTORY_DEFAULTS = {
     "shards": None,
     "start_method": None,
     "wire_format": "binary",
+    "workers": 1,
+    "backend": "auto",
 }
 
 _ROUND_KWARGS = frozenset(
@@ -1105,7 +1107,7 @@ ENGINE_REGISTRY: Dict[str, EngineSpec] = {
             name="columnar",
             summary="array-backed vectorized rounds for mega-scale n",
             factory=_build_columnar,
-            accepts=frozenset({"network", "seed"}),
+            accepts=frozenset({"network", "seed", "workers", "backend"}),
         ),
     )
 }
@@ -1129,11 +1131,14 @@ def create_simulation(engine: str = "serial", **kwargs):
 
     Accepted kwargs are validated against the :data:`ENGINE_REGISTRY` entry
     of the chosen engine: ``shards``/``start_method``/``wire_format`` apply
-    to the sharded engine only, ``max_reply_generations``/``on_node_error``
-    to the round engines only, ``network``/``seed`` everywhere.  A kwarg set
-    to a non-default value for an engine that cannot honour it raises
-    ``ValueError`` naming the engines that can — a ``shards=8`` request must
-    not silently run single-process.
+    to the sharded engine only, ``workers``/``backend`` to the columnar
+    engine only (``workers=N`` runs the round passes across N shared-memory
+    worker processes; the honoured fingerprint is identical for every
+    worker count), ``max_reply_generations``/``on_node_error`` to the round
+    engines only, ``network``/``seed`` everywhere.  A kwarg set to a
+    non-default value for an engine that cannot honour it raises
+    ``ValueError`` naming the engines that can — a ``shards=8`` or
+    ``workers=4`` request must not silently run single-process.
     """
     spec = ENGINE_REGISTRY.get(engine)
     if spec is None:

@@ -52,6 +52,7 @@ from ..pbcast.messages import PbcastData, PbcastDigest, PbcastSolicit
 from .varint import (
     VarintRangeError,
     read_svarint,
+    read_svarint_run,
     read_uvarint,
     write_svarint,
     write_uvarint,
@@ -178,12 +179,13 @@ def _r_pid_list(data, pos: int, limit: int) -> Tuple[Tuple[int, ...], int]:
     count, pos = read_uvarint(data, pos)
     if count > limit:
         raise CodecError(f"pid list length {count} exceeds input size")
+    deltas, pos = read_svarint_run(data, pos, count)
     out: List[int] = []
+    append = out.append
     previous = 0
-    for _ in range(count):
-        delta, pos = read_svarint(data, pos)
+    for delta in deltas:
         previous += delta
-        out.append(previous)
+        append(previous)
     return tuple(out), pos
 
 
@@ -219,6 +221,7 @@ def _r_event_ids(data, pos: int, limit: int) -> Tuple[Tuple[EventId, ...], int]:
     if count > limit:
         raise CodecError(f"event-id list length {count} exceeds input size")
     out: List[EventId] = []
+    append = out.append
     previous_origin = 0
     while len(out) < count:
         delta, pos = read_svarint(data, pos)
@@ -226,11 +229,11 @@ def _r_event_ids(data, pos: int, limit: int) -> Tuple[Tuple[EventId, ...], int]:
         run_length, pos = read_uvarint(data, pos)
         if run_length < 1 or len(out) + run_length > count:
             raise CodecError(f"malformed event-id run of length {run_length}")
+        seq_deltas, pos = read_svarint_run(data, pos, run_length)
         previous_seq = 0
-        for _ in range(run_length):
-            seq_delta, pos = read_svarint(data, pos)
+        for seq_delta in seq_deltas:
             previous_seq += seq_delta
-            out.append(EventId(origin, previous_seq))
+            append(EventId(origin, previous_seq))
         previous_origin = origin
     return tuple(out), pos
 
@@ -299,12 +302,8 @@ def _r_heartbeats(data, pos: int, limit: int) -> Tuple[tuple, int]:
     count, pos = read_uvarint(data, pos)
     if count > limit:
         raise CodecError(f"heartbeat list length {count} exceeds input size")
-    out = []
-    for _ in range(count):
-        pid, pos = read_svarint(data, pos)
-        counter, pos = read_svarint(data, pos)
-        out.append((pid, counter))
-    return tuple(out), pos
+    flat, pos = read_svarint_run(data, pos, count * 2)
+    return tuple(zip(flat[0::2], flat[1::2])), pos
 
 
 # -- per-type bodies ----------------------------------------------------------

@@ -54,9 +54,15 @@ def write_uvarint(buf: bytearray, value: int) -> None:
 
 def read_uvarint(data, pos: int) -> Tuple[int, int]:
     """Read an unsigned varint at ``pos``; returns ``(value, new_pos)``."""
+    end = len(data)
+    if pos < end:
+        # One-byte values (counts, lengths, small deltas) dominate real
+        # traffic; settle them without entering the continuation loop.
+        byte = data[pos]
+        if byte < 0x80:
+            return byte, pos + 1
     result = 0
     shift = 0
-    end = len(data)
     for count in range(MAX_VARINT_BYTES):
         if pos >= end:
             raise CodecError("truncated varint")
@@ -86,5 +92,49 @@ def write_svarint(buf: bytearray, value: int) -> None:
 
 def read_svarint(data, pos: int) -> Tuple[int, int]:
     """Read a zigzag varint at ``pos``; returns ``(value, new_pos)``."""
+    if pos < len(data):
+        byte = data[pos]
+        if byte < 0x80:
+            return (byte >> 1) ^ -(byte & 1), pos + 1
     raw, pos = read_uvarint(data, pos)
     return unzigzag(raw), pos
+
+
+def read_svarint_run(data, pos: int, count: int) -> Tuple[list, int]:
+    """Read ``count`` consecutive zigzag varints with one local-offset
+    cursor; returns ``(values, new_pos)``.
+
+    The decode hot path: list fields (view pids, digest deltas, heartbeat
+    pairs) are runs of svarints, and reading them one
+    :func:`read_svarint` call at a time makes Python function-call
+    overhead the dominant decode cost.  This reader keeps the offset in a
+    local and pays one call per *run* instead of per element, with the
+    same truncation/overlong-cap errors as the scalar readers.
+    """
+    end = len(data)
+    values: list = []
+    append = values.append
+    for _ in range(count):
+        if pos >= end:
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        if byte < 0x80:
+            append((byte >> 1) ^ -(byte & 1))
+            continue
+        result = byte & 0x7F
+        shift = 7
+        while True:
+            if pos >= end:
+                raise CodecError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+            if shift >= 7 * MAX_VARINT_BYTES:
+                raise CodecError(
+                    f"varint longer than {MAX_VARINT_BYTES} bytes")
+        append((result >> 1) ^ -(result & 1))
+    return values, pos
