@@ -213,12 +213,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import (
         PRESET_NAMES,
         agreement_violations,
+        causality_violations,
         format_soak_report,
         run_chaos_soak,
     )
 
     if args.byzantine_rate and not args.byzantine_nodes:
         print("--byzantine-rate needs --byzantine-nodes >= 1")
+        return 2
+    if args.causal and args.byzantine_nodes:
+        print("--causal is incompatible with --byzantine-nodes (double-echo "
+              "and the causal hold-back queue are different delivery "
+              "disciplines)")
         return 2
     presets = args.preset if args.preset else list(PRESET_NAMES)
     byzantine_rate = args.byzantine_rate
@@ -233,12 +239,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         presets=presets,
         byzantine_rate=byzantine_rate,
         byzantine_nodes=args.byzantine_nodes,
+        causal=args.causal,
     )
     print(f"chaos soak: {args.scenarios} scenario(s), n={args.n}, "
           f"rounds={args.rounds}, seed={args.seed}, "
           f"intensity={args.intensity}"
           + (f", byzantine={args.byzantine_nodes}@{byzantine_rate}"
-             if args.byzantine_nodes else ""))
+             if args.byzantine_nodes else "")
+          + (", causal" if args.causal else ""))
     print(format_soak_report(results))
     exit_code = 0 if all(result.ok for result in results) else 1
     if args.byzantine_nodes:
@@ -254,6 +262,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         else:
             print("agreement SLO: no agreement violations across "
                   f"{len(results)} Byzantine scenario(s)")
+    if args.causal:
+        # End-of-soak SLO: the causal-delivery variant ran under chaos, so
+        # the hold-back gates must never have released a notification before
+        # its dependencies nor outgrown their configured bound.
+        broken = causality_violations(results)
+        if broken:
+            print(f"CAUSALITY SLO FAILED: {len(broken)} causal-ordering "
+                  f"violation(s) under the chaos soak")
+            for violation in broken:
+                print(f"  {violation}")
+            exit_code = 1
+        else:
+            print("causality SLO: no causality/holdback-bound violations "
+                  f"across {len(results)} causal scenario(s)")
     return exit_code
 
 
@@ -364,6 +386,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(format_self_test_report(outcomes))
         return 0 if all(outcome.ok for outcome in outcomes) else 1
 
+    if args.causal and args.byzantine:
+        raise ValueError(
+            "--causal is incompatible with --byzantine: the causal "
+            "hold-back queue and the double-echo variant are mutually "
+            "exclusive delivery disciplines")
+    if args.causal and args.columnar:
+        raise ValueError(
+            "--causal is incompatible with --columnar: the columnar engine "
+            "declares divergence on causal-delivery configurations; the "
+            "causal family runs on the serial/sharded pair")
     engines = (("serial", "columnar") if args.columnar
                else ("serial", "sharded"))
     if args.workers != 1 and not args.columnar:
@@ -379,6 +411,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         mutation=args.mutation,
         byzantine=args.byzantine,
+        causal=args.causal,
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         progress=say,
@@ -501,6 +534,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-message probability a liar's behavior "
                             "strikes (default 0.5 when --byzantine-nodes "
                             "is set)")
+    chaos.add_argument("--causal", action="store_true",
+                       help="run every scenario on the causal-delivery "
+                            "variant (hold-back gates with retransmit-"
+                            "driven dependency recovery); the soak then "
+                            "asserts the causality/holdback-bound SLO")
     chaos.set_defaults(fn=_cmd_chaos)
 
     trace = sub.add_parser(
@@ -559,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="draw every scenario from the adversarial family "
                            "(double-echo systems with Byzantine liars in "
                            "the fault plan)")
+    fuzz.add_argument("--causal", action="store_true",
+                      help="draw every scenario from the ordering family "
+                           "(causal-delivery systems with hold-back gates "
+                           "under loss and crashes); incompatible with "
+                           "--byzantine and --columnar")
     fuzz.add_argument("--columnar", action="store_true",
                       help="differential-check the columnar engine against "
                            "the serial one on the honoured counter subset "

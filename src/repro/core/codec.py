@@ -59,13 +59,21 @@ def _dec_event_id(data) -> EventId:
 
 
 def _enc_notification(n: Notification) -> dict:
-    return {"id": _enc_event_id(n.event_id), "p": n.payload, "t": n.created_at}
+    encoded = {"id": _enc_event_id(n.event_id), "p": n.payload,
+               "t": n.created_at}
+    if n.deps:
+        # Causal-mode dependency metadata; absent outside causal mode so
+        # pre-causal encodings stay byte-identical.
+        encoded["d"] = [_enc_event_id(dep) for dep in n.deps]
+    return encoded
 
 
 def _dec_notification(data) -> Notification:
     try:
         return Notification(_dec_event_id(data["id"]), data.get("p"),
-                            float(data.get("t", 0.0)))
+                            float(data.get("t", 0.0)),
+                            tuple(_dec_event_id(dep)
+                                  for dep in data.get("d", ())))
     except (TypeError, KeyError) as exc:
         raise CodecError(f"malformed notification: {data!r}") from exc
 

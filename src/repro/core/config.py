@@ -94,6 +94,22 @@ class LpbcastConfig:
     ready_threshold: int = 2
     #: Bound on payloads held pending quorum (oldest evicted first).
     echo_pending_max: int = 60
+    #: Causal-delivery mode: events carry the publisher's per-origin
+    #: delivered frontier as compact vector-interval metadata and a hold-back
+    #: queue releases them only once every named dependency (and the
+    #: origin's previous event) has been delivered locally.  Requires real
+    #: payload transfer (``digest_implies_delivery=False`` — a digest-implied
+    #: delivery carries no dependency metadata) and is incompatible with the
+    #: quorum-gated ``double_echo`` variant, which orders delivery its own
+    #: way.  Combine with ``retransmissions`` for dependency recovery: a
+    #: missing dependency is solicited from the gossip sender like any
+    #: digest gap.
+    causal_delivery: bool = False
+    #: Bound on notifications held back awaiting dependencies; on overflow
+    #: the oldest held notification is evicted *undelivered* (completeness
+    #: is traded, never causal order — the paper's bounded-buffer philosophy
+    #: applied to the hold-back queue).
+    causal_holdback_max: int = 64
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
@@ -153,6 +169,22 @@ class LpbcastConfig:
                     "double_echo is incompatible with retransmissions/"
                     "push_back: both repair schemes hand payloads straight "
                     "to delivery, bypassing the echo quorum"
+                )
+        if self.causal_holdback_max < 1:
+            raise ValueError("causal_holdback_max must be at least 1")
+        if self.causal_delivery:
+            if self.digest_implies_delivery:
+                raise ValueError(
+                    "causal_delivery orders real payloads; the "
+                    "digest_implies_delivery shortcut (deliver on id alone) "
+                    "carries no dependency metadata — set "
+                    "digest_implies_delivery=False"
+                )
+            if self.double_echo:
+                raise ValueError(
+                    "causal_delivery is incompatible with double_echo: the "
+                    "hold-back queue and the echo quorum are mutually "
+                    "exclusive delivery disciplines"
                 )
 
     def with_overrides(self, **changes) -> "LpbcastConfig":

@@ -9,14 +9,23 @@ until the gap fills, with a bounded holdback buffer per origin — when the
 bound overflows (the gap notification was lost for good), the gate *skips*
 the gap and releases, trading completeness for progress exactly like the
 protocol's own bounded buffers do.
+
+:class:`CausalDeliveryGate` strengthens this to *causal order* across
+origins: every notification carries its publisher's delivered frontier as
+vector-interval metadata (``Notification.deps``), and the gate releases a
+notification only once the local frontier covers every named dependency and
+the origin's own predecessor.  Unlike the FIFO gate it never skips ahead —
+on overflow it evicts the oldest held notification *undelivered*, trading
+completeness but never causal order.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Tuple
 
 from .events import Notification
-from .ids import ProcessId
+from .ids import EventId, ProcessId
 
 GatedListener = Callable[[ProcessId, Notification, float], None]
 
@@ -106,3 +115,146 @@ class FifoDeliveryGate:
     def expected_next(self, origin: ProcessId) -> int:
         state = self._origins.get(origin)
         return state.next_seq if state is not None else 1
+
+
+class CausalDeliveryGate:
+    """Causal hold-back queue over a node's receive stream.
+
+    The gate is pure data — no callbacks, no RNG — so it pickles into shard
+    workers unchanged.  The node offers every received notification and
+    performs delivery (and missing-dependency solicitation) itself::
+
+        released, missing = gate.offer(notification)
+        for n in released:   # causally ready, in release order
+            ...deliver n...
+        # ``missing`` are concrete EventIds to solicit via retransmission
+
+    State is a per-origin *frontier*: the highest contiguously delivered
+    sequence number of each origin.  Because causal delivery implies
+    per-origin FIFO, the frontier is a complete description of the delivered
+    set — one integer per origin, the vector-interval compaction of Nédelec
+    et al. ("Breaking the Scalability Barrier of Causal Broadcast").
+
+    A notification ``(origin, seq)`` with dependencies ``deps`` is *ready*
+    when ``frontier[origin] == seq - 1`` (the origin's interval stays
+    contiguous) and ``frontier[o] >= s`` for every dependency ``(o, s)``.
+    Not-ready notifications are held, bounded by ``max_holdback``; overflow
+    evicts the oldest held notification undelivered (counted in
+    ``evicted``), so a correct gate can *never* release out of causal
+    order — the ``causality`` invariant holds unconditionally.
+    """
+
+    def __init__(self, max_holdback: int = 64) -> None:
+        if max_holdback < 1:
+            raise ValueError("max_holdback must be positive")
+        self.max_holdback = max_holdback
+        #: Highest contiguously delivered seq per origin (absent == 0).
+        self.frontier: Dict[ProcessId, int] = {}
+        #: Held-back notifications in arrival order (oldest first).
+        self.held: "OrderedDict[EventId, Notification]" = OrderedDict()
+        self.delivered_causally = 0
+        self.held_back_total = 0
+        self.evicted = 0
+        self.stale_dropped = 0
+
+    # -- publication ------------------------------------------------------------
+    def publish_deps(self) -> Tuple[EventId, ...]:
+        """The local frontier as dependency metadata for a new publication.
+
+        One :class:`EventId` per origin with a non-empty delivered interval,
+        sorted by origin for determinism.  Call *before* offering the new
+        notification itself, so the publisher's own previous event appears
+        as an explicit dependency.
+        """
+        return tuple(
+            EventId(origin, seq)
+            for origin, seq in sorted(self.frontier.items())
+            if seq > 0
+        )
+
+    # -- the gate ---------------------------------------------------------------
+    def offer(
+        self, notification: Notification
+    ) -> Tuple[List[Notification], List[EventId]]:
+        """Offer a received notification; return ``(released, missing)``.
+
+        ``released`` lists notifications that became causally ready (the
+        offered one and any previously held ones it unblocked), in release
+        order.  ``missing`` lists concrete event ids the local frontier
+        lacks on the offered notification's dependency paths — candidates
+        for retransmission-driven recovery.
+        """
+        origin = notification.event_id.origin
+        seq = notification.event_id.seq
+        if seq <= self.frontier.get(origin, 0):
+            self.stale_dropped += 1
+            return [], []
+        if notification.event_id in self.held:
+            self.stale_dropped += 1
+            return [], []
+
+        if self._ready(notification):
+            released = [notification]
+            self.frontier[origin] = seq
+            self.delivered_causally += 1
+            self._drain(released)
+            return released, []
+
+        self.held[notification.event_id] = notification
+        self.held_back_total += 1
+        while len(self.held) > self.max_holdback:
+            self.held.popitem(last=False)
+            self.evicted += 1
+        return [], self._missing_for(notification)
+
+    def _ready(self, notification: Notification) -> bool:
+        eid = notification.event_id
+        if self.frontier.get(eid.origin, 0) != eid.seq - 1:
+            return False
+        for dep in notification.deps:
+            if self.frontier.get(dep.origin, 0) < dep.seq:
+                return False
+        return True
+
+    def _drain(self, released: List[Notification]) -> None:
+        # Releasing one notification may unblock held ones; iterate to a
+        # fixpoint.  Held size is bounded by max_holdback, so this stays
+        # cheap.
+        progressed = True
+        while progressed:
+            progressed = False
+            for eid in list(self.held):
+                notification = self.held[eid]
+                if self._ready(notification):
+                    del self.held[eid]
+                    self.frontier[eid.origin] = eid.seq
+                    self.delivered_causally += 1
+                    released.append(notification)
+                    progressed = True
+
+    def _missing_for(self, notification: Notification) -> List[EventId]:
+        """Concrete event ids below the offered notification's dependencies
+        (and its origin predecessor) that the local frontier lacks."""
+        missing: List[EventId] = []
+        seen = set()
+        gaps: List[Tuple[ProcessId, int]] = [
+            (notification.event_id.origin, notification.event_id.seq - 1)
+        ]
+        gaps.extend((dep.origin, dep.seq) for dep in notification.deps)
+        for origin, upto in gaps:
+            have = self.frontier.get(origin, 0)
+            for seq in range(have + 1, upto + 1):
+                eid = EventId(origin, seq)
+                if eid not in seen and eid not in self.held:
+                    seen.add(eid)
+                    missing.append(eid)
+                if len(missing) >= self.max_holdback:
+                    return missing
+        return missing
+
+    # -- introspection ------------------------------------------------------------
+    def held_count(self) -> int:
+        return len(self.held)
+
+    def frontier_of(self, origin: ProcessId) -> int:
+        return self.frontier.get(origin, 0)

@@ -9,7 +9,7 @@ Sec. 3.4.
 
 from __future__ import annotations
 
-from typing import Any, NamedTuple
+from typing import Any, NamedTuple, Tuple
 
 from .ids import EventId, ProcessId
 
@@ -20,11 +20,21 @@ class Notification(NamedTuple):
     ``created_at`` records the (simulated) time or round at which the event
     was published; metrics layers use it to compute delivery latency.  It is
     carried along but never interpreted by the protocol itself.
+
+    ``deps`` is the publisher's causal frontier at publication time, one
+    :class:`EventId` per origin — the compact vector-interval metadata of
+    the causal-delivery mode ("Breaking the Scalability Barrier of Causal
+    Broadcast": under causal delivery every origin's delivered set is a
+    contiguous prefix, so one ``(origin, seq)`` pair encodes the whole
+    interval ``[1, seq]``).  Empty outside causal mode; the protocol core
+    never interprets it — only :class:`~repro.core.delivery.CausalDeliveryGate`
+    does.
     """
 
     event_id: EventId
     payload: Any
     created_at: float = 0.0
+    deps: Tuple[EventId, ...] = ()
 
     @property
     def origin(self) -> ProcessId:

@@ -48,6 +48,7 @@ from .buffers import (
     RandomDropBuffer,
 )
 from .config import LpbcastConfig
+from .delivery import CausalDeliveryGate
 from .events import Notification
 from .ids import EventId, ProcessId
 from .message import (
@@ -97,6 +98,9 @@ class NodeStats:
     readies_sent: int = 0
     readies_received: int = 0
     echo_pending_evicted: int = 0
+    causal_held_back: int = 0
+    causal_evicted: int = 0
+    causal_deps_solicited: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -165,6 +169,13 @@ class LpbcastNode:
         self._weighted_events = cfg.weighted_events
         self._archiving = cfg.retransmissions or cfg.push_back
         self._double_echo = cfg.double_echo
+        self._causal_mode = cfg.causal_delivery
+        # The causal hold-back queue is pure data (no callbacks, no RNG), so
+        # node state stays picklable for the sharded engine.
+        self.causal: Optional[CausalDeliveryGate] = (
+            CausalDeliveryGate(cfg.causal_holdback_max)
+            if cfg.causal_delivery else None
+        )
         # Double-echo quorum state, keyed by event id; each entry tracks the
         # held payload (if any), its digest, whether this node has echoed /
         # gone ready, and per-digest echo/ready sender sets.  Insertion order
@@ -214,7 +225,19 @@ class LpbcastNode:
         if self.unsubscribed:
             raise RuntimeError(f"process {self.pid} has unsubscribed")
         self._next_seq += 1
-        notification = Notification(EventId(self.pid, self._next_seq), payload, now)
+        event_id = EventId(self.pid, self._next_seq)
+        if self._causal_mode:
+            # Stamp the local frontier *before* the new event enters it: the
+            # vector-interval dependency metadata of the causal mode.
+            deps = self.causal.publish_deps()
+            notification = Notification(event_id, payload, now, deps)
+            self.stats.published += 1
+            self._record_receipt(notification)
+            released, _ = self.causal.offer(notification)
+            for ready in released:  # own event is always causally ready
+                self._deliver(ready, now, record_id=False)
+            return notification
+        notification = Notification(event_id, payload, now)
         self.stats.published += 1
         self._deliver(notification, now)
         self._stage_for_forwarding(notification)
@@ -257,6 +280,8 @@ class LpbcastNode:
         out: List[Outgoing] = []
         if self._double_echo:
             self._phase3_double_echo(gossip, now, out)
+        elif self._causal_mode:
+            self._phase3_causal(gossip, now, out)
         else:
             self._phase3_notifications(gossip, now)
 
@@ -344,22 +369,26 @@ class LpbcastNode:
                               archivable=False)
 
     def _deliver(self, notification: Notification, now: float,
-                 archivable: bool = True) -> None:
+                 archivable: bool = True, record_id: bool = True) -> None:
         """LPB-DELIVER: hand the notification to the application and record
         its id (bounded, oldest-drop).  ``archivable=False`` marks synthetic
-        digest-implied deliveries, which carry no payload worth serving."""
+        digest-implied deliveries, which carry no payload worth serving.
+        ``record_id=False`` marks causal-mode releases, whose ids (and
+        archive copies) were already recorded at *receipt* by
+        :meth:`_record_receipt` — delivery only waited on the gate."""
         self.stats.delivered += 1
         if self._listeners:
             for listener in self._listeners:
                 listener(self.pid, notification, now)
-        if self._compact_ids:
-            self.event_ids.add(notification.event_id)
-        else:
-            evicted = self.event_ids.add(notification.event_id)
-            if evicted:
-                self.stats.event_ids_evicted += len(evicted)
-        if archivable and self._archiving:
-            self.archive.add(notification)
+        if record_id:
+            if self._compact_ids:
+                self.event_ids.add(notification.event_id)
+            else:
+                evicted = self.event_ids.add(notification.event_id)
+                if evicted:
+                    self.stats.event_ids_evicted += len(evicted)
+            if archivable and self._archiving:
+                self.archive.add(notification)
 
     def _stage_for_forwarding(self, notification: Notification) -> None:
         """Add to ``events`` and enforce its bound (random drop).  A dropped
@@ -368,6 +397,69 @@ class LpbcastNode:
         self.events.add(notification)
         dropped = self.events.truncate()
         self.stats.events_dropped += len(dropped)
+
+    # ------------------------------------------------------------------
+    # Causal delivery — hold-back ordering variant
+    # ------------------------------------------------------------------
+    def _phase3_causal(self, gossip: GossipMessage, now: float,
+                       out: List[Outgoing]) -> None:
+        """Phase III under ``causal_delivery``: like double echo, the payload
+        keeps riding the epidemic — on first receipt it is recorded, staged
+        for forwarding and archived — but LPB-DELIVER waits until the
+        hold-back gate's frontier covers the event's dependencies.  Missing
+        dependencies are solicited from the gossip sender through the normal
+        retransmission machinery (the sender delivered the event, so under
+        causal delivery it also holds — or held — everything the event
+        depends on)."""
+        weighted_events = self._weighted_events
+        for notification in gossip.events:
+            if notification.event_id in self.event_ids:
+                self.stats.duplicates += 1
+                if weighted_events:
+                    self.events.note_seen(notification.event_id)
+                continue
+            self._causal_receive(notification, now, gossip.sender, out)
+
+    def _causal_receive(self, notification: Notification, now: float,
+                        solicit_from: ProcessId, out: List[Outgoing]) -> None:
+        """Record one fresh notification and run it through the causal gate,
+        delivering whatever becomes ready and soliciting missing
+        dependencies from ``solicit_from``."""
+        self._record_receipt(notification)
+        released, missing = self.causal.offer(notification)
+        self.stats.causal_held_back = self.causal.held_back_total
+        self.stats.causal_evicted = self.causal.evicted
+        for ready in released:
+            self._deliver(ready, now, record_id=False)
+        if missing and self.config.retransmissions:
+            wanted = self.retransmitter.select_missing(
+                tuple(missing), self.event_ids, now
+            )
+            if wanted:
+                self.stats.retransmit_requests_sent += 1
+                self.stats.causal_deps_solicited += len(wanted)
+                out.append(
+                    Outgoing(
+                        solicit_from,
+                        RetransmitRequest(self.pid, tuple(wanted)),
+                    )
+                )
+
+    def _record_receipt(self, notification: Notification) -> None:
+        """Causal mode: record a notification at *receipt* — id digest,
+        forwarding stage, retransmission archive and pending-request clear —
+        so its identity and payload keep spreading while delivery waits on
+        the gate."""
+        if self._compact_ids:
+            self.event_ids.add(notification.event_id)
+        else:
+            evicted = self.event_ids.add(notification.event_id)
+            if evicted:
+                self.stats.event_ids_evicted += len(evicted)
+        if self._archiving:
+            self.archive.add(notification)
+        self._stage_for_forwarding(notification)
+        self.retransmitter.on_received(notification.event_id)
 
     # ------------------------------------------------------------------
     # Double-echo delivery — Byzantine-tolerant variant
@@ -638,15 +730,22 @@ class LpbcastNode:
     def on_retransmit_response(
         self, response: RetransmitResponse, now: float
     ) -> List[Outgoing]:
+        out: List[Outgoing] = []
         for notification in response.events:
             if notification.event_id in self.event_ids:
                 self.stats.duplicates += 1
                 continue
             self.stats.retransmits_delivered += 1
+            if self._causal_mode:
+                # A recovered dependency routes through the gate like any
+                # receipt; it may itself expose deeper missing dependencies,
+                # solicited from the responder who served it.
+                self._causal_receive(notification, now, response.responder, out)
+                continue
             self._deliver(notification, now)
             self._stage_for_forwarding(notification)
             self.retransmitter.on_received(notification.event_id)
-        return []
+        return out
 
     # ------------------------------------------------------------------
     # Introspection

@@ -170,6 +170,7 @@ def run_campaign(
     max_rounds: int = 40,
     mutation: Optional[str] = None,
     byzantine: bool = False,
+    causal: bool = False,
     shrink: bool = True,
     max_shrink_attempts: int = 150,
     artifact_dir: Optional[str] = None,
@@ -185,7 +186,9 @@ def run_campaign(
     ends the campaign early once that many failures were found (the
     self-test uses 1 — it only needs proof of detection).  ``byzantine``
     draws every scenario from the adversarial family (double-echo systems
-    with liars in the plan) instead of the plain one.  ``engines`` picks
+    with liars in the plan) instead of the plain one; ``causal`` draws from
+    the ordering family (causal-delivery systems under reordering
+    conditions).  ``engines`` picks
     the oracle's differential pairs (e.g. ``("serial", "columnar")`` for
     the honoured-subset campaign); the columnar engine rejects Byzantine
     plans, so the two options are mutually exclusive.  ``workers`` runs the
@@ -198,12 +201,18 @@ def run_campaign(
         raise ValueError(
             "the columnar engine does not support Byzantine fault plans; "
             "run the byzantine family on the serial/sharded pair")
+    if causal and "columnar" in engines:
+        raise ValueError(
+            "the columnar engine does not support causal-delivery "
+            "configurations; run the causal family on the serial/sharded "
+            "pair")
     say = progress if progress is not None else (lambda line: None)
     result = CampaignResult(root_seed=root_seed, count=count)
     for index in range(count):
         case_seed = derive_seed(root_seed, "dst-case", index)
         spec = generate_spec(case_seed, max_n=max_n, max_rounds=max_rounds,
-                             mutation=mutation, byzantine=byzantine)
+                             mutation=mutation, byzantine=byzantine,
+                             causal=causal)
         report = check_scenario(spec, engines=engines, workers=workers)
         result.checked += 1
         if report.ok:
@@ -287,6 +296,8 @@ def run_self_test(
             progress=progress,
             stop_after=1,
             engines=mutation.engines,
+            byzantine=mutation.family == "byzantine",
+            causal=mutation.family == "causal",
         )
         if not campaign.cases:
             outcomes.append(SelfTestOutcome(

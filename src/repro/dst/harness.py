@@ -47,7 +47,9 @@ class RunOutcome:
 
 def _publish_hook(spec: ScenarioSpec, pids):
     """The seeded workload: one publish per round for the first
-    ``spec.publishes`` rounds.
+    ``spec.publishes`` rounds — two from *distinct* publishers on causal
+    specs, where concurrent publications are what give the hold-back queue
+    dependencies to order.
 
     The publisher draw depends only on coordinator-maintained state (the
     alive set and the paused set), which both round engines evolve
@@ -63,8 +65,15 @@ def _publish_hook(spec: ScenarioSpec, pids):
         ready = [p for p in pids if sim.alive(p) and p not in paused]
         if not ready:
             return
-        pid = ready[pub_rng.randrange(len(ready))]
-        sim.nodes[pid].lpb_cast(f"dst-{round_no}", float(round_no))
+        if not spec.causal:
+            pid = ready[pub_rng.randrange(len(ready))]
+            sim.nodes[pid].lpb_cast(f"dst-{round_no}", float(round_no))
+            return
+        for k in range(2):
+            if not ready:
+                return
+            pid = ready.pop(pub_rng.randrange(len(ready)))
+            sim.nodes[pid].lpb_cast(f"dst-{round_no}-{k}", float(round_no))
 
     return hook
 

@@ -104,6 +104,27 @@ def _sharded_undercount_post_run(sim, spec, engine) -> None:
     sim.telemetry.inc("sim.sends", -1, round=1, kind="GossipMessage")
 
 
+def _dropped_dependency_post_build(sim, spec, engine) -> None:
+    """Break causal readiness on every node of the *serial* engine.
+
+    Each hold-back gate is shadowed to consider everything ready: it
+    releases notifications the moment they arrive, dependencies delivered
+    or not — the classic dropped-dependency ordering bug a causal broadcast
+    implementation can ship.  The defect lives in the gate *class*, so it
+    is planted system-wide (any one node receiving out of causal order
+    suffices), and the ``causality`` invariant must flag the first delivery
+    whose dependency frontier is not yet covered.  Serial-only: an
+    instance-attribute method shadow would not survive pickling into shard
+    workers, and one perturbed engine is enough for the invariant oracle.
+    """
+    if engine != "serial":
+        return
+    for node in sim.nodes.values():
+        gate = getattr(node, "causal", None)
+        if gate is not None:
+            gate._ready = lambda notification: True
+
+
 def _columnar_undercount_post_run(sim, spec, engine) -> None:
     """Lose one honoured gossip send from the *columnar* engine's counters.
 
@@ -136,6 +157,10 @@ class Mutation:
     #: Oracle engines the self-test campaign runs for this planted bug —
     #: a columnar-path defect needs the columnar differential switched on.
     engines: tuple = ("serial", "sharded")
+    #: Scenario family the self-test generates for this bug: "plain",
+    #: "byzantine" or "causal" — an ordering bug needs causal-delivery
+    #: scenarios to have anything to violate.
+    family: str = "plain"
 
     def apply_post_build(self, sim, spec, engine: str) -> None:
         if self.post_build is not None:
@@ -181,6 +206,15 @@ MUTATIONS: Dict[str, Mutation] = {
             expected_kind="parity",
             post_run=_columnar_undercount_post_run,
             engines=("serial", "columnar"),
+        ),
+        Mutation(
+            name="dropped-dependency",
+            description="every serial-engine causal gate treats every "
+                        "notification as ready, delivering before its "
+                        "dependencies (the dropped-dependency ordering bug)",
+            expected_kind="invariant",
+            post_build=_dropped_dependency_post_build,
+            family="causal",
         ),
         Mutation(
             name="double-defect",

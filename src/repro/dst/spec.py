@@ -55,6 +55,13 @@ class ScenarioSpec:
     #: echo/ready thresholds derived from ``n``; implies the payload-only
     #: delivery mode and no retransmissions).
     double_echo: bool = False
+    #: Run the causal-delivery variant (vector-interval dependency metadata
+    #: plus a hold-back queue; implies payload-only delivery mode —
+    #: ``digest_implies_delivery=False``).  Mutually exclusive with
+    #: ``double_echo``.
+    causal: bool = False
+    #: Hold-back queue bound for the causal variant.
+    causal_holdback_max: int = 64
     plan: FaultPlan = field(default_factory=FaultPlan)
     #: Name of a planted bug from :mod:`repro.dst.mutations` (self-test
     #: campaigns only); ``None`` runs the real code.
@@ -83,6 +90,11 @@ class ScenarioSpec:
         if self.double_echo and self.retransmissions:
             raise ValueError("double_echo is incompatible with "
                              "retransmissions (delivery is quorum-gated)")
+        if self.causal and self.double_echo:
+            raise ValueError("causal and double_echo are mutually exclusive "
+                             "(each gates delivery its own way)")
+        if self.causal_holdback_max < 1:
+            raise ValueError("causal_holdback_max must be >= 1")
         self.config()  # LpbcastConfig.__post_init__ re-checks its bounds
         pids = set(range(self.n))
         for fault in self.plan.crashes:
@@ -132,6 +144,21 @@ class ScenarioSpec:
                 echo_threshold=self.n // 2 + 1,
                 ready_threshold=self.n // 2 + 1,
             )
+        if self.causal:
+            # Causal delivery needs real payload transfer: a digest-implied
+            # delivery carries no dependency metadata to order by.
+            return LpbcastConfig(
+                fanout=self.fanout,
+                view_max=self.view_max,
+                events_max=self.events_max,
+                event_ids_max=self.event_ids_max,
+                subs_max=self.subs_max,
+                unsubs_max=self.unsubs_max,
+                retransmissions=self.retransmissions,
+                digest_implies_delivery=False,
+                causal_delivery=True,
+                causal_holdback_max=self.causal_holdback_max,
+            )
         return LpbcastConfig(
             fanout=self.fanout,
             view_max=self.view_max,
@@ -150,6 +177,8 @@ class ScenarioSpec:
                 f"publishes={self.publishes} shards={self.shards} "
                 f"plan=[{self.plan.describe()}]"
                 + (" double-echo" if self.double_echo else "")
+                + (f" causal(holdback={self.causal_holdback_max})"
+                   if self.causal else "")
                 + (f" mutation={self.mutation}" if self.mutation else ""))
 
     def size(self) -> int:
@@ -177,6 +206,8 @@ class ScenarioSpec:
             "publishes": self.publishes,
             "shards": self.shards,
             "double_echo": self.double_echo,
+            "causal": self.causal,
+            "causal_holdback_max": self.causal_holdback_max,
             "plan": self.plan.to_dict(),
             "mutation": self.mutation,
         }
@@ -202,6 +233,8 @@ class ScenarioSpec:
             publishes=data["publishes"],
             shards=data["shards"],
             double_echo=data.get("double_echo", False),
+            causal=data.get("causal", False),
+            causal_holdback_max=data.get("causal_holdback_max", 64),
             plan=FaultPlan.from_dict(data.get("plan", {})),
             mutation=data.get("mutation"),
         )
@@ -285,6 +318,7 @@ def generate_spec(
     max_rounds: int = 40,
     mutation: Optional[str] = None,
     byzantine: bool = False,
+    causal: bool = False,
 ) -> ScenarioSpec:
     """Sample one scenario from a single seed — the fuzzer's generator.
 
@@ -301,13 +335,24 @@ def generate_spec(
     asserts the *defended* protocol holds its invariants; the undefended
     plain-vs-double-echo separation is pinned by a dedicated regression
     test, not fuzzed.
+
+    ``causal=True`` samples from the ordering family (again its own
+    streams): causal-delivery systems biased toward the conditions that
+    reorder traffic — loss, delay-heavy fault plans, several concurrent
+    publishers, and small hold-back bounds that put the eviction path and
+    the ``holdback-bound`` invariant in play.
     """
     if max_n < 8:
         raise ValueError("max_n must be >= 8")
     if max_rounds < 10:
         raise ValueError("max_rounds must be >= 10")
+    if byzantine and causal:
+        raise ValueError("byzantine and causal select disjoint scenario "
+                         "families; pick one")
     if byzantine:
         return _generate_byzantine_spec(seed, max_n, max_rounds, mutation)
+    if causal:
+        return _generate_causal_spec(seed, max_n, max_rounds, mutation)
     rng = derive_rng(seed, "dst-spec")
     n = rng.randrange(8, max_n + 1)
     rounds = rng.randrange(10, max_rounds + 1)
@@ -372,6 +417,53 @@ def _generate_byzantine_spec(
         subs_max=subs_max, unsubs_max=unsubs_max,
         retransmissions=False, loss_rate=loss_rate,
         publishes=publishes, shards=shards, double_echo=True,
+        plan=plan, mutation=mutation,
+    ).validate()
+
+
+def _generate_causal_spec(
+    seed: int,
+    max_n: int,
+    max_rounds: int,
+    mutation: Optional[str],
+) -> ScenarioSpec:
+    """The ordering scenario family: causal-delivery systems under the
+    conditions that actually reorder traffic.  Loss is the norm, plans are
+    sampled at full intensity (delays shuffle arrival order across rounds),
+    several processes publish concurrently, and the hold-back bound is
+    often small enough for the eviction path to fire."""
+    rng = derive_rng(seed, "dst-causal-spec")
+    n = rng.randrange(8, min(max_n, 24) + 1)
+    rounds = rng.randrange(12, min(max_rounds, 30) + 1)
+    fanout = rng.randrange(2, 5)
+    view_max = rng.randrange(max(fanout, 4), 16)
+    events_max = rng.randrange(10, 41)
+    event_ids_max = rng.randrange(20, 81)
+    subs_max = rng.randrange(3, 21)
+    unsubs_max = rng.randrange(3, 21)
+    # Retransmissions are the dependency-recovery path; keep them on for
+    # most of the family but leave a no-recovery slice where held events
+    # must wait for the epidemic to re-deliver their dependencies.
+    retransmissions = rng.random() < 0.75
+    loss_rate = round(rng.uniform(0.02, 0.35), 3) if rng.random() < 0.8 else 0.0
+    publishes = rng.randrange(2, min(rounds, 8) + 1)
+    shards = rng.choice((2, 3))
+    causal_holdback_max = rng.choice((4, 8, 16, 32, 64))
+    if rng.random() < 0.85:
+        plan = FaultPlan.random(
+            list(range(n)), horizon=rounds,
+            rng=derive_rng(seed, "dst-causal-plan"),
+            intensity=round(rng.uniform(0.5, 1.5), 3),
+        )
+    else:
+        plan = FaultPlan()
+    return ScenarioSpec(
+        seed=seed, n=n, rounds=rounds, fanout=fanout, view_max=view_max,
+        events_max=events_max, event_ids_max=event_ids_max,
+        subs_max=subs_max, unsubs_max=unsubs_max,
+        retransmissions=retransmissions, loss_rate=loss_rate,
+        publishes=publishes, shards=shards, causal=True,
+        causal_holdback_max=causal_holdback_max,
         plan=plan, mutation=mutation,
     ).validate()
 

@@ -15,6 +15,7 @@ from .chaos import (
     PRESET_NAMES,
     ChaosResult,
     agreement_violations,
+    causality_violations,
     format_soak_report,
     run_chaos_scenario,
     run_chaos_soak,
@@ -65,6 +66,7 @@ __all__ = [
     "RoundActions",
     "Violation",
     "agreement_violations",
+    "causality_violations",
     "equivocated_payload",
     "format_soak_report",
     "mutate_message",

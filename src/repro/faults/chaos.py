@@ -93,6 +93,7 @@ def run_chaos_scenario(
     tracing: bool = False,
     byzantine_rate: float = 0.0,
     byzantine_nodes: int = 0,
+    causal: bool = False,
 ) -> ChaosResult:
     """Run one preset under one (random or given) fault plan with live
     invariant monitoring; fully determined by the arguments.
@@ -107,11 +108,24 @@ def run_chaos_scenario(
     protocol variant with majority thresholds, so the soak exercises the
     defended configuration — the agreement invariant must then hold, which
     ``repro chaos`` asserts as its end-of-soak SLO.
+
+    ``causal=True`` builds the preset on the causal-delivery variant
+    (hold-back gates, retransmit-driven dependency recovery) so the soak
+    hunts ordering bugs under loss, partitions and crashes — the
+    ``causality`` and ``holdback-bound`` invariants must then hold, which
+    ``repro chaos --causal`` asserts as its end-of-soak SLO.  Mutually
+    exclusive with ``byzantine_nodes`` (double-echo staging and the
+    hold-back queue are different delivery disciplines).
     """
     builders = _presets()
     if preset not in builders:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")
+    if causal and byzantine_nodes > 0:
+        raise ValueError(
+            "causal=True is incompatible with byzantine_nodes > 0: the "
+            "double-echo variant and the causal hold-back queue are "
+            "mutually exclusive delivery disciplines")
     config = None
     if byzantine_nodes > 0:
         from ..core.config import LpbcastConfig
@@ -121,6 +135,14 @@ def run_chaos_scenario(
             double_echo=True, digest_implies_delivery=False,
             echo_fanout=n - 1,
             echo_threshold=n // 2 + 1, ready_threshold=n // 2 + 1,
+        )
+    elif causal:
+        from ..core.config import LpbcastConfig
+
+        config = LpbcastConfig(
+            fanout=3, view_max=n - 1,
+            causal_delivery=True, digest_implies_delivery=False,
+            retransmissions=True,
         )
     scenario = builders[preset](n=n, seed=seed, config=config)
     sim = scenario.sim
@@ -190,6 +212,7 @@ def run_chaos_soak(
     presets: Optional[Sequence[str]] = None,
     byzantine_rate: float = 0.0,
     byzantine_nodes: int = 0,
+    causal: bool = False,
 ) -> List[ChaosResult]:
     """Run ``scenarios`` seeded chaos runs, cycling through ``presets``
     (default: all of them).  Each run's seed derives from ``seed`` and its
@@ -203,7 +226,8 @@ def run_chaos_soak(
             run_chaos_scenario(preset=preset, n=n, rounds=rounds,
                                seed=run_seed, intensity=intensity,
                                byzantine_rate=byzantine_rate,
-                               byzantine_nodes=byzantine_nodes)
+                               byzantine_nodes=byzantine_nodes,
+                               causal=causal)
         )
     return results
 
@@ -215,6 +239,18 @@ def agreement_violations(results: Sequence[ChaosResult]) -> List[Violation]:
             for result in results
             for violation in result.violations
             if violation.invariant == "agreement"]
+
+
+def causality_violations(results: Sequence[ChaosResult]) -> List[Violation]:
+    """Every causal-ordering violation across a soak — the ``repro chaos
+    --causal`` SLO is that this list is empty.  Covers both the
+    ``causality`` invariant (a delivery preceded one of its dependencies)
+    and ``holdback-bound`` (a hold-back queue outgrew its configured
+    bound)."""
+    return [violation
+            for result in results
+            for violation in result.violations
+            if violation.invariant in ("causality", "holdback-bound")]
 
 
 def format_soak_report(results: Sequence[ChaosResult]) -> str:

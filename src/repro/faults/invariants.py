@@ -53,6 +53,22 @@ nothing:
     a ghost continuously resident for ``poison_grace`` rounds after its
     fault window closed is a violation.
 
+Under causal-delivery mode (``LpbcastConfig(causal_delivery=True)``) two
+ordering invariants join, scoped like the protocol invariants to correct
+processes:
+
+``causality``
+    No correct process LPB-DELIVERs a notification before every dependency
+    named in its vector-interval metadata (``Notification.deps``) has been
+    delivered at that process.  A correct
+    :class:`~repro.core.delivery.CausalDeliveryGate` can never violate this
+    — it evicts rather than releases on overflow — so any firing is an
+    ordering bug, exactly what the DST fuzzer's planted dropped-dependency
+    mutation produces.
+``holdback-bound``
+    The causal hold-back queue never exceeds its configured bound
+    (``causal_holdback_max``) after any round.
+
 Violations carry the run's root seed and round, so every report is
 replayable: rebuild the same scenario with the same seed and the violation
 reappears at the same round.
@@ -148,6 +164,11 @@ class InvariantMonitor:
         # resident on a failure-detecting node ("" once flagged).
         self._ghost_streak: Dict[Tuple[ProcessId, ProcessId], object] = {}
         self._poison_scope: Optional[tuple] = None
+        # -- causal-ordering state ----------------------------------------
+        # pids running causal-delivery mode (recorded at watch time).
+        self._causal_pids: set = set()
+        # (pid, origin) -> highest seq this pid has delivered from origin.
+        self._delivered_frontier: Dict[Tuple[ProcessId, ProcessId], int] = {}
 
     # -- wiring --------------------------------------------------------------
     def attach(self, sim) -> "InvariantMonitor":
@@ -186,9 +207,12 @@ class InvariantMonitor:
         if hasattr(node, "add_delivery_listener"):
             node.add_delivery_listener(self._on_delivery)
         self._watched.add(pid)
-        window = getattr(getattr(node, "config", None), "event_ids_max", None)
+        cfg = getattr(node, "config", None)
+        window = getattr(cfg, "event_ids_max", None)
         if window is not None:
             self._id_window[pid] = window
+        if getattr(cfg, "causal_delivery", False):
+            self._causal_pids.add(pid)
 
     # -- plan scope ----------------------------------------------------------
     def _plan(self):
@@ -241,7 +265,34 @@ class InvariantMonitor:
                     f"{window} window, so it cannot have been evicted",
                 )
         self._last_seen[key] = count
+        if pid in self._causal_pids:
+            self._check_causality(pid, notification)
         self._check_protocol_delivery(pid, notification)
+
+    def _check_causality(self, pid: ProcessId, notification) -> None:
+        """No delivery before its dependencies (correct causal nodes only).
+
+        The per-(process, origin) delivered frontier is maintained from the
+        delivery stream itself, so the check is engine-independent: it rides
+        the same listener path on serial, sharded and async runs.  Dependency
+        metadata is the publisher's frontier, so under causal delivery every
+        named ``(o, s)`` means "all of origin *o* up to *s*" — the frontier
+        comparison covers the whole interval.
+        """
+        event_id = notification.event_id
+        if pid not in self._byzantine():
+            for dep in getattr(notification, "deps", ()):
+                seen = self._delivered_frontier.get((pid, dep.origin), 0)
+                if seen < dep.seq:
+                    self._flag(
+                        "causality", pid,
+                        f"delivered {event_id} before its dependency "
+                        f"{dep} (delivered frontier of origin "
+                        f"{dep.origin} is {seen})",
+                    )
+        key = (pid, event_id.origin)
+        if event_id.seq > self._delivered_frontier.get(key, 0):
+            self._delivered_frontier[key] = event_id.seq
 
     def _check_protocol_delivery(self, pid: ProcessId, notification) -> None:
         """Agreement and validity (scoped to correct processes)."""
@@ -342,6 +393,16 @@ class InvariantMonitor:
         if pid in node.view:
             self._flag("view-excludes-owner", pid,
                        "the process holds itself in its own view")
+
+        gate = getattr(node, "causal", None)
+        if gate is not None:
+            held = len(gate.held)
+            if held > gate.max_holdback:
+                self._flag(
+                    "holdback-bound", pid,
+                    f"causal hold-back queue holds {held} notifications, "
+                    f"exceeding its bound {gate.max_holdback}",
+                )
 
         if not skip_purge_checks:
             # The node ticked (and purged) at now == round_no, and Phase I

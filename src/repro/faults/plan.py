@@ -517,7 +517,10 @@ class FaultPlan:
     def from_dict(cls, data: dict) -> "FaultPlan":
         """Rebuild a plan serialized by :meth:`to_dict` (validating every
         window again, so hand-edited artifacts fail loudly).  Unknown fault
-        kinds raise :class:`PlanCodecError`."""
+        kinds raise :class:`PlanCodecError` naming every offending kind;
+        malformed entries raise :class:`PlanCodecError` naming the kind and
+        the entry index, so a hand-edited Byzantine artifact points at the
+        exact list element that broke."""
         if not isinstance(data, dict):
             raise PlanCodecError(f"fault plan must be a dict, got "
                                  f"{type(data).__name__}")
@@ -528,30 +531,40 @@ class FaultPlan:
                 f"{', '.join(sorted(unknown))}"
             )
         plan = cls()
-        for rate, start, stop, src, dst in data.get("drops", ()):
-            plan.drop(rate, start=start, stop=stop, src=src, dst=dst)
-        for rate, start, stop in data.get("duplicates", ()):
-            plan.duplicate(rate, start=start, stop=stop)
-        for rate, delay, start, stop in data.get("delays", ()):
-            plan.delay(rate, delay=delay, start=start, stop=stop)
-        for side_a, side_b, start, heal, direction in data.get(
-                "partitions", ()):
-            plan.partition(side_a, side_b, start=start, heal=heal,
-                           direction=direction)
-        for pid, at, recover_at, contact in data.get("crashes", ()):
-            plan.crash(pid, at=at, recover_at=recover_at, contact=contact)
-        for pid, at, duration in data.get("pauses", ()):
-            plan.pause(pid, at=at, duration=duration)
-        for pid, rate, start, stop, variants in data.get("equivocations", ()):
-            plan.equivocate(pid, rate=rate, start=start, stop=stop,
-                            variants=variants)
-        for pid, victim, rate, start, stop in data.get("forges", ()):
-            plan.forge_digest(pid, victim, rate=rate, start=start, stop=stop)
-        for pid, rate, lag, start, stop in data.get("replays", ()):
-            plan.replay_stale(pid, rate=rate, lag=lag, start=start, stop=stop)
-        for pid, rate, count, start, stop in data.get("poisons", ()):
-            plan.poison_view(pid, rate=rate, count=count, start=start,
-                             stop=stop)
+        decoders = {
+            "drops": lambda rate, start, stop, src, dst: plan.drop(
+                rate, start=start, stop=stop, src=src, dst=dst),
+            "duplicates": lambda rate, start, stop: plan.duplicate(
+                rate, start=start, stop=stop),
+            "delays": lambda rate, delay, start, stop: plan.delay(
+                rate, delay=delay, start=start, stop=stop),
+            "partitions": lambda side_a, side_b, start, heal, direction:
+                plan.partition(side_a, side_b, start=start, heal=heal,
+                               direction=direction),
+            "crashes": lambda pid, at, recover_at, contact: plan.crash(
+                pid, at=at, recover_at=recover_at, contact=contact),
+            "pauses": lambda pid, at, duration: plan.pause(
+                pid, at=at, duration=duration),
+            "equivocations": lambda pid, rate, start, stop, variants:
+                plan.equivocate(pid, rate=rate, start=start, stop=stop,
+                                variants=variants),
+            "forges": lambda pid, victim, rate, start, stop:
+                plan.forge_digest(pid, victim, rate=rate, start=start,
+                                  stop=stop),
+            "replays": lambda pid, rate, lag, start, stop: plan.replay_stale(
+                pid, rate=rate, lag=lag, start=start, stop=stop),
+            "poisons": lambda pid, rate, count, start, stop: plan.poison_view(
+                pid, rate=rate, count=count, start=start, stop=stop),
+        }
+        for kind, decode in decoders.items():
+            for index, entry in enumerate(data.get(kind, ())):
+                try:
+                    decode(*entry)
+                except (TypeError, ValueError) as exc:
+                    raise PlanCodecError(
+                        f"bad {kind!r} entry #{index} in serialized plan: "
+                        f"{exc}"
+                    ) from exc
         return plan
 
     # -- randomized composition ----------------------------------------------

@@ -383,6 +383,14 @@ class ColumnarRoundSimulation:
             return
         if self.config is None:
             self.config = LpbcastConfig()
+        if self.config.causal_delivery:
+            # Declared divergence (PR 8 contract): the columnar engine keeps
+            # no per-notification metadata, so the causal hold-back queue
+            # has nothing to hang dependencies on.
+            raise ValueError(
+                "the columnar engine does not support causal-delivery "
+                "configurations (causal_delivery=True); use the serial "
+                "or sharded engine")
         index = self._index
         prebuilt = _np is not None and isinstance(self._view_rows, _np.ndarray)
         if prebuilt:

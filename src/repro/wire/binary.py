@@ -82,6 +82,14 @@ TAG_RECOVERY_RESPONSE = 0x0C
 TAG_TOPIC_ENVELOPE = 0x0D
 TAG_ECHO = 0x0E
 TAG_READY = 0x0F
+# Causal-delivery records: identical layout to their base tags except that
+# every carried notification is followed by its dependency metadata
+# (``Notification.deps``), delta-run encoded exactly like a digest.  The
+# causal tag is chosen iff any carried notification has dependencies, so
+# non-causal traffic — and every pre-causal golden vector — keeps its
+# byte-identical encoding.
+TAG_GOSSIP_CAUSAL = 0x10
+TAG_RETR_RESPONSE_CAUSAL = 0x11
 
 _F64 = struct.Struct("<d")
 
@@ -238,7 +246,22 @@ def _r_event_ids(data, pos: int, limit: int) -> Tuple[Tuple[EventId, ...], int]:
     return tuple(out), pos
 
 
-def _w_notification(buf: bytearray, n: Notification, strict: bool) -> None:
+def _w_notification(buf: bytearray, n: Notification, strict: bool,
+                    allow_deps: bool = False) -> None:
+    """Base 3-field notification record.
+
+    Dependency metadata has a binary form only inside the dissemination
+    records that grew causal variants (gossip / retransmit response, tags
+    0x10/0x11); every other notification-bearing record is defined on the
+    deps-free form and must refuse — not silently strip — a deps-carrying
+    notification, so the shard/frame layers fall back to their lossless
+    encodings instead of corrupting the causal metadata.
+    """
+    if n.deps and not allow_deps:
+        raise WireEncodeError(
+            f"notification {n.event_id} carries {len(n.deps)} causal "
+            f"dependencies but this record type has no causal binary form "
+            f"(only gossip and retransmit responses do)")
     write_svarint(buf, n.event_id.origin)
     write_svarint(buf, n.event_id.seq)
     _w_f64(buf, n.created_at)
@@ -269,6 +292,46 @@ def _r_notifications(data, pos: int,
         n, pos = _r_notification(data, pos)
         out.append(n)
     return tuple(out), pos
+
+
+def _w_notification_causal(buf: bytearray, n: Notification,
+                           strict: bool) -> None:
+    """Causal layout: the base notification record followed by its
+    vector-interval dependency metadata, reusing the digest run encoding
+    (the deps tuple is sorted by origin, the run encoder's best case)."""
+    _w_notification(buf, n, strict, allow_deps=True)
+    _w_event_ids(buf, n.deps)
+
+
+def _r_notification_causal(data, pos: int,
+                           limit: int) -> Tuple[Notification, int]:
+    n, pos = _r_notification(data, pos)
+    deps, pos = _r_event_ids(data, pos, limit)
+    if deps:
+        n = n._replace(deps=deps)
+    return n, pos
+
+
+def _w_notifications_causal(buf: bytearray, events, strict: bool) -> None:
+    write_uvarint(buf, len(events))
+    for n in events:
+        _w_notification_causal(buf, n, strict)
+
+
+def _r_notifications_causal(data, pos: int,
+                            limit: int) -> Tuple[Tuple[Notification, ...], int]:
+    count, pos = read_uvarint(data, pos)
+    if count > limit:
+        raise CodecError(f"notification list length {count} exceeds input")
+    out = []
+    for _ in range(count):
+        n, pos = _r_notification_causal(data, pos, limit)
+        out.append(n)
+    return tuple(out), pos
+
+
+def _any_deps(events) -> bool:
+    return any(n.deps for n in events)
 
 
 def _w_unsubs(buf: bytearray, unsubs) -> None:
@@ -308,20 +371,28 @@ def _r_heartbeats(data, pos: int, limit: int) -> Tuple[tuple, int]:
 
 # -- per-type bodies ----------------------------------------------------------
 
-def _enc_gossip(buf: bytearray, m: GossipMessage, strict: bool) -> None:
+def _enc_gossip(buf: bytearray, m: GossipMessage, strict: bool,
+                causal: bool = False) -> None:
     write_svarint(buf, m.sender)
     _w_pid_list(buf, m.subs)
     _w_unsubs(buf, m.unsubs)
-    _w_notifications(buf, m.events, strict)
+    if causal:
+        _w_notifications_causal(buf, m.events, strict)
+    else:
+        _w_notifications(buf, m.events, strict)
     _w_event_ids(buf, m.event_ids)
     _w_heartbeats(buf, m.heartbeats)
 
 
-def _dec_gossip(data, pos: int, limit: int) -> Tuple[GossipMessage, int]:
+def _dec_gossip(data, pos: int, limit: int,
+                causal: bool = False) -> Tuple[GossipMessage, int]:
     sender, pos = read_svarint(data, pos)
     subs, pos = _r_pid_list(data, pos, limit)
     unsubs, pos = _r_unsubs(data, pos, limit)
-    events, pos = _r_notifications(data, pos, limit)
+    if causal:
+        events, pos = _r_notifications_causal(data, pos, limit)
+    else:
+        events, pos = _r_notifications(data, pos, limit)
     event_ids, pos = _r_event_ids(data, pos, limit)
     heartbeats, pos = _r_heartbeats(data, pos, limit)
     return GossipMessage(sender=sender, subs=subs, unsubs=unsubs,
@@ -332,8 +403,12 @@ def _dec_gossip(data, pos: int, limit: int) -> Tuple[GossipMessage, int]:
 def _encode_body(buf: bytearray, message, strict: bool) -> None:
     kind = type(message)
     if kind is GossipMessage:
-        buf.append(TAG_GOSSIP)
-        _enc_gossip(buf, message, strict)
+        if _any_deps(message.events):
+            buf.append(TAG_GOSSIP_CAUSAL)
+            _enc_gossip(buf, message, strict, causal=True)
+        else:
+            buf.append(TAG_GOSSIP)
+            _enc_gossip(buf, message, strict)
     elif kind is SubscriptionRequest:
         buf.append(TAG_SUB_REQUEST)
         write_svarint(buf, message.subscriber)
@@ -346,9 +421,14 @@ def _encode_body(buf: bytearray, message, strict: bool) -> None:
         write_svarint(buf, message.requester)
         _w_event_ids(buf, message.event_ids)
     elif kind is RetransmitResponse:
-        buf.append(TAG_RETR_RESPONSE)
-        write_svarint(buf, message.responder)
-        _w_notifications(buf, message.events, strict)
+        if _any_deps(message.events):
+            buf.append(TAG_RETR_RESPONSE_CAUSAL)
+            write_svarint(buf, message.responder)
+            _w_notifications_causal(buf, message.events, strict)
+        else:
+            buf.append(TAG_RETR_RESPONSE)
+            write_svarint(buf, message.responder)
+            _w_notifications(buf, message.events, strict)
     elif kind is PbcastData:
         buf.append(TAG_PBCAST_DATA)
         write_svarint(buf, message.sender)
@@ -415,6 +495,12 @@ def _decode_body(data, pos: int) -> Tuple[object, int]:
     limit = len(data)  # every list element costs >= 1 byte on the wire
     if tag == TAG_GOSSIP:
         return _dec_gossip(data, pos, limit)
+    if tag == TAG_GOSSIP_CAUSAL:
+        return _dec_gossip(data, pos, limit, causal=True)
+    if tag == TAG_RETR_RESPONSE_CAUSAL:
+        pid, pos = read_svarint(data, pos)
+        events, pos = _r_notifications_causal(data, pos, limit)
+        return RetransmitResponse(pid, events), pos
     if tag == TAG_SUB_REQUEST:
         pid, pos = read_svarint(data, pos)
         return SubscriptionRequest(pid), pos

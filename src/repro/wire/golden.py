@@ -21,6 +21,7 @@ from ..core.message import (
     GossipMessage,
     ReadyMessage,
     RetransmitRequest,
+    RetransmitResponse,
     SubscriptionAck,
 )
 from ..pbcast.messages import PbcastDigest
@@ -70,6 +71,32 @@ def _vectors() -> List[Tuple[object, str]]:
         (
             ReadyMessage(4, EventId(2, 5), 0x015ABD7F5CC57A2D),
             "0f08040aadf495e6f5afafad01",
+        ),
+        # Causal-delivery records: the causal tags (0x10/0x11) are selected
+        # iff any carried notification has dependency metadata, so these
+        # vectors pin both the deps encoding (digest-style delta runs after
+        # each notification) and the tag-selection rule — a deps-free
+        # message must keep its pre-causal tag and bytes (the vectors
+        # above).
+        (
+            GossipMessage(
+                sender=3,
+                events=(Notification(EventId(3, 2), "x", 1.0,
+                                     deps=(EventId(1, 4), EventId(3, 1))),),
+                event_ids=(EventId(3, 2),),
+            ),
+            "10060000010604000000000000f03f03227822020201080401020106010400",
+        ),
+        (
+            RetransmitResponse(
+                5,
+                (Notification(EventId(2, 1), None, 0.0,
+                              deps=(EventId(1, 2),)),
+                 Notification(EventId(2, 2), "y", 3.0,
+                              deps=(EventId(1, 2), EventId(2, 1)))),
+            ),
+            "110a02040200000000000000000001020104040400000000000008400322"
+            "792202020104020102",
         ),
     ]
 

@@ -1,0 +1,163 @@
+"""Node-level causal-delivery mode: dependency stamping, hold-back,
+retransmit-driven dependency recovery, and the config couplings."""
+
+import pickle
+
+import pytest
+
+from repro.core import LpbcastConfig
+from repro.core.ids import EventId
+from repro.core.message import RetransmitRequest, RetransmitResponse
+
+from ..helpers import gossip, make_node, notification
+
+
+def make_causal_node(pid=0, view=(1,), **overrides):
+    overrides.setdefault("causal_delivery", True)
+    overrides.setdefault("digest_implies_delivery", False)
+    overrides.setdefault("retransmissions", True)
+    return make_node(pid=pid, view=view, **overrides)
+
+
+class TestConfigCouplings:
+    def test_causal_requires_payload_transfer(self):
+        with pytest.raises(ValueError, match="digest_implies_delivery"):
+            LpbcastConfig(causal_delivery=True)
+
+    def test_causal_excludes_double_echo(self):
+        with pytest.raises(ValueError, match="double_echo"):
+            LpbcastConfig(causal_delivery=True,
+                          digest_implies_delivery=False,
+                          double_echo=True, retransmissions=False,
+                          push_back=False)
+
+    def test_holdback_bound_validated(self):
+        with pytest.raises(ValueError, match="causal_holdback_max"):
+            LpbcastConfig(causal_holdback_max=0)
+
+    def test_causal_without_retransmissions_is_legal(self):
+        cfg = LpbcastConfig(causal_delivery=True,
+                            digest_implies_delivery=False,
+                            retransmissions=False)
+        assert cfg.causal_delivery
+
+    def test_non_causal_node_has_no_gate(self):
+        assert make_node(view=(1,)).causal is None
+
+
+class TestPublishStamping:
+    def test_first_publish_carries_empty_deps(self):
+        node = make_causal_node()
+        published = node.lpb_cast("a", now=0.0)
+        assert published.deps == ()
+        assert node.has_delivered(published.event_id)
+
+    def test_publish_stamps_the_delivered_frontier(self):
+        node = make_causal_node()
+        node.on_gossip(gossip(sender=9, events=(notification(9, 1),)),
+                       now=0.5)
+        published = node.lpb_cast("b", now=1.0)
+        assert published.deps == (EventId(9, 1),)
+
+    def test_second_publish_includes_own_previous_event(self):
+        node = make_causal_node()
+        node.lpb_cast("a", now=0.0)
+        second = node.lpb_cast("b", now=1.0)
+        assert EventId(node.pid, 1) in second.deps
+
+
+class TestHoldbackAndRecovery:
+    def test_out_of_order_arrival_held_and_dep_solicited(self):
+        node = make_causal_node()
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        out = node.on_gossip(gossip(sender=7, events=(dependent,)), now=1.0)
+        # The id buffer records *receipt* (so digests do not re-solicit a
+        # held notification), but the application saw nothing yet.
+        assert node.stats.delivered == 0
+        assert node.has_delivered(dependent.event_id)
+        assert node.causal.held_count() == 1
+        assert node.stats.causal_held_back == 1
+        assert node.stats.causal_deps_solicited == 1
+        assert len(out) == 1 and out[0].destination == 7
+        request = out[0].message
+        assert isinstance(request, RetransmitRequest)
+        assert request.event_ids == (EventId(1, 1),)
+
+    def test_dependency_arrival_releases_in_causal_order(self):
+        node = make_causal_node()
+        order = []
+        node.add_delivery_listener(
+            lambda pid, n, now: order.append(n.event_id))
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        node.on_gossip(gossip(sender=7, events=(dependent,)), now=1.0)
+        node.on_gossip(gossip(sender=7, events=(notification(1, 1),)),
+                       now=2.0)
+        assert order == [EventId(1, 1), EventId(2, 1)]
+
+    def test_retransmit_response_routes_through_the_gate(self):
+        node = make_causal_node()
+        order = []
+        node.add_delivery_listener(
+            lambda pid, n, now: order.append(n.event_id))
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        node.on_gossip(gossip(sender=7, events=(dependent,)), now=1.0)
+        node.on_retransmit_response(
+            RetransmitResponse(7, (notification(1, 1),)), now=2.0)
+        assert order == [EventId(1, 1), EventId(2, 1)]
+        assert node.stats.retransmits_delivered == 1
+
+    def test_response_with_unmet_deps_is_held_not_delivered(self):
+        # Even a solicited notification obeys the gate: if the response
+        # itself carries deps the node has not delivered, it waits.
+        node = make_causal_node()
+        chained = notification(1, 1, payload="y", deps=(EventId(3, 1),))
+        out = node.on_retransmit_response(
+            RetransmitResponse(7, (chained,)), now=1.0)
+        assert node.stats.delivered == 0
+        assert node.causal.held_count() == 1
+        # ... and the transitive dependency is solicited from the responder.
+        assert any(isinstance(o.message, RetransmitRequest)
+                   and o.destination == 7 for o in out)
+
+    def test_overflow_eviction_counted_in_stats(self):
+        node = make_causal_node(causal_holdback_max=1)
+        node.on_gossip(gossip(sender=7, events=(notification(5, 2),)),
+                       now=1.0)
+        node.on_gossip(gossip(sender=7, events=(notification(6, 2),)),
+                       now=2.0)
+        assert node.stats.causal_evicted == 1
+        assert node.causal.held_count() == 1
+
+    def test_held_notification_still_forwarded(self):
+        # Hold-back delays *delivery*, never dissemination: the held
+        # notification must still ride the next gossip out.
+        node = make_causal_node()
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        node.on_gossip(gossip(sender=7, events=(dependent,)), now=1.0)
+        outgoing = node.on_tick(now=2.0)
+        forwarded = [n.event_id
+                     for o in outgoing for n in o.message.events]
+        assert EventId(2, 1) in forwarded
+
+    def test_no_solicitation_without_retransmissions(self):
+        node = make_causal_node(retransmissions=False)
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        out = node.on_gossip(gossip(sender=7, events=(dependent,)), now=1.0)
+        assert out == []
+        assert node.stats.causal_deps_solicited == 0
+        assert node.causal.held_count() == 1
+
+
+class TestPickleSafety:
+    def test_causal_node_survives_pickling_with_gate_state(self):
+        node = make_causal_node()
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        node.on_gossip(gossip(sender=7, events=(dependent,)), now=1.0)
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone.causal.held_count() == 1
+        order = []
+        clone.add_delivery_listener(
+            lambda pid, n, now: order.append(n.event_id))
+        clone.on_gossip(gossip(sender=7, events=(notification(1, 1),)),
+                        now=2.0)
+        assert order == [EventId(1, 1), EventId(2, 1)]

@@ -1,8 +1,9 @@
-"""Tests for the per-origin FIFO delivery gate."""
+"""Tests for the per-origin FIFO and causal delivery gates."""
 
 import pytest
 
-from repro.core.delivery import FifoDeliveryGate
+from repro.core.delivery import CausalDeliveryGate, FifoDeliveryGate
+from repro.core.ids import EventId
 
 from ..helpers import notification
 
@@ -116,3 +117,104 @@ class TestEndToEnd:
         for pid, order in orders.items():
             assert order == sorted(order), f"process {pid} out of order"
             assert order == list(range(1, len(order) + 1))
+
+
+class TestCausalDeliveryGate:
+    def test_in_order_no_deps_passes_through(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        released, missing = gate.offer(notification(5, 1))
+        assert [n.event_id for n in released] == [EventId(5, 1)]
+        assert missing == []
+        released, _ = gate.offer(notification(5, 2))
+        assert [n.event_id for n in released] == [EventId(5, 2)]
+        assert gate.delivered_causally == 2
+        assert gate.frontier_of(5) == 2
+
+    def test_dependency_holds_back_and_releases(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        dependent = notification(3, 1, deps=(EventId(1, 1),))
+        released, missing = gate.offer(dependent)
+        assert released == []
+        assert missing == [EventId(1, 1)]
+        assert gate.held_count() == 1
+        released, _ = gate.offer(notification(1, 1))
+        assert [n.event_id for n in released] == [EventId(1, 1), EventId(3, 1)]
+        assert gate.held_count() == 0
+
+    def test_predecessor_gap_holds_back(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        released, missing = gate.offer(notification(2, 3))
+        assert released == []
+        assert missing == [EventId(2, 1), EventId(2, 2)]
+
+    def test_transitive_drain_fixpoint(self):
+        # c depends on b, b depends on a; arriving in reverse, the arrival
+        # of a must drain the whole chain in causal order.
+        gate = CausalDeliveryGate(max_holdback=8)
+        c = notification(3, 1, deps=(EventId(2, 1),))
+        b = notification(2, 1, deps=(EventId(1, 1),))
+        a = notification(1, 1)
+        assert gate.offer(c)[0] == []
+        assert gate.offer(b)[0] == []
+        released, _ = gate.offer(a)
+        assert [n.event_id for n in released] == \
+            [EventId(1, 1), EventId(2, 1), EventId(3, 1)]
+
+    def test_missing_expansion_skips_held_and_dedupes(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        gate.offer(notification(1, 1))          # frontier[1] = 1
+        gate.offer(notification(2, 2))          # held: predecessor (2,1)
+        dependent = notification(3, 1, deps=(EventId(2, 2), EventId(1, 1)))
+        released, missing = gate.offer(dependent)
+        assert released == []
+        # (2,2) itself is held, so only its gap (2,1) is solicited; the
+        # satisfied dep (1,1) is not named at all.
+        assert missing == [EventId(2, 1)]
+
+    def test_stale_duplicate_dropped(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        gate.offer(notification(5, 1))
+        released, missing = gate.offer(notification(5, 1))
+        assert released == [] and missing == []
+        assert gate.stale_dropped == 1
+
+    def test_duplicate_of_held_not_double_buffered(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        gate.offer(notification(5, 2))
+        gate.offer(notification(5, 2))
+        assert gate.held_count() == 1
+        assert gate.stale_dropped == 1
+
+    def test_overflow_evicts_oldest_held_undelivered(self):
+        # Option A semantics: completeness is traded, causal order never —
+        # the evicted notification is simply never released.
+        gate = CausalDeliveryGate(max_holdback=2)
+        gate.offer(notification(5, 2))          # held (needs seq 1)
+        gate.offer(notification(6, 2))          # held (needs seq 1)
+        gate.offer(notification(7, 2))          # held: overflow evicts (5,2)
+        assert gate.held_count() == 2
+        assert gate.evicted == 1
+        released, _ = gate.offer(notification(5, 1))
+        assert [n.event_id for n in released] == [EventId(5, 1)]
+        assert gate.frontier_of(5) == 1         # (5,2) is gone for good
+
+    def test_publish_deps_is_sorted_frontier(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        gate.offer(notification(9, 1))
+        gate.offer(notification(2, 1))
+        gate.offer(notification(2, 2))
+        assert gate.publish_deps() == (EventId(2, 2), EventId(9, 1))
+
+    def test_publish_deps_empty_before_any_delivery(self):
+        assert CausalDeliveryGate(max_holdback=8).publish_deps() == ()
+
+    def test_counters(self):
+        gate = CausalDeliveryGate(max_holdback=8)
+        gate.offer(notification(5, 2))
+        gate.offer(notification(5, 1))
+        assert gate.held_back_total == 1
+        assert gate.delivered_causally == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CausalDeliveryGate(max_holdback=0)

@@ -181,6 +181,106 @@ class TestNodeRetransmissionFlow:
         assert out == []
 
 
+class TestReSolicitationUnderChurn:
+    """Re-solicitation when the first responder crashes mid-pull.
+
+    The pending-ttl expiry path is pinned above; these tests pin what
+    happens *around* it when crash/recover interleaves with the pull: a
+    dead responder must not wedge the id forever, a recovered responder
+    must still serve from its archive, and per-id deadlines must expire
+    independently.
+    """
+
+    def make_retransmitting_node(self, pid=0, view=(1,), **overrides):
+        return make_node(
+            pid=pid,
+            view=view,
+            retransmissions=True,
+            digest_implies_delivery=False,
+            **overrides,
+        )
+
+    def test_crashed_responder_failover_to_second_digest_sender(self):
+        # Solicit from peer 5, which crashes before answering; once the
+        # entry expires, a digest from peer 6 must re-route the pull there
+        # and the notification must arrive via the second responder.
+        requester = self.make_retransmitting_node(pid=0, view=(5, 6))
+        survivor = self.make_retransmitting_node(pid=6, view=(0,))
+        n = notification(9, 1, payload="data")
+        survivor.on_gossip(gossip(sender=9, events=(n,)), now=0.5)
+        first = requester.on_gossip(
+            gossip(sender=5, event_ids=(n.event_id,)), now=1.0)
+        assert first[0].destination == 5  # peer 5 then crashes: no response
+        retry = requester.on_gossip(
+            gossip(sender=6, event_ids=(n.event_id,)), now=5.5)
+        assert len(retry) == 1
+        assert retry[0].destination == 6
+        responses = survivor.on_retransmit_request(retry[0].message, now=5.6)
+        requester.on_retransmit_response(responses[0].message, now=5.7)
+        assert requester.has_delivered(n.event_id)
+        assert requester.stats.retransmit_requests_sent == 2
+
+    def test_recovered_responder_serves_from_archive(self):
+        # The responder crashes after archiving the event and later
+        # recovers with its buffers intact (the crash-with-recovery model):
+        # a post-recovery solicitation must still be served.
+        holder = self.make_retransmitting_node(pid=5)
+        n = notification(9, 2, payload="data")
+        holder.on_gossip(gossip(sender=9, events=(n,)), now=0.5)
+        holder.on_tick(now=1.0)  # flushed to the archive
+        # ... crash at t=2, recovery at t=20; state objects survive ...
+        out = holder.on_retransmit_request(
+            RetransmitRequest(0, (n.event_id,)), now=20.0)
+        assert out[0].message.events[0].payload == "data"
+
+    def test_interleaved_deadlines_expire_independently(self):
+        # Two pulls started at different times against a responder that
+        # crashed: only the older entry has expired at the probe time, so
+        # re-solicitation must pick exactly the expired id.
+        engine = RetransmissionEngine(request_max=10, pending_ttl=4.0)
+        old, young = EventId(1, 1), EventId(2, 1)
+        assert engine.select_missing((old,), set(), now=0.0) == [old]
+        assert engine.select_missing((young,), set(), now=3.0) == [young]
+        # now=5.0: old's deadline (4.0) has passed, young's (7.0) has not.
+        assert engine.select_missing((old, young), set(), now=5.0) == [old]
+        assert engine.pending_count(now=5.0) == 2
+
+    def test_delivery_during_pending_window_wins_over_retry(self):
+        # The event arrives by regular gossip while the pull is pending
+        # (the first responder recovered and flushed its buffer): the
+        # delivered id must never be re-solicited, even after its old
+        # deadline has lapsed.
+        node = self.make_retransmitting_node()
+        n = notification(9, 3, payload="data")
+        digest_only = gossip(sender=5, event_ids=(n.event_id,))
+        assert len(node.on_gossip(digest_only, now=1.0)) == 1
+        node.on_gossip(gossip(sender=6, events=(n,)), now=2.0)
+        assert node.has_delivered(n.event_id)
+        assert node.on_gossip(digest_only, now=9.0) == []
+        assert node.stats.retransmit_requests_sent == 1
+
+    def test_on_received_for_never_pending_id_is_noop(self):
+        # A recovered node replays backlog it never solicited; clearing an
+        # id that was never pending must not disturb other entries.
+        engine = RetransmissionEngine(request_max=10, pending_ttl=4.0)
+        engine.select_missing((EventId(1, 1),), set(), now=0.0)
+        engine.on_received(EventId(7, 7))
+        assert engine.pending_count(now=1.0) == 1
+
+    def test_expired_entry_does_not_resurrect_on_received(self):
+        # Expiry then arrival then a later digest: the id is delivered by
+        # then, so the digest must not trigger a third pull.
+        node = self.make_retransmitting_node()
+        n = notification(9, 4, payload="data")
+        digest_only = gossip(sender=5, event_ids=(n.event_id,))
+        node.on_gossip(digest_only, now=1.0)        # pull #1, lost
+        retry = node.on_gossip(digest_only, now=5.5)  # expired -> pull #2
+        assert len(retry) == 1
+        node.on_retransmit_response(RetransmitResponse(5, (n,)), now=6.0)
+        assert node.on_gossip(digest_only, now=12.0) == []
+        assert node.stats.retransmit_requests_sent == 2
+
+
 class TestArchiveGhosts:
     """Digest-implied deliveries carry no payload and must never enter the
     retransmission archive — an archived ``payload=None`` ghost would later

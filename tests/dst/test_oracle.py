@@ -48,8 +48,11 @@ class TestCheckScenario:
     def test_planted_bugs_detected_with_expected_kind(self, name):
         mutation = MUTATIONS[name]
         for seed in range(4):
+            # Family-specific mutations only fire on their own scenario
+            # family (dropped-dependency needs causal_delivery on).
             spec = generate_spec(seed, max_n=16, max_rounds=12,
-                                 mutation=name)
+                                 mutation=name,
+                                 causal=mutation.family == "causal")
             report = check_scenario(spec, engines=mutation.engines)
             if not report.ok:
                 kinds = {f.kind for f in report.failures}

@@ -100,6 +100,62 @@ class TestByzantineFamily:
             ScenarioSpec(seed=0, n=8, rounds=10, plan=plan).validate()
 
 
+class TestCausalFamily:
+    def test_same_seed_same_spec(self):
+        assert generate_spec(7, causal=True) == generate_spec(7, causal=True)
+
+    def test_causal_specs_enable_the_ordering_layer(self):
+        for seed in range(15):
+            spec = generate_spec(seed, causal=True)
+            spec.validate()
+            assert spec.causal
+            assert not spec.double_echo
+            assert spec.publishes >= 2, "concurrency needs >=2 publishers"
+            assert "causal(holdback=" in spec.describe()
+            cfg = spec.config()
+            assert cfg.causal_delivery
+            assert not cfg.digest_implies_delivery
+            assert cfg.causal_holdback_max == spec.causal_holdback_max
+
+    def test_causal_family_leaves_plain_seeds_untouched(self):
+        assert generate_spec(7) == generate_spec(7, causal=False)
+        assert generate_spec(7, causal=True) != generate_spec(7)
+        assert generate_spec(7, causal=True) != \
+            generate_spec(7, byzantine=True)
+
+    def test_causal_spec_round_trips(self):
+        for seed in range(5):
+            spec = generate_spec(seed, causal=True)
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec
+            assert rebuilt.causal
+            assert rebuilt.causal_holdback_max == spec.causal_holdback_max
+
+    def test_family_explores_small_holdback_bounds(self):
+        # The eviction path (and the holdback-bound invariant) only ever
+        # fires when the bound is small; the family must sample such bounds.
+        bounds = {generate_spec(seed, causal=True).causal_holdback_max
+                  for seed in range(30)}
+        assert any(bound <= 8 for bound in bounds)
+        assert len(bounds) > 1
+
+    def test_byzantine_and_causal_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            generate_spec(0, byzantine=True, causal=True)
+
+    def test_causal_conflicts_with_double_echo(self):
+        spec = ScenarioSpec(seed=0, n=8, rounds=10, causal=True,
+                            double_echo=True)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            spec.validate()
+
+    def test_holdback_bound_validated(self):
+        spec = ScenarioSpec(seed=0, n=8, rounds=10, causal=True,
+                            causal_holdback_max=0)
+        with pytest.raises(ValueError, match="causal_holdback_max"):
+            spec.validate()
+
+
 class TestSerialization:
     def test_json_round_trip(self):
         for seed in range(10):

@@ -198,3 +198,93 @@ class TestReporting:
         assert "process 3" in text
         assert "round 7" in text
         assert "seed=42" in text
+
+
+class TestCausalInvariants:
+    """The causality / holdback-bound pair added for causal-delivery mode."""
+
+    CAUSAL_CFG = dict(fanout=3, view_max=8, causal_delivery=True,
+                      digest_implies_delivery=False, retransmissions=True)
+
+    def _watched_causal_node(self):
+        from ..helpers import make_node
+
+        node = make_node(pid=0, view=(1,), **self.CAUSAL_CFG)
+        monitor = InvariantMonitor(mode="collect")
+        monitor.watch_node(node.pid, node)
+        return node, monitor
+
+    def test_clean_causal_run_holds_every_invariant(self):
+        cfg = LpbcastConfig(**self.CAUSAL_CFG)
+        sim, nodes, log = small_system(n=16, seed=13, config=cfg)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        for r in range(4):
+            nodes[2 * r].lpb_cast(f"a{r}", float(r))
+            nodes[2 * r + 1].lpb_cast(f"b{r}", float(r))
+            sim.run_round()
+        sim.run(10)
+        assert monitor.ok, monitor.report()
+        assert monitor._causal_pids == {node.pid for node in nodes}
+
+    def test_premature_delivery_flags_causality(self):
+        from ..helpers import gossip, notification
+
+        node, monitor = self._watched_causal_node()
+        # The planted defect class: a gate that considers everything ready.
+        node.causal._ready = lambda n: True
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        node.on_gossip(gossip(sender=9, events=(dependent,)), now=1.0)
+        assert [v.invariant for v in monitor.violations] == ["causality"]
+        assert "dependency" in monitor.violations[0].detail
+
+    def test_causality_checks_the_whole_interval(self):
+        from ..helpers import gossip, notification
+
+        node, monitor = self._watched_causal_node()
+        node.causal._ready = lambda n: True
+        # Dep (1, 3) means "all of origin 1 up to seq 3"; having delivered
+        # only seq 1, the dependent delivery must still be flagged.
+        node.on_gossip(gossip(sender=9, events=(notification(1, 1),)),
+                       now=1.0)
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 3),))
+        node.on_gossip(gossip(sender=9, events=(dependent,)), now=2.0)
+        assert [v.invariant for v in monitor.violations] == ["causality"]
+
+    def test_correct_gate_never_flags_causality(self):
+        from ..helpers import gossip, notification
+
+        node, monitor = self._watched_causal_node()
+        dependent = notification(2, 1, payload="x", deps=(EventId(1, 1),))
+        node.on_gossip(gossip(sender=9, events=(dependent,)), now=1.0)
+        node.on_gossip(gossip(sender=9, events=(notification(1, 1),)),
+                       now=2.0)
+        assert monitor.ok, monitor.report()
+        assert node.has_delivered(EventId(2, 1))
+
+    def test_holdback_overflow_flags_bound(self):
+        from ..helpers import notification
+
+        cfg = LpbcastConfig(causal_holdback_max=4, **self.CAUSAL_CFG)
+        sim, nodes, log = small_system(n=8, seed=5, config=cfg)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        gate = nodes[0].causal
+        # Stuff the queue past its bound behind the gate's back (a correct
+        # gate evicts; only a buggy one could reach this state).
+        for seq in range(2, 9):
+            held = notification(99, seq)
+            gate.held[held.event_id] = held
+        sim.run_round()
+        kinds = {v.invariant for v in monitor.violations}
+        assert "holdback-bound" in kinds
+        flagged = [v for v in monitor.violations
+                   if v.invariant == "holdback-bound"][0]
+        assert flagged.pid == nodes[0].pid
+        assert "bound 4" in flagged.detail
+
+    def test_non_causal_nodes_skip_causality_bookkeeping(self):
+        sim, nodes, log = small_system(n=8, seed=5)
+        monitor = InvariantMonitor(mode="collect").attach(sim)
+        nodes[0].lpb_cast("x", 0.0)
+        sim.run(6)
+        assert monitor._causal_pids == set()
+        assert monitor.ok, monitor.report()

@@ -213,6 +213,31 @@ class TestSerialization:
         with pytest.raises(ValueError):
             FaultPlan.from_dict(data)
 
+    def test_bad_byzantine_entry_names_kind_and_index(self):
+        # A hand-edited artifact with a malformed liar entry must fail as a
+        # codec error naming the offending kind and element, not as a bare
+        # unpacking TypeError that points nowhere.
+        data = FaultPlan().equivocate(1, rate=0.5).to_dict()
+        data["equivocations"][0] = [1, 0.5]  # arity 2, needs 5
+        with pytest.raises(PlanCodecError,
+                           match=r"'equivocations' entry #0"):
+            FaultPlan.from_dict(data)
+
+    def test_bad_entry_reports_index_past_good_entries(self):
+        data = (FaultPlan()
+                .poison_view(3, rate=0.4, count=2)
+                .poison_view(4, rate=0.4, count=2)
+                .to_dict())
+        data["poisons"][1] = ["not-a-pid"]
+        with pytest.raises(PlanCodecError, match=r"'poisons' entry #1"):
+            FaultPlan.from_dict(data)
+
+    def test_bad_entry_chains_the_validation_error(self):
+        data = FaultPlan().forge_digest(1, 2, rate=0.5).to_dict()
+        data["forges"][0][2] = 1.5  # rate out of [0, 1]
+        with pytest.raises(PlanCodecError, match=r"'forges' entry #0"):
+            FaultPlan.from_dict(data)
+
 
 class TestRandomComposition:
     def test_same_seed_same_plan(self):

@@ -35,8 +35,9 @@ def gossip(
     )
 
 
-def notification(origin: int = 1, seq: int = 1, payload=None) -> Notification:
-    return Notification(EventId(origin, seq), payload, 0.0)
+def notification(origin: int = 1, seq: int = 1, payload=None,
+                 deps: tuple = ()) -> Notification:
+    return Notification(EventId(origin, seq), payload, 0.0, deps)
 
 
 def unsub(pid: int, timestamp: float = 0.0) -> Unsubscription:

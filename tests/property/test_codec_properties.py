@@ -36,11 +36,15 @@ json_payloads = st.one_of(
     st.dictionaries(st.text(max_size=8), json_scalars, max_size=4),
 )
 
+# deps pinned empty: dependency metadata rides only the records with causal
+# binary forms (gossip / retransmit response); the deps-carrying strategies
+# live in tests.property.test_wire_properties next to the causal-tag tests.
 notifications = st.builds(
     Notification,
     event_id=event_ids,
     payload=json_payloads,
     created_at=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    deps=st.just(()),
 )
 unsubs = st.builds(
     Unsubscription, pid=pids,

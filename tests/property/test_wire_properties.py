@@ -8,10 +8,13 @@ or a truncated/mutated valid encoding — ever raises anything but
 :class:`~repro.core.codec.CodecError`.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.codec import CodecError, from_json, to_json
+from repro.core.events import Notification
+from repro.core.message import GossipMessage, RetransmitResponse
 from repro.loggers.messages import (
     LogUpload,
     LogUploadAck,
@@ -32,9 +35,13 @@ from .test_codec_properties import (
     any_message as core_messages,
     event_ids,
     gossips,
+    heartbeats,
+    json_payloads,
     notifications,
     pids,
+    unsubs,
 )
+from repro.wire.binary import TAG_GOSSIP_CAUSAL, TAG_RETR_RESPONSE_CAUSAL
 
 logger_messages = st.one_of(
     st.builds(LogUpload, sender=pids, notification=notifications),
@@ -51,6 +58,33 @@ envelopes = st.builds(TopicEnvelope, topic=st.text(max_size=12),
 
 #: Every message type carrying a binary tag.
 any_wire_message = st.one_of(core_messages, logger_messages, envelopes)
+
+# -- causal dependency metadata ----------------------------------------------
+# Only gossip and retransmit responses carry deps on the wire (the causal
+# tags 0x10/0x11); every other notification-bearing record ships the base
+# 3-field form, so these strategies attach deps to exactly those two types.
+causal_notifications = st.builds(
+    Notification,
+    event_id=event_ids,
+    payload=json_payloads,
+    created_at=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    deps=st.lists(event_ids, max_size=4).map(tuple),
+)
+causal_gossips = st.builds(
+    GossipMessage,
+    sender=pids,
+    subs=st.lists(pids, max_size=4).map(tuple),
+    unsubs=st.lists(unsubs, max_size=3).map(tuple),
+    events=st.lists(causal_notifications, min_size=1, max_size=4).map(tuple),
+    event_ids=st.lists(event_ids, max_size=5).map(tuple),
+    heartbeats=heartbeats,
+)
+causal_responses = st.builds(
+    RetransmitResponse,
+    responder=pids,
+    events=st.lists(causal_notifications, min_size=1, max_size=3).map(tuple),
+)
+causal_messages = st.one_of(causal_gossips, causal_responses)
 
 
 class TestBinaryRoundTrip:
@@ -130,5 +164,58 @@ class TestAdversarialInput:
             return
         try:
             decode_binary(blob[:cut])
+        except CodecError:
+            pass
+
+
+class TestCausalMetadataWire:
+    """The dependency-carrying records (tags 0x10/0x11) under the same
+    total properties as every other tag: exact round trips, cross-codec
+    agreement, and graceful rejection of every malformed byte string."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(message=causal_messages)
+    def test_causal_round_trip_identity(self, message):
+        assert decode_binary(encode_binary(message)) == message
+
+    @settings(max_examples=150, deadline=None)
+    @given(message=causal_messages)
+    def test_causal_binary_agrees_with_json_codec(self, message):
+        assert decode_binary(encode_binary(message)) \
+            == from_json(to_json(message))
+
+    @settings(max_examples=200, deadline=None)
+    @given(message=causal_messages)
+    def test_causal_tag_selected_iff_any_deps(self, message):
+        # Deps-free messages must keep their pre-causal encoding — byte
+        # compatibility with every pinned golden vector — while any carried
+        # dep must switch the record to its causal tag.
+        tag = encode_binary(message)[0]
+        causal_tags = (TAG_GOSSIP_CAUSAL, TAG_RETR_RESPONSE_CAUSAL)
+        if any(n.deps for n in message.events):
+            assert tag in causal_tags
+        else:
+            assert tag not in causal_tags
+
+    @settings(max_examples=60, deadline=None)
+    @given(message=causal_messages)
+    def test_causal_every_prefix_truncation_raises_codec_error(self, message):
+        # The every-prefix pattern from tests/wire/test_binary_codec.py: no
+        # proper prefix of a causal record may decode (or crash) — the
+        # delta-encoded dep runs must not leave a shorter valid record
+        # embedded in a longer one.
+        blob = encode_binary(message)
+        for cut in range(len(blob)):
+            with pytest.raises(CodecError):
+                decode_binary(blob[:cut])
+
+    @settings(max_examples=150, deadline=None)
+    @given(message=causal_messages, data=st.data())
+    def test_causal_mutated_encodings_never_crash(self, message, data):
+        blob = bytearray(encode_binary(message))
+        index = data.draw(st.integers(0, len(blob) - 1))
+        blob[index] = data.draw(st.integers(0, 255))
+        try:
+            decode_binary(bytes(blob))
         except CodecError:
             pass

@@ -149,6 +149,16 @@ class TestDeclaredDivergences:
         with pytest.raises(ValueError, match="Byzantine"):
             sim.use_fault_plan(FaultPlan().equivocate(1, rate=0.5))
 
+    def test_causal_configs_rejected(self):
+        # Declared divergence: the columnar engine keeps no per-notification
+        # metadata, so the causal hold-back queue cannot be honoured.
+        cfg = LpbcastConfig(view_max=4, causal_delivery=True,
+                            digest_implies_delivery=False)
+        sim = ColumnarRoundSimulation(seed=1)
+        sim.add_nodes(build_lpbcast_nodes(8, cfg, seed=1))
+        with pytest.raises(ValueError, match="causal"):
+            sim.run_round()
+
 
 class TestEngineBasics:
     def test_build_draws_distinct_views_without_self(self):

@@ -276,3 +276,75 @@ class TestGoldenCounterRecord:
         assert telemetry.counter_total("faults.dropped") > 0
         assert telemetry.counter_total(
             "sim.sends", kind="RetransmitRequest") > 0
+
+
+# -- causal-mode golden counter record ---------------------------------------
+# The same bit-identity contract over the causal-delivery path: a fixed-seed
+# lossy run with hold-back gates, dependency solicitation and two concurrent
+# publishers per round (ordering pressure, so notifications really are held
+# back).  The sharded side crosses shards through the binary wire format, so
+# the hash also pins the causal record codec (tags 0x10/0x11) end to end.
+# Regenerate after an intentional protocol change with::
+#
+#     PYTHONPATH=src python - <<'EOF'
+#     from tests.telemetry.test_engine_parity import (causal_golden_run,
+#                                                     golden_sha256)
+#     print(golden_sha256(causal_golden_run("serial")))
+#     EOF
+
+CAUSAL_GOLDEN_N = 120
+CAUSAL_GOLDEN_ROUNDS = 12
+CAUSAL_GOLDEN_SEED = 20260808
+CAUSAL_GOLDEN_PUBLISHES = 5
+CAUSAL_GOLDEN_SHA256 = \
+    "11adf4367ba2b9a3d1655cabc9f7d9d97c1837f518bea34a755ffd5711d58fd4"
+
+
+def causal_golden_run(engine, shards=2):
+    cfg = LpbcastConfig(fanout=3, view_max=15, retransmissions=True,
+                        digest_implies_delivery=False,
+                        causal_delivery=True, causal_holdback_max=32)
+    nodes = build_lpbcast_nodes(CAUSAL_GOLDEN_N, cfg,
+                                seed=CAUSAL_GOLDEN_SEED)
+    network = NetworkModel(loss_rate=0.08,
+                           rng=random.Random(CAUSAL_GOLDEN_SEED + 1))
+    extra = ({"shards": shards, "wire_format": "binary"}
+             if engine == "sharded" else {})
+    sim = create_simulation(engine, network=network,
+                            seed=CAUSAL_GOLDEN_SEED, **extra)
+    sim.add_nodes(nodes)
+
+    def publish(round_no, s):
+        if round_no <= CAUSAL_GOLDEN_PUBLISHES:
+            for k in range(2):
+                pid = nodes[(2 * round_no + k) % CAUSAL_GOLDEN_N].pid
+                s.nodes[pid].lpb_cast(f"evt-{round_no}-{k}", float(round_no))
+
+    sim.add_round_hook(publish)
+    try:
+        sim.run(CAUSAL_GOLDEN_ROUNDS)
+    finally:
+        close = getattr(sim, "close", None)
+        if close is not None:
+            close()
+    return sim
+
+
+class TestCausalGoldenCounterRecord:
+    @pytest.mark.slow
+    def test_engines_reproduce_the_causal_golden_record(self):
+        serial = causal_golden_run("serial")
+        sharded = causal_golden_run("sharded")
+        assert counter_state(serial) == counter_state(sharded)
+        assert golden_sha256(serial) == CAUSAL_GOLDEN_SHA256
+        assert golden_sha256(sharded) == CAUSAL_GOLDEN_SHA256
+        # Non-vacuity: loss actually forced hold-back and dependency
+        # solicitation, so the hash covers the causal paths it claims to.
+        telemetry = serial.telemetry
+        assert telemetry.counter_total("sim.sends") > 0
+        assert telemetry.counter_total(
+            "sim.sends", kind="RetransmitRequest") > 0
+        assert sum(node.causal.held_back_total
+                   for node in serial.nodes.values()) > 0
+        assert sum(node.stats.causal_deps_solicited
+                   for node in serial.nodes.values()) > 0

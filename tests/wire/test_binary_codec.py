@@ -30,6 +30,10 @@ from repro.wire import (
 )
 
 NOTE = Notification(EventId(3, 7), "payload", 12.5)
+# A notification carrying causal dependency metadata: gossip and
+# retransmit responses holding one switch to the causal tags (0x10/0x11).
+CAUSAL_NOTE = Notification(EventId(3, 8), "causal", 13.0,
+                           deps=(EventId(1, 4), EventId(2, 2)))
 
 SAMPLES = [
     GossipMessage(sender=0),
@@ -54,6 +58,9 @@ SAMPLES = [
     RecoveryRequest(13, (EventId(1, 4), EventId(2, 8))),
     RecoveryResponse(14, (NOTE,), False),
     TopicEnvelope("alerts", GossipMessage(sender=2, subs=(1,))),
+    GossipMessage(sender=42, events=(CAUSAL_NOTE, NOTE),
+                  event_ids=(EventId(3, 8),)),
+    RetransmitResponse(6, (CAUSAL_NOTE,)),
 ]
 
 
@@ -108,6 +115,17 @@ class TestEncodeErrors:
         # same lossy embedding the JSON wire format applies).
         decoded = decode_binary(encode_binary(message))
         assert decoded.notification.payload == [1, 2]
+
+    def test_deps_refused_on_records_without_causal_form(self):
+        # A deps-carrying notification inside a record type that has no
+        # causal binary layout must be refused (so the shard/frame layers
+        # fall back losslessly), never silently stripped.
+        with pytest.raises(WireEncodeError, match="causal"):
+            encode_binary(LogUpload(1, CAUSAL_NOTE))
+        with pytest.raises(WireEncodeError, match="causal"):
+            encode_binary(RecoveryResponse(2, (CAUSAL_NOTE,), True))
+        with pytest.raises(WireEncodeError, match="causal"):
+            encode_binary(PbcastData(3, CAUSAL_NOTE, 1))
 
     def test_strict_rejects_nan_payload(self):
         message = LogUpload(1, Notification(EventId(1, 1), float("nan"), 0.0))
